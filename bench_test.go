@@ -1,0 +1,386 @@
+package updlrm
+
+import (
+	"sync"
+	"testing"
+
+	"updlrm/internal/experiments"
+)
+
+// The bench suite regenerates every table and figure of the paper at
+// BenchScale (shapes preserved, sizes cut ~3 orders of magnitude; see
+// internal/experiments). Each benchmark prints the regenerated rows once
+// and reports headline metrics via b.ReportMetric so `go test -bench=.`
+// output doubles as the experiment record. Run the cmd/updlrm CLI with
+// -scale=paper for full-scale numbers.
+
+var benchPrintOnce sync.Map
+
+// printOnce logs a report exactly once per benchmark name across
+// iterations.
+func printOnce(b *testing.B, rep *experiments.Report) {
+	b.Helper()
+	if _, loaded := benchPrintOnce.LoadOrStore(rep.ID, true); !loaded {
+		b.Logf("\n%s", rep.String())
+	}
+}
+
+func benchScale() experiments.Scale { return experiments.BenchScale() }
+
+// BenchmarkTable1WorkloadStats regenerates Table 1 (workload
+// configurations) and reports the measured average reduction of the
+// heaviest workload.
+func BenchmarkTable1WorkloadStats(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Table1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].AvgReduction
+		printOnce(b, rep)
+	}
+	b.ReportMetric(last, "read2-avg-reduction")
+}
+
+// BenchmarkTable2Hardware regenerates Table 2 (hardware configurations).
+func BenchmarkTable2Hardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce(b, experiments.Table2())
+	}
+}
+
+// BenchmarkFigure3MRAMLatency regenerates the MRAM latency curve and
+// reports the 8B and 2048B points.
+func BenchmarkFigure3MRAMLatency(b *testing.B) {
+	var l8, l2048 float64
+	for i := 0; i < b.N; i++ {
+		rep, pts, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		l8, l2048 = pts[0].Cycles, pts[len(pts)-1].Cycles
+		printOnce(b, rep)
+	}
+	b.ReportMetric(l8, "cycles-8B")
+	b.ReportMetric(l2048, "cycles-2048B")
+}
+
+// BenchmarkFigure5AccessSkew regenerates the row-block skew study and
+// reports the maximum skew ratio across the three datasets.
+func BenchmarkFigure5AccessSkew(b *testing.B) {
+	var maxSkew float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Figure5(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxSkew = 0
+		for _, r := range rows {
+			if r.SkewRatio > maxSkew {
+				maxSkew = r.SkewRatio
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(maxSkew, "max-block-skew")
+}
+
+// BenchmarkFigure6CacheAccessPattern regenerates the with/without-cache
+// access histogram on Movie and reports the access reduction.
+func BenchmarkFigure6CacheAccessPattern(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Figure6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var no, with int64
+		for _, r := range rows {
+			no += r.NoCache
+			with += r.CacheHit + r.CacheMiss
+		}
+		reduction = 100 * (1 - float64(with)/float64(no))
+		printOnce(b, rep)
+	}
+	b.ReportMetric(reduction, "access-reduction-%")
+}
+
+// BenchmarkFigure8InferenceSpeedup regenerates the headline system
+// comparison and reports UpDLRM's speedup band over DLRM-CPU.
+func BenchmarkFigure8InferenceSpeedup(b *testing.B) {
+	var minUp, maxUp float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Figure8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minUp, maxUp = rows[0].UpDLRMSpeedup, rows[0].UpDLRMSpeedup
+		for _, r := range rows {
+			if r.UpDLRMSpeedup < minUp {
+				minUp = r.UpDLRMSpeedup
+			}
+			if r.UpDLRMSpeedup > maxUp {
+				maxUp = r.UpDLRMSpeedup
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(minUp, "updlrm-speedup-min")
+	b.ReportMetric(maxUp, "updlrm-speedup-max")
+}
+
+// BenchmarkFigure9PartitioningSpeedup regenerates the embedding-layer
+// comparison of the three partitioning methods and reports the best
+// cache-aware speedup.
+func BenchmarkFigure9PartitioningSpeedup(b *testing.B) {
+	var bestCA float64
+	for i := 0; i < b.N; i++ {
+		rep, cells, err := experiments.Figure9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestCA = 0
+		for _, c := range cells {
+			if c.Method.String() == "CA" && c.Speedup > bestCA {
+				bestCA = c.Speedup
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(bestCA, "best-CA-embed-speedup")
+}
+
+// BenchmarkFigure10LatencyBreakdown regenerates the stage breakdown on
+// GoodReads and reports the cache-aware lookup share at Nc=8.
+func BenchmarkFigure10LatencyBreakdown(b *testing.B) {
+	var caLookupShare float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Figure10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method.String() == "CA" && r.Nc == 8 {
+				caLookupShare = 100 * r.Lookup
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(caLookupShare, "CA-Nc8-lookup-share-%")
+}
+
+// BenchmarkFigure11LookupSweep regenerates the lookup-time sensitivity
+// study and reports the growth factors at 8B and 64B.
+func BenchmarkFigure11LookupSweep(b *testing.B) {
+	var growth8, growth64 float64
+	for i := 0; i < b.N; i++ {
+		rep, pts, err := experiments.Figure11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		get := func(red, bytes int) float64 {
+			for _, p := range pts {
+				if p.AvgReduction == red && p.LookupBytes == bytes {
+					return p.LookupTimeNs
+				}
+			}
+			return 0
+		}
+		growth8 = get(300, 8) / get(50, 8)
+		growth64 = get(300, 64) / get(50, 64)
+		printOnce(b, rep)
+	}
+	b.ReportMetric(growth8, "growth-8B")
+	b.ReportMetric(growth64, "growth-64B")
+}
+
+// BenchmarkCacheCapacitySensitivity regenerates the §3.3 cache budget
+// study and reports the full-budget lookup-time reduction.
+func BenchmarkCacheCapacitySensitivity(b *testing.B) {
+	var fullReduction float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.CacheCapacity(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullReduction = rows[len(rows)-1].ReductionPct
+		printOnce(b, rep)
+	}
+	b.ReportMetric(fullReduction, "full-cache-lookup-reduction-%")
+}
+
+// BenchmarkAblationTimingEngines compares the closed-form and
+// event-driven kernel timing engines.
+func BenchmarkAblationTimingEngines(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.AblationEngines()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, r := range rows {
+			ratio := r.Ratio
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(worst, "worst-engine-disagreement")
+}
+
+// BenchmarkAblationTransferRule compares padded-parallel vs
+// ragged-serial host transfers.
+func BenchmarkAblationTransferRule(b *testing.B) {
+	var bestGain float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.AblationTransfer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestGain = 0
+		for _, r := range rows {
+			if r.PaddedNs > 0 {
+				if g := r.RaggedNs / r.PaddedNs; g > bestGain {
+					bestGain = g
+				}
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(bestGain, "padding-gain-x")
+}
+
+// BenchmarkEnergyEstimate runs the E1 extension and reports UpDLRM's
+// energy relative to DLRM-CPU on the high-hot workload.
+func BenchmarkEnergyEstimate(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Energy(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "read" && r.System == "UpDLRM" {
+				rel = r.RelativeToCPU
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(rel, "updlrm-energy-vs-cpu")
+}
+
+// BenchmarkAblationHetero runs the §6 future-work DPU-GPU comparison.
+func BenchmarkAblationHetero(b *testing.B) {
+	var batch64Deficit float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Hetero(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch64Deficit = rows[0].HeteroNs - rows[0].BaseNs
+		printOnce(b, rep)
+	}
+	b.ReportMetric(batch64Deficit/1e3, "gpu-deficit-us-at-batch64")
+}
+
+// BenchmarkAblationPipeline runs the batch-pipelining ablation.
+func BenchmarkAblationPipeline(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Pipeline(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, r := range rows {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(best, "pipeline-speedup-x")
+}
+
+// BenchmarkTaskletSensitivity runs the S2 sweep and reports the speedup
+// of 14 tasklets over 1.
+func BenchmarkTaskletSensitivity(b *testing.B) {
+	var at14 float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.TaskletSweep(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Tasklets == 14 {
+				at14 = r.SpeedupVsOne
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(at14, "speedup-14-tasklets")
+}
+
+// BenchmarkDPUScaling runs the S3 sweep and reports the optimal fleet's
+// speedup over 64 DPUs.
+func BenchmarkDPUScaling(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.DPUScaling(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, r := range rows {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(best, "best-fleet-speedup")
+}
+
+// BenchmarkQuantizedEMT runs the E2 extension and reports the MRAM
+// traffic reduction of int8 storage on the high-hot workload.
+func BenchmarkQuantizedEMT(b *testing.B) {
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Quantization(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "read" {
+				cut = float64(r.FP32Bytes) / float64(r.Int8Bytes)
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(cut, "mram-traffic-cut-x")
+}
+
+// BenchmarkProfileDrift runs the S4 extension and reports the stale-
+// profile penalty on the high-hot workload.
+func BenchmarkProfileDrift(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		rep, rows, err := experiments.Drift(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "read" {
+				penalty = r.PenaltyPct
+			}
+		}
+		printOnce(b, rep)
+	}
+	b.ReportMetric(penalty, "stale-profile-penalty-%")
+}

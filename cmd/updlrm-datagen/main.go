@@ -1,0 +1,120 @@
+// Command updlrm-datagen generates and inspects the synthetic DLRM
+// workloads that stand in for the paper's datasets.
+//
+// Usage:
+//
+//	updlrm-datagen -list
+//	updlrm-datagen -preset=read -samples=1024 -out=read.trace
+//	updlrm-datagen -preset=movie -samples=1024 -stats
+//	updlrm-datagen -in=read.trace -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available presets and exit")
+	preset := flag.String("preset", "", "workload preset to generate")
+	samples := flag.Int("samples", 1024, "number of samples to generate")
+	itemFrac := flag.Float64("item-frac", 1.0, "scale item count by this fraction")
+	redFrac := flag.Float64("red-frac", 1.0, "scale average reduction by this fraction")
+	out := flag.String("out", "", "write the binary trace to this file")
+	in := flag.String("in", "", "read a binary trace from this file instead of generating")
+	stats := flag.Bool("stats", false, "print trace statistics")
+	blocks := flag.Int("blocks", 8, "row blocks for the skew histogram")
+	flag.Parse()
+
+	if *list {
+		for _, name := range synth.PresetNames() {
+			spec, _ := synth.Preset(name)
+			fmt.Printf("%-10s items=%-9d tables=%d avg-reduction=%.2f zipf=%.2f motifs=%d\n",
+				name, spec.NumItems, spec.Tables, spec.AvgReduction, spec.ZipfExponent, spec.MotifCount)
+		}
+		return
+	}
+
+	tr, err := obtainTrace(*in, *preset, *samples, *itemFrac, *redFrac)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updlrm-datagen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updlrm-datagen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "updlrm-datagen: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "updlrm-datagen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(tr.Samples), *out)
+	}
+
+	if *stats || *out == "" {
+		printStats(tr, *blocks)
+	}
+}
+
+// obtainTrace loads or generates the requested trace.
+func obtainTrace(in, preset string, samples int, itemFrac, redFrac float64) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	if preset == "" {
+		return nil, fmt.Errorf("need -preset or -in (use -list for the catalogue)")
+	}
+	spec, err := synth.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	if itemFrac != 1.0 || redFrac != 1.0 {
+		spec = synth.Scaled(spec, itemFrac, redFrac)
+	}
+	return spec.Generate(samples)
+}
+
+// printStats reports the statistics every partitioner consumes.
+func printStats(tr *trace.Trace, blocks int) {
+	fmt.Printf("samples:        %d\n", len(tr.Samples))
+	fmt.Printf("tables:         %d\n", tr.NumTables)
+	fmt.Printf("rows per table: %v\n", tr.RowsPerTable[:min(4, len(tr.RowsPerTable))])
+	fmt.Printf("dense dim:      %d\n", tr.DenseDim)
+	fmt.Printf("avg reduction:  %.2f\n", tr.AvgReduction())
+	for t := 0; t < min(2, tr.NumTables); t++ {
+		freq := tr.Frequency(t)
+		hist := trace.BlockHistogram(freq, blocks)
+		fmt.Printf("table %d: accesses=%d block-skew=%.1fx normalized-blocks=", t, tr.TotalAccesses(t), trace.SkewRatio(hist))
+		for i, v := range trace.Normalize(hist) {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf("%.3f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

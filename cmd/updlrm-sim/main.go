@@ -1,0 +1,184 @@
+// Command updlrm-sim runs DPU micro-benchmarks against the UPMEM
+// simulator: the MRAM latency curve, single-kernel lookup sweeps, and
+// host transfer costs. It is the quickest way to explore how the
+// hardware model responds to configuration changes.
+//
+// Usage:
+//
+//	updlrm-sim mram
+//	updlrm-sim kernel -reads=2000 -nc=8 -tasklets=14 -engine=event
+//	updlrm-sim transfer -dpus=256 -bytes=2048 -ragged
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/synth"
+	"updlrm/internal/upmem"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "mram":
+		err = runMRAM(os.Args[2:])
+	case "kernel":
+		err = runKernel(os.Args[2:])
+	case "transfer":
+		err = runTransfer(os.Args[2:])
+	case "memmap":
+		err = runMemMap(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updlrm-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runMRAM(args []string) error {
+	fs := flag.NewFlagSet("mram", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hw := upmem.DefaultConfig()
+	fmt.Println("bytes  latency(cycles)  latency(ns)  bandwidth(MB/s)")
+	for size := 8; size <= 2048; size *= 2 {
+		lat, err := hw.MRAMReadLatency(size)
+		if err != nil {
+			return err
+		}
+		ns := hw.CyclesToNs(lat)
+		fmt.Printf("%5d  %15.1f  %11.1f  %15.1f\n", size, lat, ns, float64(size)/ns*1e3)
+	}
+	return nil
+}
+
+func runKernel(args []string) error {
+	fs := flag.NewFlagSet("kernel", flag.ExitOnError)
+	reads := fs.Int("reads", 1000, "MRAM reads in the kernel")
+	nc := fs.Int("nc", 8, "values per read (N_c)")
+	samples := fs.Int("samples", 64, "batch size (accumulators)")
+	tasklets := fs.Int("tasklets", 14, "tasklets per DPU")
+	engine := fs.String("engine", "closed", "timing engine: closed or event")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hw := upmem.DefaultConfig()
+	hw.Tasklets = *tasklets
+	eng := upmem.ClosedForm
+	if *engine == "event" {
+		eng = upmem.EventDriven
+	}
+	job := &upmem.KernelJob{
+		NumSamples: *samples,
+		Width:      *nc,
+		Fetch: func(rows []int32, dst []float32) {
+			for k := range dst {
+				dst[k] = 1
+			}
+		},
+	}
+	for i := 0; i < *reads; i++ {
+		job.AddRead(i%*samples, *nc, int32(i))
+	}
+	_, timing, err := upmem.RunKernel(hw, job, eng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine:          %s\n", eng)
+	fmt.Printf("reads:           %d x %dB\n", timing.Reads, upmem.AlignMRAM(*nc*4))
+	fmt.Printf("kernel cycles:   %.0f (%.1f us)\n", timing.Cycles, hw.CyclesToNs(timing.Cycles)/1e3)
+	fmt.Printf("pipeline cycles: %.0f\n", timing.PipelineCycles)
+	fmt.Printf("dma cycles:      %.0f\n", timing.DMACycles)
+	fmt.Printf("tasklet bound:   %.0f\n", timing.TaskletCycles)
+	fmt.Printf("bytes read:      %d\n", timing.BytesRead)
+	return nil
+}
+
+func runTransfer(args []string) error {
+	fs := flag.NewFlagSet("transfer", flag.ExitOnError)
+	dpus := fs.Int("dpus", 256, "DPU count")
+	bytes := fs.Int64("bytes", 2048, "per-DPU buffer size")
+	ragged := fs.Bool("ragged", false, "make sizes ragged (DPU i gets bytes + i%7*64)")
+	pull := fs.Bool("pull", false, "DPU->CPU direction instead of CPU->DPU")
+	pad := fs.Bool("pad", true, "pad ragged buffers to the max size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hw := upmem.DefaultConfig()
+	sizes := make([]int64, *dpus)
+	for i := range sizes {
+		sizes[i] = *bytes
+		if *ragged {
+			sizes[i] += int64(i%7) * 64
+		}
+	}
+	dir := upmem.Push
+	if *pull {
+		dir = upmem.Pull
+	}
+	st := hw.TransferTime(sizes, *pad, dir)
+	fmt.Printf("direction: %s  parallel: %v  payload: %d B  padded: %d B  time: %.1f us\n",
+		dir, st.Parallel, st.Bytes, st.PaddedBytes, st.Ns/1e3)
+	return nil
+}
+
+func runMemMap(args []string) error {
+	fs := flag.NewFlagSet("memmap", flag.ExitOnError)
+	preset := fs.String("preset", "read", "workload preset")
+	itemFrac := fs.Float64("item-frac", 0.005, "item-count scale")
+	dpu := fs.Int("dpu", 0, "DPU index to map")
+	dpus := fs.Int("dpus", 256, "total DPU count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := synth.Preset(*preset)
+	if err != nil {
+		return err
+	}
+	spec = synth.Scaled(spec, *itemFrac, 0.5)
+	tr, err := spec.Generate(256)
+	if err != nil {
+		return err
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.TotalDPUs = *dpus
+	eng, err := core.New(model, tr, cfg)
+	if err != nil {
+		return err
+	}
+	layout, err := eng.MemoryMap(*dpu)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DPU %d of %d (%s workload):\n%s", *dpu, *dpus, spec.Name, layout.String())
+	stats := eng.PreprocessStats()
+	fmt.Printf("fleet: %d B loaded total, max DPU %d B, one-time load %.1f ms\n",
+		stats.TotalBytes, stats.MaxDPUBytes, stats.LoadNs/1e6)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `updlrm-sim — DPU micro-benchmarks
+
+subcommands:
+  mram      MRAM read latency sweep (Figure 3)
+  kernel    one lookup kernel with configurable reads/Nc/tasklets/engine
+  transfer  host transfer model (parallel vs ragged, push vs pull)
+  memmap    per-DPU MRAM memory map for a partitioned workload`)
+}

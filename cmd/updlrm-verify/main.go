@@ -1,0 +1,185 @@
+// Command updlrm-verify checks the functional-correctness contract at a
+// configurable scale: the DPU-offloaded engine (every partitioning
+// method, both timing engines) and all baselines must produce the same
+// CTR predictions as the CPU reference, within float summation-order
+// tolerance. It exits non-zero on any divergence — the CI-style gate for
+// simulator changes.
+//
+// Usage:
+//
+//	updlrm-verify [-preset=read] [-samples=512] [-item-frac=0.01] [-tolerance=1e-4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"updlrm/internal/baseline"
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+	"updlrm/internal/upmem"
+)
+
+func main() {
+	preset := flag.String("preset", "read", "workload preset")
+	samples := flag.Int("samples", 512, "inference count")
+	itemFrac := flag.Float64("item-frac", 0.01, "item-count scale")
+	redFrac := flag.Float64("red-frac", 0.5, "reduction scale")
+	batch := flag.Int("batch", 64, "batch size")
+	dpus := flag.Int("dpus", 256, "DPU count")
+	tolerance := flag.Float64("tolerance", 1e-4, "max CTR divergence")
+	flag.Parse()
+
+	if err := verify(*preset, *samples, *itemFrac, *redFrac, *batch, *dpus, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "updlrm-verify: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("updlrm-verify: PASS")
+}
+
+func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus int, tol float64) error {
+	start := time.Now()
+	spec, err := synth.Preset(preset)
+	if err != nil {
+		return err
+	}
+	spec = synth.Scaled(spec, itemFrac, redFrac)
+	tr, err := spec.Generate(samples)
+	if err != nil {
+		return err
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s — %d samples, %d tables x %d items, avg reduction %.1f\n",
+		spec.Name, samples, tr.NumTables, tr.RowsPerTable[0], tr.AvgReduction())
+
+	cpuM, gpuM, pcieM := hosthw.DefaultCPU(), hosthw.DefaultGPU(), hosthw.DefaultPCIe()
+	cpu, err := baseline.NewCPU(model, cpuM)
+	if err != nil {
+		return err
+	}
+	ref, _, err := baseline.RunTrace(cpu, tr, batch)
+	if err != nil {
+		return err
+	}
+
+	verified := 0
+	check := func(name string, got []float32) error {
+		verified++
+		if len(got) != len(ref) {
+			return fmt.Errorf("%s: %d CTRs, want %d", name, len(got), len(ref))
+		}
+		var worst float64
+		for i := range ref {
+			if d := math.Abs(float64(ref[i]) - float64(got[i])); d > worst {
+				worst = d
+			}
+		}
+		status := "ok"
+		if worst > tol {
+			status = "DIVERGED"
+		}
+		fmt.Printf("  %-28s max divergence %.2e  %s\n", name, worst, status)
+		if worst > tol {
+			return fmt.Errorf("%s diverged by %v (tolerance %v)", name, worst, tol)
+		}
+		return nil
+	}
+
+	hybrid, err := baseline.NewHybrid(model, cpuM, gpuM, pcieM,
+		baseline.DefaultHybridConfig(model.Cfg.NumTables()))
+	if err != nil {
+		return err
+	}
+	hybridCTR, _, err := baseline.RunTrace(hybrid, tr, batch)
+	if err != nil {
+		return err
+	}
+	if err := check("DLRM-Hybrid", hybridCTR); err != nil {
+		return err
+	}
+
+	fae, err := baseline.NewFAE(model, tr, cpuM, gpuM, pcieM, baseline.DefaultFAEConfig())
+	if err != nil {
+		return err
+	}
+	faeCTR, _, err := baseline.RunTrace(fae, tr, batch)
+	if err != nil {
+		return err
+	}
+	if err := check("FAE", faeCTR); err != nil {
+		return err
+	}
+
+	for _, method := range []partition.Method{
+		partition.MethodUniform, partition.MethodNonUniform, partition.MethodCacheAware,
+	} {
+		for _, engine := range []upmem.TimingEngine{upmem.ClosedForm, upmem.EventDriven} {
+			cfg := core.DefaultConfig()
+			cfg.TotalDPUs = dpus
+			cfg.BatchSize = batch
+			cfg.Method = method
+			cfg.Engine = engine
+			eng, err := core.New(model, tr, cfg)
+			if err != nil {
+				return fmt.Errorf("UpDLRM(%v,%v): %w", method, engine, err)
+			}
+			ctr, _, err := eng.RunTrace(tr, batch)
+			if err != nil {
+				return fmt.Errorf("UpDLRM(%v,%v): %w", method, engine, err)
+			}
+			name := fmt.Sprintf("UpDLRM(%v, %v)", method, engine)
+			if err := check(name, ctr); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pipelined and heterogeneous variants reuse the CA plan.
+	cfg := core.DefaultConfig()
+	cfg.TotalDPUs = dpus
+	cfg.BatchSize = batch
+	eng, err := core.New(model, tr, cfg)
+	if err != nil {
+		return err
+	}
+	pres, err := eng.RunTracePipelined(tr, batch)
+	if err != nil {
+		return err
+	}
+	if err := check("UpDLRM pipelined", pres.CTR); err != nil {
+		return err
+	}
+	hetero, err := core.NewHetero(eng, gpuM, pcieM)
+	if err != nil {
+		return err
+	}
+	hctr, _, err := hetero.RunTrace(tr, batch)
+	if err != nil {
+		return err
+	}
+	if err := check("UpDLRM-GPU", hctr); err != nil {
+		return err
+	}
+
+	// Batch-size invariance: the same trace in different batch sizes
+	// must predict identically.
+	alt, _, err := eng.RunTrace(tr, batch/2+1)
+	if err != nil {
+		return err
+	}
+	if err := check("UpDLRM (odd batch size)", alt); err != nil {
+		return err
+	}
+
+	fmt.Printf("verified %d implementations in %v\n", verified, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,217 @@
+// Command updlrm regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	updlrm [-scale=bench|paper] [-inferences=N] [-dpus=N] <experiment>...
+//
+// Experiments: table1 table2 fig3 fig5 fig6 fig8 fig9 fig10 fig11
+// cachecap ablations all
+//
+// The bench scale (default) preserves every result shape while running
+// in seconds; the paper scale uses §4.1's exact sizes (12,800 inferences,
+// full item counts) and can take many minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"updlrm/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "bench", "workload scale: bench or paper")
+	inferences := flag.Int("inferences", 0, "override sampled inference count")
+	dpus := flag.Int("dpus", 0, "override total DPU count")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "bench":
+		scale = experiments.BenchScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "updlrm: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *inferences > 0 {
+		scale.Inferences = *inferences
+	}
+	if *dpus > 0 {
+		scale.TotalDPUs = *dpus
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "cachecap", "energy", "hetero", "pipeline", "tasklets", "dpuscaling", "quant", "drift", "ablations"}
+	}
+	for _, name := range args {
+		if err := run(name, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "updlrm: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run executes one named experiment and prints its report(s).
+func run(name string, scale experiments.Scale) error {
+	start := time.Now()
+	var reps []*experiments.Report
+	switch name {
+	case "table1":
+		rep, _, err := experiments.Table1(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "table2":
+		reps = append(reps, experiments.Table2())
+	case "fig3":
+		rep, _, err := experiments.Figure3()
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig5":
+		rep, _, err := experiments.Figure5(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig6":
+		rep, _, err := experiments.Figure6(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig8":
+		rep, _, err := experiments.Figure8(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig9":
+		rep, _, err := experiments.Figure9(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig10":
+		rep, _, err := experiments.Figure10(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "fig11":
+		rep, _, err := experiments.Figure11(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "cachecap":
+		rep, _, err := experiments.CacheCapacity(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "quant":
+		rep, _, err := experiments.Quantization(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "drift":
+		rep, _, err := experiments.Drift(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "tasklets":
+		rep, _, err := experiments.TaskletSweep(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "dpuscaling":
+		rep, _, err := experiments.DPUScaling(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "energy":
+		rep, _, err := experiments.Energy(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "hetero":
+		rep, _, err := experiments.Hetero(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "pipeline":
+		rep, _, err := experiments.Pipeline(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "ablations":
+		repA, _, err := experiments.AblationEngines()
+		if err != nil {
+			return err
+		}
+		repB, _, err := experiments.AblationTransfer()
+		if err != nil {
+			return err
+		}
+		reps = append(reps, repA, repB)
+	default:
+		return fmt.Errorf("unknown experiment (see -help)")
+	}
+	for _, rep := range reps {
+		fmt.Println(rep.String())
+	}
+	fmt.Printf("(%s completed in %v at scale %q)\n\n", name, time.Since(start).Round(time.Millisecond), scale.Name)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `updlrm — regenerate the UpDLRM paper's evaluation
+
+usage: updlrm [flags] <experiment>...
+
+experiments:
+  table1    workload configurations
+  table2    hardware configurations
+  fig3      MRAM read latency vs transfer size
+  fig5      row-block access skew (Goodreads/Movie/Twitch)
+  fig6      per-partition accesses with and without caching (Movie)
+  fig8      inference speedup of all four systems over DLRM-CPU
+  fig9      embedding-layer speedup of U/NU/CA partitioning
+  fig10     embedding latency breakdown (GoodReads)
+  fig11     DPU lookup time vs avg reduction and lookup size
+  cachecap  cache capacity sensitivity (§3.3)
+  quant     int8-quantized EMTs vs fp32 (extension)
+  drift     profile staleness study (extension)
+  tasklets  tasklet-count sensitivity (why §4.1 uses 14)
+  dpuscaling fleet-size sensitivity (why 256 DPUs)
+  energy    per-run energy estimates (extension; §2.3 motivation)
+  hetero    DPU-GPU heterogeneous system (§6 future work)
+  pipeline  batch-pipelined execution (throughput extension)
+  ablations timing-engine and transfer-rule ablations
+  all       everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}

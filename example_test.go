@@ -1,0 +1,112 @@
+package updlrm_test
+
+import (
+	"fmt"
+
+	"updlrm"
+)
+
+// Example demonstrates the minimal end-to-end flow: generate a workload,
+// build a model and an engine, run inference, and inspect the latency
+// breakdown.
+func Example() {
+	// A balanced synthetic workload keeps this example deterministic and
+	// instant; Preset("read") etc. give the paper's datasets.
+	spec := updlrm.Balanced(2048, 4, 16, 42)
+	tr, err := spec.Generate(128)
+	if err != nil {
+		panic(err)
+	}
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		panic(err)
+	}
+	cfg := updlrm.DefaultEngineConfig()
+	cfg.TotalDPUs = 64
+	eng, err := updlrm.NewEngine(model, tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	ctrs, bd, err := eng.RunTrace(tr, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inferences: %d\n", len(ctrs))
+	fmt.Printf("stages charged: push=%v lookup=%v pull=%v\n",
+		bd.CPUToDPUNs > 0, bd.DPULookupNs > 0, bd.DPUToCPUNs > 0)
+	// Output:
+	// inferences: 128
+	// stages charged: push=true lookup=true pull=true
+}
+
+// Example_baselineComparison compares UpDLRM against the CPU-only
+// baseline on the same workload.
+func Example_baselineComparison() {
+	spec := updlrm.Balanced(2048, 4, 64, 7)
+	tr, err := spec.Generate(64)
+	if err != nil {
+		panic(err)
+	}
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		panic(err)
+	}
+	cpu, err := updlrm.NewCPUBaseline(model, updlrm.DefaultCPUModel())
+	if err != nil {
+		panic(err)
+	}
+	cpuCTR, _, err := updlrm.RunBaseline(cpu, tr, 64)
+	if err != nil {
+		panic(err)
+	}
+	cfg := updlrm.DefaultEngineConfig()
+	cfg.TotalDPUs = 64
+	eng, err := updlrm.NewEngine(model, tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	upCTR, _, err := eng.RunTrace(tr, 64)
+	if err != nil {
+		panic(err)
+	}
+	agree := true
+	for i := range cpuCTR {
+		d := float64(cpuCTR[i]) - float64(upCTR[i])
+		if d > 1e-4 || d < -1e-4 {
+			agree = false
+		}
+	}
+	fmt.Printf("predictions agree: %v\n", agree)
+	// Output:
+	// predictions agree: true
+}
+
+// Example_partitioners shows how to pin the partitioning strategy and
+// tile width (as Figures 9 and 10 do).
+func Example_partitioners() {
+	spec := updlrm.Balanced(4096, 2, 8, 3)
+	tr, err := spec.Generate(64)
+	if err != nil {
+		panic(err)
+	}
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		panic(err)
+	}
+	for _, method := range []updlrm.PartitionMethod{updlrm.Uniform, updlrm.NonUniform} {
+		cfg := updlrm.DefaultEngineConfig()
+		cfg.TotalDPUs = 32
+		cfg.Method = method
+		cfg.ForcedNc = 8
+		eng, err := updlrm.NewEngine(model, tr, cfg)
+		if err != nil {
+			panic(err)
+		}
+		plan := eng.Plans()[0]
+		fmt.Printf("%v: Nc=%d parts=%d slices=%d\n",
+			method, plan.Shape.Nc, plan.Shape.Parts, plan.Shape.Slices)
+	}
+	// Output:
+	// U: Nc=8 parts=4 slices=4
+	// NU: Nc=8 parts=4 slices=4
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a DLRM, run the same workload through the CPU-only
+// baseline and the DPU-offloaded UpDLRM engine, verify the predictions
+// agree, and print the modeled speedup with its stage breakdown.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"updlrm"
+)
+
+func main() {
+	// A laptop-scale slice of the paper's GoodReads workload: 1% of the
+	// items, full multi-hot reduction degree (245.8 lookups per bag).
+	spec, err := updlrm.Preset("read")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = updlrm.Scaled(spec, 0.01, 1.0)
+	tr, err := spec.Generate(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d samples, %d tables, %d items/table, avg reduction %.1f\n",
+		spec.Name, len(tr.Samples), tr.NumTables, tr.RowsPerTable[0], tr.AvgReduction())
+
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// DLRM-CPU: the reference implementation and timing baseline.
+	cpu, err := updlrm.NewCPUBaseline(model, updlrm.DefaultCPUModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuCTR, cpuBD, err := updlrm.RunBaseline(cpu, tr, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// UpDLRM: cache-aware partitioning over 256 simulated DPUs.
+	eng, err := updlrm.NewEngine(model, tr, updlrm.DefaultEngineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	upCTR, upBD, err := eng.RunTrace(tr, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The DPU engine must predict exactly what the CPU predicts (modulo
+	// float summation order).
+	var maxDiff float64
+	for i := range cpuCTR {
+		if d := math.Abs(float64(cpuCTR[i] - upCTR[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("functional check: max |CTR_cpu - CTR_updlrm| = %.2g across %d inferences\n",
+		maxDiff, len(cpuCTR))
+	if maxDiff > 1e-4 {
+		log.Fatalf("outputs diverge: %v", maxDiff)
+	}
+
+	for t, plan := range eng.Plans() {
+		if t > 0 {
+			break // all tables share the shape in this workload
+		}
+		fmt.Printf("partitioning: %v, tile shape Nc=%d (%d column slices x %d row partitions), %d cache lists\n",
+			plan.Method, plan.Shape.Nc, plan.Shape.Slices, plan.Shape.Parts, plan.CachedLists())
+	}
+
+	batches := float64(len(updlrm.MakeBatches(tr, 64)))
+	fmt.Printf("\nper-batch latency (modeled):\n")
+	fmt.Printf("  DLRM-CPU : embed %8.1f us + mlp %6.1f us = %8.1f us\n",
+		cpuBD.EmbedCPUNs/batches/1e3, cpuBD.MLPNs/batches/1e3, cpuBD.TotalNs()/batches/1e3)
+	fmt.Printf("  UpDLRM   : cpu->dpu %6.1f us | lookup %6.1f us | dpu->cpu %6.1f us | mlp %6.1f us = %8.1f us\n",
+		upBD.CPUToDPUNs/batches/1e3, upBD.DPULookupNs/batches/1e3,
+		upBD.DPUToCPUNs/batches/1e3, upBD.MLPNs/batches/1e3, upBD.TotalNs()/batches/1e3)
+	fmt.Printf("\nspeedup over DLRM-CPU: %.2fx\n", cpuBD.TotalNs()/upBD.TotalNs())
+}

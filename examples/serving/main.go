@@ -1,0 +1,163 @@
+// Serving: a miniature online recommendation service on top of the
+// UpDLRM engine. The server owns one engine and answers POST /predict
+// requests carrying dense features and per-table multi-hot indices,
+// returning the CTR plus the modeled DPU-side latency — the shape a
+// production deployment of the paper's system would take.
+//
+// Run with: go run ./examples/serving
+// then:     curl -s localhost:8097/predict -d '{"dense":[0.1,...],"sparse":[[1,2],[3],[4,5],[6]]}'
+// (the demo also issues a few requests against itself and exits).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"updlrm"
+	"updlrm/internal/trace"
+)
+
+// predictRequest is the wire format of one inference request.
+type predictRequest struct {
+	Dense  []float32 `json:"dense"`
+	Sparse [][]int32 `json:"sparse"`
+}
+
+// predictResponse carries the prediction and modeled latency.
+type predictResponse struct {
+	CTR              float32 `json:"ctr"`
+	ModeledLatencyUs float64 `json:"modeled_latency_us"`
+	EmbedSharePct    float64 `json:"embed_share_pct"`
+}
+
+// server owns the engine; the engine is not concurrency-safe, so a mutex
+// serializes batches (a production server would shard engines).
+type server struct {
+	mu     sync.Mutex
+	eng    *updlrm.Engine
+	tables int
+	dense  int
+	rows   []int
+}
+
+func (s *server) predict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Dense) != s.dense || len(req.Sparse) != s.tables {
+		http.Error(w, fmt.Sprintf("want %d dense features and %d sparse sets", s.dense, s.tables),
+			http.StatusBadRequest)
+		return
+	}
+	for t, idx := range req.Sparse {
+		for _, v := range idx {
+			if v < 0 || int(v) >= s.rows[t] {
+				http.Error(w, fmt.Sprintf("table %d index %d out of range", t, v), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	// A single request forms a batch of one (a real deployment would
+	// coalesce; the engine handles any batch size).
+	tr := &trace.Trace{
+		NumTables:    s.tables,
+		RowsPerTable: s.rows,
+		DenseDim:     s.dense,
+		Samples:      []trace.Sample{{Dense: req.Dense, Sparse: req.Sparse}},
+	}
+	batch := trace.MakeBatch(tr, 0, 1)
+
+	s.mu.Lock()
+	res, err := s.eng.RunBatch(batch)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	embed := res.Breakdown.EmbedNs()
+	resp := predictResponse{
+		CTR:              res.CTR[0],
+		ModeledLatencyUs: res.Breakdown.TotalNs() / 1e3,
+		EmbedSharePct:    100 * embed / res.Breakdown.TotalNs(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("serving: encoding response: %v", err)
+	}
+}
+
+func main() {
+	// Build the engine from a profiling trace, as the paper's pre-process
+	// stage does.
+	spec, err := updlrm.Preset("home")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = updlrm.Scaled(spec, 0.005, 0.5)
+	spec.Tables = 4
+	profile, err := spec.Generate(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(profile.RowsPerTable))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := updlrm.DefaultEngineConfig()
+	cfg.TotalDPUs = 64
+	eng, err := updlrm.NewEngine(model, profile, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{
+		eng:    eng,
+		tables: profile.NumTables,
+		dense:  profile.DenseDim,
+		rows:   profile.RowsPerTable,
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", srv.predict)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && err != http.ErrServerClosed {
+			log.Printf("serving: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+	fmt.Printf("updlrm serving on http://%s/predict (4 sparse tables, %d dense features)\n\n",
+		addr, profile.DenseDim)
+
+	// Demo client: replay a few profile samples as live requests.
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 5; i++ {
+		s := profile.Samples[i]
+		body, err := json.Marshal(predictRequest{Dense: s.Dense, Sparse: s.Sparse})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := client.Post("http://"+addr+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out predictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("request %d: ctr=%.4f modeled latency=%.1fus (embedding %.0f%% of it)\n",
+			i+1, out.CTR, out.ModeledLatencyUs, out.EmbedSharePct)
+	}
+	fmt.Println("\ndone — in a long-running deployment, keep the server alive instead of exiting")
+}

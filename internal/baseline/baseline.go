@@ -1,0 +1,294 @@
+// Package baseline implements the three comparison systems of Table 2 —
+// DLRM-CPU (CPU-only), DLRM-Hybrid (CPU embeddings + GPU MLP over PCIe),
+// and FAE (hybrid with hot embeddings cached in GPU memory, Adnan et
+// al.). All three execute the model functionally on the host and charge
+// wall time through the hosthw analytic models, so their outputs are
+// directly comparable to UpDLRM's while their latencies reflect the
+// hardware of Table 2.
+package baseline
+
+import (
+	"fmt"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/metrics"
+	"updlrm/internal/trace"
+)
+
+// Result is one batch's outcome from any timed system.
+type Result struct {
+	// CTR holds per-sample click-through predictions.
+	CTR []float32
+	// Breakdown attributes the batch's modeled latency.
+	Breakdown metrics.Breakdown
+}
+
+// System is a timed DLRM implementation.
+type System interface {
+	// Name returns the implementation label used in reports.
+	Name() string
+	// RunBatch executes the batch functionally and models its latency.
+	RunBatch(b *trace.Batch) (*Result, error)
+}
+
+// CPUSystem is DLRM-CPU: embedding gathers and MLP both on the Xeon.
+type CPUSystem struct {
+	model *dlrm.Model
+	cpu   hosthw.CPUModel
+}
+
+// NewCPU builds the CPU-only baseline.
+func NewCPU(model *dlrm.Model, cpu hosthw.CPUModel) (*CPUSystem, error) {
+	if model == nil {
+		return nil, fmt.Errorf("baseline: nil model")
+	}
+	if err := cpu.Validate(); err != nil {
+		return nil, err
+	}
+	return &CPUSystem{model: model, cpu: cpu}, nil
+}
+
+// Name implements System.
+func (s *CPUSystem) Name() string { return "DLRM-CPU" }
+
+// RunBatch implements System.
+func (s *CPUSystem) RunBatch(b *trace.Batch) (*Result, error) {
+	if err := checkBatch(s.model, b); err != nil {
+		return nil, err
+	}
+	embs := dlrm.EmbedCPU(s.model, b)
+	ctr := s.model.ForwardBatch(b, embs)
+	var bd metrics.Breakdown
+	bd.EmbedCPUNs = s.cpu.GatherNs(dlrm.EmbedLookups(b), s.model.RowBytes())
+	bd.MLPNs = s.cpu.ComputeNs(s.model.FLOPsPerSample() * int64(b.Size))
+	return &Result{CTR: ctr, Breakdown: bd}, nil
+}
+
+// HybridConfig tunes the CPU-GPU hybrid's fixed costs.
+type HybridConfig struct {
+	// PipelineOverheadNs is the per-batch CPU-GPU synchronization and
+	// framework overhead; the GPU stalls on the CPU's embedding results
+	// (the effect §4.2 blames for DLRM-Hybrid's last place).
+	PipelineOverheadNs float64
+	// TransfersPerBatch is the number of separate PCIe transfers per
+	// batch (per-table embedding pushes plus dense features).
+	TransfersPerBatch int
+}
+
+// DefaultHybridConfig matches the calibration notes in DESIGN.md §5.
+func DefaultHybridConfig(numTables int) HybridConfig {
+	return HybridConfig{
+		PipelineOverheadNs: 250_000,
+		TransfersPerBatch:  numTables + 1,
+	}
+}
+
+// HybridSystem is DLRM-Hybrid: the CPU stores EMTs and performs
+// embedding lookups; results cross PCIe; the GPU runs the MLPs.
+type HybridSystem struct {
+	model *dlrm.Model
+	cpu   hosthw.CPUModel
+	gpu   hosthw.GPUModel
+	pcie  hosthw.PCIeModel
+	cfg   HybridConfig
+}
+
+// NewHybrid builds the CPU-GPU hybrid baseline.
+func NewHybrid(model *dlrm.Model, cpu hosthw.CPUModel, gpu hosthw.GPUModel,
+	pcie hosthw.PCIeModel, cfg HybridConfig) (*HybridSystem, error) {
+	if model == nil {
+		return nil, fmt.Errorf("baseline: nil model")
+	}
+	for _, err := range []error{cpu.Validate(), gpu.Validate(), pcie.Validate()} {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.PipelineOverheadNs < 0 || cfg.TransfersPerBatch <= 0 {
+		return nil, fmt.Errorf("baseline: hybrid config %+v", cfg)
+	}
+	return &HybridSystem{model: model, cpu: cpu, gpu: gpu, pcie: pcie, cfg: cfg}, nil
+}
+
+// Name implements System.
+func (s *HybridSystem) Name() string { return "DLRM-Hybrid" }
+
+// RunBatch implements System.
+func (s *HybridSystem) RunBatch(b *trace.Batch) (*Result, error) {
+	if err := checkBatch(s.model, b); err != nil {
+		return nil, err
+	}
+	embs := dlrm.EmbedCPU(s.model, b)
+	ctr := s.model.ForwardBatch(b, embs)
+	var bd metrics.Breakdown
+	bd.EmbedCPUNs = s.cpu.GatherNs(dlrm.EmbedLookups(b), s.model.RowBytes())
+	// Embedding results + dense features cross PCIe in per-table calls.
+	embBytes := int64(b.Size) * int64(s.model.Cfg.NumTables()) * s.model.RowBytes()
+	denseBytes := int64(b.Size) * int64(s.model.Cfg.DenseDim) * 4
+	perXfer := (embBytes + denseBytes) / int64(s.cfg.TransfersPerBatch)
+	for i := 0; i < s.cfg.TransfersPerBatch; i++ {
+		bd.PCIeNs += s.pcie.TransferNs(perXfer)
+	}
+	bd.MLPNs = s.gpu.ComputeNs(s.model.FLOPsPerSample() * int64(b.Size))
+	bd.OverheadNs = s.cfg.PipelineOverheadNs
+	return &Result{CTR: ctr, Breakdown: bd}, nil
+}
+
+// FAEConfig tunes the FAE baseline.
+type FAEConfig struct {
+	// CacheFracOfTable is the fraction of each table's rows cached in
+	// GPU memory (hottest first, from the profiling trace).
+	CacheFracOfTable float64
+	// PipelineOverheadNs is FAE's per-batch orchestration cost — lower
+	// than plain Hybrid thanks to its input pipeline.
+	PipelineOverheadNs float64
+}
+
+// DefaultFAEConfig matches the calibration notes in DESIGN.md §5.
+func DefaultFAEConfig() FAEConfig {
+	return FAEConfig{CacheFracOfTable: 0.06, PipelineOverheadNs: 40_000}
+}
+
+// FAESystem is FAE: the hottest embedding rows live in GPU memory, so
+// their lookups gather at device bandwidth; cold lookups fall back to the
+// CPU + PCIe path; the GPU runs the MLPs.
+type FAESystem struct {
+	model *dlrm.Model
+	cpu   hosthw.CPUModel
+	gpu   hosthw.GPUModel
+	pcie  hosthw.PCIeModel
+	cfg   FAEConfig
+	// hot[t] marks table t's GPU-resident rows.
+	hot [][]bool
+	// hotRows counts resident rows for capacity reporting.
+	hotRows int64
+}
+
+// NewFAE builds the FAE baseline, deriving each table's hot set from the
+// profiling trace's frequency profile (hottest rows first) under the
+// configured GPU budget.
+func NewFAE(model *dlrm.Model, profile *trace.Trace, cpu hosthw.CPUModel,
+	gpu hosthw.GPUModel, pcie hosthw.PCIeModel, cfg FAEConfig) (*FAESystem, error) {
+	if model == nil {
+		return nil, fmt.Errorf("baseline: nil model")
+	}
+	for _, err := range []error{cpu.Validate(), gpu.Validate(), pcie.Validate()} {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CacheFracOfTable < 0 || cfg.CacheFracOfTable > 1 {
+		return nil, fmt.Errorf("baseline: FAE cache fraction %v", cfg.CacheFracOfTable)
+	}
+	if cfg.PipelineOverheadNs < 0 {
+		return nil, fmt.Errorf("baseline: FAE overhead %v", cfg.PipelineOverheadNs)
+	}
+	if profile.NumTables != model.Cfg.NumTables() {
+		return nil, fmt.Errorf("baseline: profile has %d tables, model %d",
+			profile.NumTables, model.Cfg.NumTables())
+	}
+	s := &FAESystem{model: model, cpu: cpu, gpu: gpu, pcie: pcie, cfg: cfg}
+	var budgetUsed int64
+	for t := 0; t < model.Cfg.NumTables(); t++ {
+		rows := model.Cfg.RowsPerTable[t]
+		if profile.RowsPerTable[t] != rows {
+			return nil, fmt.Errorf("baseline: profile table %d rows %d != model %d",
+				t, profile.RowsPerTable[t], rows)
+		}
+		k := int(cfg.CacheFracOfTable * float64(rows))
+		freq := profile.Frequency(t)
+		hot := make([]bool, rows)
+		for _, row := range trace.HotSet(freq, k) {
+			if freq[row] == 0 {
+				break // don't waste budget on never-accessed rows
+			}
+			hot[row] = true
+			s.hotRows++
+		}
+		s.hot = append(s.hot, hot)
+		budgetUsed += int64(k) * model.RowBytes()
+	}
+	if budgetUsed > gpu.MemBytes {
+		return nil, fmt.Errorf("baseline: FAE cache %d B exceeds GPU memory %d B", budgetUsed, gpu.MemBytes)
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *FAESystem) Name() string { return "FAE" }
+
+// HotRows returns the number of GPU-resident rows across tables.
+func (s *FAESystem) HotRows() int64 { return s.hotRows }
+
+// HotCoverage returns the fraction of the batch's lookups served from
+// GPU memory.
+func (s *FAESystem) HotCoverage(b *trace.Batch) float64 {
+	hot, total := s.splitLookups(b)
+	if total == 0 {
+		return 0
+	}
+	return float64(hot) / float64(total)
+}
+
+func (s *FAESystem) splitLookups(b *trace.Batch) (hot, total int64) {
+	for t := range b.Idx {
+		for _, idx := range b.Idx[t] {
+			total++
+			if s.hot[t][idx] {
+				hot++
+			}
+		}
+	}
+	return hot, total
+}
+
+// RunBatch implements System.
+func (s *FAESystem) RunBatch(b *trace.Batch) (*Result, error) {
+	if err := checkBatch(s.model, b); err != nil {
+		return nil, err
+	}
+	embs := dlrm.EmbedCPU(s.model, b)
+	ctr := s.model.ForwardBatch(b, embs)
+	hot, total := s.splitLookups(b)
+	cold := total - hot
+	var bd metrics.Breakdown
+	bd.EmbedGPUNs = s.gpu.GatherNs(hot, s.model.RowBytes())
+	bd.EmbedCPUNs = s.cpu.GatherNs(cold, s.model.RowBytes())
+	// Cold partial sums + dense features cross PCIe once per batch.
+	coldBytes := int64(b.Size)*int64(s.model.Cfg.NumTables())*s.model.RowBytes() +
+		int64(b.Size)*int64(s.model.Cfg.DenseDim)*4
+	if cold > 0 {
+		bd.PCIeNs = s.pcie.TransferNs(coldBytes)
+	}
+	bd.MLPNs = s.gpu.ComputeNs(s.model.FLOPsPerSample() * int64(b.Size))
+	bd.OverheadNs = s.cfg.PipelineOverheadNs
+	return &Result{CTR: ctr, Breakdown: bd}, nil
+}
+
+// checkBatch validates batch/model compatibility.
+func checkBatch(m *dlrm.Model, b *trace.Batch) error {
+	if b == nil || b.Size == 0 {
+		return fmt.Errorf("baseline: empty batch")
+	}
+	if len(b.Idx) != m.Cfg.NumTables() {
+		return fmt.Errorf("baseline: batch has %d tables, model %d", len(b.Idx), m.Cfg.NumTables())
+	}
+	return nil
+}
+
+// RunTrace runs every batch of the trace through the system, returning
+// all CTRs and the summed breakdown.
+func RunTrace(s System, tr *trace.Trace, batchSize int) ([]float32, metrics.Breakdown, error) {
+	var all []float32
+	var total metrics.Breakdown
+	for _, b := range trace.Batches(tr, batchSize) {
+		res, err := s.RunBatch(b)
+		if err != nil {
+			return nil, metrics.Breakdown{}, err
+		}
+		all = append(all, res.CTR...)
+		total.Add(res.Breakdown)
+	}
+	return all, total, nil
+}

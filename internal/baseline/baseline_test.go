@@ -1,0 +1,256 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// testSetup builds a small model and matching trace.
+func testSetup(t *testing.T, zipf float64) (*dlrm.Model, *trace.Trace) {
+	t.Helper()
+	spec := synth.Spec{
+		NumItems: 2000, Tables: 4, AvgReduction: 12,
+		ReductionStdFrac: 0.2, ZipfExponent: zipf,
+		MotifCount: 16, MotifMinSize: 2, MotifMaxSize: 4, MotifProb: 0.4,
+		DenseDim: 13, Seed: 42,
+	}
+	tr, err := spec.Generate(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dlrm.DefaultConfig(tr.RowsPerTable)
+	model, err := dlrm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tr
+}
+
+func TestCPUSystemFunctional(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	sys, err := NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.MakeBatch(tr, 0, 16)
+	res, err := sys.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CTR) != 16 {
+		t.Fatalf("CTR count = %d", len(res.CTR))
+	}
+	// Outputs match a direct reference forward pass.
+	embs := dlrm.EmbedCPU(model, b)
+	ref := model.Clone().ForwardBatch(b, embs)
+	if !tensor.AlmostEqual(res.CTR, ref, 1e-6) {
+		t.Fatalf("CPU system CTR differs from reference")
+	}
+	if res.Breakdown.EmbedCPUNs <= 0 || res.Breakdown.MLPNs <= 0 {
+		t.Fatalf("breakdown not populated: %+v", res.Breakdown)
+	}
+	if res.Breakdown.PCIeNs != 0 || res.Breakdown.DPULookupNs != 0 {
+		t.Fatalf("CPU system charged foreign stages: %+v", res.Breakdown)
+	}
+}
+
+func TestHybridSlowerThanCPU(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	cpu, err := NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := NewHybrid(model, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultHybridConfig(model.Cfg.NumTables()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.MakeBatch(tr, 0, 64)
+	rc, err := cpu.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := hybrid.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Functional equality.
+	if !tensor.AlmostEqual(rc.CTR, rh.CTR, 1e-6) {
+		t.Fatalf("hybrid CTR differs from CPU")
+	}
+	// §4.2: DLRM-Hybrid performs worst — the GPU waits on CPU embedding
+	// and pays transfer + sync overhead.
+	if rh.Breakdown.TotalNs() <= rc.Breakdown.TotalNs() {
+		t.Fatalf("hybrid (%v) should be slower than CPU (%v)",
+			rh.Breakdown.TotalNs(), rc.Breakdown.TotalNs())
+	}
+	if rh.Breakdown.PCIeNs <= 0 || rh.Breakdown.OverheadNs <= 0 {
+		t.Fatalf("hybrid breakdown missing stages: %+v", rh.Breakdown)
+	}
+}
+
+// heavySetup builds a workload big enough that embedding time dominates
+// the fixed per-batch overheads (as at paper scale).
+func heavySetup(t *testing.T, zipf float64) (*dlrm.Model, *trace.Trace) {
+	t.Helper()
+	spec := synth.Spec{
+		NumItems: 4000, Tables: 8, AvgReduction: 60,
+		ReductionStdFrac: 0.2, ZipfExponent: zipf,
+		MotifCount: 32, MotifMinSize: 2, MotifMaxSize: 4, MotifProb: 0.4,
+		DenseDim: 13, Seed: 99,
+	}
+	tr, err := spec.Generate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tr
+}
+
+func TestFAEBetweenCPUAndGPU(t *testing.T) {
+	model, tr := heavySetup(t, 1.0) // skewed: cache pays
+	cpu, err := NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fae, err := NewFAE(model, tr, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultFAEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.MakeBatch(tr, 0, 64)
+	rc, err := cpu.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fae.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AlmostEqual(rc.CTR, rf.CTR, 1e-6) {
+		t.Fatalf("FAE CTR differs from CPU")
+	}
+	// On a skewed trace FAE beats the CPU baseline (§4.2).
+	if rf.Breakdown.TotalNs() >= rc.Breakdown.TotalNs() {
+		t.Fatalf("FAE (%v) should beat CPU (%v) on skewed data",
+			rf.Breakdown.TotalNs(), rc.Breakdown.TotalNs())
+	}
+	cov := fae.HotCoverage(b)
+	if cov <= 0.05 || cov >= 1 {
+		t.Fatalf("hot coverage = %v, want meaningful fraction", cov)
+	}
+	if fae.HotRows() <= 0 {
+		t.Fatalf("no hot rows cached")
+	}
+}
+
+func TestFAECoverageGrowsWithSkew(t *testing.T) {
+	modelFlat, trFlat := testSetup(t, 0.1)
+	modelSkew, trSkew := testSetup(t, 1.2)
+	flat, err := NewFAE(modelFlat, trFlat, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultFAEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := NewFAE(modelSkew, trSkew, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultFAEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bFlat := trace.MakeBatch(trFlat, 0, 64)
+	bSkew := trace.MakeBatch(trSkew, 0, 64)
+	if skew.HotCoverage(bSkew) <= flat.HotCoverage(bFlat) {
+		t.Fatalf("coverage should grow with skew: flat %v, skew %v",
+			flat.HotCoverage(bFlat), skew.HotCoverage(bSkew))
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	if _, err := NewCPU(nil, hosthw.DefaultCPU()); err == nil {
+		t.Fatalf("nil model accepted")
+	}
+	badCPU := hosthw.DefaultCPU()
+	badCPU.Cores = 0
+	if _, err := NewCPU(model, badCPU); err == nil {
+		t.Fatalf("bad CPU accepted")
+	}
+	if _, err := NewHybrid(model, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), HybridConfig{PipelineOverheadNs: -1, TransfersPerBatch: 1}); err == nil {
+		t.Fatalf("bad hybrid config accepted")
+	}
+	if _, err := NewFAE(model, tr, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), FAEConfig{CacheFracOfTable: 2}); err == nil {
+		t.Fatalf("bad FAE fraction accepted")
+	}
+	// Profile/model shape mismatch.
+	other := &trace.Trace{NumTables: 2, RowsPerTable: []int{5, 5}}
+	if _, err := NewFAE(model, other, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultFAEConfig()); err == nil {
+		t.Fatalf("mismatched profile accepted")
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	sys, err := NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunBatch(nil); err == nil {
+		t.Fatalf("nil batch accepted")
+	}
+	b := trace.MakeBatch(tr, 0, 4)
+	b.Idx = b.Idx[:2]
+	if _, err := sys.RunBatch(b); err == nil {
+		t.Fatalf("table-mismatched batch accepted")
+	}
+}
+
+func TestRunTraceAggregates(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	sys, err := NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs, bd, err := RunTrace(sys, tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrs) != len(tr.Samples) {
+		t.Fatalf("got %d CTRs for %d samples", len(ctrs), len(tr.Samples))
+	}
+	// Aggregate should equal the sum of 4 batch runs.
+	var manual float64
+	for _, b := range trace.Batches(tr, 32) {
+		r, err := sys.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual += r.Breakdown.TotalNs()
+	}
+	if math.Abs(bd.TotalNs()-manual) > 1e-6*manual {
+		t.Fatalf("RunTrace total %v != manual %v", bd.TotalNs(), manual)
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	model, tr := testSetup(t, 0.9)
+	cpu, _ := NewCPU(model, hosthw.DefaultCPU())
+	hybrid, _ := NewHybrid(model, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultHybridConfig(4))
+	fae, _ := NewFAE(model, tr, hosthw.DefaultCPU(), hosthw.DefaultGPU(),
+		hosthw.DefaultPCIe(), DefaultFAEConfig())
+	if cpu.Name() != "DLRM-CPU" || hybrid.Name() != "DLRM-Hybrid" || fae.Name() != "FAE" {
+		t.Fatalf("names wrong: %s %s %s", cpu.Name(), hybrid.Name(), fae.Name())
+	}
+}

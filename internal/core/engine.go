@@ -1,0 +1,513 @@
+// Package core is UpDLRM itself: the DPU-offloaded DLRM inference engine
+// of Figure 4. At construction it partitions every embedding table across
+// the DPU set with one of the three §3 strategies (mining GRACE cache
+// lists first when cache-aware) and loads the tile map. Each batch then
+// runs the three-stage embedding pipeline — push indices (stage 1), run
+// the multi-hot lookup/aggregate kernels on all DPUs (stage 2), pull
+// per-DPU partial sums (stage 3) — followed by host-side aggregation and
+// the dense MLPs on the CPU.
+package core
+
+import (
+	"fmt"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/emt"
+	"updlrm/internal/grace"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/metrics"
+	"updlrm/internal/partition"
+	"updlrm/internal/trace"
+	"updlrm/internal/upmem"
+)
+
+// Config assembles an UpDLRM engine.
+type Config struct {
+	// HW is the DPU hardware model.
+	HW upmem.HWConfig
+	// Host is the CPU model used for final aggregation and the MLPs.
+	Host hosthw.CPUModel
+	// TotalDPUs is the DPU count shared by all tables (256 in §4.1: two
+	// UPMEM modules). Must be divisible by the table count.
+	TotalDPUs int
+	// Engine selects the kernel timing engine.
+	Engine upmem.TimingEngine
+	// Method selects the §3 partitioning strategy.
+	Method partition.Method
+	// ForcedNc pins N_c (Figures 9/10 fix it to 2, 4, 8); 0 lets the
+	// §3.1 optimizer choose.
+	ForcedNc int
+	// Grace configures the cache-list miner (cache-aware method only).
+	Grace grace.Config
+	// CacheCapacityFrac is Algorithm 1's cache budget as a fraction of
+	// the mined lists' storage requirement (§3.3: 0.4/0.7/1.0).
+	CacheCapacityFrac float64
+	// BatchSize is used by the shape optimizer's workload estimate.
+	BatchSize int
+	// QuantizeEMT stores embeddings as int8 in MRAM (EVStore-style mixed
+	// precision, §5 related work): reads shrink 4x at a small accuracy
+	// cost. Quantization materializes the tables, so use it with scaled
+	// workloads.
+	QuantizeEMT bool
+}
+
+// DefaultConfig returns the paper's evaluation configuration: 256 DPUs,
+// cache-aware partitioning with a full cache budget, batch 64.
+func DefaultConfig() Config {
+	return Config{
+		HW:                upmem.DefaultConfig(),
+		Host:              hosthw.DefaultCPU(),
+		TotalDPUs:         256,
+		Engine:            upmem.ClosedForm,
+		Method:            partition.MethodCacheAware,
+		Grace:             grace.DefaultConfig(),
+		CacheCapacityFrac: 1.0,
+		BatchSize:         64,
+	}
+}
+
+// Engine is a ready-to-serve UpDLRM instance.
+type Engine struct {
+	cfg    Config
+	model  *dlrm.Model
+	sys    *upmem.System
+	plans  []*partition.Plan
+	assign []*grace.Assignment // nil entries for non-CA plans
+	// baseDPU[t] is the first global DPU index of table t's group.
+	baseDPU []int
+	// fetchers[t][slice] materializes MRAM content for (table, slice).
+	fetchers [][]func(rows []int32, dst []float32)
+	// tables are the MRAM-resident views (quantized when configured).
+	tables []emt.Table
+	// bytesPerElem is the MRAM element width (4 fp32, 1 int8).
+	bytesPerElem int
+	// avgRed is the profile's average reduction, kept for worst-case
+	// buffer sizing.
+	avgRed float64
+}
+
+// Result is one batch's outcome.
+type Result struct {
+	// CTR holds per-sample predictions.
+	CTR []float32
+	// Embeddings are the aggregated per-sample, per-table reduced
+	// embeddings (exposed for equivalence testing).
+	Embeddings [][][]float32
+	// Breakdown attributes the batch's modeled latency; the three DPU
+	// stages of Figure 4 fill CPUToDPUNs, DPULookupNs and DPUToCPUNs.
+	Breakdown metrics.Breakdown
+	// CacheHitReads counts MRAM reads served from cached partial sums.
+	CacheHitReads int64
+	// EMTReads counts MRAM reads served from EMT storage.
+	EMTReads int64
+	// MRAMBytesRead is the total MRAM traffic the batch's kernels moved.
+	MRAMBytesRead int64
+}
+
+// Name returns the implementation label used in reports.
+func (e *Engine) Name() string { return "UpDLRM" }
+
+// Plans exposes the per-table partitioning decisions.
+func (e *Engine) Plans() []*partition.Plan { return e.plans }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// New builds an engine: it chooses tile shapes, mines cache lists (for
+// cache-aware plans), partitions every table, and prepares the DPU
+// system. The profile trace supplies the access frequencies and
+// co-occurrence statistics §3.2/§3.3 require.
+func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if err := cfg.HW.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Host.Validate(); err != nil {
+		return nil, err
+	}
+	numTables := model.Cfg.NumTables()
+	if profile == nil || profile.NumTables != numTables {
+		return nil, fmt.Errorf("core: profile tables mismatch")
+	}
+	if cfg.TotalDPUs <= 0 || cfg.TotalDPUs%numTables != 0 {
+		return nil, fmt.Errorf("core: %d DPUs not divisible across %d tables", cfg.TotalDPUs, numTables)
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("core: BatchSize = %d", cfg.BatchSize)
+	}
+	if cfg.Method == partition.MethodCacheAware {
+		if err := cfg.Grace.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	dpusPerTable := cfg.TotalDPUs / numTables
+	sys, err := upmem.NewSystem(cfg.HW, cfg.TotalDPUs, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, model: model, sys: sys, bytesPerElem: 4}
+	for _, tb := range model.Tables {
+		if cfg.QuantizeEMT {
+			e.tables = append(e.tables, emt.Quantize(tb))
+		} else {
+			e.tables = append(e.tables, tb)
+		}
+	}
+	if cfg.QuantizeEMT {
+		e.bytesPerElem = emt.QuantizedBytesPerElem
+	}
+
+	avgRed := profile.AvgReduction()
+	if avgRed < 1 {
+		avgRed = 1
+	}
+	e.avgRed = avgRed
+	w := partition.Workload{BatchSize: cfg.BatchSize, AvgReduction: avgRed, Tables: numTables}
+
+	for t := 0; t < numTables; t++ {
+		rows := model.Cfg.RowsPerTable[t]
+		cols := model.Cfg.EmbDim
+		if profile.RowsPerTable[t] != rows {
+			return nil, fmt.Errorf("core: profile table %d rows %d != model %d",
+				t, profile.RowsPerTable[t], rows)
+		}
+		var shape partition.Shape
+		if cfg.ForcedNc > 0 {
+			shape, err = partition.ShapeWithNc(rows, cols, dpusPerTable, cfg.ForcedNc, cfg.HW)
+		} else {
+			shape, _, err = partition.OptimalShape(rows, cols, dpusPerTable, w, cfg.HW)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: table %d: %w", t, err)
+		}
+		freq := profile.Frequency(t)
+		var lists []grace.List
+		if cfg.Method == partition.MethodCacheAware {
+			lists, err = grace.Mine(profile, t, cfg.Grace)
+			if err != nil {
+				return nil, fmt.Errorf("core: table %d: %w", t, err)
+			}
+		}
+		plan, err := partition.Build(cfg.Method, rows, cols, shape, freq, lists, cfg.HW,
+			partition.CacheAwareConfig{CapacityFrac: cfg.CacheCapacityFrac})
+		if err != nil {
+			return nil, fmt.Errorf("core: table %d: %w", t, err)
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("core: table %d plan: %w", t, err)
+		}
+		e.plans = append(e.plans, plan)
+		if cfg.Method == partition.MethodCacheAware {
+			e.assign = append(e.assign, plan.Assignment())
+		} else {
+			e.assign = append(e.assign, nil)
+		}
+		e.baseDPU = append(e.baseDPU, t*dpusPerTable)
+
+		// One fetcher per (table, slice): sums the slice columns of the
+		// requested rows — a single row for EMT reads, several rows for a
+		// cached partial-sum read. emt.Table backends must be safe for
+		// concurrent reads (all provided ones are).
+		table := e.tables[t]
+		nc := shape.Nc
+		var sliceFetchers []func(rows []int32, dst []float32)
+		for sl := 0; sl < shape.Slices; sl++ {
+			col0 := sl * nc
+			sliceFetchers = append(sliceFetchers, func(rows []int32, dst []float32) {
+				for k := range dst {
+					dst[k] = 0
+				}
+				var tmp [16]float32 // Nc <= 16 by constraint (3)
+				for _, r := range rows {
+					table.ReadCols(int(r), col0, nc, tmp[:nc])
+					for k := 0; k < nc; k++ {
+						dst[k] += tmp[k]
+					}
+				}
+			})
+		}
+		e.fetchers = append(e.fetchers, sliceFetchers)
+	}
+	return e, nil
+}
+
+// maxKernelSamples returns the largest sample count one kernel wave can
+// carry: every table's per-sample WRAM accumulators plus the tasklet
+// staging buffers must fit the scratchpad. Larger batches split into
+// multiple waves, each paying its own launch (what real DPU code does).
+func (e *Engine) maxKernelSamples() int {
+	limit := int(^uint(0) >> 1)
+	for _, plan := range e.plans {
+		nc := plan.Shape.Nc
+		staging := int64(e.cfg.HW.Tasklets) * int64(upmem.AlignMRAM(nc*4))
+		fit := int((e.cfg.HW.WRAMBytes - staging) / (int64(nc) * 4))
+		if fit < limit {
+			limit = fit
+		}
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// RunBatch executes one batch end to end. Batches whose accumulators
+// exceed WRAM run as several kernel waves.
+func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
+	if b == nil || b.Size == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	if len(b.Idx) != len(e.plans) {
+		return nil, fmt.Errorf("core: batch has %d tables, engine %d", len(b.Idx), len(e.plans))
+	}
+	res := &Result{}
+	embs := make([][][]float32, b.Size)
+	for s := range embs {
+		embs[s] = make([][]float32, len(e.plans))
+		for t := range e.plans {
+			embs[s][t] = make([]float32, e.model.Cfg.EmbDim)
+		}
+	}
+	wave := e.maxKernelSamples()
+	for lo := 0; lo < b.Size; lo += wave {
+		hi := lo + wave
+		if hi > b.Size {
+			hi = b.Size
+		}
+		if err := e.runWave(b, lo, hi, res, embs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dense model on the host CPU.
+	res.CTR = e.model.ForwardBatch(b, embs)
+	res.Embeddings = embs
+	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
+	return res, nil
+}
+
+// runWave executes the three DPU stages of Figure 4 for samples
+// [lo, hi) of the batch, accumulating timing into res and aggregated
+// embeddings into embs.
+func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]float32) error {
+	waveSize := hi - lo
+	jobs := make([]*upmem.KernelJob, e.sys.NumDPUs())
+	pushSizes := make([]int64, e.sys.NumDPUs())
+	pullSizes := make([]int64, e.sys.NumDPUs())
+
+	// Build per-DPU kernel jobs (the pre-process stage of Figure 4).
+	for t := range e.plans {
+		plan := e.plans[t]
+		shape := plan.Shape
+		base := e.baseDPU[t]
+		job := func(part, slice int) *upmem.KernelJob {
+			d := base + shape.DPUAt(part, slice)
+			if jobs[d] == nil {
+				jobs[d] = &upmem.KernelJob{
+					NumSamples:   waveSize,
+					Width:        shape.Nc,
+					BytesPerElem: e.bytesPerElem,
+					Fetch:        e.fetchers[t][slice],
+				}
+			}
+			return jobs[d]
+		}
+		addRead := func(s, part int, rows ...int32) {
+			for sl := 0; sl < shape.Slices; sl++ {
+				job(part, sl).AddRead(s-lo, shape.Nc, rows...)
+			}
+		}
+		for s := lo; s < hi; s++ {
+			indices := b.SampleIndices(t, s)
+			if e.assign[t] != nil {
+				cover := e.assign[t].PlanCover(indices)
+				for _, members := range cover.GroupReads {
+					part := int(plan.RowPart[members[0]])
+					addRead(s, part, members...)
+					res.CacheHitReads++
+				}
+				for _, row := range cover.Misses {
+					addRead(s, int(plan.RowPart[row]), row)
+					res.EMTReads++
+				}
+			} else {
+				for _, row := range indices {
+					addRead(s, int(plan.RowPart[row]), row)
+					res.EMTReads++
+				}
+			}
+		}
+		// Stage-1 payload: each slice DPU receives its partition's read
+		// descriptors (4 B each) plus per-sample offsets; stage-3 payload:
+		// one N_c-wide partial sum per sample per DPU.
+		for part := 0; part < shape.Parts; part++ {
+			for sl := 0; sl < shape.Slices; sl++ {
+				d := base + shape.DPUAt(part, sl)
+				var reads int
+				if jobs[d] != nil {
+					reads = len(jobs[d].Reads)
+				}
+				pushSizes[d] = int64(reads)*4 + int64(waveSize+1)*4
+				pullSizes[d] = int64(waveSize) * int64(shape.Nc) * 4
+			}
+		}
+	}
+
+	// Stage 1: CPU -> DPU index push (padded to the parallel fast path).
+	push := e.cfg.HW.TransferTime(pushSizes, true, upmem.Push)
+	res.Breakdown.CPUToDPUNs += push.Ns
+
+	// Stage 2: lookup kernels on all DPUs.
+	step, err := e.sys.RunStep(jobs)
+	if err != nil {
+		return err
+	}
+	res.Breakdown.DPULookupNs += step.StageNs
+	res.MRAMBytesRead += step.TotalBytes
+
+	// Stage 3: DPU -> CPU partial-sum pull (padded; N_c can differ across
+	// tables, making natural sizes ragged).
+	pull := e.cfg.HW.TransferTime(pullSizes, true, upmem.Pull)
+	res.Breakdown.DPUToCPUNs += pull.Ns
+
+	// Host aggregation: place each DPU's slice into the final embedding
+	// and sum across partitions.
+	for t := range e.plans {
+		shape := e.plans[t].Shape
+		base := e.baseDPU[t]
+		for part := 0; part < shape.Parts; part++ {
+			for sl := 0; sl < shape.Slices; sl++ {
+				r := step.Results[base+shape.DPUAt(part, sl)]
+				if r == nil {
+					continue
+				}
+				col0 := sl * shape.Nc
+				for s := lo; s < hi; s++ {
+					dst := embs[s][t][col0 : col0+shape.Nc]
+					for k, v := range r.Partial[s-lo] {
+						dst[k] += v
+					}
+				}
+			}
+		}
+	}
+	res.Breakdown.HostAggNs += e.cfg.Host.StreamNs(pull.Bytes)
+	return nil
+}
+
+// RunTrace runs every batch of the trace, returning all CTRs and the
+// summed breakdown.
+func (e *Engine) RunTrace(tr *trace.Trace, batchSize int) ([]float32, metrics.Breakdown, error) {
+	var all []float32
+	var total metrics.Breakdown
+	for _, b := range trace.Batches(tr, batchSize) {
+		res, err := e.RunBatch(b)
+		if err != nil {
+			return nil, metrics.Breakdown{}, err
+		}
+		all = append(all, res.CTR...)
+		total.Add(res.Breakdown)
+	}
+	return all, total, nil
+}
+
+// TableBytes reports the EMT storage the engine distributed across DPUs.
+func (e *Engine) TableBytes() int64 {
+	var total int64
+	for _, tb := range e.model.Tables {
+		total += emt.SizeBytes(tb)
+	}
+	return total
+}
+
+// LoadStats describes the one-time pre-processing cost of distributing
+// the partitioned EMTs (and cached partial sums) into MRAM — the "EMT 0,
+// EMT 1, ... tile" arrows of Figure 4's pre-process stage. It is paid
+// once per deployment, not per batch, which is why the per-batch
+// breakdowns exclude it.
+type LoadStats struct {
+	// TotalBytes is the total data pushed into MRAM across all DPUs.
+	TotalBytes int64
+	// MaxDPUBytes is the most loaded DPU's resident bytes (EMT tile +
+	// cache region); it must fit MRAMBytes.
+	MaxDPUBytes int64
+	// LoadNs is the modeled one-time transfer time (ragged per-DPU tile
+	// sizes, so the serialized path applies).
+	LoadNs float64
+}
+
+// MemoryMap lays out one DPU's MRAM bank as the deployed system would:
+// the EMT tile, the cache region (cache-aware plans), the per-batch
+// index buffer (sized for twice the profile's average load as headroom),
+// and the result buffer. It errors if the plan cannot physically fit.
+func (e *Engine) MemoryMap(dpu int) (*upmem.MRAMLayout, error) {
+	if dpu < 0 || dpu >= e.sys.NumDPUs() {
+		return nil, fmt.Errorf("core: DPU %d out of [0,%d)", dpu, e.sys.NumDPUs())
+	}
+	dpusPerTable := e.sys.NumDPUs() / len(e.plans)
+	t := dpu / dpusPerTable
+	local := dpu % dpusPerTable
+	plan := e.plans[t]
+	part := local / plan.Shape.Slices
+	layout, err := upmem.NewMRAMLayout(e.cfg.HW.MRAMBytes)
+	if err != nil {
+		return nil, err
+	}
+	rowsHere := int64(plan.RowsPerPart()[part])
+	if _, err := layout.Alloc("emt", rowsHere*int64(plan.Shape.Nc)*int64(e.bytesPerElem)); err != nil {
+		return nil, err
+	}
+	var cacheBytes int64
+	if len(plan.CacheUsedPerPart) > 0 {
+		cacheBytes = plan.CacheUsedPerPart[part]
+	}
+	if _, err := layout.Alloc("cache", cacheBytes); err != nil {
+		return nil, err
+	}
+	// Index buffer: twice the expected per-partition share of a batch's
+	// lookups, plus per-sample offsets.
+	expected := float64(e.cfg.BatchSize) * e.avgRed / float64(plan.Shape.Parts)
+	idxBytes := int64(2*expected)*4 + int64(e.cfg.BatchSize+1)*4
+	if _, err := layout.Alloc("indices", idxBytes); err != nil {
+		return nil, err
+	}
+	if _, err := layout.Alloc("results", int64(e.cfg.BatchSize)*int64(plan.Shape.Nc)*4); err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	return layout, nil
+}
+
+// PreprocessStats computes the one-time load cost for the engine's
+// current plans.
+func (e *Engine) PreprocessStats() LoadStats {
+	sizes := make([]int64, e.sys.NumDPUs())
+	for t, plan := range e.plans {
+		shape := plan.Shape
+		base := e.baseDPU[t]
+		rowsPerPart := plan.RowsPerPart()
+		for part := 0; part < shape.Parts; part++ {
+			tile := int64(rowsPerPart[part]) * int64(shape.Nc) * 4
+			var cache int64
+			if len(plan.CacheUsedPerPart) > 0 {
+				cache = plan.CacheUsedPerPart[part]
+			}
+			for sl := 0; sl < shape.Slices; sl++ {
+				sizes[base+shape.DPUAt(part, sl)] = tile + cache
+			}
+		}
+	}
+	var stats LoadStats
+	for _, s := range sizes {
+		stats.TotalBytes += s
+		if s > stats.MaxDPUBytes {
+			stats.MaxDPUBytes = s
+		}
+	}
+	stats.LoadNs = e.cfg.HW.TransferTime(sizes, false, upmem.Push).Ns
+	return stats
+}

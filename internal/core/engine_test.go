@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+	"updlrm/internal/upmem"
+)
+
+// smallWorld builds a model + trace sized so every partitioner and Nc is
+// feasible on 32 DPUs with 4 tables (8 DPUs per table).
+func smallWorld(t *testing.T) (*dlrm.Model, *trace.Trace) {
+	t.Helper()
+	spec := synth.Spec{
+		NumItems: 3000, Tables: 4, AvgReduction: 10,
+		ReductionStdFrac: 0.2, ZipfExponent: 0.9,
+		MotifCount: 24, MotifMinSize: 2, MotifMaxSize: 4, MotifProb: 0.5,
+		DenseDim: 13, Seed: 7,
+	}
+	tr, err := spec.Generate(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tr
+}
+
+func smallConfig(method partition.Method) Config {
+	cfg := DefaultConfig()
+	cfg.TotalDPUs = 32
+	cfg.Method = method
+	cfg.BatchSize = 32
+	cfg.Grace.HotK = 256
+	cfg.Grace.MinSupport = 2
+	return cfg
+}
+
+// The central correctness claim: the DPU-offloaded engine produces the
+// same embeddings and CTRs as the CPU reference for every partitioning
+// method (summation order differs, so allow float tolerance).
+func TestEngineMatchesCPUReference(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	refEmbs := dlrm.EmbedCPU(model, b)
+	refCTR := model.Clone().ForwardBatch(b, refEmbs)
+
+	for _, method := range []partition.Method{
+		partition.MethodUniform, partition.MethodNonUniform, partition.MethodCacheAware,
+	} {
+		eng, err := New(model, tr, smallConfig(method))
+		if err != nil {
+			t.Fatalf("%v: New: %v", method, err)
+		}
+		res, err := eng.RunBatch(b)
+		if err != nil {
+			t.Fatalf("%v: RunBatch: %v", method, err)
+		}
+		for s := 0; s < b.Size; s++ {
+			for tb := 0; tb < 4; tb++ {
+				if !tensor.AlmostEqual(res.Embeddings[s][tb], refEmbs[s][tb], 1e-4) {
+					t.Fatalf("%v: embedding mismatch sample %d table %d: max diff %v",
+						method, s, tb, tensor.MaxAbsDiff(res.Embeddings[s][tb], refEmbs[s][tb]))
+				}
+			}
+		}
+		if !tensor.AlmostEqual(res.CTR, refCTR, 1e-4) {
+			t.Fatalf("%v: CTR mismatch", method)
+		}
+	}
+}
+
+// Both timing engines must yield identical functional results and agree
+// on kernel time within a factor.
+func TestEngineEventDrivenAgrees(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	cfgClosed := smallConfig(partition.MethodNonUniform)
+	cfgEvent := cfgClosed
+	cfgEvent.Engine = upmem.EventDriven
+	closed, err := New(model, tr, cfgClosed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := New(model, tr, cfgEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := closed.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := event.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AlmostEqual(rc.CTR, re.CTR, 1e-6) {
+		t.Fatalf("engines disagree functionally")
+	}
+	ratio := re.Breakdown.DPULookupNs / rc.Breakdown.DPULookupNs
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Fatalf("lookup time ratio %v between engines", ratio)
+	}
+}
+
+func TestCacheAwareReducesReads(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 96)
+	nu, err := New(model, tr, smallConfig(partition.MethodNonUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := nu.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcache, err := ca.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcache.CacheHitReads == 0 {
+		t.Fatalf("cache-aware engine recorded no cache hits")
+	}
+	nuReads := rn.EMTReads + rn.CacheHitReads
+	caReads := rcache.EMTReads + rcache.CacheHitReads
+	if caReads >= nuReads {
+		t.Fatalf("caching should cut reads: NU %d, CA %d", nuReads, caReads)
+	}
+	// Fewer reads should not slow the lookup stage.
+	if rcache.Breakdown.DPULookupNs > rn.Breakdown.DPULookupNs {
+		t.Fatalf("CA lookup %v slower than NU %v",
+			rcache.Breakdown.DPULookupNs, rn.Breakdown.DPULookupNs)
+	}
+}
+
+func TestBreakdownPopulated(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.MakeBatch(tr, 0, 32)
+	res, err := eng.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	for name, v := range map[string]float64{
+		"CPUToDPU": bd.CPUToDPUNs, "DPULookup": bd.DPULookupNs,
+		"DPUToCPU": bd.DPUToCPUNs, "HostAgg": bd.HostAggNs, "MLP": bd.MLPNs,
+	} {
+		if v <= 0 {
+			t.Fatalf("stage %s not charged: %+v", name, bd)
+		}
+	}
+	if bd.EmbedCPUNs != 0 || bd.PCIeNs != 0 {
+		t.Fatalf("foreign stages charged: %+v", bd)
+	}
+	c, l, d := bd.StageRatios()
+	if math.Abs(c+l+d-1) > 1e-9 {
+		t.Fatalf("stage ratios don't sum to 1")
+	}
+}
+
+func TestForcedNc(t *testing.T) {
+	model, tr := smallWorld(t)
+	for _, nc := range []int{2, 4, 8} {
+		cfg := smallConfig(partition.MethodNonUniform)
+		cfg.TotalDPUs = 64 // Nc=2 needs 16 slice DPUs per 32-dim table
+		cfg.ForcedNc = nc
+		eng, err := New(model, tr, cfg)
+		if err != nil {
+			t.Fatalf("Nc=%d: %v", nc, err)
+		}
+		for _, p := range eng.Plans() {
+			if p.Shape.Nc != nc {
+				t.Fatalf("forced Nc=%d but plan has %d", nc, p.Shape.Nc)
+			}
+		}
+	}
+	cfg := smallConfig(partition.MethodNonUniform)
+	cfg.TotalDPUs = 64
+	cfg.ForcedNc = 6
+	if _, err := New(model, tr, cfg); err == nil {
+		t.Fatalf("invalid forced Nc accepted")
+	}
+}
+
+func TestNcTradeoffInBreakdown(t *testing.T) {
+	// §4.3: increasing Nc raises DPU->CPU time and lowers CPU->DPU time.
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	byNc := map[int]*Result{}
+	for _, nc := range []int{2, 8} {
+		cfg := smallConfig(partition.MethodNonUniform)
+		cfg.TotalDPUs = 64
+		cfg.ForcedNc = nc
+		eng, err := New(model, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byNc[nc] = res
+	}
+	if byNc[8].Breakdown.DPUToCPUNs <= byNc[2].Breakdown.DPUToCPUNs {
+		t.Fatalf("DPU->CPU should grow with Nc: Nc2=%v Nc8=%v",
+			byNc[2].Breakdown.DPUToCPUNs, byNc[8].Breakdown.DPUToCPUNs)
+	}
+	if byNc[8].Breakdown.CPUToDPUNs >= byNc[2].Breakdown.CPUToDPUNs {
+		t.Fatalf("CPU->DPU should shrink with Nc: Nc2=%v Nc8=%v",
+			byNc[2].Breakdown.CPUToDPUNs, byNc[8].Breakdown.CPUToDPUNs)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs, bd, err := eng.RunTrace(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrs) != len(tr.Samples) {
+		t.Fatalf("got %d CTRs", len(ctrs))
+	}
+	if bd.TotalNs() <= 0 {
+		t.Fatalf("no time charged")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	model, tr := smallWorld(t)
+	if _, err := New(nil, tr, smallConfig(partition.MethodUniform)); err == nil {
+		t.Fatalf("nil model accepted")
+	}
+	if _, err := New(model, nil, smallConfig(partition.MethodUniform)); err == nil {
+		t.Fatalf("nil profile accepted")
+	}
+	cfg := smallConfig(partition.MethodUniform)
+	cfg.TotalDPUs = 33 // not divisible by 4 tables
+	if _, err := New(model, tr, cfg); err == nil {
+		t.Fatalf("indivisible DPU count accepted")
+	}
+	cfg = smallConfig(partition.MethodUniform)
+	cfg.BatchSize = 0
+	if _, err := New(model, tr, cfg); err == nil {
+		t.Fatalf("zero batch size accepted")
+	}
+	cfg = smallConfig(partition.MethodCacheAware)
+	cfg.Grace.HotK = 0
+	if _, err := New(model, tr, cfg); err == nil {
+		t.Fatalf("bad grace config accepted")
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunBatch(nil); err == nil {
+		t.Fatalf("nil batch accepted")
+	}
+	b := trace.MakeBatch(tr, 0, 8)
+	b.Idx = b.Idx[:1]
+	if _, err := eng.RunBatch(b); err == nil {
+		t.Fatalf("mismatched batch accepted")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != "UpDLRM" {
+		t.Fatalf("Name = %q", eng.Name())
+	}
+	if len(eng.Plans()) != 4 {
+		t.Fatalf("Plans = %d", len(eng.Plans()))
+	}
+	if eng.Config().TotalDPUs != 32 {
+		t.Fatalf("Config not preserved")
+	}
+	// 4 tables x 3000 rows x 32 dims x 4 B.
+	if got := eng.TableBytes(); got != 4*3000*32*4 {
+		t.Fatalf("TableBytes = %d", got)
+	}
+}
+
+// Large batches whose WRAM accumulators overflow must split into waves
+// and still match the CPU reference.
+func TestWaveSplittingLargeBatch(t *testing.T) {
+	spec := synth.Spec{
+		NumItems: 2000, Tables: 2, AvgReduction: 4,
+		ZipfExponent: 0.8, DenseDim: 13, Seed: 21,
+	}
+	tr, err := spec.Generate(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TotalDPUs = 16
+	cfg.Method = partition.MethodNonUniform
+	cfg.BatchSize = 1500
+	cfg.ForcedNc = 16 // 1500 samples x 16 x 4B = 96 KB > 64 KB WRAM
+	eng, err := New(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.maxKernelSamples() >= 1500 {
+		t.Fatalf("expected wave splitting: max %d", eng.maxKernelSamples())
+	}
+	big := trace.MakeBatch(tr, 0, 1500)
+	res, err := eng.RunBatch(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEmbs := dlrm.EmbedCPU(model, big)
+	refCTR := model.Clone().ForwardBatch(big, refEmbs)
+	if !tensor.AlmostEqual(res.CTR, refCTR, 1e-4) {
+		t.Fatalf("wave-split CTR mismatch")
+	}
+	// Two waves pay two launches: lookup time must exceed a single
+	// launch's floor twice over.
+	if res.Breakdown.DPULookupNs < 2*cfg.HW.KernelLaunchNs {
+		t.Fatalf("expected >= 2 kernel launches, lookup %v", res.Breakdown.DPULookupNs)
+	}
+}
+
+func TestPreprocessStats(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.PreprocessStats()
+	if stats.TotalBytes <= 0 || stats.LoadNs <= 0 {
+		t.Fatalf("empty load stats: %+v", stats)
+	}
+	if stats.MaxDPUBytes > eng.Config().HW.MRAMBytes {
+		t.Fatalf("tile overflows MRAM: %d", stats.MaxDPUBytes)
+	}
+	// Every row is stored exactly once per column slice: total resident
+	// EMT bytes must be >= the raw table bytes (cache adds more).
+	if stats.TotalBytes < eng.TableBytes() {
+		t.Fatalf("loaded %d B < table %d B", stats.TotalBytes, eng.TableBytes())
+	}
+}
+
+func TestMemoryMap(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dpu := range []int{0, 7, 31} {
+		layout, err := eng.MemoryMap(dpu)
+		if err != nil {
+			t.Fatalf("MemoryMap(%d): %v", dpu, err)
+		}
+		for _, name := range []string{"emt", "cache", "indices", "results"} {
+			if _, ok := layout.Lookup(name); !ok {
+				t.Fatalf("DPU %d missing segment %q", dpu, name)
+			}
+		}
+		if layout.Used() > eng.Config().HW.MRAMBytes {
+			t.Fatalf("DPU %d layout overflows", dpu)
+		}
+	}
+	if _, err := eng.MemoryMap(-1); err == nil {
+		t.Fatalf("negative DPU accepted")
+	}
+	if _, err := eng.MemoryMap(32); err == nil {
+		t.Fatalf("out-of-range DPU accepted")
+	}
+}

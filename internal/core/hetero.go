@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"updlrm/internal/hosthw"
+	"updlrm/internal/metrics"
+	"updlrm/internal/trace"
+)
+
+// HeteroEngine is the paper's stated future work (§6): a DPU-GPU
+// heterogeneous system. Embedding lookups stay on the DPUs exactly as in
+// the base engine, but the aggregated embeddings and dense features then
+// cross PCIe to a GPU that runs the feature interaction and MLPs. The
+// host CPU only orchestrates and reduces partial sums.
+//
+// Compared to the base engine the trade is: MLP time shrinks by the
+// GPU/CPU throughput ratio while each batch pays one PCIe transfer and a
+// GPU launch. For the paper's inference-sized MLPs this is profitable
+// only at large batch sizes — which is exactly why §6 leaves it as
+// future work; the ablation bench quantifies the crossover.
+type HeteroEngine struct {
+	base *Engine
+	gpu  hosthw.GPUModel
+	pcie hosthw.PCIeModel
+}
+
+// NewHetero wraps a base engine with the GPU back end.
+func NewHetero(base *Engine, gpu hosthw.GPUModel, pcie hosthw.PCIeModel) (*HeteroEngine, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: nil base engine")
+	}
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pcie.Validate(); err != nil {
+		return nil, err
+	}
+	return &HeteroEngine{base: base, gpu: gpu, pcie: pcie}, nil
+}
+
+// Name returns the implementation label used in reports.
+func (e *HeteroEngine) Name() string { return "UpDLRM-GPU" }
+
+// Base exposes the wrapped DPU engine.
+func (e *HeteroEngine) Base() *Engine { return e.base }
+
+// RunBatch executes one batch: DPU embedding stages from the base
+// engine, then PCIe + GPU for the dense model. Functional results are
+// identical to the base engine's (the same math runs on the host).
+func (e *HeteroEngine) RunBatch(b *trace.Batch) (*Result, error) {
+	res, err := e.base.RunBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the CPU MLP charge with PCIe + GPU compute. The aggregated
+	// embeddings plus dense features cross the link once per batch.
+	model := e.base.model
+	embBytes := int64(b.Size) * int64(model.Cfg.NumTables()) * model.RowBytes()
+	denseBytes := int64(b.Size) * int64(model.Cfg.DenseDim) * 4
+	res.Breakdown.MLPNs = e.gpu.ComputeNs(model.FLOPsPerSample() * int64(b.Size))
+	res.Breakdown.PCIeNs = e.pcie.TransferNs(embBytes + denseBytes)
+	return res, nil
+}
+
+// RunTrace runs every batch of the trace, returning all CTRs and the
+// summed breakdown.
+func (e *HeteroEngine) RunTrace(tr *trace.Trace, batchSize int) ([]float32, metrics.Breakdown, error) {
+	var all []float32
+	var total metrics.Breakdown
+	for _, b := range trace.Batches(tr, batchSize) {
+		res, err := e.RunBatch(b)
+		if err != nil {
+			return nil, metrics.Breakdown{}, err
+		}
+		all = append(all, res.CTR...)
+		total.Add(res.Breakdown)
+	}
+	return all, total, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"updlrm/internal/metrics"
+	"updlrm/internal/trace"
+)
+
+// Batch-pipelined execution (throughput extension).
+//
+// The base engine reports per-batch latency with the three stages
+// serialized, as the paper measures. A deployment, however, can overlap
+// consecutive batches: while batch i runs its lookup kernels on the
+// DPUs, batch i+1's indices can already cross the host link, because the
+// two stages occupy different resources. The model has three:
+//
+//   - LINK: the DDR bus to the DIMMs — pushes (stage 1) and pulls
+//     (stage 3) serialize on it;
+//   - DPUS: the DPU fleet — one kernel wave at a time (stage 2);
+//   - HOST: the CPU — partial-sum aggregation and the dense model.
+//
+// A greedy earliest-start schedule over the per-batch stage durations
+// yields the pipelined makespan.
+
+// PipelineResult summarizes a pipelined run.
+type PipelineResult struct {
+	// Batches is the number of batches executed.
+	Batches int
+	// SerialNs is the sum of per-batch latencies (the unpipelined total).
+	SerialNs float64
+	// PipelinedNs is the modeled makespan with cross-batch overlap.
+	PipelinedNs float64
+	// Breakdown is the summed per-stage time (same as the serial run's).
+	Breakdown metrics.Breakdown
+	// CTR holds all predictions.
+	CTR []float32
+}
+
+// Speedup returns SerialNs / PipelinedNs.
+func (r PipelineResult) Speedup() float64 {
+	if r.PipelinedNs <= 0 {
+		return 1
+	}
+	return r.SerialNs / r.PipelinedNs
+}
+
+// RunTracePipelined executes the trace with cross-batch overlap.
+// Functional results are identical to RunTrace's.
+func (e *Engine) RunTracePipelined(tr *trace.Trace, batchSize int) (*PipelineResult, error) {
+	batches := trace.Batches(tr, batchSize)
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	res := &PipelineResult{Batches: len(batches)}
+	var linkFree, dpusFree, hostFree float64
+	for _, b := range batches {
+		r, err := e.RunBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		res.CTR = append(res.CTR, r.CTR...)
+		res.Breakdown.Add(r.Breakdown)
+		bd := r.Breakdown
+		res.SerialNs += bd.TotalNs()
+
+		// Stage 1 (LINK), stage 2 (DPUS), stage 3 (LINK), host work.
+		pushStart := linkFree
+		pushEnd := pushStart + bd.CPUToDPUNs
+		linkFree = pushEnd
+
+		execStart := maxf(pushEnd, dpusFree)
+		execEnd := execStart + bd.DPULookupNs
+		dpusFree = execEnd
+
+		pullStart := maxf(execEnd, linkFree)
+		pullEnd := pullStart + bd.DPUToCPUNs
+		linkFree = pullEnd
+
+		hostStart := maxf(pullEnd, hostFree)
+		hostEnd := hostStart + bd.HostAggNs + bd.MLPNs
+		hostFree = hostEnd
+
+		if hostEnd > res.PipelinedNs {
+			res.PipelinedNs = hostEnd
+		}
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

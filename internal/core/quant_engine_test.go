@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/partition"
+	"updlrm/internal/trace"
+)
+
+func TestQuantizedEngineClosePredictions(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	refEmbs := dlrm.EmbedCPU(model, b)
+	refCTR := model.Clone().ForwardBatch(b, refEmbs)
+
+	cfg := smallConfig(partition.MethodNonUniform)
+	cfg.QuantizeEMT = true
+	eng, err := New(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantized results are close, not identical.
+	var maxDiff float64
+	var identical = true
+	for i := range refCTR {
+		d := math.Abs(float64(refCTR[i]) - float64(res.CTR[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+		if refCTR[i] != res.CTR[i] {
+			identical = false
+		}
+	}
+	if maxDiff > 0.05 {
+		t.Fatalf("quantized CTR drifted %v", maxDiff)
+	}
+	if identical {
+		t.Fatalf("quantized run suspiciously exact")
+	}
+}
+
+func TestQuantizedEngineTrafficReduction(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	run := func(q bool) int64 {
+		cfg := smallConfig(partition.MethodNonUniform)
+		cfg.QuantizeEMT = q
+		eng, err := New(model, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MRAMBytesRead <= 0 {
+			t.Fatalf("no MRAM traffic recorded")
+		}
+		return res.MRAMBytesRead
+	}
+	fp32 := run(false)
+	int8 := run(true)
+	if int8*2 > fp32 {
+		t.Fatalf("quantization cut traffic only %d -> %d", fp32, int8)
+	}
+}

@@ -1,0 +1,259 @@
+// Package dlrm implements Meta's Deep Learning Recommendation Model
+// (Naumov et al., arXiv:1906.00091) as the paper's Figure 1 describes it:
+// a bottom MLP over dense features, embedding bags over sparse features,
+// pairwise dot-product feature interaction, and a top MLP producing the
+// CTR through a sigmoid. The embedding stage is pluggable — the CPU
+// reference here, the DPU engine in internal/core, and the hybrid
+// baselines all produce the same reduced embeddings, so outputs are
+// comparable bit-for-bit (modulo float summation order).
+package dlrm
+
+import (
+	"fmt"
+
+	"updlrm/internal/emt"
+	"updlrm/internal/mlp"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// Backing selects the embedding-table storage backend.
+type Backing int
+
+// Table backings.
+const (
+	// Procedural derives values from a hash — O(1) memory, paper-scale
+	// tables on a laptop.
+	Procedural Backing = iota
+	// Dense stores real float32 rows.
+	Dense
+)
+
+// Config describes a DLRM instance.
+type Config struct {
+	// DenseDim is the dense-feature width (bottom MLP input).
+	DenseDim int
+	// EmbDim is the embedding dimension (32 in the paper's evaluation).
+	EmbDim int
+	// RowsPerTable is the item count of each embedding table.
+	RowsPerTable []int
+	// BottomWidths are the bottom MLP layer widths; the final width must
+	// equal EmbDim so dense features join the feature interaction.
+	BottomWidths []int
+	// TopWidths are the top MLP hidden widths; a final width-1 sigmoid
+	// layer is appended automatically.
+	TopWidths []int
+	// TableBacking selects Dense or Procedural tables.
+	TableBacking Backing
+	// Seed drives all weight and table initialization.
+	Seed uint64
+}
+
+// DefaultConfig returns the evaluation configuration of §4.1: embedding
+// dimension 32, 8 tables, 13 dense features (the Criteo convention), and
+// the reference DLRM MLP sizes scaled to inference.
+func DefaultConfig(rowsPerTable []int) Config {
+	return Config{
+		DenseDim:     13,
+		EmbDim:       32,
+		RowsPerTable: rowsPerTable,
+		BottomWidths: []int{128, 64, 32},
+		TopWidths:    []int{256, 64},
+		TableBacking: Procedural,
+		Seed:         0xd12a,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.DenseDim <= 0:
+		return fmt.Errorf("dlrm: DenseDim = %d", c.DenseDim)
+	case c.EmbDim <= 0:
+		return fmt.Errorf("dlrm: EmbDim = %d", c.EmbDim)
+	case len(c.RowsPerTable) == 0:
+		return fmt.Errorf("dlrm: no embedding tables")
+	case len(c.BottomWidths) == 0:
+		return fmt.Errorf("dlrm: empty bottom MLP")
+	case c.BottomWidths[len(c.BottomWidths)-1] != c.EmbDim:
+		return fmt.Errorf("dlrm: bottom MLP output %d != EmbDim %d",
+			c.BottomWidths[len(c.BottomWidths)-1], c.EmbDim)
+	}
+	for t, rows := range c.RowsPerTable {
+		if rows <= 0 {
+			return fmt.Errorf("dlrm: table %d rows = %d", t, rows)
+		}
+	}
+	return nil
+}
+
+// NumTables returns the embedding table count.
+func (c Config) NumTables() int { return len(c.RowsPerTable) }
+
+// InteractionDim returns the top MLP input width: the dense feature plus
+// all pairwise dot products among the (tables + 1) feature vectors.
+func (c Config) InteractionDim() int {
+	n := c.NumTables() + 1
+	return c.EmbDim + n*(n-1)/2
+}
+
+// Model is a materialized DLRM. It is not safe for concurrent use (the
+// MLPs keep scratch buffers); use Clone for per-worker copies sharing no
+// state.
+type Model struct {
+	Cfg    Config
+	Bottom *mlp.MLP
+	Top    *mlp.MLP
+	Tables []emt.Table
+
+	interBuf []float32 // top MLP input scratch
+	denseBuf []float32 // bottom MLP output scratch
+	ctrBuf   []float32
+}
+
+// New builds a model with deterministic weights and tables.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	bottomWidths := append([]int{cfg.DenseDim}, cfg.BottomWidths...)
+	bottom, err := mlp.New(bottomWidths, mlp.ReLU, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("dlrm: bottom MLP: %w", err)
+	}
+	topWidths := append([]int{cfg.InteractionDim()}, cfg.TopWidths...)
+	topWidths = append(topWidths, 1)
+	top, err := mlp.New(topWidths, mlp.Sigmoid, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("dlrm: top MLP: %w", err)
+	}
+	m := &Model{
+		Cfg:      cfg,
+		Bottom:   bottom,
+		Top:      top,
+		interBuf: make([]float32, cfg.InteractionDim()),
+		denseBuf: make([]float32, cfg.EmbDim),
+		ctrBuf:   make([]float32, 1),
+	}
+	for t, rows := range cfg.RowsPerTable {
+		seed := cfg.Seed ^ (uint64(t)+1)*0x9e3779b97f4a7c15
+		switch cfg.TableBacking {
+		case Procedural:
+			m.Tables = append(m.Tables, emt.NewProcedural(rows, cfg.EmbDim, seed))
+		case Dense:
+			dt := emt.NewDense(rows, cfg.EmbDim)
+			emt.FillRandom(dt, seed, 0.05)
+			m.Tables = append(m.Tables, dt)
+		default:
+			return nil, fmt.Errorf("dlrm: unknown table backing %d", cfg.TableBacking)
+		}
+	}
+	return m, nil
+}
+
+// Interact fills dst (len InteractionDim) with the feature-interaction
+// output: the dense vector followed by all pairwise dots of
+// [dense, emb_0, ..., emb_{T-1}].
+func (m *Model) Interact(dense []float32, embs [][]float32, dst []float32) {
+	d := m.Cfg.EmbDim
+	if len(dense) != d {
+		panic(fmt.Sprintf("dlrm: interact dense len %d != %d", len(dense), d))
+	}
+	if len(embs) != m.Cfg.NumTables() {
+		panic(fmt.Sprintf("dlrm: interact %d embeddings, want %d", len(embs), m.Cfg.NumTables()))
+	}
+	if len(dst) != m.Cfg.InteractionDim() {
+		panic(fmt.Sprintf("dlrm: interact dst len %d != %d", len(dst), m.Cfg.InteractionDim()))
+	}
+	copy(dst[:d], dense)
+	// vectors = [dense, embs...]; emit dot(v_i, v_j) for i < j.
+	vecAt := func(i int) []float32 {
+		if i == 0 {
+			return dense
+		}
+		return embs[i-1]
+	}
+	k := d
+	n := m.Cfg.NumTables() + 1
+	for i := 0; i < n; i++ {
+		vi := vecAt(i)
+		for j := i + 1; j < n; j++ {
+			dst[k] = tensor.Dot(vi, vecAt(j))
+			k++
+		}
+	}
+}
+
+// Forward computes one sample's CTR given its dense features and the
+// per-table reduced embeddings.
+func (m *Model) Forward(dense []float32, embs [][]float32) float32 {
+	m.Bottom.Forward(dense, m.denseBuf)
+	m.Interact(m.denseBuf, embs, m.interBuf)
+	m.Top.Forward(m.interBuf, m.ctrBuf)
+	return m.ctrBuf[0]
+}
+
+// FLOPsPerSample counts the dense compute per inference: both MLPs plus
+// the interaction dots. The timing models charge MLP time with this.
+func (m *Model) FLOPsPerSample() int64 {
+	n := int64(m.Cfg.NumTables() + 1)
+	interFlops := n * (n - 1) / 2 * int64(2*m.Cfg.EmbDim)
+	return m.Bottom.FLOPs() + m.Top.FLOPs() + interFlops
+}
+
+// Clone returns an independent copy for concurrent workers.
+func (m *Model) Clone() *Model {
+	return &Model{
+		Cfg:      m.Cfg,
+		Bottom:   m.Bottom.Clone(),
+		Top:      m.Top.Clone(),
+		Tables:   m.Tables, // tables are read-only; sharing is safe
+		interBuf: make([]float32, len(m.interBuf)),
+		denseBuf: make([]float32, len(m.denseBuf)),
+		ctrBuf:   make([]float32, 1),
+	}
+}
+
+// EmbedCPU computes the reference reduced embeddings for a batch:
+// out[s][t] is sample s's bag-sum over table t. It allocates the result;
+// timing is the caller's concern.
+func EmbedCPU(m *Model, b *trace.Batch) [][][]float32 {
+	out := make([][][]float32, b.Size)
+	scratch := make([]float32, m.Cfg.EmbDim)
+	for s := 0; s < b.Size; s++ {
+		out[s] = make([][]float32, m.Cfg.NumTables())
+		for t := 0; t < m.Cfg.NumTables(); t++ {
+			vec := make([]float32, m.Cfg.EmbDim)
+			idx := b.SampleIndices(t, s)
+			ints := make([]int, len(idx))
+			for i, v := range idx {
+				ints[i] = int(v)
+			}
+			emt.BagInto(m.Tables[t], ints, vec, scratch)
+			out[s][t] = vec
+		}
+	}
+	return out
+}
+
+// ForwardBatch runs Forward over a batch given precomputed embeddings,
+// returning the CTRs.
+func (m *Model) ForwardBatch(b *trace.Batch, embs [][][]float32) []float32 {
+	ctr := make([]float32, b.Size)
+	for s := 0; s < b.Size; s++ {
+		ctr[s] = m.Forward(b.Dense[s], embs[s])
+	}
+	return ctr
+}
+
+// EmbedLookups returns the total lookups a batch performs across tables —
+// the quantity the CPU gather model charges.
+func EmbedLookups(b *trace.Batch) int64 {
+	return int64(b.TotalLookups())
+}
+
+// RowBytes returns the bytes one embedding row occupies.
+func (m *Model) RowBytes() int64 {
+	return int64(m.Cfg.EmbDim) * emt.BytesPerElem
+}

@@ -1,0 +1,223 @@
+package dlrm
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/emt"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig([]int{100, 200})
+	cfg.BottomWidths = []int{16, 32}
+	cfg.TopWidths = []int{32}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.DenseDim = 0 },
+		func(c *Config) { c.EmbDim = 0 },
+		func(c *Config) { c.RowsPerTable = nil },
+		func(c *Config) { c.RowsPerTable = []int{10, 0} },
+		func(c *Config) { c.BottomWidths = nil },
+		func(c *Config) { c.BottomWidths = []int{16, 16} }, // != EmbDim
+	}
+	for i, mutate := range bads {
+		c := smallConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInteractionDim(t *testing.T) {
+	c := smallConfig() // 2 tables -> n=3 -> 3 pairs + EmbDim 32 = 35
+	if got := c.InteractionDim(); got != 35 {
+		t.Fatalf("InteractionDim = %d, want 35", got)
+	}
+}
+
+func TestNewAndForwardDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	m1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float32, cfg.DenseDim)
+	for i := range dense {
+		dense[i] = float32(i) / 13
+	}
+	embs := [][]float32{make([]float32, 32), make([]float32, 32)}
+	for i := range embs[0] {
+		embs[0][i] = 0.01 * float32(i)
+		embs[1][i] = -0.01 * float32(i)
+	}
+	c1 := m1.Forward(dense, embs)
+	c2 := m2.Forward(dense, embs)
+	if c1 != c2 {
+		t.Fatalf("same seed, different CTR: %v vs %v", c1, c2)
+	}
+	if c1 <= 0 || c1 >= 1 {
+		t.Fatalf("CTR %v outside (0,1)", c1)
+	}
+}
+
+func TestInteractMatchesManualDots(t *testing.T) {
+	cfg := smallConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.EmbDim
+	dense := make([]float32, d)
+	e0 := make([]float32, d)
+	e1 := make([]float32, d)
+	for i := 0; i < d; i++ {
+		dense[i] = float32(i + 1)
+		e0[i] = 2
+		e1[i] = float32(d - i)
+	}
+	dst := make([]float32, cfg.InteractionDim())
+	m.Interact(dense, [][]float32{e0, e1}, dst)
+	for i := 0; i < d; i++ {
+		if dst[i] != dense[i] {
+			t.Fatalf("dense part not copied at %d", i)
+		}
+	}
+	dot := func(a, b []float32) float32 {
+		var s float32
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	want := []float32{dot(dense, e0), dot(dense, e1), dot(e0, e1)}
+	for i, w := range want {
+		if math.Abs(float64(dst[d+i]-w)) > 1e-3 {
+			t.Fatalf("pair %d = %v, want %v", i, dst[d+i], w)
+		}
+	}
+}
+
+func TestFLOPsPerSample(t *testing.T) {
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(3)
+	want := m.Bottom.FLOPs() + m.Top.FLOPs() + n*(n-1)/2*64
+	if got := m.FLOPsPerSample(); got != want {
+		t.Fatalf("FLOPsPerSample = %d, want %d", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	dense := make([]float32, m.Cfg.DenseDim)
+	embs := [][]float32{make([]float32, 32), make([]float32, 32)}
+	a := m.Forward(dense, embs)
+	b := c.Forward(dense, embs)
+	if a != b {
+		t.Fatalf("clone differs: %v vs %v", a, b)
+	}
+}
+
+func TestDenseBacking(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TableBacking = Dense
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range m.Tables {
+		if _, ok := tb.(*emt.DenseTable); !ok {
+			t.Fatalf("expected dense tables, got %T", tb)
+		}
+		if err := emt.Validate(tb); err != nil {
+			t.Fatalf("dense table invalid: %v", err)
+		}
+	}
+}
+
+func TestEmbedCPUAndForwardBatch(t *testing.T) {
+	cfg := smallConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := synth.Spec{
+		NumItems: 100, Tables: 2, AvgReduction: 5,
+		ZipfExponent: 0.8, DenseDim: cfg.DenseDim, Seed: 3,
+	}
+	tr, err := spec.Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1 of the spec has 100 items; model table 1 has 200 rows —
+	// indices still in range.
+	b := trace.MakeBatch(tr, 0, 10)
+	embs := EmbedCPU(m, b)
+	if len(embs) != 10 || len(embs[0]) != 2 || len(embs[0][0]) != 32 {
+		t.Fatalf("EmbedCPU shape wrong")
+	}
+	// Spot-check one bag against emt.Bag.
+	idx := b.SampleIndices(1, 3)
+	ints := make([]int, len(idx))
+	for i, v := range idx {
+		ints[i] = int(v)
+	}
+	want := make([]float32, 32)
+	emt.Bag(m.Tables[1], ints, want)
+	for i := range want {
+		if embs[3][1][i] != want[i] {
+			t.Fatalf("EmbedCPU differs from Bag at %d", i)
+		}
+	}
+	ctrs := m.ForwardBatch(b, embs)
+	if len(ctrs) != 10 {
+		t.Fatalf("ForwardBatch returned %d CTRs", len(ctrs))
+	}
+	for _, c := range ctrs {
+		if c <= 0 || c >= 1 {
+			t.Fatalf("CTR %v outside (0,1)", c)
+		}
+	}
+	if got := EmbedLookups(b); got != int64(b.TotalLookups()) {
+		t.Fatalf("EmbedLookups = %d", got)
+	}
+	if m.RowBytes() != 128 {
+		t.Fatalf("RowBytes = %d, want 128", m.RowBytes())
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig([]int{1000})
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if cfg.EmbDim != 32 || cfg.DenseDim != 13 {
+		t.Fatalf("DefaultConfig dims wrong: %+v", cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cfg.NumTables() != 1 {
+		t.Fatalf("NumTables = %d", m.Cfg.NumTables())
+	}
+}

@@ -1,0 +1,117 @@
+package emt
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedTable stores embeddings as int8 with one scale per row —
+// the mixed-precision trick the related work (EVStore, §5) uses to fit
+// more vectors per byte of cache/MRAM. Lookups dequantize on the fly;
+// SizeBytesQuantized reports the compressed footprint the timing model
+// should charge.
+type QuantizedTable struct {
+	rows, dim int
+	data      []int8
+	scale     []float32 // per-row dequantization scale
+}
+
+// QuantizedBytesPerElem is the storage per element (excluding the
+// per-row scale).
+const QuantizedBytesPerElem = 1
+
+// Quantize converts any table to int8 row-wise symmetric quantization.
+func Quantize(src Table) *QuantizedTable {
+	rows, dim := src.Rows(), src.Dim()
+	q := &QuantizedTable{
+		rows:  rows,
+		dim:   dim,
+		data:  make([]int8, rows*dim),
+		scale: make([]float32, rows),
+	}
+	buf := make([]float32, dim)
+	for r := 0; r < rows; r++ {
+		ReadRow(src, r, buf)
+		var maxAbs float32
+		for _, v := range buf {
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			q.scale[r] = 1
+			continue
+		}
+		s := maxAbs / 127
+		q.scale[r] = s
+		for c, v := range buf {
+			iv := int32(math.RoundToEven(float64(v / s)))
+			if iv > 127 {
+				iv = 127
+			}
+			if iv < -127 {
+				iv = -127
+			}
+			q.data[r*dim+c] = int8(iv)
+		}
+	}
+	return q
+}
+
+// Rows implements Table.
+func (t *QuantizedTable) Rows() int { return t.rows }
+
+// Dim implements Table.
+func (t *QuantizedTable) Dim() int { return t.dim }
+
+// ReadCols implements Table, dequantizing on the fly.
+func (t *QuantizedTable) ReadCols(row, col0, cols int, dst []float32) {
+	checkRange(t.rows, t.dim, row, col0, cols, dst)
+	s := t.scale[row]
+	base := row*t.dim + col0
+	for c := 0; c < cols; c++ {
+		dst[c] = float32(t.data[base+c]) * s
+	}
+}
+
+// SizeBytesQuantized returns the compressed footprint: one byte per
+// element plus a 4-byte scale per row.
+func (t *QuantizedTable) SizeBytesQuantized() int64 {
+	return int64(t.rows)*int64(t.dim)*QuantizedBytesPerElem + int64(t.rows)*4
+}
+
+// QuantError reports the maximum absolute and mean absolute
+// dequantization error of q against its source over a row sample.
+func QuantError(src Table, q *QuantizedTable, sampleRows int) (maxAbs, meanAbs float64, err error) {
+	if src.Rows() != q.Rows() || src.Dim() != q.Dim() {
+		return 0, 0, fmt.Errorf("emt: quantized shape %dx%d != source %dx%d",
+			q.Rows(), q.Dim(), src.Rows(), src.Dim())
+	}
+	if sampleRows <= 0 {
+		return 0, 0, fmt.Errorf("emt: sampleRows = %d", sampleRows)
+	}
+	if sampleRows > src.Rows() {
+		sampleRows = src.Rows()
+	}
+	step := src.Rows() / sampleRows
+	if step == 0 {
+		step = 1
+	}
+	a := make([]float32, src.Dim())
+	b := make([]float32, src.Dim())
+	var sum float64
+	var count int64
+	for r := 0; r < src.Rows(); r += step {
+		ReadRow(src, r, a)
+		ReadRow(q, r, b)
+		for c := range a {
+			d := math.Abs(float64(a[c]) - float64(b[c]))
+			if d > maxAbs {
+				maxAbs = d
+			}
+			sum += d
+			count++
+		}
+	}
+	return maxAbs, sum / float64(count), nil
+}

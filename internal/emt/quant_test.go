@@ -1,0 +1,96 @@
+package emt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	src := NewProcedural(500, 16, 3)
+	q := Quantize(src)
+	if q.Rows() != 500 || q.Dim() != 16 {
+		t.Fatalf("shape %dx%d", q.Rows(), q.Dim())
+	}
+	maxAbs, meanAbs, err := QuantError(src, q, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values live in [-0.05, 0.05); int8 symmetric quantization bounds
+	// the per-element error by scale/2 = maxAbs(row)/254.
+	if maxAbs > 0.05/127 {
+		t.Fatalf("max error %v exceeds quantization bound", maxAbs)
+	}
+	if meanAbs <= 0 || meanAbs > maxAbs {
+		t.Fatalf("mean error %v inconsistent (max %v)", meanAbs, maxAbs)
+	}
+}
+
+func TestQuantizeZeroRow(t *testing.T) {
+	d := NewDense(3, 4)
+	copy(d.Row(1), []float32{0.01, -0.02, 0.03, -0.04})
+	q := Quantize(d) // rows 0 and 2 are all-zero
+	buf := make([]float32, 4)
+	ReadRow(q, 0, buf)
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatalf("zero row dequantized to %v", buf)
+		}
+	}
+	ReadRow(q, 1, buf)
+	if math.Abs(float64(buf[3]+0.04)) > 0.001 {
+		t.Fatalf("row 1 dequantized to %v", buf)
+	}
+}
+
+func TestQuantizedBag(t *testing.T) {
+	src := NewProcedural(200, 8, 9)
+	q := Quantize(src)
+	idx := []int{5, 77, 123, 5}
+	want := make([]float32, 8)
+	got := make([]float32, 8)
+	Bag(src, idx, want)
+	Bag(q, idx, got)
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 4*0.05/127 {
+			t.Fatalf("quantized bag drifted: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestQuantizedSize(t *testing.T) {
+	src := NewProcedural(100, 32, 1)
+	q := Quantize(src)
+	// fp32: 100*32*4 = 12800; int8: 100*32 + 100*4 = 3600 (3.55x smaller).
+	if SizeBytes(src) != 12800 {
+		t.Fatalf("source size %d", SizeBytes(src))
+	}
+	if q.SizeBytesQuantized() != 3600 {
+		t.Fatalf("quantized size %d", q.SizeBytesQuantized())
+	}
+}
+
+func TestQuantizedColumnSlices(t *testing.T) {
+	src := NewProcedural(50, 32, 4)
+	q := Quantize(src)
+	whole := make([]float32, 32)
+	ReadRow(q, 20, whole)
+	part := make([]float32, 8)
+	q.ReadCols(20, 8, 8, part)
+	for i := 0; i < 8; i++ {
+		if part[i] != whole[8+i] {
+			t.Fatalf("slice read differs at %d", i)
+		}
+	}
+}
+
+func TestQuantErrorValidation(t *testing.T) {
+	src := NewProcedural(10, 4, 1)
+	q := Quantize(NewProcedural(20, 4, 1))
+	if _, _, err := QuantError(src, q, 10); err == nil {
+		t.Fatalf("shape mismatch accepted")
+	}
+	q2 := Quantize(src)
+	if _, _, err := QuantError(src, q2, 0); err == nil {
+		t.Fatalf("zero sample accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Package energy estimates the energy each Table 2 system spends per
+// inference run — the paper's §2.3 motivation cites UPMEM's projected
+// ~10x TCO gain and ~60% energy reduction for PIM platforms. The model
+// is activity-based: each component charges active power for the time a
+// run's latency breakdown says it was busy, plus idle power for the
+// remainder of the run's wall time.
+//
+// Power figures come from public part specifications and the UPMEM
+// technical disclosures (a DIMM of 128 DPUs dissipates ~23 W active);
+// they are deliberately round — the reproduced claim is the *relative*
+// energy of UpDLRM vs the CPU/GPU baselines, not absolute joules.
+package energy
+
+import (
+	"fmt"
+
+	"updlrm/internal/metrics"
+)
+
+// Params sets component power in watts.
+type Params struct {
+	// CPUActiveW and CPUIdleW bound the host package power.
+	CPUActiveW float64
+	CPUIdleW   float64
+	// GPUActiveW and GPUIdleW bound the GPU board power.
+	GPUActiveW float64
+	GPUIdleW   float64
+	// DPUActiveWPerDPU and DPUIdleWPerDPU are per-DPU powers (a 128-DPU
+	// DIMM at ~23 W active gives ~0.18 W per DPU).
+	DPUActiveWPerDPU float64
+	DPUIdleWPerDPU   float64
+	// DRAMPerGBW approximates DRAM background power per GB of EMT
+	// storage held in host memory (baselines keep tables in DRAM; UpDLRM
+	// keeps them in the PIM DIMMs, charged via DPU idle power).
+	DRAMPerGBW float64
+}
+
+// Default returns the calibrated power model.
+func Default() Params {
+	return Params{
+		CPUActiveW:       150,
+		CPUIdleW:         45,
+		GPUActiveW:       250,
+		GPUIdleW:         55,
+		DPUActiveWPerDPU: 0.18,
+		DPUIdleWPerDPU:   0.045,
+		DRAMPerGBW:       0.375,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	for name, v := range map[string]float64{
+		"CPUActiveW": p.CPUActiveW, "CPUIdleW": p.CPUIdleW,
+		"GPUActiveW": p.GPUActiveW, "GPUIdleW": p.GPUIdleW,
+		"DPUActiveWPerDPU": p.DPUActiveWPerDPU, "DPUIdleWPerDPU": p.DPUIdleWPerDPU,
+		"DRAMPerGBW": p.DRAMPerGBW,
+	} {
+		if v < 0 {
+			return fmt.Errorf("energy: %s = %v", name, v)
+		}
+	}
+	if p.CPUActiveW == 0 {
+		return fmt.Errorf("energy: CPUActiveW must be positive")
+	}
+	return nil
+}
+
+// SystemActivity describes which components a system uses and how much
+// EMT storage sits in host DRAM.
+type SystemActivity struct {
+	// UsesGPU charges GPU idle power for the whole run and active power
+	// for MLP/gather/PCIe time.
+	UsesGPU bool
+	// NumDPUs charges DPU idle power for the whole run and active power
+	// during the DPU lookup stage.
+	NumDPUs int
+	// HostTableBytes is the EMT storage resident in host DRAM.
+	HostTableBytes int64
+}
+
+// Estimate is the per-run energy split.
+type Estimate struct {
+	// CPUJoules, GPUJoules, DPUJoules and DRAMJoules split the total.
+	CPUJoules  float64
+	GPUJoules  float64
+	DPUJoules  float64
+	DRAMJoules float64
+}
+
+// TotalJoules sums the components.
+func (e Estimate) TotalJoules() float64 {
+	return e.CPUJoules + e.GPUJoules + e.DPUJoules + e.DRAMJoules
+}
+
+// Run estimates the energy of a run whose latency breakdown is bd.
+func (p Params) Run(bd metrics.Breakdown, act SystemActivity) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if act.NumDPUs < 0 || act.HostTableBytes < 0 {
+		return Estimate{}, fmt.Errorf("energy: activity %+v", act)
+	}
+	wall := bd.TotalNs() / 1e9 // seconds
+	var e Estimate
+
+	// CPU: active during its embedding gathers, host aggregation, CPU
+	// MLP, and while driving host<->DPU transfers; idle otherwise.
+	cpuBusy := (bd.EmbedCPUNs + bd.HostAggNs + bd.CPUToDPUNs + bd.DPUToCPUNs + bd.OverheadNs) / 1e9
+	if !act.UsesGPU {
+		cpuBusy += bd.MLPNs / 1e9
+	}
+	if cpuBusy > wall {
+		cpuBusy = wall
+	}
+	e.CPUJoules = p.CPUActiveW*cpuBusy + p.CPUIdleW*(wall-cpuBusy)
+
+	if act.UsesGPU {
+		gpuBusy := (bd.MLPNs + bd.EmbedGPUNs + bd.PCIeNs) / 1e9
+		if gpuBusy > wall {
+			gpuBusy = wall
+		}
+		e.GPUJoules = p.GPUActiveW*gpuBusy + p.GPUIdleW*(wall-gpuBusy)
+	}
+
+	if act.NumDPUs > 0 {
+		dpuBusy := bd.DPULookupNs / 1e9
+		if dpuBusy > wall {
+			dpuBusy = wall
+		}
+		perDPU := p.DPUActiveWPerDPU*dpuBusy + p.DPUIdleWPerDPU*(wall-dpuBusy)
+		e.DPUJoules = perDPU * float64(act.NumDPUs)
+	}
+
+	if act.HostTableBytes > 0 {
+		gb := float64(act.HostTableBytes) / (1 << 30)
+		e.DRAMJoules = p.DRAMPerGBW * gb * wall
+	}
+	return e, nil
+}

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"testing"
+
+	"updlrm/internal/metrics"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	p := Default()
+	p.CPUActiveW = -1
+	if p.Validate() == nil {
+		t.Fatalf("negative power accepted")
+	}
+	p = Default()
+	p.CPUActiveW = 0
+	if p.Validate() == nil {
+		t.Fatalf("zero CPU power accepted")
+	}
+}
+
+// cpuOnlyRun mimics a DLRM-CPU breakdown: 1 ms embed + 0.2 ms MLP.
+func cpuOnlyRun() metrics.Breakdown {
+	return metrics.Breakdown{EmbedCPUNs: 1e6, MLPNs: 2e5}
+}
+
+// dpuRun mimics an UpDLRM breakdown of equal wall time.
+func dpuRun() metrics.Breakdown {
+	return metrics.Breakdown{CPUToDPUNs: 1e5, DPULookupNs: 8e5, DPUToCPUNs: 1e5, MLPNs: 2e5}
+}
+
+func TestCPUOnlyEnergy(t *testing.T) {
+	p := Default()
+	bd := cpuOnlyRun()
+	est, err := p.Run(bd, SystemActivity{HostTableBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU busy the whole 1.2 ms: 150 W * 1.2e-3 s.
+	wantCPU := 150 * 1.2e-3
+	if diff := est.CPUJoules - wantCPU; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CPUJoules = %v, want %v", est.CPUJoules, wantCPU)
+	}
+	if est.GPUJoules != 0 || est.DPUJoules != 0 {
+		t.Fatalf("foreign components charged: %+v", est)
+	}
+	if est.DRAMJoules <= 0 {
+		t.Fatalf("DRAM retention not charged")
+	}
+	if est.TotalJoules() <= est.CPUJoules {
+		t.Fatalf("total must include DRAM")
+	}
+}
+
+func TestDPUEnergyBeatsCPUOnlyAtEqualWork(t *testing.T) {
+	p := Default()
+	cpuEst, err := p.Run(cpuOnlyRun(), SystemActivity{HostTableBytes: 6 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpuEst, err := p.Run(dpuRun(), SystemActivity{NumDPUs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PIM DIMMs draw far less than a busy Xeon package: even with
+	// equal wall time the DPU run must be cheaper (the §2.3 motivation).
+	if dpuEst.TotalJoules() >= cpuEst.TotalJoules() {
+		t.Fatalf("DPU run %vJ should beat CPU run %vJ", dpuEst.TotalJoules(), cpuEst.TotalJoules())
+	}
+	if dpuEst.DPUJoules <= 0 {
+		t.Fatalf("DPU energy missing")
+	}
+}
+
+func TestGPUEnergyCharged(t *testing.T) {
+	p := Default()
+	bd := metrics.Breakdown{EmbedCPUNs: 5e5, PCIeNs: 1e5, MLPNs: 1e5, OverheadNs: 1e5}
+	est, err := p.Run(bd, SystemActivity{UsesGPU: true, HostTableBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.GPUJoules <= 0 {
+		t.Fatalf("GPU energy missing")
+	}
+	// GPU idle draw applies across the whole run, so the hybrid pays for
+	// the GPU even while it waits on CPU embeddings.
+	wall := bd.TotalNs() / 1e9
+	if est.GPUJoules < p.GPUIdleW*wall {
+		t.Fatalf("GPU energy %v below idle floor %v", est.GPUJoules, p.GPUIdleW*wall)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := Default()
+	if _, err := p.Run(metrics.Breakdown{}, SystemActivity{NumDPUs: -1}); err == nil {
+		t.Fatalf("negative DPUs accepted")
+	}
+	if _, err := p.Run(metrics.Breakdown{}, SystemActivity{HostTableBytes: -1}); err == nil {
+		t.Fatalf("negative table bytes accepted")
+	}
+	bad := Default()
+	bad.CPUActiveW = 0
+	if _, err := bad.Run(metrics.Breakdown{}, SystemActivity{}); err == nil {
+		t.Fatalf("invalid params accepted")
+	}
+}
+
+func TestZeroRunZeroEnergy(t *testing.T) {
+	p := Default()
+	est, err := p.Run(metrics.Breakdown{}, SystemActivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalJoules() != 0 {
+		t.Fatalf("zero run charged %v J", est.TotalJoules())
+	}
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the §3.3 sensitivity numbers and two ablations.
+// Each runner returns a Report whose rows mirror what the paper plots,
+// along with typed series the benchmarks assert on. The CLI
+// (cmd/updlrm) and the root bench suite both drive these runners.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/metrics"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+// Scale shrinks the paper's workloads so the whole suite runs in seconds
+// under `go test -bench`; PaperScale reproduces §4.1 exactly. Only sizes
+// change — skew exponents, motif structure, and hardware parameters stay
+// fixed, so the *shapes* of every result are scale-invariant.
+type Scale struct {
+	// Name labels the scale in output.
+	Name string
+	// Inferences is the total sampled inference count (12,800 in §4.1).
+	Inferences int
+	// BatchSize is the inference batch size (64 in §4.1).
+	BatchSize int
+	// ItemFrac scales each preset's item count.
+	ItemFrac float64
+	// RedFrac scales each preset's average reduction.
+	RedFrac float64
+	// TotalDPUs is the DPU allocation (256 in §4.1).
+	TotalDPUs int
+}
+
+// PaperScale is the §4.1 configuration.
+func PaperScale() Scale {
+	return Scale{
+		Name:       "paper",
+		Inferences: 12_800,
+		BatchSize:  64,
+		ItemFrac:   1.0,
+		RedFrac:    1.0,
+		TotalDPUs:  256,
+	}
+}
+
+// BenchScale keeps every shape while cutting work by ~3 orders of
+// magnitude; `go test -bench` uses it.
+func BenchScale() Scale {
+	return Scale{
+		Name:       "bench",
+		Inferences: 256,
+		BatchSize:  64,
+		ItemFrac:   0.004,
+		RedFrac:    1.0, // avgred drives every result shape; keep it
+		TotalDPUs:  256,
+	}
+}
+
+// Validate reports the first invalid field.
+func (s Scale) Validate() error {
+	switch {
+	case s.Inferences <= 0:
+		return fmt.Errorf("experiments: Inferences = %d", s.Inferences)
+	case s.BatchSize <= 0:
+		return fmt.Errorf("experiments: BatchSize = %d", s.BatchSize)
+	case s.ItemFrac <= 0 || s.ItemFrac > 1:
+		return fmt.Errorf("experiments: ItemFrac = %v", s.ItemFrac)
+	case s.RedFrac <= 0 || s.RedFrac > 1:
+		return fmt.Errorf("experiments: RedFrac = %v", s.RedFrac)
+	case s.TotalDPUs <= 0:
+		return fmt.Errorf("experiments: TotalDPUs = %d", s.TotalDPUs)
+	}
+	return nil
+}
+
+// Report is one experiment's regenerated artifact.
+type Report struct {
+	// ID is the experiment id from DESIGN.md §4 (e.g. "F8").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Headers and Rows form the printable table.
+	Headers []string
+	Rows    [][]string
+	// Notes carries observations tied to the paper's claims.
+	Notes []string
+}
+
+// String renders the report for terminal output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	sb.WriteString(metrics.Table(r.Headers, r.Rows))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// loadPreset generates the scaled workload and a matching model.
+func loadPreset(name string, scale Scale) (*dlrm.Model, *trace.Trace, error) {
+	spec, err := synth.Preset(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	scaled := synth.Scaled(spec, scale.ItemFrac, scale.RedFrac)
+	tr, err := scaled.Generate(scale.Inferences)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, tr, nil
+}
+
+// scaledGuarded scales a spec but keeps the item space at least
+// minItemsPerRed times the scaled average reduction — skew statistics
+// (Figures 5/6) are meaningless when bags nearly cover the whole table.
+func scaledGuarded(spec synth.Spec, scale Scale, minItemsPerRed float64) synth.Spec {
+	itemFrac := scale.ItemFrac
+	avgRed := spec.AvgReduction * scale.RedFrac
+	if minItems := minItemsPerRed * avgRed; float64(spec.NumItems)*itemFrac < minItems {
+		itemFrac = minItems / float64(spec.NumItems)
+		if itemFrac > 1 {
+			itemFrac = 1
+		}
+	}
+	return synth.Scaled(spec, itemFrac, scale.RedFrac)
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// us formats nanoseconds as microseconds with one decimal.
+func us(ns float64) string { return fmt.Sprintf("%.1f", ns/1e3) }

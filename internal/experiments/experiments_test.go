@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+)
+
+// tinyScale is even smaller than BenchScale so the unit tests stay fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:       "tiny",
+		Inferences: 128,
+		BatchSize:  64,
+		ItemFrac:   0.002,
+		RedFrac:    1.0,
+		TotalDPUs:  256,
+	}
+}
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{PaperScale(), BenchScale(), tinyScale()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	bad := BenchScale()
+	bad.ItemFrac = 0
+	if bad.Validate() == nil {
+		t.Fatalf("bad scale accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, rows, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	// Measured average reduction must land near the scaled target.
+	for _, r := range rows {
+		spec, err := synth.Preset(r.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := spec.AvgReduction * tinyScale().RedFrac
+		if r.AvgReduction < target*0.8 || r.AvgReduction > target*1.2 {
+			t.Fatalf("%s: measured reduction %v, target %v", r.Workload, r.AvgReduction, target)
+		}
+	}
+	// Ordering matches Table 1: reduction increases down the table.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgReduction < rows[i-1].AvgReduction {
+			t.Fatalf("Table1 not ordered by reduction: %+v", rows)
+		}
+	}
+	if !strings.Contains(rep.String(), "Workload") {
+		t.Fatalf("report missing headers")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep := Table2()
+	if len(rep.Rows) != 4 {
+		t.Fatalf("Table2 rows = %d", len(rep.Rows))
+	}
+	s := rep.String()
+	for _, name := range []string{"DLRM-CPU", "DLRM-Hybrid", "FAE", "UpDLRM"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("Table2 missing %s", name)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	_, pts, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 { // 8,16,...,2048
+		t.Fatalf("Figure3 points = %d", len(pts))
+	}
+	// Monotone increasing, flat 8->32, steep beyond.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycles <= pts[i-1].Cycles {
+			t.Fatalf("latency not increasing at %dB", pts[i].Bytes)
+		}
+	}
+	if growth := (pts[2].Cycles - pts[0].Cycles) / pts[0].Cycles; growth > 0.2 {
+		t.Fatalf("8->32B growth %v, want flat", growth)
+	}
+	if pts[8].Cycles < 5*pts[0].Cycles {
+		t.Fatalf("2048B should be much slower than 8B")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	_, rows, err := Figure5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Figure5 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Normalized) != 8 {
+			t.Fatalf("%s: %d blocks", r.Dataset, len(r.Normalized))
+		}
+		// All datasets show heavy skew; the hottest block is block 1.
+		if r.Normalized[0] != 1 {
+			t.Fatalf("%s: hottest block should be first: %v", r.Dataset, r.Normalized)
+		}
+		if r.SkewRatio < 10 {
+			t.Fatalf("%s: skew ratio %v, want heavily skewed", r.Dataset, r.SkewRatio)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	_, rows, err := Figure6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Figure6 rows = %d", len(rows))
+	}
+	var noCache, withCache, hits int64
+	for _, r := range rows {
+		noCache += r.NoCache
+		withCache += r.CacheHit + r.CacheMiss
+		hits += r.CacheHit
+	}
+	if hits == 0 {
+		t.Fatalf("no cache hits recorded")
+	}
+	// The paper's headline: caching reduces total accesses (~40% on
+	// Movie at paper scale; any solid reduction at tiny scale).
+	if float64(withCache) > 0.9*float64(noCache) {
+		t.Fatalf("cache reduced accesses only %d -> %d", noCache, withCache)
+	}
+}
+
+func TestFigure8Bands(t *testing.T) {
+	_, rows, err := Figure8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Figure8 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Ordering claims of §4.2: UpDLRM best, Hybrid worst.
+		if r.UpDLRMSpeedup <= 1 {
+			t.Fatalf("%s: UpDLRM speedup %v <= 1", r.Workload, r.UpDLRMSpeedup)
+		}
+		if r.HybridSpeedup >= 1 {
+			t.Fatalf("%s: Hybrid speedup %v >= 1 (should be slowest)", r.Workload, r.HybridSpeedup)
+		}
+		if r.UpDLRMSpeedup <= r.FAESpeedup {
+			t.Fatalf("%s: UpDLRM (%v) should beat FAE (%v)", r.Workload, r.UpDLRMSpeedup, r.FAESpeedup)
+		}
+		if r.FAESpeedup <= r.HybridSpeedup {
+			t.Fatalf("%s: FAE (%v) should beat Hybrid (%v)", r.Workload, r.FAESpeedup, r.HybridSpeedup)
+		}
+	}
+	// Gains grow with average reduction: read2 (last) > clo (first).
+	if rows[5].UpDLRMSpeedup <= rows[0].UpDLRMSpeedup {
+		t.Fatalf("speedup should grow with reduction: clo %v, read2 %v",
+			rows[0].UpDLRMSpeedup, rows[5].UpDLRMSpeedup)
+	}
+}
+
+func TestFigure9Claims(t *testing.T) {
+	scale := tinyScale()
+	_, cells, err := Figure9(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6*3*3 {
+		t.Fatalf("Figure9 cells = %d", len(cells))
+	}
+	get := func(w string, m partition.Method, nc int) float64 {
+		for _, c := range cells {
+			if c.Workload == w && c.Method == m && c.Nc == nc {
+				return c.Speedup
+			}
+		}
+		t.Fatalf("cell %s %v %d missing", w, m, nc)
+		return 0
+	}
+	// CA >= NU >= U on the high-hot skewed workloads (allowing small
+	// noise via a 5% tolerance).
+	for _, w := range []string{synth.PresetRead, synth.PresetRead2} {
+		for _, nc := range ncUnderStudy {
+			u := get(w, partition.MethodUniform, nc)
+			nu := get(w, partition.MethodNonUniform, nc)
+			ca := get(w, partition.MethodCacheAware, nc)
+			if nu < u*0.95 {
+				t.Fatalf("%s Nc=%d: NU %v < U %v", w, nc, nu, u)
+			}
+			if ca < nu*0.95 {
+				t.Fatalf("%s Nc=%d: CA %v < NU %v", w, nc, ca, nu)
+			}
+		}
+	}
+	// clo: methods roughly tie (balanced accesses, low cache rate).
+	for _, nc := range ncUnderStudy {
+		u := get(synth.PresetClo, partition.MethodUniform, nc)
+		ca := get(synth.PresetClo, partition.MethodCacheAware, nc)
+		if ca > u*1.5 || u > ca*1.5 {
+			t.Fatalf("clo Nc=%d: methods should tie: U %v vs CA %v", nc, u, ca)
+		}
+	}
+}
+
+func TestFigure10Claims(t *testing.T) {
+	_, rows, err := Figure10(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("Figure10 rows = %d", len(rows))
+	}
+	get := func(m partition.Method, nc int) Figure10Row {
+		for _, r := range rows {
+			if r.Method == m && r.Nc == nc {
+				return r
+			}
+		}
+		t.Fatalf("row %v %d missing", m, nc)
+		return Figure10Row{}
+	}
+	for _, r := range rows {
+		if r.CPUToDPU < 0 || r.Lookup < 0 || r.DPUToCPU < 0 {
+			t.Fatalf("negative ratio: %+v", r)
+		}
+		sum := r.CPUToDPU + r.Lookup + r.DPUToCPU
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("ratios sum to %v: %+v", sum, r)
+		}
+	}
+	// CA reduces the lookup share vs NU at every Nc.
+	for _, nc := range ncUnderStudy {
+		if get(partition.MethodCacheAware, nc).Lookup >= get(partition.MethodNonUniform, nc).Lookup {
+			t.Fatalf("Nc=%d: CA lookup share should shrink", nc)
+		}
+	}
+	// As Nc grows, the CPU->DPU share falls and the DPU->CPU share rises
+	// (for CA, per §4.3).
+	ca2 := get(partition.MethodCacheAware, 2)
+	ca8 := get(partition.MethodCacheAware, 8)
+	if ca8.CPUToDPU >= ca2.CPUToDPU {
+		t.Fatalf("CPU->DPU share should fall with Nc: %v -> %v", ca2.CPUToDPU, ca8.CPUToDPU)
+	}
+	if ca8.DPUToCPU <= ca2.DPUToCPU {
+		t.Fatalf("DPU->CPU share should rise with Nc: %v -> %v", ca2.DPUToCPU, ca8.DPUToCPU)
+	}
+}
+
+func TestFigure11Claims(t *testing.T) {
+	scale := tinyScale()
+	_, pts, err := Figure11(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6*5 {
+		t.Fatalf("Figure11 points = %d", len(pts))
+	}
+	get := func(red, bytes int) float64 {
+		for _, p := range pts {
+			if p.AvgReduction == red && p.LookupBytes == bytes {
+				return p.LookupTimeNs
+			}
+		}
+		t.Fatalf("point %d/%d missing", red, bytes)
+		return 0
+	}
+	// Growth with reduction at 8B is much steeper than at 64B (the
+	// flattening the paper attributes to tasklet pipelining).
+	growth8 := get(300, 8) / get(50, 8)
+	growth64 := get(300, 64) / get(50, 64)
+	if growth8 <= growth64 {
+		t.Fatalf("8B growth %v should exceed 64B growth %v", growth8, growth64)
+	}
+	// Lookup time falls as size grows from 8B to 32B at high reduction.
+	if get(300, 32) >= get(300, 8) {
+		t.Fatalf("32B lookups should beat 8B at fixed reduction")
+	}
+}
+
+func TestCacheCapacityMonotone(t *testing.T) {
+	_, rows, err := CacheCapacity(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("CacheCapacity rows = %d", len(rows))
+	}
+	// Larger cache budgets never increase lookup time; 100% yields a
+	// solid reduction.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LookupNs > rows[i-1].LookupNs*1.01 {
+			t.Fatalf("lookup time should fall with budget: %+v", rows)
+		}
+	}
+	if rows[3].ReductionPct < 5 {
+		t.Fatalf("full cache reduction %v%% too small", rows[3].ReductionPct)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	_, engines, err := AblationEngines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range engines {
+		if r.Ratio < 0.8 || r.Ratio > 2.0 {
+			t.Fatalf("engines diverge: %+v", r)
+		}
+	}
+	_, xfers, err := AblationTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range xfers {
+		if r.PaddedNs > r.RaggedNs {
+			t.Fatalf("padded should never lose to ragged: %+v", r)
+		}
+		if strings.Contains(r.Skew, "skew") && r.PaddedNs >= r.RaggedNs {
+			t.Fatalf("padded should beat ragged on skewed profiles: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/baseline"
+	"updlrm/internal/core"
+	"updlrm/internal/emt"
+	"updlrm/internal/energy"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/synth"
+)
+
+// EnergyRow is one system's energy estimate on one workload.
+type EnergyRow struct {
+	Workload      string
+	System        string
+	Joules        float64
+	RelativeToCPU float64 // energy / DLRM-CPU energy (lower is better)
+}
+
+// Energy runs the E1 extension: per-run energy of DLRM-CPU, DLRM-Hybrid,
+// FAE and UpDLRM on a low-hot and a high-hot workload, testing the §2.3
+// motivation that PIM offload cuts energy substantially.
+func Energy(scale Scale) (*Report, []EnergyRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	params := energy.Default()
+	rep := &Report{
+		ID:      "E1",
+		Title:   "Energy per run (extension; §2.3 motivation)",
+		Headers: []string{"Workload", "System", "Joules", "vs DLRM-CPU"},
+	}
+	var rows []EnergyRow
+	for _, name := range []string{synth.PresetClo, synth.PresetRead} {
+		model, tr, err := loadPreset(name, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		hostTables := int64(0)
+		for _, tb := range model.Tables {
+			hostTables += emt.SizeBytes(tb)
+		}
+		type sysRun struct {
+			sysName string
+			bd      float64
+			est     energy.Estimate
+		}
+		var runs []sysRun
+
+		cpuModel := hosthw.DefaultCPU()
+		gpuModel := hosthw.DefaultGPU()
+		pcie := hosthw.DefaultPCIe()
+
+		cpu, err := baseline.NewCPU(model, cpuModel)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, cpuBD, err := baseline.RunTrace(cpu, tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		cpuEst, err := params.Run(cpuBD, energy.SystemActivity{HostTableBytes: hostTables})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, sysRun{"DLRM-CPU", cpuBD.TotalNs(), cpuEst})
+
+		hybrid, err := baseline.NewHybrid(model, cpuModel, gpuModel, pcie,
+			baseline.DefaultHybridConfig(model.Cfg.NumTables()))
+		if err != nil {
+			return nil, nil, err
+		}
+		_, hyBD, err := baseline.RunTrace(hybrid, tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		hyEst, err := params.Run(hyBD, energy.SystemActivity{UsesGPU: true, HostTableBytes: hostTables})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, sysRun{"DLRM-Hybrid", hyBD.TotalNs(), hyEst})
+
+		fae, err := baseline.NewFAE(model, tr, cpuModel, gpuModel, pcie, baseline.DefaultFAEConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		_, faeBD, err := baseline.RunTrace(fae, tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		faeEst, err := params.Run(faeBD, energy.SystemActivity{UsesGPU: true, HostTableBytes: hostTables})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, sysRun{"FAE", faeBD.TotalNs(), faeEst})
+
+		engCfg := core.DefaultConfig()
+		engCfg.TotalDPUs = scale.TotalDPUs
+		engCfg.BatchSize = scale.BatchSize
+		eng, err := core.New(model, tr, engCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, upBD, err := eng.RunTrace(tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		// UpDLRM keeps the EMTs in the PIM DIMMs (DPU idle power covers
+		// their retention), not in host DRAM.
+		upEst, err := params.Run(upBD, energy.SystemActivity{NumDPUs: scale.TotalDPUs})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, sysRun{"UpDLRM", upBD.TotalNs(), upEst})
+
+		base := runs[0].est.TotalJoules()
+		for _, r := range runs {
+			row := EnergyRow{
+				Workload:      name,
+				System:        r.sysName,
+				Joules:        r.est.TotalJoules(),
+				RelativeToCPU: r.est.TotalJoules() / base,
+			}
+			rows = append(rows, row)
+			rep.Rows = append(rep.Rows, []string{
+				name, r.sysName, fmt.Sprintf("%.3f", row.Joules), f2(row.RelativeToCPU),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"UPMEM's technical disclosures project ~60% energy reduction for PIM offload; activity-based model in internal/energy")
+	return rep, rows, nil
+}
+
+// HeteroRow compares the base engine against the DPU-GPU future-work
+// system at one batch size.
+type HeteroRow struct {
+	BatchSize int
+	BaseNs    float64
+	HeteroNs  float64
+	// GPUWins reports whether the heterogeneous system was faster.
+	GPUWins bool
+}
+
+// Hetero runs the A3 ablation: the §6 future-work DPU-GPU system vs the
+// base CPU-MLP engine across batch sizes, locating the crossover where
+// GPU MLP throughput beats the PCIe + launch overhead.
+func Hetero(scale Scale) (*Report, []HeteroRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model, tr, err := loadPreset(synth.PresetRead, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "A3",
+		Title:   "Ablation: DPU-GPU heterogeneous system (§6 future work)",
+		Headers: []string{"Batch", "UpDLRM (us/batch)", "UpDLRM-GPU (us/batch)", "winner"},
+	}
+	var rows []HeteroRow
+	for _, bs := range []int{64, 256, 1024} {
+		if bs > len(tr.Samples) {
+			break
+		}
+		cfg := core.DefaultConfig()
+		cfg.TotalDPUs = scale.TotalDPUs
+		cfg.BatchSize = bs
+		base, err := core.New(model, tr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		hetero, err := core.NewHetero(base, hosthw.DefaultGPU(), hosthw.DefaultPCIe())
+		if err != nil {
+			return nil, nil, err
+		}
+		_, baseBD, err := base.RunTrace(tr, bs)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, hetBD, err := hetero.RunTrace(tr, bs)
+		if err != nil {
+			return nil, nil, err
+		}
+		nBatches := float64((len(tr.Samples) + bs - 1) / bs)
+		row := HeteroRow{
+			BatchSize: bs,
+			BaseNs:    baseBD.TotalNs() / nBatches,
+			HeteroNs:  hetBD.TotalNs() / nBatches,
+			GPUWins:   hetBD.TotalNs() < baseBD.TotalNs(),
+		}
+		rows = append(rows, row)
+		winner := "UpDLRM"
+		if row.GPUWins {
+			winner = "UpDLRM-GPU"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", bs), us(row.BaseNs), us(row.HeteroNs), winner,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"the GPU pays PCIe + launch per batch and wins only once the MLP work amortizes them — why §6 defers it")
+	return rep, rows, nil
+}
+
+// PipelineRow compares serial and batch-pipelined execution.
+type PipelineRow struct {
+	Workload    string
+	SerialNs    float64
+	PipelinedNs float64
+	Speedup     float64
+}
+
+// Pipeline runs the A4 ablation: cross-batch stage overlap (LINK / DPUS
+// / HOST resources) vs the paper's serialized per-batch accounting.
+func Pipeline(scale Scale) (*Report, []PipelineRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "A4",
+		Title:   "Ablation: batch-pipelined execution (throughput extension)",
+		Headers: []string{"Workload", "Serial (ms)", "Pipelined (ms)", "Speedup"},
+	}
+	var rows []PipelineRow
+	for _, name := range []string{synth.PresetClo, synth.PresetRead} {
+		model, tr, err := loadPreset(name, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.TotalDPUs = scale.TotalDPUs
+		cfg.BatchSize = scale.BatchSize
+		eng, err := core.New(model, tr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := eng.RunTracePipelined(tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := PipelineRow{
+			Workload:    name,
+			SerialNs:    res.SerialNs,
+			PipelinedNs: res.PipelinedNs,
+			Speedup:     res.Speedup(),
+		}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%.3f", row.SerialNs/1e6),
+			fmt.Sprintf("%.3f", row.PipelinedNs/1e6),
+			f2(row.Speedup),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"overlap is bounded by the busiest resource (usually the DPU lookup wave)")
+	return rep, rows, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import "testing"
+
+func TestEnergyExtension(t *testing.T) {
+	_, rows, err := Energy(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 workloads x 4 systems
+		t.Fatalf("Energy rows = %d", len(rows))
+	}
+	byKey := map[string]EnergyRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.System] = r
+		if r.Joules <= 0 {
+			t.Fatalf("%s/%s: zero energy", r.Workload, r.System)
+		}
+	}
+	for _, w := range []string{"clo", "read"} {
+		cpu := byKey[w+"/DLRM-CPU"]
+		up := byKey[w+"/UpDLRM"]
+		hybrid := byKey[w+"/DLRM-Hybrid"]
+		// The §2.3 motivation: PIM offload cuts energy vs the CPU-only
+		// system; the GPU hybrids pay the 250 W board and cost more.
+		if up.Joules >= cpu.Joules {
+			t.Fatalf("%s: UpDLRM %vJ should beat CPU %vJ", w, up.Joules, cpu.Joules)
+		}
+		if hybrid.Joules <= cpu.Joules {
+			t.Fatalf("%s: hybrid %vJ should cost more than CPU %vJ", w, hybrid.Joules, cpu.Joules)
+		}
+		if cpu.RelativeToCPU != 1 {
+			t.Fatalf("%s: CPU relative = %v", w, cpu.RelativeToCPU)
+		}
+	}
+	// The energy win grows with reduction (more offloaded work).
+	if byKey["read/UpDLRM"].RelativeToCPU >= byKey["clo/UpDLRM"].RelativeToCPU {
+		t.Fatalf("energy win should grow with reduction: clo %v, read %v",
+			byKey["clo/UpDLRM"].RelativeToCPU, byKey["read/UpDLRM"].RelativeToCPU)
+	}
+}
+
+func TestHeteroExtension(t *testing.T) {
+	scale := tinyScale()
+	scale.Inferences = 1024 // enough samples for the large-batch rows
+	_, rows, err := Hetero(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Hetero rows = %d", len(rows))
+	}
+	// At the paper's batch 64 the GPU must lose (why §6 defers it); the
+	// per-batch GPU deficit must shrink as batches grow.
+	if rows[0].GPUWins {
+		t.Fatalf("batch 64: GPU should lose")
+	}
+	deficit0 := rows[0].HeteroNs - rows[0].BaseNs
+	deficitLast := rows[len(rows)-1].HeteroNs - rows[len(rows)-1].BaseNs
+	if deficitLast >= deficit0 {
+		t.Fatalf("GPU deficit should shrink with batch size: %v -> %v", deficit0, deficitLast)
+	}
+}
+
+func TestPipelineExtension(t *testing.T) {
+	_, rows, err := Pipeline(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("Pipeline rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s: pipelining speedup %v <= 1", r.Workload, r.Speedup)
+		}
+		if r.PipelinedNs >= r.SerialNs {
+			t.Fatalf("%s: pipelined %v >= serial %v", r.Workload, r.PipelinedNs, r.SerialNs)
+		}
+	}
+}
+
+func TestQuantizationExtension(t *testing.T) {
+	_, rows, err := Quantization(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("Quantization rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// int8 never slows the lookup stage (reads shrink or stay
+		// aligned-equal) and predictions stay close to fp32.
+		if r.Int8LookupNs > r.FP32LookupNs*1.001 {
+			t.Fatalf("%s: int8 lookup slower: %v vs %v", r.Workload, r.Int8LookupNs, r.FP32LookupNs)
+		}
+		if r.MaxCTRDelta > 0.05 {
+			t.Fatalf("%s: quantization CTR delta %v too large", r.Workload, r.MaxCTRDelta)
+		}
+		if r.MaxCTRDelta == 0 {
+			t.Fatalf("%s: suspiciously exact quantized predictions", r.Workload)
+		}
+	}
+}
+
+func TestDriftExtension(t *testing.T) {
+	_, rows, err := Drift(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("Drift rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The synthetic traces are stationary, so a historical profile
+		// must stay competitive with the oracle (small penalty) — and
+		// caching must still fire on the motif-rich read workload.
+		if r.PenaltyPct > 25 || r.PenaltyPct < -25 {
+			t.Fatalf("%s: drift penalty %v%% implausible for a stationary trace", r.Workload, r.PenaltyPct)
+		}
+		if r.Workload == "read" && r.StaleHitRate <= 0 {
+			t.Fatalf("read: stale plan lost all cache hits")
+		}
+	}
+}
+
+func TestQuantizationCutsTraffic(t *testing.T) {
+	_, rows, err := Quantization(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		cut := float64(r.FP32Bytes) / float64(r.Int8Bytes)
+		// Nc=8: fp32 reads are 32B, int8 reads AlignMRAM(8)=8B -> 4x.
+		if cut < 2 {
+			t.Fatalf("%s: MRAM traffic cut only %.2fx", r.Workload, cut)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/upmem"
+)
+
+// Figure3Point is one point of the MRAM latency curve.
+type Figure3Point struct {
+	Bytes  int
+	Cycles float64
+}
+
+// Figure3 regenerates the MRAM read-latency curve (8 B – 2048 B).
+func Figure3() (*Report, []Figure3Point, error) {
+	hw := upmem.DefaultConfig()
+	rep := &Report{
+		ID:      "F3",
+		Title:   "MRAM read latency vs transfer size (Figure 3)",
+		Headers: []string{"Bytes", "Latency (cycles)"},
+	}
+	var pts []Figure3Point
+	for size := 8; size <= 2048; size *= 2 {
+		lat, err := hw.MRAMReadLatency(size)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts = append(pts, Figure3Point{Bytes: size, Cycles: lat})
+		rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%d", size), f2(lat)})
+	}
+	l8, l32 := pts[0].Cycles, pts[2].Cycles
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("8B->32B latency grows %.1f%% (near-flat region motivating Nc <= 8)",
+			100*(l32-l8)/l8))
+	return rep, pts, nil
+}
+
+// Figure11Point is one cell of the lookup-time sweep.
+type Figure11Point struct {
+	AvgReduction int
+	LookupBytes  int // N_c * 4
+	LookupTimeNs float64
+}
+
+// Figure11 regenerates the DPU-lookup-time sensitivity study: balanced
+// synthetic access patterns, average reductions 50–300, lookup sizes
+// 8 B–128 B (N_c = 2..32), batch 64 over the §4.1 DPU allocation (8
+// tables, TotalDPUs/8 DPUs per table). Kernel jobs are built directly —
+// the study bypasses partitioning by design (accesses are balanced).
+func Figure11(scale Scale) (*Report, []Figure11Point, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	hw := upmem.DefaultConfig()
+	cols := 32 // embedding dim
+	dpusPerTable := scale.TotalDPUs / 8
+	rep := &Report{
+		ID:      "F11",
+		Title:   "DPU lookup time vs avg reduction and lookup size (Figure 11)",
+		Headers: []string{"AvgRed", "8B", "16B", "32B", "64B", "128B"},
+	}
+	var pts []Figure11Point
+	reductions := []int{50, 100, 150, 200, 250, 300}
+	sizes := []int{2, 4, 8, 16, 32} // N_c values -> 8..128 B
+	for _, red := range reductions {
+		row := []string{fmt.Sprintf("%d", red)}
+		for _, nc := range sizes {
+			slices := cols / nc
+			parts := dpusPerTable / slices
+			if parts < 1 {
+				parts = 1
+			}
+			// Balanced distribution: each partition's slice DPU performs
+			// batch*red/parts reads of nc*4 bytes.
+			reads := scale.BatchSize * red / parts
+			job := &upmem.KernelJob{
+				NumSamples: scale.BatchSize,
+				Width:      nc,
+				Fetch: func(rows []int32, dst []float32) {
+					for k := range dst {
+						dst[k] = 1
+					}
+				},
+			}
+			for i := 0; i < reads; i++ {
+				job.AddRead(i%scale.BatchSize, nc, int32(i))
+			}
+			_, timing, err := upmem.RunKernel(hw, job, upmem.ClosedForm)
+			if err != nil {
+				return nil, nil, err
+			}
+			ns := hw.KernelLaunchNs + hw.CyclesToNs(timing.Cycles)
+			pts = append(pts, Figure11Point{AvgReduction: red, LookupBytes: nc * 4, LookupTimeNs: ns})
+			row = append(row, us(ns))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"values in microseconds per batch; linear growth at 8B, flattening at >= 64B as the tasklet pipeline masks MRAM latency")
+	return rep, pts, nil
+}
+
+// AblationEnginesRow compares the two kernel timing engines.
+type AblationEnginesRow struct {
+	Reads  int
+	Nc     int
+	Closed float64
+	Event  float64
+	Ratio  float64
+}
+
+// AblationEngines runs the A1 ablation: closed-form vs event-driven
+// kernel timing across regimes.
+func AblationEngines() (*Report, []AblationEnginesRow, error) {
+	hw := upmem.DefaultConfig()
+	rep := &Report{
+		ID:      "A1",
+		Title:   "Ablation: closed-form vs event-driven timing engines",
+		Headers: []string{"Reads", "Nc", "Closed (cyc)", "Event (cyc)", "Event/Closed"},
+	}
+	var rows []AblationEnginesRow
+	for _, n := range []int{100, 1000, 5000} {
+		for _, nc := range []int{2, 8, 16} {
+			job := &upmem.KernelJob{
+				NumSamples: 64,
+				Width:      nc,
+				Fetch:      func(rows []int32, dst []float32) {},
+			}
+			for i := 0; i < n; i++ {
+				job.AddRead(i%64, nc, int32(i))
+			}
+			_, closed, err := upmem.RunKernel(hw, job, upmem.ClosedForm)
+			if err != nil {
+				return nil, nil, err
+			}
+			_, event, err := upmem.RunKernel(hw, job, upmem.EventDriven)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := AblationEnginesRow{
+				Reads: n, Nc: nc,
+				Closed: closed.Cycles, Event: event.Cycles,
+				Ratio: event.Cycles / closed.Cycles,
+			}
+			rows = append(rows, r)
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("%d", nc),
+				f2(r.Closed), f2(r.Event), f2(r.Ratio),
+			})
+		}
+	}
+	return rep, rows, nil
+}
+
+// AblationTransferRow compares padded vs ragged host pushes.
+type AblationTransferRow struct {
+	Skew     string
+	PaddedNs float64
+	RaggedNs float64
+}
+
+// AblationTransfer runs the A2 ablation: the equal-size parallel
+// transfer rule vs ragged serialization, on balanced and skewed per-DPU
+// buffer profiles.
+func AblationTransfer() (*Report, []AblationTransferRow, error) {
+	hw := upmem.DefaultConfig()
+	rep := &Report{
+		ID:      "A2",
+		Title:   "Ablation: padded-parallel vs ragged-serial host pushes",
+		Headers: []string{"Buffer profile", "Padded (us)", "Ragged (us)"},
+	}
+	profiles := map[string][]int64{
+		"balanced (256 x 8KB)": repeatSize(8<<10, 256),
+		"mild skew (2x)":       skewSizes(8<<10, 256, 2),
+		"heavy skew (16x)":     skewSizes(8<<10, 256, 16),
+	}
+	var rows []AblationTransferRow
+	for _, name := range []string{"balanced (256 x 8KB)", "mild skew (2x)", "heavy skew (16x)"} {
+		sizes := profiles[name]
+		padded := hw.TransferTime(sizes, true, upmem.Push)
+		ragged := hw.TransferTime(sizes, false, upmem.Push)
+		r := AblationTransferRow{Skew: name, PaddedNs: padded.Ns, RaggedNs: ragged.Ns}
+		rows = append(rows, r)
+		rep.Rows = append(rep.Rows, []string{name, us(r.PaddedNs), us(r.RaggedNs)})
+	}
+	rep.Notes = append(rep.Notes,
+		"padding to the max buffer keeps the rank-parallel fast path; UpDLRM pads its index pushes")
+	return rep, rows, nil
+}
+
+func repeatSize(size int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+func skewSizes(base int64, n, factor int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i%factor)*base/int64(factor)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/baseline"
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+// methodsUnderStudy are the three §3 strategies in the paper's order.
+var methodsUnderStudy = []partition.Method{
+	partition.MethodUniform, partition.MethodNonUniform, partition.MethodCacheAware,
+}
+
+// ncUnderStudy are the column widths Figures 9/10 pin.
+var ncUnderStudy = []int{2, 4, 8}
+
+// embedEngineNs runs an UpDLRM engine configured with (method, nc) over
+// the trace and returns the embedding-layer time (stages 1-3 +
+// host aggregation).
+func embedEngineNs(model *dlrm.Model, tr *trace.Trace, scale Scale,
+	method partition.Method, nc int) (float64, *core.Engine, error) {
+	cfg := core.DefaultConfig()
+	cfg.TotalDPUs = scale.TotalDPUs
+	cfg.BatchSize = scale.BatchSize
+	cfg.Method = method
+	cfg.ForcedNc = nc
+	eng, err := core.New(model, tr, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+	if err != nil {
+		return 0, nil, err
+	}
+	return bd.EmbedNs(), eng, nil
+}
+
+// cpuEmbedNs returns DLRM-CPU's embedding-layer time over the trace.
+func cpuEmbedNs(model *dlrm.Model, tr *trace.Trace, scale Scale) (float64, error) {
+	cpu, err := baseline.NewCPU(model, hosthw.DefaultCPU())
+	if err != nil {
+		return 0, err
+	}
+	_, bd, err := baseline.RunTrace(cpu, tr, scale.BatchSize)
+	if err != nil {
+		return 0, err
+	}
+	return bd.EmbedNs(), nil
+}
+
+// Figure9Cell is one bar of Figure 9.
+type Figure9Cell struct {
+	Workload string
+	Method   partition.Method
+	Nc       int
+	Speedup  float64 // embedding-layer speedup over DLRM-CPU
+}
+
+// Figure9 regenerates the embedding-layer speedup comparison of the
+// three partitioning methods (x N_c in {2,4,8}) over DLRM-CPU on the
+// six Table 1 workloads.
+func Figure9(scale Scale) (*Report, []Figure9Cell, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "F9",
+		Title:   "Embedding-layer speedup of U/NU/CA over DLRM-CPU (Figure 9)",
+		Headers: []string{"Workload", "Method", "Nc=2", "Nc=4", "Nc=8"},
+	}
+	var cells []Figure9Cell
+	for _, name := range synth.Table1Names() {
+		model, tr, err := loadPreset(name, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		cpuNs, err := cpuEmbedNs(model, tr, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, method := range methodsUnderStudy {
+			row := []string{name, method.String()}
+			for _, nc := range ncUnderStudy {
+				embNs, _, err := embedEngineNs(model, tr, scale, method, nc)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s %v Nc=%d: %w", name, method, nc, err)
+				}
+				cell := Figure9Cell{Workload: name, Method: method, Nc: nc, Speedup: cpuNs / embNs}
+				cells = append(cells, cell)
+				row = append(row, f2(cell.Speedup))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: CA beats U/NU on High Hot; all methods tie on clo (balanced accesses, low cache rate); best Nc is dataset-dependent")
+	return rep, cells, nil
+}
+
+// Figure10Row is one bar of the latency-breakdown figure.
+type Figure10Row struct {
+	Method   partition.Method
+	Nc       int
+	CPUToDPU float64 // ratio of three-stage embedding time
+	Lookup   float64
+	DPUToCPU float64
+}
+
+// Figure10 regenerates the embedding-latency breakdown on the GoodReads
+// workload: the share of CPU→DPU, DPU lookup, and DPU→CPU time for each
+// partitioning method and N_c in {2,4,8}.
+func Figure10(scale Scale) (*Report, []Figure10Row, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model, tr, err := loadPreset(synth.PresetRead, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "F10",
+		Title:   "Latency breakdown of embedding layers, GoodReads (Figure 10)",
+		Headers: []string{"Method", "Nc", "CPU-DPU", "DPU Lookup", "DPU-CPU"},
+	}
+	var rows []Figure10Row
+	for _, method := range methodsUnderStudy {
+		for _, nc := range ncUnderStudy {
+			cfg := core.DefaultConfig()
+			cfg.TotalDPUs = scale.TotalDPUs
+			cfg.BatchSize = scale.BatchSize
+			cfg.Method = method
+			cfg.ForcedNc = nc
+			eng, err := core.New(model, tr, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%v Nc=%d: %w", method, nc, err)
+			}
+			_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, l, d := bd.StageRatios()
+			row := Figure10Row{Method: method, Nc: nc, CPUToDPU: c, Lookup: l, DPUToCPU: d}
+			rows = append(rows, row)
+			rep.Rows = append(rep.Rows, []string{
+				method.String(), fmt.Sprintf("%d", nc),
+				fmt.Sprintf("%.0f%%", 100*c), fmt.Sprintf("%.0f%%", 100*l), fmt.Sprintf("%.0f%%", 100*d),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: CA cuts the lookup share from 71-77% to 43-52%; CPU-DPU share falls and DPU-CPU share rises as Nc grows")
+	return rep, rows, nil
+}
+
+// CacheCapacityRow is one point of the §3.3 sensitivity study.
+type CacheCapacityRow struct {
+	CapacityFrac float64
+	LookupNs     float64
+	ReductionPct float64 // lookup-time reduction vs no cache
+}
+
+// CacheCapacity regenerates the §3.3 cache-capacity sensitivity numbers
+// on GoodReads: embedding lookup time with cache budgets of 0%, 40%,
+// 70%, and 100% of the mined lists' storage requirement.
+func CacheCapacity(scale Scale) (*Report, []CacheCapacityRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model, tr, err := loadPreset(synth.PresetRead, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "S1",
+		Title:   "Cache capacity sensitivity, GoodReads (§3.3)",
+		Headers: []string{"Capacity", "DPU lookup (us)", "Reduction vs no cache"},
+	}
+	var rows []CacheCapacityRow
+	var base float64
+	for _, frac := range []float64{0, 0.4, 0.7, 1.0} {
+		cfg := core.DefaultConfig()
+		cfg.TotalDPUs = scale.TotalDPUs
+		cfg.BatchSize = scale.BatchSize
+		cfg.Method = partition.MethodCacheAware
+		cfg.CacheCapacityFrac = frac
+		eng, err := core.New(model, tr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		lookup := bd.DPULookupNs
+		if frac == 0 {
+			base = lookup
+		}
+		red := 0.0
+		if base > 0 {
+			red = 100 * (1 - lookup/base)
+		}
+		row := CacheCapacityRow{CapacityFrac: frac, LookupNs: lookup, ReductionPct: red}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*frac), us(lookup), fmt.Sprintf("%.0f%%", red),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: 40/70/100% cache capacity cut embedding lookup time by 17/22/26% vs no caching")
+	return rep, rows, nil
+}

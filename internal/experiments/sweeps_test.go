@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+func TestTaskletSweep(t *testing.T) {
+	_, rows, err := TaskletSweep(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("TaskletSweep rows = %d", len(rows))
+	}
+	// More tasklets never slow the lookup; gains saturate (the 14 vs 24
+	// gap is far smaller than the 1 vs 2 gap).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LookupNs > rows[i-1].LookupNs*1.001 {
+			t.Fatalf("lookup slowed at %d tasklets", rows[i].Tasklets)
+		}
+	}
+	gainEarly := rows[0].LookupNs - rows[1].LookupNs // 1 -> 2
+	var l14, l24 float64
+	for _, r := range rows {
+		if r.Tasklets == 14 {
+			l14 = r.LookupNs
+		}
+		if r.Tasklets == 24 {
+			l24 = r.LookupNs
+		}
+	}
+	gainLate := l14 - l24 // 14 -> 24
+	if gainLate > gainEarly/4 {
+		t.Fatalf("gains should saturate: early %v, late %v", gainEarly, gainLate)
+	}
+	if rows[0].SpeedupVsOne != 1 {
+		t.Fatalf("baseline speedup = %v", rows[0].SpeedupVsOne)
+	}
+}
+
+func TestDPUScaling(t *testing.T) {
+	_, rows, err := DPUScaling(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("DPUScaling rows = %d", len(rows))
+	}
+	// Scaling improves up to the knee, then reverses: result-pull
+	// traffic grows with the fleet while kernels shrink, so an optimal
+	// fleet size exists (the model locates it at 256 = the paper's two
+	// modules). Assert the up-then-down shape.
+	byN := map[int]DPUScalingRow{}
+	for _, r := range rows {
+		byN[r.TotalDPUs] = r
+	}
+	if byN[128].Speedup <= byN[64].Speedup || byN[256].Speedup <= byN[128].Speedup {
+		t.Fatalf("scaling should improve to 256 DPUs: %+v", rows)
+	}
+	if byN[512].Speedup >= byN[256].Speedup {
+		t.Fatalf("scaling should reverse past the knee: 256=%v 512=%v",
+			byN[256].Speedup, byN[512].Speedup)
+	}
+	if byN[256].Speedup >= 8 {
+		t.Fatalf("scaling should be sublinear: %v", byN[256].Speedup)
+	}
+}
+
+func TestHwWithTasklets(t *testing.T) {
+	hw := hwWithTasklets(7)
+	if hw.Tasklets != 7 {
+		t.Fatalf("Tasklets = %d", hw.Tasklets)
+	}
+	if err := hw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/baseline"
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+// Figure8Row is one dataset's inference speedups over DLRM-CPU.
+type Figure8Row struct {
+	Workload      string
+	HybridSpeedup float64
+	CPUSpeedup    float64 // 1.0 by definition
+	FAESpeedup    float64
+	UpDLRMSpeedup float64
+}
+
+// Figure8 regenerates the headline comparison: end-to-end inference time
+// of DLRM-Hybrid, DLRM-CPU, FAE, and UpDLRM on the six Table 1
+// workloads, reported as speedup over DLRM-CPU.
+func Figure8(scale Scale) (*Report, []Figure8Row, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "F8",
+		Title:   "Inference speedup over DLRM-CPU (Figure 8)",
+		Headers: []string{"Workload", "DLRM-Hybrid", "DLRM-CPU", "FAE", "UpDLRM"},
+	}
+	var rows []Figure8Row
+	for _, name := range synth.Table1Names() {
+		model, tr, err := loadPreset(name, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		times, err := systemTotals(model, tr, scale)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cpu := times["DLRM-CPU"]
+		row := Figure8Row{
+			Workload:      name,
+			HybridSpeedup: cpu / times["DLRM-Hybrid"],
+			CPUSpeedup:    1,
+			FAESpeedup:    cpu / times["FAE"],
+			UpDLRMSpeedup: cpu / times["UpDLRM"],
+		}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			name, f2(row.HybridSpeedup), f2(row.CPUSpeedup), f2(row.FAESpeedup), f2(row.UpDLRMSpeedup),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper bands: UpDLRM 1.9-3.2x vs CPU, 2.2-4.6x vs Hybrid, 1.1-2.3x vs FAE; gains grow with Avg.Reduction")
+	return rep, rows, nil
+}
+
+// systemTotals runs all four Table 2 systems over the trace and returns
+// total modeled inference time (ns) keyed by system name.
+func systemTotals(model *dlrm.Model, tr *trace.Trace, scale Scale) (map[string]float64, error) {
+	cpuModel := hosthw.DefaultCPU()
+	gpuModel := hosthw.DefaultGPU()
+	pcie := hosthw.DefaultPCIe()
+
+	cpu, err := baseline.NewCPU(model, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := baseline.NewHybrid(model, cpuModel, gpuModel, pcie,
+		baseline.DefaultHybridConfig(model.Cfg.NumTables()))
+	if err != nil {
+		return nil, err
+	}
+	fae, err := baseline.NewFAE(model, tr, cpuModel, gpuModel, pcie, baseline.DefaultFAEConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	times := make(map[string]float64, 4)
+	for _, sys := range []baseline.System{cpu, hybrid, fae} {
+		_, bd, err := baseline.RunTrace(sys, tr, scale.BatchSize)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.Name(), err)
+		}
+		times[sys.Name()] = bd.TotalNs()
+	}
+
+	engCfg := core.DefaultConfig()
+	engCfg.TotalDPUs = scale.TotalDPUs
+	engCfg.BatchSize = scale.BatchSize
+	eng, err := core.New(model, tr, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	_, bd, err := eng.RunTrace(tr, scale.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	times[eng.Name()] = bd.TotalNs()
+	return times, nil
+}

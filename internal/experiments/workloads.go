@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"updlrm/internal/hosthw"
+	"updlrm/internal/synth"
+	"updlrm/internal/upmem"
+)
+
+// Table1 regenerates the workload-configuration table: per dataset, the
+// hotness category, configured item count, and the *measured* average
+// reduction of the generated trace (which must land near the configured
+// target).
+type Table1Row struct {
+	Category     string
+	Workload     string
+	AvgReduction float64
+	Items        int
+}
+
+// Table1 runs the T1 experiment.
+func Table1(scale Scale) (*Report, []Table1Row, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		ID:      "T1",
+		Title:   "Workload Configurations (Table 1)",
+		Headers: []string{"Category", "Workload", "Avg.Reduction", "#Items"},
+	}
+	var rows []Table1Row
+	for _, name := range synth.Table1Names() {
+		spec, err := synth.Preset(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		scaled := synth.Scaled(spec, scale.ItemFrac, scale.RedFrac)
+		tr, err := scaled.Generate(scale.Inferences)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table1Row{
+			Category:     string(synth.HotnessOf(name)),
+			Workload:     name,
+			AvgReduction: tr.AvgReduction(),
+			Items:        scaled.NumItems,
+		}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, []string{
+			row.Category, row.Workload, f2(row.AvgReduction), fmt.Sprintf("%d", row.Items),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("scale %q: items x%.3g, reduction x%.3g of the paper's Table 1 values",
+			scale.Name, scale.ItemFrac, scale.RedFrac))
+	return rep, rows, nil
+}
+
+// Table2 regenerates the hardware-configuration table from the models in
+// use (documentation of the simulated testbed).
+func Table2() *Report {
+	hw := upmem.DefaultConfig()
+	cpu := hosthw.DefaultCPU()
+	gpu := hosthw.DefaultGPU()
+	rep := &Report{
+		ID:      "T2",
+		Title:   "Evaluated hardware architectures (Table 2)",
+		Headers: []string{"Implementation", "Architecture", "Cores", "Memory"},
+	}
+	cpuArch := fmt.Sprintf("Xeon-class CPU model (%.2f GHz)", cpu.ClockHz/1e9)
+	rep.Rows = [][]string{
+		{"DLRM-CPU", cpuArch, fmt.Sprintf("%d", cpu.Cores), "128GB"},
+		{"DLRM-Hybrid", cpuArch, fmt.Sprintf("%d", cpu.Cores), "128GB"},
+		{"FAE", fmt.Sprintf("GPU model (%.0f GFLOP/s eff.)", gpu.FlopsPerNs), "-",
+			fmt.Sprintf("%dGB", gpu.MemBytes>>30)},
+		{"UpDLRM", fmt.Sprintf("UPMEM DPU model (%.0f MHz) x256", hw.ClockHz/1e6), "-", "16GB"},
+	}
+	rep.Notes = append(rep.Notes,
+		"all hardware is simulated; parameters in internal/upmem/params.go and internal/hosthw")
+	return rep
+}

@@ -1,0 +1,106 @@
+package grace
+
+// Runtime side of the cache: given one sample's indices that land on one
+// DPU, split them into cached group reads (one MRAM read per group with
+// >= 2 present members, hitting the stored subset sum) and plain EMT
+// reads — the behaviour Figure 7 illustrates with the {4,5} cache hit.
+
+// Assignment is the immutable runtime view of mined lists after
+// Algorithm 1 placed them: which group an item belongs to and whether
+// that group's subset sums were actually admitted to cache storage.
+type Assignment struct {
+	// Lists are the mined groups (disjoint items).
+	Lists []List
+	// groupOf maps an item to its group id, or -1.
+	groupOf map[int32]int32
+	// Cached[g] reports whether group g's subset sums are resident.
+	Cached []bool
+}
+
+// NewAssignment indexes lists for cover planning. cached may be nil,
+// meaning every list is resident.
+func NewAssignment(lists []List, cached []bool) *Assignment {
+	a := &Assignment{
+		Lists:   lists,
+		groupOf: make(map[int32]int32),
+		Cached:  cached,
+	}
+	if a.Cached == nil {
+		a.Cached = make([]bool, len(lists))
+		for i := range a.Cached {
+			a.Cached[i] = true
+		}
+	}
+	for gi, l := range lists {
+		for _, it := range l.Items {
+			a.groupOf[it] = int32(gi)
+		}
+	}
+	return a
+}
+
+// GroupOf returns the group id of item, or -1.
+func (a *Assignment) GroupOf(item int32) int32 {
+	if g, ok := a.groupOf[item]; ok {
+		return g
+	}
+	return -1
+}
+
+// Cover is a lookup plan for one sample's indices on one DPU.
+type Cover struct {
+	// GroupReads are cache hits: each entry lists the present members of
+	// one cached group, covered by a single MRAM read of the stored
+	// subset sum.
+	GroupReads [][]int32
+	// Misses are indices served from EMT storage, one MRAM read each.
+	Misses []int32
+}
+
+// Reads returns the total MRAM reads the plan issues.
+func (c *Cover) Reads() int { return len(c.GroupReads) + len(c.Misses) }
+
+// CoveredLookups returns how many logical lookups the plan serves.
+func (c *Cover) CoveredLookups() int {
+	n := len(c.Misses)
+	for _, g := range c.GroupReads {
+		n += len(g)
+	}
+	return n
+}
+
+// PlanCover computes the cover for one sample's indices. Indices not in
+// any cached group — or sole members of a group in this sample — read
+// from EMT space. The plan is deterministic given the input order.
+func (a *Assignment) PlanCover(indices []int32) Cover {
+	var cover Cover
+	if len(indices) == 0 {
+		return cover
+	}
+	// Bucket present members per cached group, preserving first-seen
+	// group order for determinism.
+	var order []int32
+	buckets := make(map[int32][]int32)
+	for _, idx := range indices {
+		g := a.GroupOf(idx)
+		if g >= 0 && a.Cached[g] {
+			if _, seen := buckets[g]; !seen {
+				order = append(order, g)
+			}
+			buckets[g] = append(buckets[g], idx)
+			continue
+		}
+		cover.Misses = append(cover.Misses, idx)
+	}
+	for _, g := range order {
+		members := buckets[g]
+		if len(members) >= 2 {
+			cover.GroupReads = append(cover.GroupReads, members)
+		} else {
+			// A lone member gains nothing from the subset cache; read it
+			// from EMT space like any other row.
+			cover.Misses = append(cover.Misses, members...)
+		}
+	}
+	return cover
+}

@@ -1,0 +1,251 @@
+// Package grace implements a GRACE-style co-occurrence cache generator
+// (Ye et al., ASPLOS'23 — the paper's §3.3 dependency). From a profiling
+// trace it mines groups of hot items that frequently appear in the same
+// multi-hot sample and emits "cache lists": for a group {a, b, c} the
+// cache stores every non-empty subset's partial sum (a, b, c, a+b, a+c,
+// b+c, a+b+c), so one MRAM read can replace up to |group| embedding reads
+// when several members co-occur in a request.
+//
+// UpDLRM treats the generator as a black box (§5 notes it "does not rely
+// on GRACE"); this implementation follows the same recipe — frequency
+// filter, pairwise co-occurrence graph, greedy group growth — which is
+// all Algorithm 1 needs: a list of item groups with estimated benefits.
+package grace
+
+import (
+	"fmt"
+	"sort"
+
+	"updlrm/internal/trace"
+)
+
+// List is one mined cache list: a group of co-occurring items plus the
+// benefit (MRAM reads saved over the profiling trace) caching its subset
+// sums would yield. Items are sorted ascending and disjoint across lists.
+type List struct {
+	// Items are the member rows of the group.
+	Items []int32
+	// Benefit is the number of MRAM reads the group's subset-sum cache
+	// saves over the profiling trace: for a sample containing k >= 2
+	// members, k reads collapse into 1, saving k-1.
+	Benefit int64
+}
+
+// StorageEntries returns the number of partial sums cached for a group of
+// n items: every non-empty subset, 2^n - 1.
+func StorageEntries(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > 20 {
+		// Guard: group sizes are bounded by Config.MaxGroupSize (<= 16);
+		// anything bigger is a bug upstream.
+		panic(fmt.Sprintf("grace: group of %d items", n))
+	}
+	return 1<<uint(n) - 1
+}
+
+// StorageBytes returns the MRAM bytes one column slice of width nc
+// dedicates to a group of n items (entries * nc * 4 B).
+func StorageBytes(n, nc int) int64 {
+	return int64(StorageEntries(n)) * int64(nc) * 4
+}
+
+// Config tunes the miner.
+type Config struct {
+	// HotK restricts mining to the top-K most frequent items (the
+	// power-law head where co-occurrence pays).
+	HotK int
+	// MaxGroups caps the number of emitted lists.
+	MaxGroups int
+	// MaxGroupSize caps items per group (storage is 2^n - 1 entries).
+	MaxGroupSize int
+	// MinSupport is the minimum pair co-occurrence count for an edge to
+	// enter the graph.
+	MinSupport int64
+	// MaxSampleHot bounds the hot items considered per sample when
+	// counting pairs, keeping the pass O(samples * MaxSampleHot^2).
+	MaxSampleHot int
+}
+
+// DefaultConfig returns miner settings that work across the paper's
+// workloads.
+func DefaultConfig() Config {
+	return Config{
+		HotK:         4096,
+		MaxGroups:    256,
+		MaxGroupSize: 6,
+		MinSupport:   3,
+		MaxSampleHot: 24,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.HotK <= 0:
+		return fmt.Errorf("grace: HotK = %d", c.HotK)
+	case c.MaxGroups <= 0:
+		return fmt.Errorf("grace: MaxGroups = %d", c.MaxGroups)
+	case c.MaxGroupSize < 2 || c.MaxGroupSize > 16:
+		return fmt.Errorf("grace: MaxGroupSize = %d (want 2..16)", c.MaxGroupSize)
+	case c.MinSupport < 1:
+		return fmt.Errorf("grace: MinSupport = %d", c.MinSupport)
+	case c.MaxSampleHot < 2:
+		return fmt.Errorf("grace: MaxSampleHot = %d", c.MaxSampleHot)
+	}
+	return nil
+}
+
+// pairKey packs an (a, b) hot-rank pair with a < b.
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Mine extracts cache lists for one table of the trace.
+func Mine(tr *trace.Trace, table int, cfg Config) ([]List, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if table < 0 || table >= tr.NumTables {
+		return nil, fmt.Errorf("grace: table %d out of [0,%d)", table, tr.NumTables)
+	}
+	freq := tr.Frequency(table)
+	hot := trace.HotSet(freq, cfg.HotK)
+	hotRank := make(map[int32]int32, len(hot))
+	for rank, item := range hot {
+		if freq[item] == 0 {
+			break // HotSet is sorted; the zero tail never co-occurs
+		}
+		hotRank[int32(item)] = int32(rank)
+	}
+
+	// Pass 1: pairwise co-occurrence counts among hot items.
+	pairs := make(map[uint64]int64)
+	scratch := make([]int32, 0, cfg.MaxSampleHot)
+	for _, s := range tr.Samples {
+		scratch = scratch[:0]
+		for _, idx := range s.Sparse[table] {
+			if r, ok := hotRank[idx]; ok {
+				scratch = append(scratch, r)
+				if len(scratch) == cfg.MaxSampleHot {
+					break
+				}
+			}
+		}
+		for i := 0; i < len(scratch); i++ {
+			for j := i + 1; j < len(scratch); j++ {
+				pairs[pairKey(scratch[i], scratch[j])]++
+			}
+		}
+	}
+
+	// Collect qualifying edges, heaviest first (ties: smaller key).
+	type edge struct {
+		key   uint64
+		count int64
+	}
+	edges := make([]edge, 0, len(pairs))
+	for k, c := range pairs {
+		if c >= cfg.MinSupport {
+			edges = append(edges, edge{key: k, count: c})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].count != edges[j].count {
+			return edges[i].count > edges[j].count
+		}
+		return edges[i].key < edges[j].key
+	})
+
+	// Greedy grouping: heaviest edge seeds a group; later edges extend an
+	// existing group when one endpoint belongs to it and the other is
+	// free. Groups stay disjoint.
+	groupOfRank := make(map[int32]int)
+	var groups [][]int32 // member ranks
+	for _, e := range edges {
+		a := int32(e.key >> 32)
+		b := int32(uint32(e.key))
+		ga, aTaken := groupOfRank[a]
+		gb, bTaken := groupOfRank[b]
+		switch {
+		case !aTaken && !bTaken:
+			groups = append(groups, []int32{a, b})
+			groupOfRank[a] = len(groups) - 1
+			groupOfRank[b] = len(groups) - 1
+		case aTaken && !bTaken && len(groups[ga]) < cfg.MaxGroupSize:
+			groups[ga] = append(groups[ga], b)
+			groupOfRank[b] = ga
+		case bTaken && !aTaken && len(groups[gb]) < cfg.MaxGroupSize:
+			groups[gb] = append(groups[gb], a)
+			groupOfRank[a] = gb
+		}
+	}
+
+	// Map ranks back to item ids and sort members.
+	lists := make([]List, 0, len(groups))
+	itemGroup := make(map[int32]int, len(groupOfRank))
+	for gi, g := range groups {
+		items := make([]int32, len(g))
+		for i, r := range g {
+			items[i] = int32(hot[r])
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		for _, it := range items {
+			itemGroup[it] = gi
+		}
+		lists = append(lists, List{Items: items})
+	}
+
+	// Pass 2: exact benefit — for each sample, count present members per
+	// group; k >= 2 present members save k-1 reads.
+	perSample := make(map[int]int)
+	for _, s := range tr.Samples {
+		clear(perSample)
+		for _, idx := range s.Sparse[table] {
+			if g, ok := itemGroup[idx]; ok {
+				perSample[g]++
+			}
+		}
+		for g, k := range perSample {
+			if k >= 2 {
+				lists[g].Benefit += int64(k - 1)
+			}
+		}
+	}
+
+	// Keep profitable lists, best first, capped.
+	out := lists[:0]
+	for _, l := range lists {
+		if l.Benefit > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benefit != out[j].Benefit {
+			return out[i].Benefit > out[j].Benefit
+		}
+		return out[i].Items[0] < out[j].Items[0]
+	})
+	if len(out) > cfg.MaxGroups {
+		out = out[:cfg.MaxGroups]
+	}
+	// Return copies so the backing array of the pruned slice can be
+	// collected.
+	final := make([]List, len(out))
+	copy(final, out)
+	return final, nil
+}
+
+// TotalStorageBytes sums the cache storage the lists require per column
+// slice of width nc.
+func TotalStorageBytes(lists []List, nc int) int64 {
+	var total int64
+	for _, l := range lists {
+		total += StorageBytes(len(l.Items), nc)
+	}
+	return total
+}

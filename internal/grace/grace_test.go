@@ -1,0 +1,308 @@
+package grace
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+// motifTrace builds a trace where items {1,2,3} and {10,11} co-occur
+// heavily and everything else is noise.
+func motifTrace(samples int) *trace.Trace {
+	tr := &trace.Trace{NumTables: 1, RowsPerTable: []int{100}, DenseDim: 0}
+	for i := 0; i < samples; i++ {
+		var idx []int32
+		switch i % 3 {
+		case 0:
+			idx = []int32{1, 2, 3, int32(20 + i%50)}
+		case 1:
+			idx = []int32{10, 11, int32(30 + i%40)}
+		default:
+			idx = []int32{int32(40 + i%30), int32(75 + i%20)}
+		}
+		tr.Samples = append(tr.Samples, trace.Sample{Sparse: [][]int32{idx}})
+	}
+	return tr
+}
+
+func TestStorageEntriesAndBytes(t *testing.T) {
+	if StorageEntries(0) != 0 || StorageEntries(-1) != 0 {
+		t.Fatalf("StorageEntries of non-positive sizes")
+	}
+	if StorageEntries(1) != 1 || StorageEntries(3) != 7 || StorageEntries(6) != 63 {
+		t.Fatalf("StorageEntries wrong: %d %d %d", StorageEntries(1), StorageEntries(3), StorageEntries(6))
+	}
+	if StorageBytes(3, 8) != 7*8*4 {
+		t.Fatalf("StorageBytes(3,8) = %d", StorageBytes(3, 8))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for huge group")
+		}
+	}()
+	StorageEntries(21)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig: %v", err)
+	}
+	bads := []Config{
+		{HotK: 0, MaxGroups: 1, MaxGroupSize: 2, MinSupport: 1, MaxSampleHot: 2},
+		{HotK: 1, MaxGroups: 0, MaxGroupSize: 2, MinSupport: 1, MaxSampleHot: 2},
+		{HotK: 1, MaxGroups: 1, MaxGroupSize: 1, MinSupport: 1, MaxSampleHot: 2},
+		{HotK: 1, MaxGroups: 1, MaxGroupSize: 17, MinSupport: 1, MaxSampleHot: 2},
+		{HotK: 1, MaxGroups: 1, MaxGroupSize: 2, MinSupport: 0, MaxSampleHot: 2},
+		{HotK: 1, MaxGroups: 1, MaxGroupSize: 2, MinSupport: 1, MaxSampleHot: 1},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMineFindsMotifs(t *testing.T) {
+	tr := motifTrace(300)
+	cfg := DefaultConfig()
+	cfg.HotK = 50
+	lists, err := Mine(tr, 0, cfg)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if len(lists) == 0 {
+		t.Fatalf("no lists mined")
+	}
+	// The {1,2,3} motif must appear as (a superset of) the top list.
+	var found123, found1011 bool
+	for _, l := range lists {
+		set := map[int32]bool{}
+		for _, it := range l.Items {
+			set[it] = true
+		}
+		if set[1] && set[2] && set[3] {
+			found123 = true
+		}
+		if set[10] && set[11] {
+			found1011 = true
+		}
+	}
+	if !found123 || !found1011 {
+		t.Fatalf("motifs not mined: 123=%v 1011=%v lists=%+v", found123, found1011, lists)
+	}
+	// Benefits must be positive and sorted descending.
+	for i, l := range lists {
+		if l.Benefit <= 0 {
+			t.Fatalf("list %d benefit %d", i, l.Benefit)
+		}
+		if i > 0 && lists[i-1].Benefit < l.Benefit {
+			t.Fatalf("lists not sorted by benefit")
+		}
+	}
+}
+
+func TestMineDisjointAndSorted(t *testing.T) {
+	tr := motifTrace(300)
+	cfg := DefaultConfig()
+	cfg.HotK = 50
+	lists, err := Mine(tr, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, l := range lists {
+		for i, it := range l.Items {
+			if seen[it] {
+				t.Fatalf("item %d in multiple lists", it)
+			}
+			seen[it] = true
+			if i > 0 && l.Items[i-1] >= it {
+				t.Fatalf("list items not sorted: %v", l.Items)
+			}
+		}
+		if len(l.Items) > cfg.MaxGroupSize {
+			t.Fatalf("group size %d exceeds max %d", len(l.Items), cfg.MaxGroupSize)
+		}
+	}
+}
+
+func TestMineBenefitExact(t *testing.T) {
+	// Two samples contain both of {5,6}; one contains only 5.
+	tr := &trace.Trace{NumTables: 1, RowsPerTable: []int{10}, Samples: []trace.Sample{
+		{Sparse: [][]int32{{5, 6, 1}}},
+		{Sparse: [][]int32{{5, 6, 2}}},
+		{Sparse: [][]int32{{5, 3, 2}}},
+		{Sparse: [][]int32{{5, 3, 2}}},
+		{Sparse: [][]int32{{5, 3, 2}}},
+	}}
+	cfg := Config{HotK: 10, MaxGroups: 10, MaxGroupSize: 4, MinSupport: 2, MaxSampleHot: 8}
+	lists, err := Mine(tr, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {5,3,2} co-occur 3x (plus 5&2 in sample 1... counts: (5,3)=3,
+	// (3,2)=3, (5,2)=4, (5,6)=2). Expect one group absorbing 5,2,3,6 or
+	// separate groups; verify total benefit equals recomputation.
+	a := NewAssignment(lists, nil)
+	var manual int64
+	for _, s := range tr.Samples {
+		per := map[int32]int{}
+		for _, idx := range s.Sparse[0] {
+			if g := a.GroupOf(idx); g >= 0 {
+				per[g]++
+			}
+		}
+		for _, k := range per {
+			if k >= 2 {
+				manual += int64(k - 1)
+			}
+		}
+	}
+	var mined int64
+	for _, l := range lists {
+		mined += l.Benefit
+	}
+	if mined != manual {
+		t.Fatalf("benefit %d != recomputed %d (lists %+v)", mined, manual, lists)
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	tr := motifTrace(10)
+	if _, err := Mine(tr, 1, DefaultConfig()); err == nil {
+		t.Fatalf("out-of-range table accepted")
+	}
+	if _, err := Mine(tr, 0, Config{}); err == nil {
+		t.Fatalf("zero config accepted")
+	}
+}
+
+func TestMineOnSyntheticPreset(t *testing.T) {
+	spec, err := synth.Preset(synth.PresetMovieSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := synth.Scaled(spec, 0.1, 0.3).Generate(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HotK = 512
+	lists, err := Mine(tr, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) == 0 {
+		t.Fatalf("expected motif-rich preset to yield cache lists")
+	}
+	var benefit int64
+	for _, l := range lists {
+		benefit += l.Benefit
+	}
+	total := tr.TotalAccesses(0)
+	if float64(benefit) < 0.02*float64(total) {
+		t.Fatalf("mined benefit %d too small vs %d accesses", benefit, total)
+	}
+}
+
+func TestAssignmentGroupOf(t *testing.T) {
+	lists := []List{{Items: []int32{1, 2}}, {Items: []int32{7, 9}}}
+	a := NewAssignment(lists, nil)
+	if a.GroupOf(1) != 0 || a.GroupOf(2) != 0 || a.GroupOf(7) != 1 {
+		t.Fatalf("GroupOf wrong")
+	}
+	if a.GroupOf(5) != -1 {
+		t.Fatalf("GroupOf(5) = %d, want -1", a.GroupOf(5))
+	}
+}
+
+func TestPlanCoverHitsAndMisses(t *testing.T) {
+	lists := []List{{Items: []int32{1, 2, 3}}, {Items: []int32{7, 9}}}
+	a := NewAssignment(lists, nil)
+	cover := a.PlanCover([]int32{1, 4, 5, 2, 9})
+	// {1,2} is a group read; 9 alone in its group -> miss; 4,5 misses.
+	if len(cover.GroupReads) != 1 || !reflect.DeepEqual(cover.GroupReads[0], []int32{1, 2}) {
+		t.Fatalf("GroupReads = %v", cover.GroupReads)
+	}
+	if !reflect.DeepEqual(cover.Misses, []int32{4, 5, 9}) {
+		t.Fatalf("Misses = %v", cover.Misses)
+	}
+	if cover.Reads() != 4 || cover.CoveredLookups() != 5 {
+		t.Fatalf("Reads=%d CoveredLookups=%d", cover.Reads(), cover.CoveredLookups())
+	}
+}
+
+func TestPlanCoverRespectsCachedFlags(t *testing.T) {
+	lists := []List{{Items: []int32{1, 2}}, {Items: []int32{7, 9}}}
+	a := NewAssignment(lists, []bool{false, true})
+	cover := a.PlanCover([]int32{1, 2, 7, 9})
+	// Group 0 not resident: 1,2 are misses. Group 1 resident: one read.
+	if len(cover.GroupReads) != 1 || !reflect.DeepEqual(cover.GroupReads[0], []int32{7, 9}) {
+		t.Fatalf("GroupReads = %v", cover.GroupReads)
+	}
+	if !reflect.DeepEqual(cover.Misses, []int32{1, 2}) {
+		t.Fatalf("Misses = %v", cover.Misses)
+	}
+}
+
+func TestPlanCoverEmpty(t *testing.T) {
+	a := NewAssignment(nil, nil)
+	cover := a.PlanCover(nil)
+	if cover.Reads() != 0 || cover.CoveredLookups() != 0 {
+		t.Fatalf("empty cover: %+v", cover)
+	}
+}
+
+// Property: every input index appears exactly once in the cover, and
+// Reads() <= len(indices) (caching never increases reads).
+func TestPlanCoverPropertiesQuick(t *testing.T) {
+	lists := []List{{Items: []int32{0, 1, 2, 3}}, {Items: []int32{10, 11, 12}}}
+	a := NewAssignment(lists, nil)
+	f := func(raw []uint8) bool {
+		seen := map[int32]bool{}
+		var indices []int32
+		for _, v := range raw {
+			idx := int32(v % 20)
+			if !seen[idx] { // bags have set semantics
+				seen[idx] = true
+				indices = append(indices, idx)
+			}
+		}
+		cover := a.PlanCover(indices)
+		got := map[int32]int{}
+		for _, m := range cover.Misses {
+			got[m]++
+		}
+		for _, g := range cover.GroupReads {
+			if len(g) < 2 {
+				return false
+			}
+			for _, m := range g {
+				got[m]++
+			}
+		}
+		if len(got) != len(indices) {
+			return false
+		}
+		for _, idx := range indices {
+			if got[idx] != 1 {
+				return false
+			}
+		}
+		return cover.Reads() <= len(indices)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalStorageBytes(t *testing.T) {
+	lists := []List{{Items: []int32{1, 2}}, {Items: []int32{3, 4, 5}}}
+	// (2^2-1 + 2^3-1) * 4 elems * 4B = (3+7)*16 = 160.
+	if got := TotalStorageBytes(lists, 4); got != 160 {
+		t.Fatalf("TotalStorageBytes = %d, want 160", got)
+	}
+}

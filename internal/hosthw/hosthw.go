@@ -1,0 +1,180 @@
+// Package hosthw provides analytic timing models for the host-side
+// hardware of Table 2 — the Xeon CPU every implementation shares, the
+// GTX 1080 Ti used by the CPU-GPU hybrids, and the PCIe link between
+// them. Embedding math always executes functionally on the host; these
+// models only assign wall time to the work, calibrated from the Table 2
+// parts' public specifications (see DESIGN.md §5 for the derivations).
+package hosthw
+
+import "fmt"
+
+// CPUModel times the Intel Xeon Silver 4110 host (Table 2: 32 cores,
+// 2.10 GHz, 128 GB DDR4).
+type CPUModel struct {
+	// Cores is the usable core count.
+	Cores int
+	// ClockHz is the nominal core frequency.
+	ClockHz float64
+	// RandomAccessNs is the DRAM random-access latency.
+	RandomAccessNs float64
+	// MemLevelParallelism is the outstanding-miss count per core the
+	// gather loop sustains.
+	MemLevelParallelism float64
+	// GatherBWBytesPerNs is the effective bandwidth of irregular
+	// embedding-row gathers (far below streaming bandwidth).
+	GatherBWBytesPerNs float64
+	// StreamBWBytesPerNs is the streaming (sequential) memory bandwidth.
+	StreamBWBytesPerNs float64
+	// FlopsPerNs is the effective dense-MLP throughput (GFLOP/s == flops
+	// per ns).
+	FlopsPerNs float64
+}
+
+// DefaultCPU returns the calibrated Table 2 host model.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		Cores:               32,
+		ClockHz:             2.1e9,
+		RandomAccessNs:      90,
+		MemLevelParallelism: 8,
+		GatherBWBytesPerNs:  5.5, // irregular 128 B gathers, all cores
+		StreamBWBytesPerNs:  60,  // sequential
+		FlopsPerNs:          200, // fp32 MLP, AVX-512 at modest efficiency
+	}
+}
+
+// Validate reports the first invalid field.
+func (m CPUModel) Validate() error {
+	switch {
+	case m.Cores <= 0:
+		return fmt.Errorf("hosthw: CPU cores = %d", m.Cores)
+	case m.ClockHz <= 0:
+		return fmt.Errorf("hosthw: CPU clock = %v", m.ClockHz)
+	case m.RandomAccessNs <= 0:
+		return fmt.Errorf("hosthw: RandomAccessNs = %v", m.RandomAccessNs)
+	case m.MemLevelParallelism <= 0:
+		return fmt.Errorf("hosthw: MemLevelParallelism = %v", m.MemLevelParallelism)
+	case m.GatherBWBytesPerNs <= 0 || m.StreamBWBytesPerNs <= 0:
+		return fmt.Errorf("hosthw: CPU bandwidths %v/%v", m.GatherBWBytesPerNs, m.StreamBWBytesPerNs)
+	case m.FlopsPerNs <= 0:
+		return fmt.Errorf("hosthw: CPU FlopsPerNs = %v", m.FlopsPerNs)
+	}
+	return nil
+}
+
+// GatherNs models an embedding-bag pass over the given number of random
+// row reads of rowBytes each: the maximum of the bandwidth bound and the
+// latency/MLP bound.
+func (m CPUModel) GatherNs(lookups int64, rowBytes int64) float64 {
+	if lookups <= 0 {
+		return 0
+	}
+	bw := float64(lookups*rowBytes) / m.GatherBWBytesPerNs
+	lat := float64(lookups) * m.RandomAccessNs / (float64(m.Cores) * m.MemLevelParallelism)
+	if lat > bw {
+		return lat
+	}
+	return bw
+}
+
+// ComputeNs models dense compute of the given flop count.
+func (m CPUModel) ComputeNs(flops int64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return float64(flops) / m.FlopsPerNs
+}
+
+// StreamNs models a sequential pass over the given bytes (e.g. summing
+// partial results).
+func (m CPUModel) StreamNs(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / m.StreamBWBytesPerNs
+}
+
+// GPUModel times the NVIDIA GTX 1080 Ti of Table 2 (11 GB GDDR5X).
+type GPUModel struct {
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// FlopsPerNs is effective fp32 throughput.
+	FlopsPerNs float64
+	// GatherBWBytesPerNs is the device-memory gather bandwidth.
+	GatherBWBytesPerNs float64
+	// KernelLaunchNs is the fixed cost per kernel launch.
+	KernelLaunchNs float64
+}
+
+// DefaultGPU returns the calibrated 1080 Ti model.
+func DefaultGPU() GPUModel {
+	return GPUModel{
+		MemBytes:           11 << 30,
+		FlopsPerNs:         3000, // ~3 TFLOP/s effective of 11.3 peak
+		GatherBWBytesPerNs: 300,  // of 484 GB/s peak
+		KernelLaunchNs:     8_000,
+	}
+}
+
+// Validate reports the first invalid field.
+func (m GPUModel) Validate() error {
+	switch {
+	case m.MemBytes <= 0:
+		return fmt.Errorf("hosthw: GPU memory = %d", m.MemBytes)
+	case m.FlopsPerNs <= 0:
+		return fmt.Errorf("hosthw: GPU FlopsPerNs = %v", m.FlopsPerNs)
+	case m.GatherBWBytesPerNs <= 0:
+		return fmt.Errorf("hosthw: GPU gather bandwidth = %v", m.GatherBWBytesPerNs)
+	case m.KernelLaunchNs < 0:
+		return fmt.Errorf("hosthw: GPU launch = %v", m.KernelLaunchNs)
+	}
+	return nil
+}
+
+// ComputeNs models a GPU kernel of the given flops including one launch.
+func (m GPUModel) ComputeNs(flops int64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return m.KernelLaunchNs + float64(flops)/m.FlopsPerNs
+}
+
+// GatherNs models a device-memory embedding gather.
+func (m GPUModel) GatherNs(lookups int64, rowBytes int64) float64 {
+	if lookups <= 0 {
+		return 0
+	}
+	return m.KernelLaunchNs + float64(lookups*rowBytes)/m.GatherBWBytesPerNs
+}
+
+// PCIeModel times the host-device link.
+type PCIeModel struct {
+	// BWBytesPerNs is the effective PCIe 3.0 x16 bandwidth.
+	BWBytesPerNs float64
+	// LatencyNs is the fixed cost per transfer.
+	LatencyNs float64
+}
+
+// DefaultPCIe returns the calibrated PCIe 3.0 x16 link.
+func DefaultPCIe() PCIeModel {
+	return PCIeModel{BWBytesPerNs: 12, LatencyNs: 15_000}
+}
+
+// Validate reports the first invalid field.
+func (m PCIeModel) Validate() error {
+	if m.BWBytesPerNs <= 0 {
+		return fmt.Errorf("hosthw: PCIe bandwidth = %v", m.BWBytesPerNs)
+	}
+	if m.LatencyNs < 0 {
+		return fmt.Errorf("hosthw: PCIe latency = %v", m.LatencyNs)
+	}
+	return nil
+}
+
+// TransferNs models moving bytes across the link in one call.
+func (m PCIeModel) TransferNs(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return m.LatencyNs + float64(bytes)/m.BWBytesPerNs
+}

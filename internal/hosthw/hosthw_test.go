@@ -1,0 +1,150 @@
+package hosthw
+
+import "testing"
+
+func TestDefaultsValid(t *testing.T) {
+	if err := DefaultCPU().Validate(); err != nil {
+		t.Fatalf("DefaultCPU: %v", err)
+	}
+	if err := DefaultGPU().Validate(); err != nil {
+		t.Fatalf("DefaultGPU: %v", err)
+	}
+	if err := DefaultPCIe().Validate(); err != nil {
+		t.Fatalf("DefaultPCIe: %v", err)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cpu := DefaultCPU()
+	cpu.Cores = 0
+	if cpu.Validate() == nil {
+		t.Fatalf("bad CPU accepted")
+	}
+	cpu = DefaultCPU()
+	cpu.FlopsPerNs = -1
+	if cpu.Validate() == nil {
+		t.Fatalf("bad CPU flops accepted")
+	}
+	gpu := DefaultGPU()
+	gpu.MemBytes = 0
+	if gpu.Validate() == nil {
+		t.Fatalf("bad GPU accepted")
+	}
+	pcie := DefaultPCIe()
+	pcie.BWBytesPerNs = 0
+	if pcie.Validate() == nil {
+		t.Fatalf("bad PCIe accepted")
+	}
+}
+
+func TestCPUGatherBounds(t *testing.T) {
+	m := DefaultCPU()
+	// Large transfers are bandwidth-bound: time scales with bytes.
+	t1 := m.GatherNs(1_000_000, 128)
+	t2 := m.GatherNs(2_000_000, 128)
+	if t2 < t1*1.9 || t2 > t1*2.1 {
+		t.Fatalf("bandwidth-bound gather should scale linearly: %v -> %v", t1, t2)
+	}
+	wantBW := float64(1_000_000*128) / m.GatherBWBytesPerNs
+	if t1 != wantBW {
+		t.Fatalf("gather = %v, want bandwidth bound %v", t1, wantBW)
+	}
+	// Tiny rows are latency-bound.
+	small := m.GatherNs(1000, 1)
+	wantLat := 1000 * m.RandomAccessNs / (float64(m.Cores) * m.MemLevelParallelism)
+	if small != wantLat {
+		t.Fatalf("tiny gather = %v, want latency bound %v", small, wantLat)
+	}
+	if m.GatherNs(0, 128) != 0 {
+		t.Fatalf("zero lookups should cost nothing")
+	}
+}
+
+func TestCPUComputeAndStream(t *testing.T) {
+	m := DefaultCPU()
+	if got := m.ComputeNs(2_000_000); got != 2_000_000/m.FlopsPerNs {
+		t.Fatalf("ComputeNs = %v", got)
+	}
+	if got := m.StreamNs(600); got != 600/m.StreamBWBytesPerNs {
+		t.Fatalf("StreamNs = %v", got)
+	}
+	if m.ComputeNs(0) != 0 || m.StreamNs(-5) != 0 {
+		t.Fatalf("zero work should cost nothing")
+	}
+}
+
+func TestGPUTimes(t *testing.T) {
+	g := DefaultGPU()
+	c := g.ComputeNs(3_000_000)
+	if c != g.KernelLaunchNs+3_000_000/g.FlopsPerNs {
+		t.Fatalf("GPU ComputeNs = %v", c)
+	}
+	if g.ComputeNs(0) != 0 {
+		t.Fatalf("zero flops should cost nothing")
+	}
+	ga := g.GatherNs(1000, 128)
+	if ga != g.KernelLaunchNs+float64(1000*128)/g.GatherBWBytesPerNs {
+		t.Fatalf("GPU GatherNs = %v", ga)
+	}
+	// GPU gathers must be far faster than CPU gathers for the same work.
+	cpu := DefaultCPU()
+	if g.GatherNs(1_000_000, 128) >= cpu.GatherNs(1_000_000, 128) {
+		t.Fatalf("GPU gather should beat CPU gather")
+	}
+}
+
+func TestPCIeTransfer(t *testing.T) {
+	p := DefaultPCIe()
+	if got := p.TransferNs(12_000); got != p.LatencyNs+12_000/p.BWBytesPerNs {
+		t.Fatalf("TransferNs = %v", got)
+	}
+	if p.TransferNs(0) != 0 {
+		t.Fatalf("zero transfer should cost nothing")
+	}
+}
+
+func TestCPUValidateAllBranches(t *testing.T) {
+	mutations := []func(*CPUModel){
+		func(m *CPUModel) { m.ClockHz = 0 },
+		func(m *CPUModel) { m.RandomAccessNs = 0 },
+		func(m *CPUModel) { m.MemLevelParallelism = 0 },
+		func(m *CPUModel) { m.GatherBWBytesPerNs = 0 },
+		func(m *CPUModel) { m.StreamBWBytesPerNs = -1 },
+	}
+	for i, mutate := range mutations {
+		m := DefaultCPU()
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Fatalf("CPU mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGPUValidateAllBranches(t *testing.T) {
+	mutations := []func(*GPUModel){
+		func(m *GPUModel) { m.FlopsPerNs = 0 },
+		func(m *GPUModel) { m.GatherBWBytesPerNs = 0 },
+		func(m *GPUModel) { m.KernelLaunchNs = -1 },
+	}
+	for i, mutate := range mutations {
+		m := DefaultGPU()
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Fatalf("GPU mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPCIeValidateLatencyBranch(t *testing.T) {
+	p := DefaultPCIe()
+	p.LatencyNs = -1
+	if p.Validate() == nil {
+		t.Fatalf("negative PCIe latency accepted")
+	}
+}
+
+func TestGPUGatherZeroLookups(t *testing.T) {
+	if DefaultGPU().GatherNs(0, 128) != 0 {
+		t.Fatalf("zero GPU gather should cost nothing")
+	}
+}

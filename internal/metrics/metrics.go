@@ -1,0 +1,134 @@
+// Package metrics defines the latency accounting every timed system
+// reports and small helpers for aggregating and rendering results.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown attributes one batch's (or run's) modeled wall time to
+// stages. UpDLRM populates the three DPU stages of Figure 4; baselines
+// populate the CPU/GPU/PCIe fields. All values are nanoseconds.
+type Breakdown struct {
+	// CPUToDPUNs is stage 1: pushing indices/offsets to DPUs.
+	CPUToDPUNs float64
+	// DPULookupNs is stage 2: the DPU lookup/aggregate kernels.
+	DPULookupNs float64
+	// DPUToCPUNs is stage 3: pulling partial sums back.
+	DPUToCPUNs float64
+	// HostAggNs is the host-side reduction of partial sums.
+	HostAggNs float64
+	// EmbedCPUNs is embedding-bag time on the CPU (baselines).
+	EmbedCPUNs float64
+	// EmbedGPUNs is embedding gather time on the GPU (FAE hot path).
+	EmbedGPUNs float64
+	// PCIeNs is host-device transfer time (hybrids).
+	PCIeNs float64
+	// MLPNs is dense compute (bottom MLP, interaction, top MLP).
+	MLPNs float64
+	// OverheadNs is fixed per-batch orchestration cost (GPU pipelines,
+	// synchronization).
+	OverheadNs float64
+}
+
+// EmbedNs returns the embedding-layer portion — the quantity Figures 9
+// and 10 analyze.
+func (b Breakdown) EmbedNs() float64 {
+	return b.CPUToDPUNs + b.DPULookupNs + b.DPUToCPUNs + b.HostAggNs +
+		b.EmbedCPUNs + b.EmbedGPUNs
+}
+
+// TotalNs returns end-to-end inference time.
+func (b Breakdown) TotalNs() float64 {
+	return b.EmbedNs() + b.PCIeNs + b.MLPNs + b.OverheadNs
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.CPUToDPUNs += o.CPUToDPUNs
+	b.DPULookupNs += o.DPULookupNs
+	b.DPUToCPUNs += o.DPUToCPUNs
+	b.HostAggNs += o.HostAggNs
+	b.EmbedCPUNs += o.EmbedCPUNs
+	b.EmbedGPUNs += o.EmbedGPUNs
+	b.PCIeNs += o.PCIeNs
+	b.MLPNs += o.MLPNs
+	b.OverheadNs += o.OverheadNs
+}
+
+// Scale multiplies every component by f (e.g. to average over batches).
+func (b *Breakdown) Scale(f float64) {
+	b.CPUToDPUNs *= f
+	b.DPULookupNs *= f
+	b.DPUToCPUNs *= f
+	b.HostAggNs *= f
+	b.EmbedCPUNs *= f
+	b.EmbedGPUNs *= f
+	b.PCIeNs *= f
+	b.MLPNs *= f
+	b.OverheadNs *= f
+}
+
+// StageRatios returns the Figure 10 ratios: the share of CPU→DPU, DPU
+// lookup, and DPU→CPU time within the three-stage embedding total.
+// A zero embedding time returns zeros.
+func (b Breakdown) StageRatios() (cpuToDPU, lookup, dpuToCPU float64) {
+	total := b.CPUToDPUNs + b.DPULookupNs + b.DPUToCPUNs
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return b.CPUToDPUNs / total, b.DPULookupNs / total, b.DPUToCPUNs / total
+}
+
+// FormatNs renders a nanosecond quantity with a human-appropriate unit.
+func FormatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3f s", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1f us", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}
+
+// Table renders rows as a fixed-width ASCII table for CLI/bench output.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

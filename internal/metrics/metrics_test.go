@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleBreakdown() Breakdown {
+	return Breakdown{
+		CPUToDPUNs:  100,
+		DPULookupNs: 500,
+		DPUToCPUNs:  400,
+		HostAggNs:   50,
+		EmbedCPUNs:  0,
+		EmbedGPUNs:  25,
+		PCIeNs:      75,
+		MLPNs:       200,
+		OverheadNs:  10,
+	}
+}
+
+func TestEmbedAndTotal(t *testing.T) {
+	b := sampleBreakdown()
+	if got := b.EmbedNs(); got != 1075 {
+		t.Fatalf("EmbedNs = %v, want 1075", got)
+	}
+	if got := b.TotalNs(); got != 1360 {
+		t.Fatalf("TotalNs = %v, want 1360", got)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := sampleBreakdown()
+	b := sampleBreakdown()
+	a.Add(b)
+	if a.TotalNs() != 2720 {
+		t.Fatalf("Add TotalNs = %v", a.TotalNs())
+	}
+	a.Scale(0.5)
+	if a.TotalNs() != 1360 {
+		t.Fatalf("Scale TotalNs = %v", a.TotalNs())
+	}
+}
+
+func TestStageRatios(t *testing.T) {
+	b := sampleBreakdown()
+	c, l, d := b.StageRatios()
+	if math.Abs(c-0.1) > 1e-9 || math.Abs(l-0.5) > 1e-9 || math.Abs(d-0.4) > 1e-9 {
+		t.Fatalf("StageRatios = %v %v %v", c, l, d)
+	}
+	if math.Abs(c+l+d-1) > 1e-9 {
+		t.Fatalf("ratios must sum to 1")
+	}
+	var zero Breakdown
+	c, l, d = zero.StageRatios()
+	if c != 0 || l != 0 || d != 0 {
+		t.Fatalf("zero breakdown ratios = %v %v %v", c, l, d)
+	}
+}
+
+func TestFormatNs(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500 ns",
+		1_500:  "1.5 us",
+		2.5e6:  "2.500 ms",
+		3.25e9: "3.250 s",
+	}
+	for in, want := range cases {
+		if got := FormatNs(in); got != want {
+			t.Fatalf("FormatNs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"a-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+// Package mlp implements the fully-connected stacks a DLRM uses below and
+// above the feature-interaction layer (Figure 1 of the paper). Weights are
+// initialized deterministically so that every run of an experiment sees the
+// same model.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"updlrm/internal/tensor"
+)
+
+// Activation selects the nonlinearity applied after a layer.
+type Activation int
+
+const (
+	// Linear applies no nonlinearity.
+	Linear Activation = iota
+	// ReLU applies max(0, x).
+	ReLU
+	// Sigmoid applies the logistic function (used by the CTR output).
+	Sigmoid
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Layer is a dense affine transform y = act(Wx + b).
+type Layer struct {
+	W   *tensor.Matrix // Out x In
+	B   []float32      // Out
+	Act Activation
+}
+
+// In returns the layer input width.
+func (l *Layer) In() int { return l.W.Cols }
+
+// Out returns the layer output width.
+func (l *Layer) Out() int { return l.W.Rows }
+
+// Forward computes the layer output for input x into dst.
+// dst must have length l.Out() and must not alias x.
+func (l *Layer) Forward(x, dst []float32) {
+	tensor.MatVec(l.W, x, dst)
+	tensor.Add(l.B, dst)
+	switch l.Act {
+	case ReLU:
+		tensor.ReLUInPlace(dst)
+	case Sigmoid:
+		tensor.SigmoidInPlace(dst)
+	}
+}
+
+// MLP is a stack of layers applied in order.
+type MLP struct {
+	Layers []*Layer
+	// scratch ping-pong buffers sized to the widest layer, reused across
+	// Forward calls. MLP is not safe for concurrent use; clone per worker.
+	buf0, buf1 []float32
+}
+
+// New builds an MLP with the given layer widths. widths[0] is the input
+// dimension; each subsequent entry adds a layer. All hidden layers use
+// ReLU; the final layer uses final. Weights use Xavier-uniform init drawn
+// from rng.
+func New(widths []int, final Activation, rng *tensor.RNG) (*MLP, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("mlp: need at least input and one layer, got widths %v", widths)
+	}
+	for _, w := range widths {
+		if w <= 0 {
+			return nil, fmt.Errorf("mlp: non-positive layer width in %v", widths)
+		}
+	}
+	m := &MLP{}
+	maxW := widths[0]
+	for i := 1; i < len(widths); i++ {
+		in, out := widths[i-1], widths[i]
+		if out > maxW {
+			maxW = out
+		}
+		act := ReLU
+		if i == len(widths)-1 {
+			act = final
+		}
+		layer := &Layer{W: tensor.NewMatrix(out, in), B: make([]float32, out), Act: act}
+		// Xavier-uniform: U(-limit, limit) with limit = sqrt(6/(in+out)).
+		limit := float32(math.Sqrt(6.0 / float64(in+out)))
+		for j := range layer.W.Data {
+			layer.W.Data[j] = (2*rng.Float32() - 1) * limit
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	m.buf0 = make([]float32, maxW)
+	m.buf1 = make([]float32, maxW)
+	return m, nil
+}
+
+// InDim returns the expected input width.
+func (m *MLP) InDim() int { return m.Layers[0].In() }
+
+// OutDim returns the output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out() }
+
+// Forward runs the stack on x and writes the result into dst, which must
+// have length OutDim.
+func (m *MLP) Forward(x, dst []float32) {
+	if len(x) != m.InDim() {
+		panic(fmt.Sprintf("mlp: input length %d, want %d", len(x), m.InDim()))
+	}
+	if len(dst) != m.OutDim() {
+		panic(fmt.Sprintf("mlp: dst length %d, want %d", len(dst), m.OutDim()))
+	}
+	cur := m.buf0[:len(x)]
+	copy(cur, x)
+	next := m.buf1
+	for i, l := range m.Layers {
+		out := next[:l.Out()]
+		if i == len(m.Layers)-1 {
+			out = dst
+		}
+		l.Forward(cur, out)
+		cur, next = out, cur[:cap(cur)]
+	}
+}
+
+// FLOPs returns the number of floating-point operations one Forward pass
+// performs (2*In*Out + Out per layer). The baseline timing models charge
+// MLP compute using this count.
+func (m *MLP) FLOPs() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += int64(2*l.In()+1) * int64(l.Out())
+	}
+	return total
+}
+
+// Clone returns a deep copy with private scratch buffers, for concurrent
+// workers sharing one set of weights... the weights are copied too so the
+// clone is fully independent.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{
+		buf0: make([]float32, len(m.buf0)),
+		buf1: make([]float32, len(m.buf1)),
+	}
+	for _, l := range m.Layers {
+		nl := &Layer{W: l.W.Clone(), B: make([]float32, len(l.B)), Act: l.Act}
+		copy(nl.B, l.B)
+		c.Layers = append(c.Layers, nl)
+	}
+	return c
+}

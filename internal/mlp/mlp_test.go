@@ -1,0 +1,188 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/tensor"
+)
+
+func mustNew(t *testing.T, widths []int, final Activation, seed uint64) *MLP {
+	t.Helper()
+	m, err := New(widths, final, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("New(%v): %v", widths, err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, err := New([]int{4}, Linear, rng); err == nil {
+		t.Fatalf("want error for single width")
+	}
+	if _, err := New([]int{4, 0}, Linear, rng); err == nil {
+		t.Fatalf("want error for zero width")
+	}
+	if _, err := New([]int{4, -2, 3}, Linear, rng); err == nil {
+		t.Fatalf("want error for negative width")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	m := mustNew(t, []int{13, 512, 256, 64}, ReLU, 7)
+	if m.InDim() != 13 || m.OutDim() != 64 {
+		t.Fatalf("InDim=%d OutDim=%d", m.InDim(), m.OutDim())
+	}
+	if len(m.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(m.Layers))
+	}
+	// Hidden layers are ReLU, final is as requested.
+	if m.Layers[0].Act != ReLU || m.Layers[1].Act != ReLU || m.Layers[2].Act != ReLU {
+		t.Fatalf("activations: %v %v %v", m.Layers[0].Act, m.Layers[1].Act, m.Layers[2].Act)
+	}
+	m2 := mustNew(t, []int{4, 8, 1}, Sigmoid, 7)
+	if m2.Layers[1].Act != Sigmoid {
+		t.Fatalf("final activation = %v, want Sigmoid", m2.Layers[1].Act)
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	a := mustNew(t, []int{8, 16, 4}, Linear, 99)
+	b := mustNew(t, []int{8, 16, 4}, Linear, 99)
+	x := make([]float32, 8)
+	for i := range x {
+		x[i] = float32(i) * 0.25
+	}
+	outA := make([]float32, 4)
+	outB := make([]float32, 4)
+	a.Forward(x, outA)
+	b.Forward(x, outB)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("same seed, different outputs: %v vs %v", outA, outB)
+		}
+	}
+	c := mustNew(t, []int{8, 16, 4}, Linear, 100)
+	outC := make([]float32, 4)
+	c.Forward(x, outC)
+	if tensor.AlmostEqual(outA, outC, 1e-9) {
+		t.Fatalf("different seeds produced identical outputs")
+	}
+}
+
+func TestForwardMatchesManual(t *testing.T) {
+	// One linear layer with hand-set weights: y = Wx + b.
+	m := mustNew(t, []int{2, 2}, Linear, 1)
+	copy(m.Layers[0].W.Data, []float32{1, 2, 3, 4})
+	copy(m.Layers[0].B, []float32{0.5, -0.5})
+	out := make([]float32, 2)
+	m.Forward([]float32{1, 1}, out)
+	if out[0] != 3.5 || out[1] != 6.5 {
+		t.Fatalf("Forward = %v, want [3.5 6.5]", out)
+	}
+}
+
+func TestReLUClampsNegatives(t *testing.T) {
+	m := mustNew(t, []int{1, 1, 1}, Linear, 1)
+	copy(m.Layers[0].W.Data, []float32{-1})
+	copy(m.Layers[0].B, []float32{0})
+	copy(m.Layers[1].W.Data, []float32{1})
+	copy(m.Layers[1].B, []float32{0})
+	out := make([]float32, 1)
+	m.Forward([]float32{5}, out) // layer0: relu(-5) = 0; layer1: 0
+	if out[0] != 0 {
+		t.Fatalf("ReLU hidden output = %v, want 0", out[0])
+	}
+}
+
+func TestSigmoidOutputRange(t *testing.T) {
+	m := mustNew(t, []int{6, 12, 1}, Sigmoid, 5)
+	x := make([]float32, 6)
+	out := make([]float32, 1)
+	rng := tensor.NewRNG(10)
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = rng.Float32()*10 - 5
+		}
+		m.Forward(x, out)
+		if out[0] <= 0 || out[0] >= 1 {
+			t.Fatalf("sigmoid output %v outside (0,1)", out[0])
+		}
+	}
+}
+
+func TestFLOPs(t *testing.T) {
+	m := mustNew(t, []int{10, 20, 5}, Linear, 2)
+	// layer1: (2*10+1)*20 = 420, layer2: (2*20+1)*5 = 205.
+	if got := m.FLOPs(); got != 625 {
+		t.Fatalf("FLOPs = %d, want 625", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustNew(t, []int{3, 5, 2}, Linear, 4)
+	c := m.Clone()
+	x := []float32{1, 2, 3}
+	outM := make([]float32, 2)
+	outC := make([]float32, 2)
+	m.Forward(x, outM)
+	c.Forward(x, outC)
+	if !tensor.AlmostEqual(outM, outC, 0) {
+		t.Fatalf("clone output differs: %v vs %v", outM, outC)
+	}
+	// Mutating the clone's weights must not affect the original.
+	c.Layers[0].W.Data[0] += 1
+	outM2 := make([]float32, 2)
+	m.Forward(x, outM2)
+	if !tensor.AlmostEqual(outM, outM2, 0) {
+		t.Fatalf("mutating clone changed original: %v vs %v", outM, outM2)
+	}
+}
+
+func TestXavierScale(t *testing.T) {
+	m := mustNew(t, []int{100, 100}, Linear, 8)
+	limit := math.Sqrt(6.0 / 200.0)
+	var maxAbs float64
+	for _, w := range m.Layers[0].W.Data {
+		if a := math.Abs(float64(w)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > limit {
+		t.Fatalf("weight %v exceeds Xavier limit %v", maxAbs, limit)
+	}
+	if maxAbs < limit*0.5 {
+		t.Fatalf("weights suspiciously small: max %v, limit %v", maxAbs, limit)
+	}
+}
+
+func TestForwardPanicsOnBadLengths(t *testing.T) {
+	m := mustNew(t, []int{3, 2}, Linear, 1)
+	for _, tc := range []struct {
+		name string
+		x    []float32
+		dst  []float32
+	}{
+		{"short input", make([]float32, 2), make([]float32, 2)},
+		{"short dst", make([]float32, 3), make([]float32, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			m.Forward(tc.x, tc.dst)
+		})
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if Linear.String() != "linear" || ReLU.String() != "relu" || Sigmoid.String() != "sigmoid" {
+		t.Fatalf("activation names wrong")
+	}
+	if Activation(42).String() != "Activation(42)" {
+		t.Fatalf("unknown activation name wrong")
+	}
+}

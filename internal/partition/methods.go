@@ -1,0 +1,303 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"updlrm/internal/grace"
+	"updlrm/internal/upmem"
+)
+
+// Uniform builds the §3.1 plan: rows split into Parts contiguous blocks
+// of (near-)equal size. freq is optional and only fills the diagnostic
+// PartLoad.
+func Uniform(rows, cols int, shape Shape, freq []int64) (*Plan, error) {
+	if err := checkInputs(rows, cols, shape, freq); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Method:   MethodUniform,
+		Rows:     rows,
+		Cols:     cols,
+		Shape:    shape,
+		RowPart:  make([]int32, rows),
+		PartLoad: make([]int64, shape.Parts),
+	}
+	for r := 0; r < rows; r++ {
+		part := r * shape.Parts / rows
+		p.RowPart[r] = int32(part)
+		if freq != nil {
+			p.PartLoad[part] += freq[r]
+		}
+	}
+	return p, nil
+}
+
+// NonUniform builds the §3.2 plan: rows sorted by access frequency
+// descending are greedily placed on the least-loaded partition with spare
+// MRAM capacity (classical bin packing with a fixed number of bins).
+// Zero-frequency rows are then spread to equalize row counts.
+func NonUniform(rows, cols int, shape Shape, freq []int64, cfg upmem.HWConfig) (*Plan, error) {
+	if err := checkInputs(rows, cols, shape, freq); err != nil {
+		return nil, err
+	}
+	if freq == nil {
+		return nil, fmt.Errorf("partition: non-uniform partitioning requires a frequency profile")
+	}
+	capRows, err := partCapacityRows(rows, cols, shape, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Method:   MethodNonUniform,
+		Rows:     rows,
+		Cols:     cols,
+		Shape:    shape,
+		RowPart:  make([]int32, rows),
+		PartLoad: make([]int64, shape.Parts),
+	}
+	packRows(p, freq, capRows, nil)
+	return p, nil
+}
+
+// CacheAwareConfig parameterizes Algorithm 1.
+type CacheAwareConfig struct {
+	// CapacityFrac is the cache budget as a fraction of the total
+	// storage the mined lists require (the §3.3 sensitivity knob: 0.4,
+	// 0.7, 1.0). Zero disables caching, degenerating to NonUniform.
+	CapacityFrac float64
+}
+
+// CacheAware builds the §3.3 plan per Algorithm 1: cache lists (highest
+// benefit first) land on the least-loaded partition with cache headroom,
+// bringing their member rows along and crediting the saved reads; the
+// remaining rows follow the non-uniform packing into the EMT region.
+func CacheAware(rows, cols int, shape Shape, freq []int64, lists []grace.List,
+	cfg upmem.HWConfig, ca CacheAwareConfig) (*Plan, error) {
+	if err := checkInputs(rows, cols, shape, freq); err != nil {
+		return nil, err
+	}
+	if freq == nil {
+		return nil, fmt.Errorf("partition: cache-aware partitioning requires a frequency profile")
+	}
+	if ca.CapacityFrac < 0 || ca.CapacityFrac > 1 {
+		return nil, fmt.Errorf("partition: CapacityFrac = %v", ca.CapacityFrac)
+	}
+	seen := make(map[int32]bool)
+	for _, l := range lists {
+		for _, item := range l.Items {
+			if item < 0 || int(item) >= rows {
+				return nil, fmt.Errorf("partition: cache list item %d out of [0,%d)", item, rows)
+			}
+			if seen[item] {
+				return nil, fmt.Errorf("partition: item %d appears in multiple cache lists", item)
+			}
+			seen[item] = true
+		}
+	}
+
+	// The MRAM of each DPU splits between EMT rows and cached partial
+	// sums (§3.3). Reserve an equal row share per partition; the rest is
+	// the hardware ceiling for that partition's cache region. Admission
+	// is additionally bounded globally by CapacityFrac of the storage the
+	// full list set requires — the paper's 40%/70%/100% sensitivity knob.
+	required := grace.TotalStorageBytes(lists, shape.Nc)
+	globalBudget := int64(ca.CapacityFrac * float64(required))
+	rowShareBytes := int64((rows+shape.Parts-1)/shape.Parts) * int64(shape.Nc) * 4
+	partCacheCap := cfg.MRAMBytes - rowShareBytes
+	if partCacheCap < 0 {
+		partCacheCap = 0
+	}
+	capRows, err := partCapacityRows(rows, cols, shape, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		Method:             MethodCacheAware,
+		Rows:               rows,
+		Cols:               cols,
+		Shape:              shape,
+		RowPart:            make([]int32, rows),
+		Lists:              lists,
+		ListPart:           make([]int32, len(lists)),
+		CacheBudgetPerPart: partCacheCap,
+		CacheUsedPerPart:   make([]int64, shape.Parts),
+		PartLoad:           make([]int64, shape.Parts),
+	}
+
+	// Phase 1 (Algorithm 1 lines 4-10): place each cache list on the
+	// partition with the lowest current load that still has cache room.
+	assigned := make([]bool, rows)
+	rowsUsed := make([]int, shape.Parts)
+	var globalUsed int64
+	for g := range lists {
+		p.ListPart[g] = -1
+		storage := grace.StorageBytes(len(lists[g].Items), shape.Nc)
+		if globalUsed+storage > globalBudget {
+			continue // over the capacity fraction; items fall to phase 2
+		}
+		best := -1
+		for part := 0; part < shape.Parts; part++ {
+			if p.CacheUsedPerPart[part]+storage > partCacheCap {
+				continue
+			}
+			if rowsUsed[part]+len(lists[g].Items) > capRows {
+				continue
+			}
+			if best == -1 || p.PartLoad[part] < p.PartLoad[best] {
+				best = part
+			}
+		}
+		if best == -1 {
+			continue // no partition with room; items fall to phase 2
+		}
+		p.ListPart[g] = int32(best)
+		p.CacheUsedPerPart[best] += storage
+		globalUsed += storage
+		for _, item := range lists[g].Items {
+			assigned[item] = true
+			p.RowPart[item] = int32(best)
+			rowsUsed[best]++
+			p.PartLoad[best] += freq[item] // line 9
+		}
+		p.PartLoad[best] -= lists[g].Benefit // line 10
+		if p.PartLoad[best] < 0 {
+			p.PartLoad[best] = 0
+		}
+	}
+
+	// Phase 2 (lines 11-15): remaining rows by descending frequency onto
+	// the least-loaded partition with EMT capacity.
+	packRows(p, freq, capRows, assigned)
+	return p, nil
+}
+
+// Build dispatches on method, giving callers a single entry point.
+func Build(method Method, rows, cols int, shape Shape, freq []int64,
+	lists []grace.List, cfg upmem.HWConfig, ca CacheAwareConfig) (*Plan, error) {
+	switch method {
+	case MethodUniform:
+		return Uniform(rows, cols, shape, freq)
+	case MethodNonUniform:
+		return NonUniform(rows, cols, shape, freq, cfg)
+	case MethodCacheAware:
+		return CacheAware(rows, cols, shape, freq, lists, cfg, ca)
+	default:
+		return nil, fmt.Errorf("partition: unknown method %d", method)
+	}
+}
+
+// checkInputs validates the shared preconditions.
+func checkInputs(rows, cols int, shape Shape, freq []int64) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("partition: table %dx%d", rows, cols)
+	}
+	if shape.Parts <= 0 || shape.Slices <= 0 || shape.Nc <= 0 {
+		return fmt.Errorf("partition: shape %+v", shape)
+	}
+	if cols%shape.Nc != 0 || shape.Slices != cols/shape.Nc {
+		return fmt.Errorf("partition: shape %+v does not tile %d columns", shape, cols)
+	}
+	if freq != nil && len(freq) != rows {
+		return fmt.Errorf("partition: freq len %d != rows %d", len(freq), rows)
+	}
+	return nil
+}
+
+// partCapacityRows returns the maximum rows one partition may hold given
+// the per-slice MRAM budget after reserving cacheBytes for cache storage.
+func partCapacityRows(rows, cols int, shape Shape, cfg upmem.HWConfig, cacheBytes int64) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	avail := cfg.MRAMBytes - cacheBytes
+	rowBytes := int64(shape.Nc) * 4
+	capRows := int(avail / rowBytes)
+	if int64(capRows)*int64(shape.Nc) > MaxTileElems {
+		capRows = MaxTileElems / shape.Nc
+	}
+	need := (rows + shape.Parts - 1) / shape.Parts
+	if capRows < need {
+		return 0, fmt.Errorf("partition: capacity %d rows/partition cannot hold %d rows in %d partitions",
+			capRows, rows, shape.Parts)
+	}
+	return capRows, nil
+}
+
+// packRows performs the greedy frequency bin-packing shared by NonUniform
+// and CacheAware phase 2: unassigned rows with non-zero frequency are
+// placed in descending frequency order on the least-loaded partition with
+// spare capacity; zero-frequency rows then equalize row counts.
+func packRows(p *Plan, freq []int64, capRows int, assigned []bool) {
+	rowsUsed := make([]int, p.Shape.Parts)
+	if assigned != nil {
+		for r, a := range assigned {
+			if a {
+				rowsUsed[p.RowPart[r]]++
+			}
+		}
+	}
+	// Collect and sort the non-zero-frequency unassigned rows; the
+	// zero-frequency tail (usually the overwhelming majority at paper
+	// scale) skips the sort entirely.
+	var hotRows []int32
+	for r := range freq {
+		if assigned != nil && assigned[r] {
+			continue
+		}
+		if freq[r] > 0 {
+			hotRows = append(hotRows, int32(r))
+		}
+	}
+	sort.Slice(hotRows, func(i, j int) bool {
+		if freq[hotRows[i]] != freq[hotRows[j]] {
+			return freq[hotRows[i]] > freq[hotRows[j]]
+		}
+		return hotRows[i] < hotRows[j]
+	})
+	pickLeastLoaded := func() int {
+		best := -1
+		for part := 0; part < p.Shape.Parts; part++ {
+			if rowsUsed[part] >= capRows {
+				continue
+			}
+			if best == -1 || p.PartLoad[part] < p.PartLoad[best] {
+				best = part
+			}
+		}
+		if best == -1 {
+			// capRows was validated to fit all rows; exhausting every
+			// bin indicates an internal accounting bug.
+			panic("partition: all bins full during packing")
+		}
+		return best
+	}
+	for _, r := range hotRows {
+		part := pickLeastLoaded()
+		p.RowPart[r] = int32(part)
+		rowsUsed[part]++
+		p.PartLoad[part] += freq[r]
+	}
+	// Zero-frequency rows: fill toward equal row counts; they carry no
+	// load, so only capacity matters.
+	for r := range freq {
+		if (assigned != nil && assigned[r]) || freq[r] > 0 {
+			continue
+		}
+		best := -1
+		for q := 0; q < p.Shape.Parts; q++ {
+			if rowsUsed[q] >= capRows {
+				continue
+			}
+			if best == -1 || rowsUsed[q] < rowsUsed[best] {
+				best = q
+			}
+		}
+		if best == -1 {
+			panic("partition: all bins full during zero-frequency fill")
+		}
+		p.RowPart[r] = int32(best)
+		rowsUsed[best]++
+	}
+}

@@ -1,0 +1,465 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"updlrm/internal/grace"
+	"updlrm/internal/upmem"
+)
+
+var hw = upmem.DefaultConfig()
+
+func TestShapesEnumeration(t *testing.T) {
+	// 32 columns, 32 DPUs: Nc in {2,4,8,16} -> slices {16,8,4,2} all
+	// divide 32 -> parts {2,4,8,16}.
+	shapes, err := Shapes(10_000, 32, 32, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 4 {
+		t.Fatalf("got %d shapes: %+v", len(shapes), shapes)
+	}
+	for _, s := range shapes {
+		if s.DPUs() != 32 {
+			t.Fatalf("shape %+v uses %d DPUs", s, s.DPUs())
+		}
+		if s.Nc*s.Slices != 32 {
+			t.Fatalf("shape %+v does not tile 32 cols", s)
+		}
+	}
+}
+
+func TestShapesRespectMRAM(t *testing.T) {
+	// Constraint (2): N_r*N_c = R*C/N_dpu. 60M x 32 on 32 DPUs puts 60M
+	// elements on every DPU regardless of N_c — infeasible.
+	if _, err := Shapes(60_000_000, 32, 32, hw); err == nil {
+		t.Fatalf("oversized table accepted")
+	}
+	// The same table on 256 DPUs carries 7.5M elements per tile: fine.
+	shapes, err := Shapes(60_000_000, 32, 256, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shapes {
+		nr := (60_000_000 + s.Parts - 1) / s.Parts
+		if int64(nr)*int64(s.Nc) > MaxTileElems {
+			t.Fatalf("shape %+v violates tile cap", s)
+		}
+	}
+}
+
+func TestShapesErrors(t *testing.T) {
+	if _, err := Shapes(0, 32, 32, hw); err == nil {
+		t.Fatalf("zero rows accepted")
+	}
+	if _, err := Shapes(10, 32, 0, hw); err == nil {
+		t.Fatalf("zero DPUs accepted")
+	}
+	// 3 columns can't be tiled by any power-of-two Nc >= 2.
+	if _, err := Shapes(10, 3, 4, hw); err == nil {
+		t.Fatalf("untileable column count accepted")
+	}
+}
+
+func TestShapeDPUAt(t *testing.T) {
+	s := Shape{Nc: 8, Slices: 4, Parts: 8}
+	if s.DPUAt(0, 0) != 0 || s.DPUAt(1, 0) != 4 || s.DPUAt(1, 3) != 7 {
+		t.Fatalf("DPUAt mapping wrong")
+	}
+}
+
+func TestEstimateShapeTradeoffs(t *testing.T) {
+	// §3.1/§4.2: larger Nc -> higher DPU-CPU time, lower CPU-DPU and
+	// lookup time.
+	w := Workload{BatchSize: 64, AvgReduction: 200}
+	shapes, err := Shapes(2_000_000, 32, 32, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byNc = map[int]Estimate{}
+	for _, s := range shapes {
+		byNc[s.Nc] = EstimateShape(s, w, hw)
+	}
+	if byNc[8].DPUToCPUNs <= byNc[2].DPUToCPUNs {
+		t.Fatalf("DPU->CPU should grow with Nc: Nc8=%v Nc2=%v", byNc[8].DPUToCPUNs, byNc[2].DPUToCPUNs)
+	}
+	if byNc[8].CPUToDPUNs >= byNc[2].CPUToDPUNs {
+		t.Fatalf("CPU->DPU should shrink with Nc: Nc8=%v Nc2=%v", byNc[8].CPUToDPUNs, byNc[2].CPUToDPUNs)
+	}
+	if byNc[8].LookupNs >= byNc[2].LookupNs {
+		t.Fatalf("lookup should shrink with Nc: Nc8=%v Nc2=%v", byNc[8].LookupNs, byNc[2].LookupNs)
+	}
+}
+
+func TestOptimalShapePicksMinimum(t *testing.T) {
+	w := Workload{BatchSize: 64, AvgReduction: 100}
+	best, bestEst, err := OptimalShape(2_000_000, 32, 32, w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, _ := Shapes(2_000_000, 32, 32, hw)
+	for _, s := range shapes {
+		if est := EstimateShape(s, w, hw); est.TotalNs() < bestEst.TotalNs() {
+			t.Fatalf("shape %+v (%.0f) beats chosen %+v (%.0f)", s, est.TotalNs(), best, bestEst.TotalNs())
+		}
+	}
+	if _, _, err := OptimalShape(100, 32, 32, Workload{}, hw); err == nil {
+		t.Fatalf("zero workload accepted")
+	}
+}
+
+func TestShapeWithNc(t *testing.T) {
+	s, err := ShapeWithNc(1000, 32, 32, 8, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nc != 8 || s.Slices != 4 || s.Parts != 8 {
+		t.Fatalf("ShapeWithNc = %+v", s)
+	}
+	if _, err := ShapeWithNc(1000, 32, 32, 6, hw); err == nil {
+		t.Fatalf("invalid Nc accepted")
+	}
+}
+
+// skewedFreq returns a frequency profile where low rows are very hot.
+func skewedFreq(rows int) []int64 {
+	freq := make([]int64, rows)
+	for r := 0; r < rows; r++ {
+		freq[r] = int64(rows/(r+1)) - 1
+	}
+	return freq
+}
+
+func TestUniformPlan(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	p, err := Uniform(1000, 32, shape, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := p.RowsPerPart()
+	for part, c := range counts {
+		if c != 125 {
+			t.Fatalf("partition %d has %d rows, want 125", part, c)
+		}
+	}
+	// Uniform on a skewed profile is badly imbalanced.
+	if p.LoadImbalance() < 3 {
+		t.Fatalf("uniform imbalance = %v, expected badly imbalanced", p.LoadImbalance())
+	}
+	// Contiguity: partitions are monotone in row id.
+	for r := 1; r < 1000; r++ {
+		if p.RowPart[r] < p.RowPart[r-1] {
+			t.Fatalf("uniform partitions not contiguous at row %d", r)
+		}
+	}
+}
+
+func TestNonUniformBalances(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	p, err := NonUniform(1000, 32, shape, freq, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Greedy bound: max load <= mean + heaviest single row. The skewed
+	// profile's hottest row (freq 999) exceeds the mean bin load, so
+	// perfect balance is impossible; check the bound plus a big win over
+	// uniform.
+	var total, maxW int64
+	for _, f := range freq {
+		total += f
+		if f > maxW {
+			maxW = f
+		}
+	}
+	mean := float64(total) / 8
+	if got := p.LoadImbalance(); got > (mean+float64(maxW))/mean {
+		t.Fatalf("non-uniform imbalance = %v violates greedy bound", got)
+	}
+	u, err := Uniform(1000, 32, Shape{Nc: 8, Slices: 4, Parts: 8}, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoadImbalance() >= u.LoadImbalance() {
+		t.Fatalf("non-uniform (%v) should beat uniform (%v)", p.LoadImbalance(), u.LoadImbalance())
+	}
+	// Every row assigned exactly once is implied by len+range checks in
+	// Validate; verify loads match freq sums.
+	loads := make([]int64, 8)
+	for r, part := range p.RowPart {
+		loads[part] += freq[r]
+	}
+	for part := range loads {
+		if loads[part] != p.PartLoad[part] {
+			t.Fatalf("partition %d load %d != recorded %d", part, loads[part], p.PartLoad[part])
+		}
+	}
+}
+
+func TestNonUniformRequiresFreq(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	if _, err := NonUniform(1000, 32, shape, nil, hw); err == nil {
+		t.Fatalf("nil freq accepted")
+	}
+}
+
+func TestCapacityRejectsOversizedTable(t *testing.T) {
+	tiny := hw
+	tiny.MRAMBytes = 1024 // 1 KB MRAM: 32 rows of Nc=8
+	shape := Shape{Nc: 8, Slices: 4, Parts: 2}
+	freq := make([]int64, 1000)
+	if _, err := NonUniform(1000, 32, shape, freq, tiny); err == nil {
+		t.Fatalf("oversized table accepted")
+	}
+}
+
+func mineLists(freq []int64) []grace.List {
+	// Hand-made lists over hot rows.
+	return []grace.List{
+		{Items: []int32{0, 1, 2}, Benefit: freq[0] / 2},
+		{Items: []int32{3, 4}, Benefit: freq[3] / 2},
+		{Items: []int32{5, 6, 7}, Benefit: freq[5] / 2},
+	}
+}
+
+func TestCacheAwarePlan(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	lists := mineLists(freq)
+	p, err := CacheAware(1000, 32, shape, freq, lists, hw, CacheAwareConfig{CapacityFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.CachedLists() != 3 {
+		t.Fatalf("CachedLists = %d, want 3", p.CachedLists())
+	}
+	// Items of each admitted list share their list's partition.
+	for g, part := range p.ListPart {
+		for _, item := range p.Lists[g].Items {
+			if p.RowPart[item] != part {
+				t.Fatalf("list %d item %d on partition %d, want %d", g, item, p.RowPart[item], part)
+			}
+		}
+	}
+	// Greedy bound with composite units: a cache list moves as one unit
+	// of weight (sum of member freqs - benefit), so the max load cannot
+	// exceed the mean by more than the heaviest unit.
+	var total, maxUnit, maxLoad int64
+	for _, l := range p.PartLoad {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	for r, f := range freq {
+		inList := false
+		for _, l := range lists {
+			for _, item := range l.Items {
+				if int(item) == r {
+					inList = true
+				}
+			}
+		}
+		if !inList && f > maxUnit {
+			maxUnit = f
+		}
+	}
+	for _, l := range lists {
+		var w int64
+		for _, item := range l.Items {
+			w += freq[item]
+		}
+		w -= l.Benefit
+		if w > maxUnit {
+			maxUnit = w
+		}
+	}
+	mean := total / int64(shape.Parts)
+	if maxLoad > mean+maxUnit {
+		t.Fatalf("cache-aware max load %d > mean %d + max unit %d", maxLoad, mean, maxUnit)
+	}
+}
+
+func TestCacheAwareZeroCapacityDegeneratesToNonUniform(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	lists := mineLists(freq)
+	p, err := CacheAware(1000, 32, shape, freq, lists, hw, CacheAwareConfig{CapacityFrac: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CachedLists() != 0 {
+		t.Fatalf("zero capacity cached %d lists", p.CachedLists())
+	}
+	nu, err := NonUniform(1000, 32, shape, freq, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same balancing quality (assignments may differ).
+	if p.LoadImbalance() > nu.LoadImbalance()*1.1 {
+		t.Fatalf("degenerate CA imbalance %v much worse than NU %v", p.LoadImbalance(), nu.LoadImbalance())
+	}
+}
+
+func TestCacheAwarePartialCapacity(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 2}
+	freq := skewedFreq(1000)
+	lists := mineLists(freq)
+	full, err := CacheAware(1000, 32, shape, freq, lists, hw, CacheAwareConfig{CapacityFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny fraction, the per-part budget shrinks below some list
+	// sizes, so fewer lists are admitted.
+	partial, err := CacheAware(1000, 32, shape, freq, lists, hw, CacheAwareConfig{CapacityFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.CachedLists() > full.CachedLists() {
+		t.Fatalf("partial capacity cached more lists (%d) than full (%d)",
+			partial.CachedLists(), full.CachedLists())
+	}
+	for part, used := range partial.CacheUsedPerPart {
+		if used > partial.CacheBudgetPerPart {
+			t.Fatalf("partition %d cache overflow", part)
+		}
+	}
+}
+
+func TestCacheAwareRejectsBadInput(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	if _, err := CacheAware(1000, 32, shape, freq, nil, hw, CacheAwareConfig{CapacityFrac: 2}); err == nil {
+		t.Fatalf("CapacityFrac > 1 accepted")
+	}
+	bad := []grace.List{{Items: []int32{5000}, Benefit: 1}}
+	if _, err := CacheAware(1000, 32, shape, freq, bad, hw, CacheAwareConfig{CapacityFrac: 1}); err == nil {
+		t.Fatalf("out-of-range list item accepted")
+	}
+	dup := []grace.List{
+		{Items: []int32{1, 2}, Benefit: 5},
+		{Items: []int32{2, 3}, Benefit: 5},
+	}
+	if _, err := CacheAware(1000, 32, shape, freq, dup, hw, CacheAwareConfig{CapacityFrac: 1}); err == nil {
+		t.Fatalf("overlapping lists accepted")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(1000)
+	for _, m := range []Method{MethodUniform, MethodNonUniform, MethodCacheAware} {
+		p, err := Build(m, 1000, 32, shape, freq, nil, hw, CacheAwareConfig{CapacityFrac: 1})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", m, err)
+		}
+		if p.Method != m {
+			t.Fatalf("Build(%v) produced %v", m, p.Method)
+		}
+	}
+	if _, err := Build(Method(9), 1000, 32, shape, freq, nil, hw, CacheAwareConfig{}); err == nil {
+		t.Fatalf("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodUniform.String() != "U" || MethodNonUniform.String() != "NU" || MethodCacheAware.String() != "CA" {
+		t.Fatalf("method names wrong")
+	}
+}
+
+func TestPlanValidateCatchesCorruption(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 8}
+	freq := skewedFreq(100)
+	p, err := NonUniform(100, 32, shape, freq, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RowPart[5] = 99
+	if err := p.Validate(); err == nil {
+		t.Fatalf("out-of-range partition accepted")
+	}
+	p.RowPart[5] = 0
+	p.RowPart = p.RowPart[:50]
+	if err := p.Validate(); err == nil {
+		t.Fatalf("truncated RowPart accepted")
+	}
+}
+
+// Property: the greedy packer's max load never exceeds mean + max item
+// weight (standard greedy bound) and every plan validates.
+func TestNonUniformGreedyBoundQuick(t *testing.T) {
+	shape := Shape{Nc: 8, Slices: 4, Parts: 4}
+	f := func(raw []uint16) bool {
+		rows := len(raw)
+		if rows < 8 {
+			return true
+		}
+		freq := make([]int64, rows)
+		var total, maxW int64
+		for i, v := range raw {
+			freq[i] = int64(v)
+			total += int64(v)
+			if int64(v) > maxW {
+				maxW = int64(v)
+			}
+		}
+		p, err := NonUniform(rows, 32, shape, freq, hw)
+		if err != nil {
+			// Capacity shortfalls are legitimate for tiny row counts.
+			return rows/shape.Parts == 0
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		var maxLoad int64
+		for _, l := range p.PartLoad {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		mean := total / int64(shape.Parts)
+		return maxLoad <= mean+maxW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cache-aware plans co-locate admitted lists and respect
+// budgets for random capacity fractions.
+func TestCacheAwareInvariantsQuick(t *testing.T) {
+	shape := Shape{Nc: 4, Slices: 8, Parts: 4}
+	f := func(fracRaw uint8, seed uint8) bool {
+		frac := float64(fracRaw%101) / 100
+		rows := 600
+		freq := make([]int64, rows)
+		for r := range freq {
+			freq[r] = int64((r*int(seed+1))%97) + 1
+		}
+		lists := []grace.List{
+			{Items: []int32{0, 10, 20}, Benefit: 40},
+			{Items: []int32{30, 40}, Benefit: 25},
+			{Items: []int32{50, 60, 70, 80}, Benefit: 60},
+		}
+		p, err := CacheAware(rows, 32, shape, freq, lists, hw, CacheAwareConfig{CapacityFrac: frac})
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

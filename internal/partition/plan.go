@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"fmt"
+
+	"updlrm/internal/grace"
+)
+
+// Method identifies a partitioning strategy.
+type Method int
+
+// The three strategies of §3.
+const (
+	// MethodUniform is §3.1: equal contiguous row blocks.
+	MethodUniform Method = iota
+	// MethodNonUniform is §3.2: greedy frequency bin-packing.
+	MethodNonUniform
+	// MethodCacheAware is §3.3 / Algorithm 1: frequency bin-packing that
+	// co-locates GRACE cache lists and balances EMT+cache accesses.
+	MethodCacheAware
+)
+
+// String returns the paper's abbreviation for the method (U / NU / CA).
+func (m Method) String() string {
+	switch m {
+	case MethodUniform:
+		return "U"
+	case MethodNonUniform:
+		return "NU"
+	case MethodCacheAware:
+		return "CA"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Plan is the partitioning outcome for one EMT: every row is assigned to
+// a row partition; a cache-aware plan additionally places mined cache
+// lists.
+type Plan struct {
+	// Method records which strategy produced the plan.
+	Method Method
+	// Rows and Cols are the table dimensions.
+	Rows, Cols int
+	// Shape is the tile geometry used.
+	Shape Shape
+	// RowPart[r] is the row partition owning row r.
+	RowPart []int32
+	// Lists are the cache lists considered (cache-aware plans only).
+	Lists []grace.List
+	// ListPart[g] is the partition storing list g's subset sums, or -1
+	// when the list was not admitted (insufficient cache budget).
+	ListPart []int32
+	// CacheBudgetPerPart is the per-partition, per-slice cache region in
+	// bytes.
+	CacheBudgetPerPart int64
+	// CacheUsedPerPart is the cache storage actually consumed per
+	// partition (per slice).
+	CacheUsedPerPart []int64
+	// PartLoad is the planner's expected accesses per partition: EMT
+	// reads plus cache reads (freq sums minus cache benefits).
+	PartLoad []int64
+}
+
+// Validate checks the structural invariants every plan must satisfy:
+// complete row assignment, partition ids in range, cached lists
+// co-located with their items, and cache budgets respected.
+func (p *Plan) Validate() error {
+	if p.Rows <= 0 || p.Cols <= 0 {
+		return fmt.Errorf("partition: plan table %dx%d", p.Rows, p.Cols)
+	}
+	if len(p.RowPart) != p.Rows {
+		return fmt.Errorf("partition: RowPart len %d != rows %d", len(p.RowPart), p.Rows)
+	}
+	if p.Shape.Parts <= 0 || p.Shape.Slices <= 0 {
+		return fmt.Errorf("partition: shape %+v", p.Shape)
+	}
+	if p.Cols%p.Shape.Nc != 0 || p.Shape.Slices != p.Cols/p.Shape.Nc {
+		return fmt.Errorf("partition: shape %+v inconsistent with %d cols", p.Shape, p.Cols)
+	}
+	for r, part := range p.RowPart {
+		if part < 0 || int(part) >= p.Shape.Parts {
+			return fmt.Errorf("partition: row %d assigned to partition %d of %d", r, part, p.Shape.Parts)
+		}
+	}
+	if len(p.ListPart) != len(p.Lists) {
+		return fmt.Errorf("partition: ListPart len %d != Lists len %d", len(p.ListPart), len(p.Lists))
+	}
+	for g, part := range p.ListPart {
+		if part < -1 || int(part) >= p.Shape.Parts {
+			return fmt.Errorf("partition: list %d assigned to partition %d", g, part)
+		}
+		if part >= 0 {
+			// Cached list items must live in the list's partition so one
+			// MRAM read serves the whole subset.
+			for _, item := range p.Lists[g].Items {
+				if p.RowPart[item] != part {
+					return fmt.Errorf("partition: list %d on partition %d but item %d on %d",
+						g, part, item, p.RowPart[item])
+				}
+			}
+		}
+	}
+	if len(p.CacheUsedPerPart) > 0 {
+		for part, used := range p.CacheUsedPerPart {
+			if used > p.CacheBudgetPerPart {
+				return fmt.Errorf("partition: partition %d cache use %d > budget %d",
+					part, used, p.CacheBudgetPerPart)
+			}
+		}
+	}
+	return nil
+}
+
+// RowsPerPart returns how many rows each partition stores.
+func (p *Plan) RowsPerPart() []int {
+	counts := make([]int, p.Shape.Parts)
+	for _, part := range p.RowPart {
+		counts[part]++
+	}
+	return counts
+}
+
+// LoadImbalance returns max(PartLoad)/mean(PartLoad); 1.0 is perfect
+// balance. Plans without load data return 1.
+func (p *Plan) LoadImbalance() float64 {
+	if len(p.PartLoad) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, l := range p.PartLoad {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(p.PartLoad))
+	return float64(max) / mean
+}
+
+// CachedLists returns how many lists were admitted to cache storage.
+func (p *Plan) CachedLists() int {
+	n := 0
+	for _, part := range p.ListPart {
+		if part >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Assignment builds the runtime cache view for cover planning: only
+// admitted lists participate.
+func (p *Plan) Assignment() *grace.Assignment {
+	cached := make([]bool, len(p.Lists))
+	for g, part := range p.ListPart {
+		cached[g] = part >= 0
+	}
+	return grace.NewAssignment(p.Lists, cached)
+}

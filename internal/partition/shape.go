@@ -1,0 +1,195 @@
+// Package partition implements the paper's core contribution: embedding
+// table partitioning across DPUs at three levels — uniform tile-shape
+// optimization (§3.1), frequency-aware non-uniform bin-packing (§3.2),
+// and cache-aware non-uniform packing that balances combined EMT+cache
+// accesses (§3.3, Algorithm 1).
+//
+// Geometry: an EMT of R rows x C columns served by N DPUs is cut into
+// C/N_c column slices and P = N/(C/N_c) row partitions; the tile at
+// (partition p, slice s) lives on its own DPU. A lookup of row r fans out
+// to every slice of r's partition and reads N_c*4 bytes per slice; each
+// DPU aggregates its slice of the per-sample partial sum, which the host
+// concatenates and adds across partitions (Figure 4).
+package partition
+
+import (
+	"fmt"
+
+	"updlrm/internal/upmem"
+)
+
+// MaxTileElems is constraint (2) of the paper: N_r * N_c = R*C/N_dpu must
+// not exceed 1.6e7 elements (64 MB of 4-byte values).
+const MaxTileElems = 16_000_000
+
+// Shape fixes the tile geometry for one EMT.
+type Shape struct {
+	// Nc is the number of columns per tile (values per MRAM read).
+	Nc int
+	// Slices is C/Nc, the number of column slices.
+	Slices int
+	// Parts is the number of row partitions; Slices*Parts DPUs serve the
+	// table.
+	Parts int
+}
+
+// DPUs returns the number of DPUs the shape occupies.
+func (s Shape) DPUs() int { return s.Slices * s.Parts }
+
+// DPUAt maps (partition, slice) to the table-local DPU index.
+func (s Shape) DPUAt(part, slice int) int { return part*s.Slices + slice }
+
+// Workload carries the estimator inputs of §3.1's cost model.
+type Workload struct {
+	// BatchSize is samples per inference batch (64 in the paper).
+	BatchSize int
+	// AvgReduction is the expected multi-hot degree.
+	AvgReduction float64
+	// Tables is the number of EMTs sharing the batch (8 in §4.1). Host
+	// transfers are paid once across all tables' DPUs while kernels run
+	// concurrently, so the estimator must cost transfers globally.
+	// Zero means 1.
+	Tables int
+}
+
+// tables returns the effective table count.
+func (w Workload) tables() int {
+	if w.Tables <= 0 {
+		return 1
+	}
+	return w.Tables
+}
+
+// Estimate is the per-batch embedding-layer time prediction for a shape,
+// the three terms of Equation (1).
+type Estimate struct {
+	// CPUToDPUNs is T_c-comm: pushing indices/offsets to the DPUs.
+	CPUToDPUNs float64
+	// LookupNs is T_lkp: the DPU kernel time.
+	LookupNs float64
+	// DPUToCPUNs is T_d-comm: pulling per-sample partial sums back.
+	DPUToCPUNs float64
+}
+
+// TotalNs returns the objective of Equation (1).
+func (e Estimate) TotalNs() float64 { return e.CPUToDPUNs + e.LookupNs + e.DPUToCPUNs }
+
+// Shapes enumerates every feasible shape for an R x C table on ndpu DPUs
+// under the paper's constraints: N_c = 2^k with 1 <= k <= 4 (3), N_c
+// divides C, the slice count divides ndpu, and the tile fits MRAM (2).
+func Shapes(rows, cols, ndpu int, cfg upmem.HWConfig) ([]Shape, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("partition: table shape %dx%d", rows, cols)
+	}
+	if ndpu <= 0 {
+		return nil, fmt.Errorf("partition: ndpu = %d", ndpu)
+	}
+	var shapes []Shape
+	for k := 1; k <= 4; k++ {
+		nc := 1 << uint(k)
+		if nc > cols || cols%nc != 0 {
+			continue
+		}
+		slices := cols / nc
+		if slices > ndpu || ndpu%slices != 0 {
+			continue
+		}
+		parts := ndpu / slices
+		nr := (rows + parts - 1) / parts
+		if int64(nr)*int64(nc) > MaxTileElems {
+			continue
+		}
+		if int64(nr)*int64(nc)*4 > cfg.MRAMBytes {
+			continue
+		}
+		shapes = append(shapes, Shape{Nc: nc, Slices: slices, Parts: parts})
+	}
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("partition: no feasible shape for %dx%d on %d DPUs", rows, cols, ndpu)
+	}
+	return shapes, nil
+}
+
+// EstimateShape evaluates the §3.1 cost model for one shape assuming a
+// balanced access distribution: per-partition lookups are
+// batch*avgred/parts; index pushes pad to equal sizes (parallel path);
+// result pulls are naturally equal-sized.
+func EstimateShape(s Shape, w Workload, cfg upmem.HWConfig) Estimate {
+	lookupsPerPart := float64(w.BatchSize) * w.AvgReduction / float64(s.Parts)
+	readBytes := upmem.AlignMRAM(s.Nc * 4)
+
+	// T_lkp: closed-form kernel bound for the busiest (here: any) DPU.
+	lat, _ := cfg.MRAMReadLatency(readBytes)
+	instr := float64(cfg.LookupOverheadInstr + cfg.AccInstrPerElem*s.Nc)
+	occ := cfg.DMAEngineCycles + cfg.DMAPerByteCycles*float64(readBytes)
+	pipeline := lookupsPerPart * instr
+	dma := lookupsPerPart * occ
+	tasklet := lookupsPerPart * (lat + instr) / float64(cfg.Tasklets)
+	kernelCycles := pipeline
+	if dma > kernelCycles {
+		kernelCycles = dma
+	}
+	if tasklet > kernelCycles {
+		kernelCycles = tasklet
+	}
+	lookupNs := cfg.KernelLaunchNs + cfg.CyclesToNs(kernelCycles)
+
+	// T_c-comm: every slice DPU of a partition receives that partition's
+	// index list plus per-sample offsets. The push covers all tables'
+	// DPUs in one padded rank transfer, mirroring the engine.
+	totalDPUs := s.DPUs() * w.tables()
+	idxBytesPerDPU := int64(lookupsPerPart*4) + int64(w.BatchSize+1)*4
+	pushSizes := make([]int64, totalDPUs)
+	for i := range pushSizes {
+		pushSizes[i] = idxBytesPerDPU
+	}
+	push := cfg.TransferTime(pushSizes, true, upmem.Push)
+
+	// T_d-comm: each DPU returns one N_c-wide partial sum per sample,
+	// again pulled across all tables at once.
+	resBytesPerDPU := int64(w.BatchSize) * int64(s.Nc) * 4
+	pullSizes := make([]int64, totalDPUs)
+	for i := range pullSizes {
+		pullSizes[i] = resBytesPerDPU
+	}
+	pull := cfg.TransferTime(pullSizes, false, upmem.Pull)
+
+	return Estimate{CPUToDPUNs: push.Ns, LookupNs: lookupNs, DPUToCPUNs: pull.Ns}
+}
+
+// OptimalShape exhaustively searches the feasible shapes (the paper notes
+// the constraints shrink the space enough for exhaustive search) and
+// returns the one minimizing Equation (1).
+func OptimalShape(rows, cols, ndpu int, w Workload, cfg upmem.HWConfig) (Shape, Estimate, error) {
+	if w.BatchSize <= 0 || w.AvgReduction <= 0 {
+		return Shape{}, Estimate{}, fmt.Errorf("partition: workload %+v", w)
+	}
+	shapes, err := Shapes(rows, cols, ndpu, cfg)
+	if err != nil {
+		return Shape{}, Estimate{}, err
+	}
+	best := shapes[0]
+	bestEst := EstimateShape(best, w, cfg)
+	for _, s := range shapes[1:] {
+		est := EstimateShape(s, w, cfg)
+		if est.TotalNs() < bestEst.TotalNs() {
+			best, bestEst = s, est
+		}
+	}
+	return best, bestEst, nil
+}
+
+// ShapeWithNc returns the feasible shape with the requested N_c, for
+// experiments that pin N_c (Figures 9 and 10 fix it to 2, 4, 8).
+func ShapeWithNc(rows, cols, ndpu, nc int, cfg upmem.HWConfig) (Shape, error) {
+	shapes, err := Shapes(rows, cols, ndpu, cfg)
+	if err != nil {
+		return Shape{}, err
+	}
+	for _, s := range shapes {
+		if s.Nc == nc {
+			return s, nil
+		}
+	}
+	return Shape{}, fmt.Errorf("partition: no feasible shape with Nc=%d for %dx%d on %d DPUs", nc, rows, cols, ndpu)
+}

@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset names for the six Table 1 workloads, in the paper's order.
+const (
+	PresetClo   = "clo"   // AmazonClothes  — low hot
+	PresetHome  = "home"  // AmazonHome     — low hot
+	PresetMeta1 = "meta1" // MetaFBGEMM1    — medium hot
+	PresetMeta2 = "meta2" // MetaFBGEMM2    — medium hot
+	PresetRead  = "read"  // GoodReads      — high hot
+	PresetRead2 = "read2" // GoodReads2     — high hot
+)
+
+// Preset names for the three Figure 5 skew-study datasets.
+const (
+	PresetGoodreadsSkew = "goodreads"
+	PresetMovieSkew     = "movie"
+	PresetTwitchSkew    = "twitch"
+)
+
+// Hotness buckets the six Table 1 workloads the way §4.1 does.
+type Hotness string
+
+// Hotness levels.
+const (
+	LowHot    Hotness = "Low Hot"
+	MediumHot Hotness = "Medium Hot"
+	HighHot   Hotness = "High Hot"
+)
+
+// HotnessOf returns the paper's category for a Table 1 preset name.
+func HotnessOf(name string) Hotness {
+	switch name {
+	case PresetClo, PresetHome:
+		return LowHot
+	case PresetMeta1, PresetMeta2:
+		return MediumHot
+	default:
+		return HighHot
+	}
+}
+
+// presets holds the full catalogue. Item counts and average reductions for
+// the Table 1 entries are the paper's exact values. Zipf exponents and
+// motif densities are chosen to reproduce the paper's qualitative skew
+// claims: "clo" is near-balanced (§4.2 obs. 2: all partitioners tie on
+// clo), the Goodreads/Movie/Twitch family shows up to ~340x block skew
+// (Figure 5), and Movie's cache cuts ~40% of accesses (Figure 6).
+var presets = map[string]Spec{
+	PresetClo: {
+		Name: PresetClo, NumItems: 2_685_059, Tables: 8,
+		AvgReduction: 52.91, ReductionStdFrac: 0.2,
+		ZipfExponent: 0.25, MotifCount: 32, MotifMinSize: 2, MotifMaxSize: 4, MotifProb: 0.08,
+		DenseDim: 13, Seed: 0xc10,
+	},
+	PresetHome: {
+		Name: PresetHome, NumItems: 1_301_225, Tables: 8,
+		AvgReduction: 67.56, ReductionStdFrac: 0.2,
+		ZipfExponent: 0.65, MotifCount: 64, MotifMinSize: 2, MotifMaxSize: 5, MotifProb: 0.25,
+		DenseDim: 13, Seed: 0x803e,
+	},
+	PresetMeta1: {
+		Name: PresetMeta1, NumItems: 5_783_210, Tables: 8,
+		AvgReduction: 107.2, ReductionStdFrac: 0.25,
+		ZipfExponent: 0.9, MotifCount: 128, MotifMinSize: 2, MotifMaxSize: 5, MotifProb: 0.4,
+		DenseDim: 13, Seed: 0x3e7a1,
+	},
+	PresetMeta2: {
+		Name: PresetMeta2, NumItems: 5_999_981, Tables: 8,
+		AvgReduction: 188.6, ReductionStdFrac: 0.25,
+		ZipfExponent: 0.95, MotifCount: 128, MotifMinSize: 2, MotifMaxSize: 6, MotifProb: 0.45,
+		DenseDim: 13, Seed: 0x3e7a2,
+	},
+	PresetRead: {
+		Name: PresetRead, NumItems: 2_360_650, Tables: 8,
+		AvgReduction: 245.8, ReductionStdFrac: 0.3,
+		ZipfExponent: 1.1, MotifCount: 192, MotifMinSize: 3, MotifMaxSize: 6, MotifProb: 0.6,
+		DenseDim: 13, Seed: 0x9ead,
+	},
+	PresetRead2: {
+		Name: PresetRead2, NumItems: 2_360_650, Tables: 8,
+		AvgReduction: 374.08, ReductionStdFrac: 0.3,
+		ZipfExponent: 1.1, MotifCount: 192, MotifMinSize: 3, MotifMaxSize: 6, MotifProb: 0.6,
+		DenseDim: 13, Seed: 0x9ead2,
+	},
+	// Figure 5 presets use a single table: the skew study looks at one
+	// EMT's row-block histogram.
+	PresetGoodreadsSkew: {
+		Name: PresetGoodreadsSkew, NumItems: 2_360_650, Tables: 1,
+		AvgReduction: 245.8, ReductionStdFrac: 0.3,
+		ZipfExponent: 1.15, MotifCount: 192, MotifMinSize: 3, MotifMaxSize: 6, MotifProb: 0.6,
+		DenseDim: 13, Seed: 0x90001,
+	},
+	PresetMovieSkew: {
+		Name: PresetMovieSkew, NumItems: 62_423, Tables: 1,
+		AvgReduction: 80, ReductionStdFrac: 0.3,
+		ZipfExponent: 1.05, MotifCount: 96, MotifMinSize: 2, MotifMaxSize: 5, MotifProb: 0.55,
+		DenseDim: 13, Seed: 0x90002,
+	},
+	PresetTwitchSkew: {
+		Name: PresetTwitchSkew, NumItems: 162_625, Tables: 1,
+		AvgReduction: 60, ReductionStdFrac: 0.3,
+		ZipfExponent: 1.25, MotifCount: 96, MotifMinSize: 2, MotifMaxSize: 5, MotifProb: 0.5,
+		DenseDim: 13, Seed: 0x90003,
+	},
+}
+
+// Preset returns the named workload spec.
+func Preset(name string) (Spec, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("synth: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}
+
+// PresetNames lists every preset in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table1Names returns the six evaluation workloads in the paper's order.
+func Table1Names() []string {
+	return []string{PresetClo, PresetHome, PresetMeta1, PresetMeta2, PresetRead, PresetRead2}
+}
+
+// Figure5Names returns the three skew-study workloads in the paper's
+// order.
+func Figure5Names() []string {
+	return []string{PresetGoodreadsSkew, PresetMovieSkew, PresetTwitchSkew}
+}
+
+// Balanced returns a spec for the Figure 11 sensitivity study: uniform
+// access pattern, given average reduction, one or more tables.
+func Balanced(numItems, tables int, avgReduction float64, seed uint64) Spec {
+	return Spec{
+		Name:         fmt.Sprintf("balanced-r%.0f", avgReduction),
+		NumItems:     numItems,
+		Tables:       tables,
+		AvgReduction: avgReduction,
+		// Balanced: no skew, no co-occurrence, light degree variance.
+		ReductionStdFrac: 0.1,
+		ZipfExponent:     0,
+		DenseDim:         13,
+		Seed:             seed,
+	}
+}
+
+// Scaled returns a copy of s with item count and reduction scaled by
+// itemFrac and redFrac — used by tests and benches to shrink paper-scale
+// workloads while preserving their shape (skew exponent, motif structure).
+func Scaled(s Spec, itemFrac, redFrac float64) Spec {
+	out := s
+	out.Name = s.Name + "-scaled"
+	out.NumItems = int(float64(s.NumItems) * itemFrac)
+	if out.NumItems < 64 {
+		out.NumItems = 64
+	}
+	out.AvgReduction = s.AvgReduction * redFrac
+	if out.AvgReduction < 1 {
+		out.AvgReduction = 1
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// Spec describes a synthetic workload. The zero value is not usable; start
+// from a preset or fill all fields.
+type Spec struct {
+	// Name labels the workload in reports.
+	Name string
+	// NumItems is the number of rows per embedding table (Table 1
+	// "#Items").
+	NumItems int
+	// Tables is how many EMTs each sample addresses. The paper duplicates
+	// each dataset into 8 EMTs (§4.1).
+	Tables int
+	// AvgReduction is the target mean multi-hot degree (Table 1
+	// "Avg.Reduction").
+	AvgReduction float64
+	// ReductionStdFrac is the coefficient of variation of the per-sample
+	// degree (degree ~ clamped Normal(avg, frac*avg)).
+	ReductionStdFrac float64
+	// ZipfExponent controls popularity skew; 0 means uniform access.
+	ZipfExponent float64
+	// MotifCount is the number of co-occurrence motifs (groups of hot
+	// items that appear together); 0 disables co-occurrence structure.
+	MotifCount int
+	// MotifMinSize and MotifMaxSize bound motif group sizes.
+	MotifMinSize, MotifMaxSize int
+	// MotifProb is the probability that a sample's bag embeds one motif.
+	MotifProb float64
+	// DenseDim is the dense-feature width.
+	DenseDim int
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.NumItems <= 0:
+		return fmt.Errorf("synth: NumItems = %d", s.NumItems)
+	case s.Tables <= 0:
+		return fmt.Errorf("synth: Tables = %d", s.Tables)
+	case s.AvgReduction < 1:
+		return fmt.Errorf("synth: AvgReduction = %v (< 1)", s.AvgReduction)
+	case s.ReductionStdFrac < 0:
+		return fmt.Errorf("synth: ReductionStdFrac = %v", s.ReductionStdFrac)
+	case s.ZipfExponent < 0:
+		return fmt.Errorf("synth: ZipfExponent = %v", s.ZipfExponent)
+	case s.MotifCount < 0:
+		return fmt.Errorf("synth: MotifCount = %d", s.MotifCount)
+	case s.MotifCount > 0 && (s.MotifMinSize < 2 || s.MotifMaxSize < s.MotifMinSize):
+		return fmt.Errorf("synth: motif sizes [%d,%d]", s.MotifMinSize, s.MotifMaxSize)
+	case s.MotifProb < 0 || s.MotifProb > 1:
+		return fmt.Errorf("synth: MotifProb = %v", s.MotifProb)
+	case s.DenseDim < 0:
+		return fmt.Errorf("synth: DenseDim = %d", s.DenseDim)
+	}
+	return nil
+}
+
+// motifs are groups of items that tend to co-occur in one sample; they are
+// drawn from the hot end of the popularity distribution so a GRACE-style
+// cache can profit from them.
+func buildMotifs(s Spec, rng *tensor.RNG) [][]int32 {
+	if s.MotifCount == 0 {
+		return nil
+	}
+	// Hot end: motif members are drawn from the top ~1% of items (at
+	// least 64), mirroring how popular items cluster in real traces.
+	hotSpan := s.NumItems / 100
+	if hotSpan < 64 {
+		hotSpan = 64
+	}
+	if hotSpan > s.NumItems {
+		hotSpan = s.NumItems
+	}
+	motifs := make([][]int32, 0, s.MotifCount)
+	for m := 0; m < s.MotifCount; m++ {
+		size := s.MotifMinSize
+		if s.MotifMaxSize > s.MotifMinSize {
+			size += rng.Intn(s.MotifMaxSize - s.MotifMinSize + 1)
+		}
+		seen := make(map[int32]bool, size)
+		group := make([]int32, 0, size)
+		for len(group) < size {
+			v := int32(rng.Intn(hotSpan))
+			if !seen[v] {
+				seen[v] = true
+				group = append(group, v)
+			}
+		}
+		sort.Slice(group, func(a, b int) bool { return group[a] < group[b] })
+		motifs = append(motifs, group)
+	}
+	return motifs
+}
+
+// Generate produces numSamples requests. Same spec + numSamples always
+// yields the identical trace.
+func (s Spec) Generate(numSamples int) (*trace.Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if numSamples < 0 {
+		return nil, fmt.Errorf("synth: numSamples = %d", numSamples)
+	}
+	root := tensor.NewRNG(s.Seed ^ 0x5bd1e995)
+	motifRNG := root.Split()
+	denseRNG := root.Split()
+	degreeRNG := root.Split()
+
+	motifs := buildMotifs(s, motifRNG)
+
+	tr := &trace.Trace{
+		NumTables:    s.Tables,
+		RowsPerTable: make([]int, s.Tables),
+		DenseDim:     s.DenseDim,
+		Samples:      make([]trace.Sample, numSamples),
+	}
+	for t := range tr.RowsPerTable {
+		tr.RowsPerTable[t] = s.NumItems
+	}
+
+	// Per-table independent samplers: the paper duplicates the dataset
+	// into 8 EMTs; independent draws from the same distribution keep each
+	// table statistically identical without being bit-identical.
+	zipfs := make([]*Zipf, s.Tables)
+	motifPick := make([]*tensor.RNG, s.Tables)
+	for t := 0; t < s.Tables; t++ {
+		zipfs[t] = NewZipf(s.NumItems, s.ZipfExponent, tensor.NewRNG(s.Seed+uint64(t)*0x9e3779b9+1))
+		motifPick[t] = tensor.NewRNG(s.Seed ^ (uint64(t)+0xabcd)*0x2545f4914f6cdd1d)
+	}
+
+	for i := 0; i < numSamples; i++ {
+		sample := trace.Sample{
+			Dense:  make([]float32, s.DenseDim),
+			Sparse: make([][]int32, s.Tables),
+		}
+		for d := range sample.Dense {
+			sample.Dense[d] = denseRNG.Float32()
+		}
+		for t := 0; t < s.Tables; t++ {
+			degree := s.drawDegree(degreeRNG)
+			sample.Sparse[t] = s.drawBag(degree, zipfs[t], motifPick[t], motifs)
+		}
+		tr.Samples[i] = sample
+	}
+	return tr, nil
+}
+
+// drawDegree samples the multi-hot degree: Normal(avg, frac*avg) clamped
+// to [1, max(4*avg, 1)] and never above NumItems.
+func (s Spec) drawDegree(rng *tensor.RNG) int {
+	d := s.AvgReduction
+	if s.ReductionStdFrac > 0 {
+		d += rng.Norm() * s.ReductionStdFrac * s.AvgReduction
+	}
+	deg := int(math.Round(d))
+	if deg < 1 {
+		deg = 1
+	}
+	if hi := int(4 * s.AvgReduction); deg > hi && hi >= 1 {
+		deg = hi
+	}
+	if deg > s.NumItems {
+		deg = s.NumItems
+	}
+	return deg
+}
+
+// drawBag builds one multi-hot index set of the requested degree,
+// optionally seeding it with a motif, then filling with Zipf draws.
+// Indices within a bag are unique (set semantics).
+func (s Spec) drawBag(degree int, z *Zipf, rng *tensor.RNG, motifs [][]int32) []int32 {
+	bag := make([]int32, 0, degree)
+	seen := make(map[int32]bool, degree)
+	if len(motifs) > 0 && rng.Float64() < s.MotifProb {
+		m := motifs[rng.Intn(len(motifs))]
+		for _, v := range m {
+			if len(bag) == degree {
+				break
+			}
+			if !seen[v] {
+				seen[v] = true
+				bag = append(bag, v)
+			}
+		}
+	}
+	// Fill the rest with Zipf draws; cap the retry loop so adversarial
+	// configs (degree close to NumItems with heavy skew) still terminate.
+	misses := 0
+	for len(bag) < degree {
+		v := int32(z.Draw())
+		if !seen[v] {
+			seen[v] = true
+			bag = append(bag, v)
+			misses = 0
+			continue
+		}
+		misses++
+		if misses > 64 {
+			// Fall back to a linear probe from a uniform start.
+			start := rng.Intn(s.NumItems)
+			for off := 0; off < s.NumItems && len(bag) < degree; off++ {
+				u := int32((start + off) % s.NumItems)
+				if !seen[u] {
+					seen[u] = true
+					bag = append(bag, u)
+				}
+			}
+			break
+		}
+	}
+	return bag
+}

@@ -1,0 +1,324 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	z := NewZipf(10, 0, tensor.NewRNG(1))
+	counts := make([]int, 10)
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("uniform bucket %d frac %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestZipfSkewAndSupport(t *testing.T) {
+	z := NewZipf(1000, 1.1, tensor.NewRNG(2))
+	counts := make([]int, 1000)
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("draw %d out of support", v)
+		}
+		counts[v]++
+	}
+	// Rank-0 should dominate, and mass should decay with rank.
+	if counts[0] < counts[10] {
+		t.Fatalf("rank 0 (%d) should beat rank 10 (%d)", counts[0], counts[10])
+	}
+	var head, tail int
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := 990; i < 1000; i++ {
+		tail += counts[i]
+	}
+	if head < tail*10 {
+		t.Fatalf("head %d not >> tail %d for s=1.1", head, tail)
+	}
+}
+
+// The empirical rank-frequency curve should roughly follow (r+1)^-s:
+// compare the ratio of observed frequencies at ranks 1 and 8 with theory.
+func TestZipfFollowsPowerLaw(t *testing.T) {
+	for _, s := range []float64{0.8, 1.0, 1.3} {
+		z := NewZipf(10000, s, tensor.NewRNG(3))
+		counts := make([]int, 10000)
+		n := 200000
+		for i := 0; i < n; i++ {
+			counts[z.Draw()]++
+		}
+		got := float64(counts[0]) / float64(counts[7])
+		want := math.Pow(8.0/1.0, s)
+		if got < want*0.7 || got > want*1.4 {
+			t.Fatalf("s=%v: rank1/rank8 ratio %v, theory %v", s, got, want)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(100, 1.0, tensor.NewRNG(7))
+	b := NewZipf(100, 1.0, tensor.NewRNG(7))
+	for i := 0; i < 1000; i++ {
+		if a.Draw() != b.Draw() {
+			t.Fatalf("same-seed Zipf streams diverged at %d", i)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1, tensor.NewRNG(1)) },
+		func() { NewZipf(10, -1, tensor.NewRNG(1)) },
+		func() { NewZipf(10, math.NaN(), tensor.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{NumItems: 100, Tables: 2, AvgReduction: 5, DenseDim: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bads := []Spec{
+		{NumItems: 0, Tables: 1, AvgReduction: 5},
+		{NumItems: 10, Tables: 0, AvgReduction: 5},
+		{NumItems: 10, Tables: 1, AvgReduction: 0.5},
+		{NumItems: 10, Tables: 1, AvgReduction: 5, ZipfExponent: -1},
+		{NumItems: 10, Tables: 1, AvgReduction: 5, MotifCount: 3, MotifMinSize: 1, MotifMaxSize: 2},
+		{NumItems: 10, Tables: 1, AvgReduction: 5, MotifProb: 1.5},
+		{NumItems: 10, Tables: 1, AvgReduction: 5, DenseDim: -1},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	spec := Spec{
+		Name: "t", NumItems: 500, Tables: 3, AvgReduction: 8,
+		ReductionStdFrac: 0.2, ZipfExponent: 0.9,
+		MotifCount: 8, MotifMinSize: 2, MotifMaxSize: 4, MotifProb: 0.5,
+		DenseDim: 5, Seed: 77,
+	}
+	tr, err := spec.Generate(200)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Samples) != 200 || tr.NumTables != 3 || tr.DenseDim != 5 {
+		t.Fatalf("trace shape wrong: %d samples, %d tables", len(tr.Samples), tr.NumTables)
+	}
+	// Average reduction should land near the target.
+	avg := tr.AvgReduction()
+	if avg < 6 || avg > 10 {
+		t.Fatalf("AvgReduction = %v, want ~8", avg)
+	}
+	// Bags must not contain duplicates (set semantics).
+	for si, s := range tr.Samples {
+		for ti, bag := range s.Sparse {
+			seen := map[int32]bool{}
+			for _, v := range bag {
+				if seen[v] {
+					t.Fatalf("sample %d table %d has duplicate index %d", si, ti, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{NumItems: 200, Tables: 2, AvgReduction: 4, ZipfExponent: 1, DenseDim: 2, Seed: 5}
+	a, err := spec.Generate(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		for ti := range a.Samples[i].Sparse {
+			av, bv := a.Samples[i].Sparse[ti], b.Samples[i].Sparse[ti]
+			if len(av) != len(bv) {
+				t.Fatalf("sample %d table %d degree differs", i, ti)
+			}
+			for k := range av {
+				if av[k] != bv[k] {
+					t.Fatalf("sample %d table %d index %d differs", i, ti, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateHighDegreeTerminates(t *testing.T) {
+	// Degree near NumItems with heavy skew exercises the fallback probe.
+	spec := Spec{NumItems: 40, Tables: 1, AvgReduction: 35, ZipfExponent: 1.5, DenseDim: 1, Seed: 9}
+	tr, err := spec.Generate(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		if len(s.Sparse[0]) == 0 || len(s.Sparse[0]) > 40 {
+			t.Fatalf("bag size %d out of range", len(s.Sparse[0]))
+		}
+	}
+}
+
+func TestPresetsCatalogue(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatalf("unknown preset accepted")
+	}
+	if len(Table1Names()) != 6 {
+		t.Fatalf("Table1Names = %v", Table1Names())
+	}
+	if len(Figure5Names()) != 3 {
+		t.Fatalf("Figure5Names = %v", Figure5Names())
+	}
+}
+
+func TestTable1PresetParameters(t *testing.T) {
+	wantItems := map[string]int{
+		PresetClo: 2_685_059, PresetHome: 1_301_225,
+		PresetMeta1: 5_783_210, PresetMeta2: 5_999_981,
+		PresetRead: 2_360_650, PresetRead2: 2_360_650,
+	}
+	wantRed := map[string]float64{
+		PresetClo: 52.91, PresetHome: 67.56,
+		PresetMeta1: 107.2, PresetMeta2: 188.6,
+		PresetRead: 245.8, PresetRead2: 374.08,
+	}
+	for name, items := range wantItems {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumItems != items {
+			t.Fatalf("%s NumItems = %d, want %d", name, s.NumItems, items)
+		}
+		if s.AvgReduction != wantRed[name] {
+			t.Fatalf("%s AvgReduction = %v, want %v", name, s.AvgReduction, wantRed[name])
+		}
+		if s.Tables != 8 {
+			t.Fatalf("%s Tables = %d, want 8", name, s.Tables)
+		}
+	}
+}
+
+func TestHotnessOf(t *testing.T) {
+	if HotnessOf(PresetClo) != LowHot || HotnessOf(PresetHome) != LowHot {
+		t.Fatalf("low-hot classification wrong")
+	}
+	if HotnessOf(PresetMeta1) != MediumHot || HotnessOf(PresetMeta2) != MediumHot {
+		t.Fatalf("medium-hot classification wrong")
+	}
+	if HotnessOf(PresetRead) != HighHot || HotnessOf(PresetRead2) != HighHot {
+		t.Fatalf("high-hot classification wrong")
+	}
+}
+
+// The scaled Figure 5 presets must show heavy block skew, and the scaled
+// clo preset must stay comparatively balanced — these are the qualitative
+// facts Figures 5/9 depend on.
+func TestPresetSkewShapes(t *testing.T) {
+	movie, err := Preset(PresetMovieSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movieTr, err := Scaled(movie, 0.2, 0.3).Generate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movieHist := trace.BlockHistogram(movieTr.Frequency(0), 8)
+	movieSkew := trace.SkewRatio(movieHist)
+	if movieSkew < 20 {
+		t.Fatalf("movie skew = %v, want heavily skewed (>20)", movieSkew)
+	}
+
+	clo, err := Preset(PresetClo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloTr, err := Scaled(clo, 0.01, 0.3).Generate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloHist := trace.BlockHistogram(cloTr.Frequency(0), 8)
+	cloSkew := trace.SkewRatio(cloHist)
+	if cloSkew > movieSkew/4 {
+		t.Fatalf("clo skew %v not much flatter than movie %v", cloSkew, movieSkew)
+	}
+}
+
+func TestBalancedSpec(t *testing.T) {
+	s := Balanced(1000, 2, 50, 3)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Balanced invalid: %v", err)
+	}
+	tr, err := s.Generate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := trace.BlockHistogram(tr.Frequency(0), 8)
+	if skew := trace.SkewRatio(hist); skew > 1.5 {
+		t.Fatalf("balanced spec skew = %v, want ~1", skew)
+	}
+	avg := tr.AvgReduction()
+	if avg < 45 || avg > 55 {
+		t.Fatalf("balanced AvgReduction = %v, want ~50", avg)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, err := Preset(PresetRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scaled(s, 0.001, 0.1)
+	if sc.NumItems != int(float64(s.NumItems)*0.001) {
+		t.Fatalf("Scaled items = %d", sc.NumItems)
+	}
+	if math.Abs(sc.AvgReduction-s.AvgReduction*0.1) > 1e-9 {
+		t.Fatalf("Scaled reduction = %v", sc.AvgReduction)
+	}
+	// Floors apply.
+	tiny := Scaled(s, 0, 0)
+	if tiny.NumItems != 64 || tiny.AvgReduction != 1 {
+		t.Fatalf("Scaled floors: %d items, %v red", tiny.NumItems, tiny.AvgReduction)
+	}
+}

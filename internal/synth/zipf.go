@@ -1,0 +1,119 @@
+// Package synth generates deterministic synthetic DLRM workloads with the
+// three properties every algorithm in the paper consumes: power-law item
+// popularity (Figure 5), a configurable average reduction degree (Table 1),
+// and item co-occurrence structure (the GRACE cache's food, §3.3). Presets
+// reproduce the six Table 1 datasets and the three Figure 5 datasets.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"updlrm/internal/tensor"
+)
+
+// Zipf samples from a (finite) Zipf distribution over {0, 1, ..., n-1}
+// where item i has weight (i+1)^-s. Exponent 0 degenerates to uniform.
+// The implementation is Hörmann & Derflinger rejection-inversion (the same
+// scheme as Apache Commons' RejectionInversionZipfSampler), which is O(1)
+// per sample for any exponent > 0 and any n, so paper-scale tables with
+// millions of items sample fast.
+type Zipf struct {
+	n        int
+	s        float64
+	rng      *tensor.RNG
+	hX1      float64 // hIntegral(1.5) - 1
+	hN       float64 // hIntegral(n + 0.5)
+	shift    float64
+	uniform  bool
+	initDone bool
+}
+
+// NewZipf builds a sampler for n items with exponent s >= 0, drawing
+// randomness from rng. It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64, rng *tensor.RNG) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("synth: Zipf n = %d", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("synth: Zipf exponent = %v", s))
+	}
+	z := &Zipf{n: n, s: s, rng: rng}
+	if s == 0 {
+		z.uniform = true
+		z.initDone = true
+		return z
+	}
+	z.hX1 = z.hIntegral(1.5) - 1
+	z.hN = z.hIntegral(float64(n) + 0.5)
+	z.shift = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	if z.shift > 1 {
+		z.shift = 1
+	}
+	z.initDone = true
+	return z
+}
+
+// h(x) = x^-s.
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+// hIntegral is the antiderivative of h: (x^(1-s) - 1)/(1-s), or ln(x) when
+// s == 1 (computed stably via expm1/log1p near s == 1).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		t = -1 // guard against rounding below the domain
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with the x->0 limit handled.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3
+}
+
+// helper2 computes expm1(x)/x with the x->0 limit handled.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6
+}
+
+// Draw returns the next sample in [0, n).
+func (z *Zipf) Draw() int {
+	if !z.initDone {
+		panic("synth: Zipf used before init")
+	}
+	if z.uniform {
+		return z.rng.Intn(z.n)
+	}
+	for {
+		u := z.hN + z.rng.Float64()*(z.hX1-z.hN)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.shift || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// Exponent returns the skew parameter.
+func (z *Zipf) Exponent() float64 { return z.s }

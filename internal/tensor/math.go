@@ -1,0 +1,9 @@
+package tensor
+
+import "math"
+
+// boxMuller converts two uniforms in (0,1] x [0,1) into one standard
+// normal variate.
+func boxMuller(u1, u2 float64) float64 {
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,59 @@
+package tensor
+
+// RNG is a small deterministic SplitMix64-based generator. The repo avoids
+// math/rand for model initialization and synthetic data so that traces and
+// weights are reproducible across Go releases (math/rand's stream is only
+// stable per major version for some constructors).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box-Muller, one value per call).
+func (r *RNG) Norm() float64 {
+	// Rejection-free polar form would cache a spare; a straight Box-Muller
+	// is fine at the call rates we need.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return boxMuller(u1, u2)
+}
+
+// Split returns an independent generator derived from this one; streams of
+// the parent and child do not overlap for practical sequence lengths.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa02bdbf7bb3c0a7a)
+}

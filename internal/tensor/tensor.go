@@ -1,0 +1,187 @@
+// Package tensor provides the small set of dense float32 linear-algebra
+// kernels the DLRM stack needs: vectors, row-major matrices, matrix-vector
+// and matrix-matrix products, and the activation functions used by the
+// bottom/top MLPs. Everything is allocation-conscious: kernels write into
+// caller-provided destinations so inference loops can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha * x[i].
+func Axpy(alpha float32, x, dst []float32) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Add computes dst[i] += x[i].
+func Add(x, dst []float32) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i := range x {
+		dst[i] += x[i]
+	}
+}
+
+// Sub computes dst[i] -= x[i].
+func Sub(x, dst []float32) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("tensor: Sub length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i := range x {
+		dst[i] -= x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero clears x.
+func Zero(x []float32) { Fill(x, 0) }
+
+// MatVec computes dst = m * x for a Rows x Cols matrix and a Cols-vector.
+// dst must have length m.Rows and must not alias x.
+func MatVec(m *Matrix, x, dst []float32) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec x length %d != cols %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec dst length %d != rows %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MatMul computes dst = a * b. Shapes: a is MxK, b is KxN, dst is MxN.
+// dst must not alias a or b.
+func MatMul(a, b, dst *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	Zero(dst.Data)
+	// ikj loop order: streams through b and dst rows for cache friendliness.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x) computed in float64 for stability.
+func Sigmoid(x float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(x))))
+}
+
+// SigmoidInPlace applies Sigmoid to every element of x.
+func SigmoidInPlace(x []float32) {
+	for i := range x {
+		x[i] = Sigmoid(x[i])
+	}
+}
+
+// ReLUInPlace applies max(0, v) to every element of x.
+func ReLUInPlace(x []float32) {
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between a
+// and b. It is the comparison primitive used by the DPU-vs-CPU equivalence
+// tests.
+func MaxAbsDiff(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AlmostEqual reports whether every pair of elements differs by at most tol.
+func AlmostEqual(a, b []float32, tol float64) bool {
+	return len(a) == len(b) && MaxAbsDiff(a, b) <= tol
+}

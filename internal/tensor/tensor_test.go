@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v, want 7", row[2])
+	}
+	row[0] = 9 // row aliases storage
+	if m.At(1, 0) != 9 {
+		t.Fatalf("Row must alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) == 5 {
+		t.Fatalf("Clone must not alias storage")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestAxpyAddSubScaleFill(t *testing.T) {
+	dst := []float32{1, 1, 1}
+	Axpy(2, []float32{1, 2, 3}, dst)
+	want := []float32{3, 5, 7}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy dst = %v, want %v", dst, want)
+		}
+	}
+	Add([]float32{1, 1, 1}, dst)
+	if dst[0] != 4 || dst[2] != 8 {
+		t.Fatalf("Add dst = %v", dst)
+	}
+	Sub([]float32{1, 1, 1}, dst)
+	if dst[0] != 3 || dst[2] != 7 {
+		t.Fatalf("Sub dst = %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[0] != 1.5 {
+		t.Fatalf("Scale dst = %v", dst)
+	}
+	Fill(dst, 2)
+	Zero(dst[:1])
+	if dst[0] != 0 || dst[1] != 2 {
+		t.Fatalf("Fill/Zero dst = %v", dst)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float32{1, 2, 3, 4, 5, 6})
+	dst := make([]float32, 2)
+	MatVec(m, []float32{1, 1, 1}, dst)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MatVec dst = %v", dst)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float32{7, 8, 9, 10, 11, 12})
+	dst := NewMatrix(2, 2)
+	MatMul(a, b, dst)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", dst.Data, want)
+		}
+	}
+}
+
+// MatMul against a naive triple loop on random shapes.
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(42)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float32() - 0.5
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.Float32() - 0.5
+		}
+		got := NewMatrix(m, n)
+		MatMul(a, b, got)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(float64(got.At(i, j)-s)) > 1e-4 {
+					t.Fatalf("trial %d: (%d,%d) got %v want %v", trial, i, j, got.At(i, j), s)
+				}
+			}
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(100); got < 0.999 {
+		t.Fatalf("Sigmoid(100) = %v, want ~1", got)
+	}
+	if got := Sigmoid(-100); got > 0.001 {
+		t.Fatalf("Sigmoid(-100) = %v, want ~0", got)
+	}
+	x := []float32{-1, 0, 1}
+	SigmoidInPlace(x)
+	if x[1] != 0.5 {
+		t.Fatalf("SigmoidInPlace = %v", x)
+	}
+	if math.Abs(float64(x[0]+x[2])-1) > 1e-6 {
+		t.Fatalf("sigmoid symmetry violated: %v", x)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := []float32{-2, 0, 3}
+	ReLUInPlace(x)
+	if x[0] != 0 || x[1] != 0 || x[2] != 3 {
+		t.Fatalf("ReLUInPlace = %v", x)
+	}
+}
+
+func TestMaxAbsDiffAndAlmostEqual(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1, 2.5, 3}
+	if got := MaxAbsDiff(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", got)
+	}
+	if !AlmostEqual(a, b, 0.5) {
+		t.Fatalf("AlmostEqual(tol=0.5) should hold")
+	}
+	if AlmostEqual(a, b, 0.4) {
+		t.Fatalf("AlmostEqual(tol=0.4) should fail")
+	}
+	if AlmostEqual(a, b[:2], 10) {
+		t.Fatalf("AlmostEqual must reject length mismatch")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotPropertiesQuick(t *testing.T) {
+	clamp := func(v float32) float32 {
+		switch {
+		case v != v: // NaN
+			return 0
+		case v > 1e6:
+			return 1e6
+		case v < -1e6:
+			return -1e6
+		}
+		return v
+	}
+	f := func(raw []float32, alphaRaw float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := clamp(alphaRaw)
+		a := make([]float32, len(raw))
+		for i, v := range raw {
+			a[i] = clamp(v)
+		}
+		b := make([]float32, len(a))
+		for i := range b {
+			b[i] = float32(i%7) - 3
+		}
+		// Symmetry.
+		if Dot(a, b) != Dot(b, a) {
+			return false
+		}
+		// Homogeneity within float tolerance.
+		scaled := make([]float32, len(a))
+		for i := range a {
+			scaled[i] = alpha * a[i]
+		}
+		lhs := float64(Dot(scaled, b))
+		rhs := float64(alpha) * float64(Dot(a, b))
+		// Tolerance scales with term magnitudes: the intermediate sums can
+		// cancel, so a result-relative bound would be too strict.
+		var magnitude float64
+		for i := range a {
+			magnitude += math.Abs(float64(alpha) * float64(a[i]) * float64(b[i]))
+		}
+		return math.Abs(lhs-rhs) <= 1e-3*(magnitude+1)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RNG determinism — same seed yields same stream; Split streams
+// differ from parent.
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+	c := NewRNG(7)
+	d := c.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream too correlated: %d/64 collisions", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Float32(); v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.08 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import "fmt"
+
+// Batch is a group of samples laid out for the engines: per-table indices
+// are flattened CSR-style into IDX plus per-sample OFFSET arrays, the
+// "EMT i IDX / EMT i OFFSET" buffers of the paper's Figure 4 pre-process
+// stage.
+type Batch struct {
+	// Size is the number of samples in the batch.
+	Size int
+	// Dense holds each sample's dense features, row-major
+	// (Size x DenseDim).
+	Dense [][]float32
+	// Idx[t] is the concatenation of all samples' indices for table t.
+	Idx [][]int32
+	// Off[t] has Size+1 entries; sample s's indices for table t are
+	// Idx[t][Off[t][s]:Off[t][s+1]].
+	Off [][]int32
+}
+
+// MakeBatch flattens samples[lo:hi] of tr into a Batch.
+func MakeBatch(tr *Trace, lo, hi int) *Batch {
+	if lo < 0 || hi > len(tr.Samples) || lo > hi {
+		panic(fmt.Sprintf("trace: batch range [%d,%d) out of [0,%d]", lo, hi, len(tr.Samples)))
+	}
+	b := &Batch{
+		Size:  hi - lo,
+		Dense: make([][]float32, hi-lo),
+		Idx:   make([][]int32, tr.NumTables),
+		Off:   make([][]int32, tr.NumTables),
+	}
+	for s := lo; s < hi; s++ {
+		b.Dense[s-lo] = tr.Samples[s].Dense
+	}
+	for t := 0; t < tr.NumTables; t++ {
+		var total int
+		for s := lo; s < hi; s++ {
+			total += len(tr.Samples[s].Sparse[t])
+		}
+		idx := make([]int32, 0, total)
+		off := make([]int32, 0, hi-lo+1)
+		off = append(off, 0)
+		for s := lo; s < hi; s++ {
+			idx = append(idx, tr.Samples[s].Sparse[t]...)
+			off = append(off, int32(len(idx)))
+		}
+		b.Idx[t] = idx
+		b.Off[t] = off
+	}
+	return b
+}
+
+// SampleIndices returns the indices of sample s for table t.
+func (b *Batch) SampleIndices(t, s int) []int32 {
+	return b.Idx[t][b.Off[t][s]:b.Off[t][s+1]]
+}
+
+// Lookups returns the total number of lookups in the batch for table t.
+func (b *Batch) Lookups(t int) int { return len(b.Idx[t]) }
+
+// TotalLookups returns the number of lookups across all tables.
+func (b *Batch) TotalLookups() int {
+	var n int
+	for t := range b.Idx {
+		n += len(b.Idx[t])
+	}
+	return n
+}
+
+// IndexBytes returns the number of bytes of index + offset metadata the
+// host must push for table t (4 bytes per entry) — the stage-1 CPU→DPU
+// payload of Figure 4.
+func (b *Batch) IndexBytes(t int) int64 {
+	return 4 * int64(len(b.Idx[t])+len(b.Off[t]))
+}
+
+// Batches cuts the whole trace into consecutive batches of size batchSize;
+// the final partial batch is included if any samples remain.
+func Batches(tr *Trace, batchSize int) []*Batch {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("trace: batchSize = %d", batchSize))
+	}
+	var out []*Batch
+	for lo := 0; lo < len(tr.Samples); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(tr.Samples) {
+			hi = len(tr.Samples)
+		}
+		out = append(out, MakeBatch(tr, lo, hi))
+	}
+	return out
+}

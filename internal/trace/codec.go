@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format: a small, deterministic container so generated
+// workloads can be written once and replayed across runs and machines.
+//
+//	magic   [4]byte  "UPTR"
+//	version uint32   (1)
+//	numTables, denseDim, numSamples uint32
+//	rowsPerTable [numTables]uint64
+//	per sample:
+//	  dense [denseDim]float32
+//	  per table: count uint32, indices [count]uint32
+
+const (
+	codecMagic   = "UPTR"
+	codecVersion = 1
+)
+
+// Write serializes the trace to w.
+func Write(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{codecVersion, uint32(tr.NumTables), uint32(tr.DenseDim), uint32(len(tr.Samples))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, rows := range tr.RowsPerTable {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(rows)); err != nil {
+			return err
+		}
+	}
+	for _, s := range tr.Samples {
+		for _, d := range s.Dense {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(d)); err != nil {
+				return err
+			}
+		}
+		for _, idx := range s.Sparse {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(idx))); err != nil {
+				return err
+			}
+			for _, v := range idx {
+				if err := binary.Write(bw, binary.LittleEndian, uint32(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version, numTables, denseDim, numSamples uint32
+	for _, p := range []*uint32{&version, &numTables, &denseDim, &numSamples} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	const maxTables, maxSamples = 1 << 16, 1 << 28
+	if numTables == 0 || numTables > maxTables {
+		return nil, fmt.Errorf("trace: implausible table count %d", numTables)
+	}
+	if numSamples > maxSamples {
+		return nil, fmt.Errorf("trace: implausible sample count %d", numSamples)
+	}
+	tr := &Trace{
+		NumTables:    int(numTables),
+		DenseDim:     int(denseDim),
+		RowsPerTable: make([]int, numTables),
+	}
+	for i := range tr.RowsPerTable {
+		var rows uint64
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return nil, fmt.Errorf("trace: reading rows: %w", err)
+		}
+		tr.RowsPerTable[i] = int(rows)
+	}
+	tr.Samples = make([]Sample, numSamples)
+	for si := range tr.Samples {
+		s := Sample{
+			Dense:  make([]float32, denseDim),
+			Sparse: make([][]int32, numTables),
+		}
+		for d := range s.Dense {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("trace: sample %d dense: %w", si, err)
+			}
+			s.Dense[d] = math.Float32frombits(bits)
+		}
+		for t := range s.Sparse {
+			var count uint32
+			if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+				return nil, fmt.Errorf("trace: sample %d table %d count: %w", si, t, err)
+			}
+			if int(count) > tr.RowsPerTable[t]*16+1024 {
+				return nil, fmt.Errorf("trace: sample %d table %d implausible count %d", si, t, count)
+			}
+			idx := make([]int32, count)
+			for k := range idx {
+				var v uint32
+				if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+					return nil, fmt.Errorf("trace: sample %d table %d index: %w", si, t, err)
+				}
+				idx[k] = int32(v)
+			}
+			s.Sparse[t] = idx
+		}
+		tr.Samples[si] = s
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded trace invalid: %w", err)
+	}
+	return tr, nil
+}

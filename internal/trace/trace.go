@@ -1,0 +1,185 @@
+// Package trace represents DLRM inference request streams: per-sample
+// dense features plus one multi-hot index set per embedding table, exactly
+// the "sparse inputs" of Figure 1. It also computes the access statistics
+// the partitioners consume — per-item frequency profiles (obj_freq in
+// Algorithm 1), average reduction degree (Table 1), and row-block
+// histograms (Figures 5 and 6).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is a single inference request.
+type Sample struct {
+	// Dense holds the continuous features fed to the bottom MLP.
+	Dense []float32
+	// Sparse holds, for each embedding table, the multi-hot indices to
+	// look up and reduce. len(Sparse) == number of tables.
+	Sparse [][]int32
+}
+
+// Trace is an ordered collection of samples over a fixed set of tables.
+type Trace struct {
+	// NumTables is the number of embedding tables each sample addresses.
+	NumTables int
+	// RowsPerTable is the number of items (rows) in each table.
+	RowsPerTable []int
+	// DenseDim is the width of the dense feature vector.
+	DenseDim int
+	// Samples are the requests in arrival order.
+	Samples []Sample
+}
+
+// Validate checks structural invariants: per-sample table counts, index
+// bounds, and dense width.
+func (t *Trace) Validate() error {
+	if t.NumTables <= 0 {
+		return fmt.Errorf("trace: NumTables = %d", t.NumTables)
+	}
+	if len(t.RowsPerTable) != t.NumTables {
+		return fmt.Errorf("trace: RowsPerTable len %d != NumTables %d", len(t.RowsPerTable), t.NumTables)
+	}
+	for i, s := range t.Samples {
+		if len(s.Sparse) != t.NumTables {
+			return fmt.Errorf("trace: sample %d has %d sparse sets, want %d", i, len(s.Sparse), t.NumTables)
+		}
+		if len(s.Dense) != t.DenseDim {
+			return fmt.Errorf("trace: sample %d dense len %d, want %d", i, len(s.Dense), t.DenseDim)
+		}
+		for tb, idx := range s.Sparse {
+			rows := t.RowsPerTable[tb]
+			for _, v := range idx {
+				if v < 0 || int(v) >= rows {
+					return fmt.Errorf("trace: sample %d table %d index %d out of [0,%d)", i, tb, v, rows)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AvgReduction returns the mean multi-hot degree (lookups per sample per
+// table) across all samples and tables — the "Avg.Reduction" column of
+// Table 1.
+func (t *Trace) AvgReduction() float64 {
+	var lookups, bags int64
+	for _, s := range t.Samples {
+		for _, idx := range s.Sparse {
+			lookups += int64(len(idx))
+			bags++
+		}
+	}
+	if bags == 0 {
+		return 0
+	}
+	return float64(lookups) / float64(bags)
+}
+
+// Frequency returns per-row access counts for one table across the whole
+// trace. This is the obj_freq input of Algorithm 1.
+func (t *Trace) Frequency(table int) []int64 {
+	freq := make([]int64, t.RowsPerTable[table])
+	for _, s := range t.Samples {
+		for _, idx := range s.Sparse[table] {
+			freq[idx]++
+		}
+	}
+	return freq
+}
+
+// TotalAccesses returns the total number of lookups issued against one
+// table across the trace.
+func (t *Trace) TotalAccesses(table int) int64 {
+	var total int64
+	for _, s := range t.Samples {
+		total += int64(len(s.Sparse[table]))
+	}
+	return total
+}
+
+// BlockHistogram divides the row space of freq into nblocks contiguous
+// blocks and returns the total access count per block — the quantity
+// Figure 5 plots (normalized by its max).
+func BlockHistogram(freq []int64, nblocks int) []int64 {
+	if nblocks <= 0 {
+		panic(fmt.Sprintf("trace: nblocks = %d", nblocks))
+	}
+	hist := make([]int64, nblocks)
+	n := len(freq)
+	if n == 0 {
+		return hist
+	}
+	for row, f := range freq {
+		b := row * nblocks / n
+		if b >= nblocks {
+			b = nblocks - 1
+		}
+		hist[b] += f
+	}
+	return hist
+}
+
+// Normalize scales counts by their maximum, returning values in [0,1].
+// A zero histogram normalizes to zeros.
+func Normalize(counts []int64) []float64 {
+	out := make([]float64, len(counts))
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(max)
+	}
+	return out
+}
+
+// SkewRatio returns max/min over the non-zero-floor histogram: blocks with
+// zero accesses count as 1 to keep the ratio finite, matching how the
+// paper reports "340x higher" between hottest and coldest block.
+func SkewRatio(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	minV, maxV := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < minV {
+			minV = c
+		}
+		if c > maxV {
+			maxV = c
+		}
+	}
+	if minV <= 0 {
+		minV = 1
+	}
+	if maxV <= 0 {
+		return 1
+	}
+	return float64(maxV) / float64(minV)
+}
+
+// HotSet returns the indices of the k most frequent rows, most frequent
+// first. Ties break toward the lower row id for determinism.
+func HotSet(freq []int64, k int) []int {
+	if k > len(freq) {
+		k = len(freq)
+	}
+	idx := make([]int, len(freq))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if freq[idx[a]] != freq[idx[b]] {
+			return freq[idx[a]] > freq[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}

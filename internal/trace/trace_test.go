@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tinyTrace builds a 2-table trace with known statistics.
+func tinyTrace() *Trace {
+	return &Trace{
+		NumTables:    2,
+		RowsPerTable: []int{10, 6},
+		DenseDim:     3,
+		Samples: []Sample{
+			{Dense: []float32{1, 2, 3}, Sparse: [][]int32{{0, 1, 2}, {5}}},
+			{Dense: []float32{4, 5, 6}, Sparse: [][]int32{{0, 9}, {5, 5, 0}}},
+			{Dense: []float32{7, 8, 9}, Sparse: [][]int32{{1}, {2, 3}}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"zero tables", func(tr *Trace) { tr.NumTables = 0 }},
+		{"rows mismatch", func(tr *Trace) { tr.RowsPerTable = tr.RowsPerTable[:1] }},
+		{"sparse count", func(tr *Trace) { tr.Samples[1].Sparse = tr.Samples[1].Sparse[:1] }},
+		{"dense width", func(tr *Trace) { tr.Samples[0].Dense = tr.Samples[0].Dense[:2] }},
+		{"index high", func(tr *Trace) { tr.Samples[2].Sparse[0][0] = 10 }},
+		{"index negative", func(tr *Trace) { tr.Samples[2].Sparse[1][0] = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tinyTrace()
+			tc.mutate(tr)
+			if err := tr.Validate(); err == nil {
+				t.Fatalf("Validate accepted corrupt trace")
+			}
+		})
+	}
+}
+
+func TestAvgReduction(t *testing.T) {
+	tr := tinyTrace()
+	// Lookups: (3+1)+(2+3)+(1+2) = 12 over 6 bags -> 2.0.
+	if got := tr.AvgReduction(); got != 2.0 {
+		t.Fatalf("AvgReduction = %v, want 2.0", got)
+	}
+	empty := &Trace{NumTables: 1, RowsPerTable: []int{5}}
+	if got := empty.AvgReduction(); got != 0 {
+		t.Fatalf("empty AvgReduction = %v", got)
+	}
+}
+
+func TestFrequencyAndTotal(t *testing.T) {
+	tr := tinyTrace()
+	freq := tr.Frequency(0)
+	want := []int64{2, 2, 1, 0, 0, 0, 0, 0, 0, 1}
+	if !reflect.DeepEqual(freq, want) {
+		t.Fatalf("Frequency(0) = %v, want %v", freq, want)
+	}
+	if got := tr.TotalAccesses(0); got != 6 {
+		t.Fatalf("TotalAccesses(0) = %v, want 6", got)
+	}
+	freq1 := tr.Frequency(1)
+	if freq1[5] != 3 || freq1[0] != 1 || freq1[2] != 1 || freq1[3] != 1 {
+		t.Fatalf("Frequency(1) = %v", freq1)
+	}
+}
+
+func TestBlockHistogram(t *testing.T) {
+	freq := []int64{5, 5, 1, 1, 0, 0, 10, 10}
+	hist := BlockHistogram(freq, 4)
+	want := []int64{10, 2, 0, 20}
+	if !reflect.DeepEqual(hist, want) {
+		t.Fatalf("BlockHistogram = %v, want %v", hist, want)
+	}
+	// Rows that don't divide evenly still land in a valid block.
+	hist3 := BlockHistogram(freq, 3)
+	var sum int64
+	for _, h := range hist3 {
+		sum += h
+	}
+	if sum != 32 {
+		t.Fatalf("BlockHistogram(3) loses mass: %v", hist3)
+	}
+}
+
+func TestNormalizeAndSkew(t *testing.T) {
+	n := Normalize([]int64{5, 10, 0})
+	if n[0] != 0.5 || n[1] != 1 || n[2] != 0 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if got := Normalize([]int64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Normalize zeros = %v", got)
+	}
+	if got := SkewRatio([]int64{340, 17, 1}); got != 340 {
+		t.Fatalf("SkewRatio = %v, want 340", got)
+	}
+	if got := SkewRatio([]int64{100, 0}); got != 100 {
+		t.Fatalf("SkewRatio with zero floor = %v, want 100", got)
+	}
+	if got := SkewRatio(nil); got != 1 {
+		t.Fatalf("SkewRatio(nil) = %v, want 1", got)
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	freq := []int64{3, 9, 9, 1}
+	hot := HotSet(freq, 3)
+	if !reflect.DeepEqual(hot, []int{1, 2, 0}) {
+		t.Fatalf("HotSet = %v", hot)
+	}
+	if got := HotSet(freq, 99); len(got) != 4 {
+		t.Fatalf("HotSet overlong k = %v", got)
+	}
+}
+
+func TestMakeBatchLayout(t *testing.T) {
+	tr := tinyTrace()
+	b := MakeBatch(tr, 0, 3)
+	if b.Size != 3 {
+		t.Fatalf("Size = %d", b.Size)
+	}
+	// Table 0 CSR: idx [0 1 2 | 0 9 | 1], off [0 3 5 6].
+	if !reflect.DeepEqual(b.Idx[0], []int32{0, 1, 2, 0, 9, 1}) {
+		t.Fatalf("Idx[0] = %v", b.Idx[0])
+	}
+	if !reflect.DeepEqual(b.Off[0], []int32{0, 3, 5, 6}) {
+		t.Fatalf("Off[0] = %v", b.Off[0])
+	}
+	if got := b.SampleIndices(0, 1); !reflect.DeepEqual(got, []int32{0, 9}) {
+		t.Fatalf("SampleIndices(0,1) = %v", got)
+	}
+	if b.Lookups(1) != 6 || b.TotalLookups() != 12 {
+		t.Fatalf("Lookups(1)=%d TotalLookups=%d", b.Lookups(1), b.TotalLookups())
+	}
+	// IndexBytes: 4 * (6 idx + 4 off) = 40 for table 0.
+	if got := b.IndexBytes(0); got != 40 {
+		t.Fatalf("IndexBytes(0) = %d, want 40", got)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	tr := tinyTrace()
+	bs := Batches(tr, 2)
+	if len(bs) != 2 || bs[0].Size != 2 || bs[1].Size != 1 {
+		t.Fatalf("Batches sizes: %d then %+v", len(bs), bs)
+	}
+	var lookups int
+	for _, b := range bs {
+		lookups += b.TotalLookups()
+	}
+	if lookups != 12 {
+		t.Fatalf("batches lose lookups: %d, want 12", lookups)
+	}
+}
+
+func TestBatchPanics(t *testing.T) {
+	tr := tinyTrace()
+	for _, fn := range []func(){
+		func() { MakeBatch(tr, -1, 2) },
+		func() { MakeBatch(tr, 0, 4) },
+		func() { MakeBatch(tr, 2, 1) },
+		func() { Batches(tr, 0) },
+		func() { BlockHistogram([]int64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatalf("Read accepted bad magic")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("Read accepted empty input")
+	}
+	// Truncated payload.
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatalf("Read accepted truncated trace")
+	}
+}
+
+func TestCodecRefusesInvalidTrace(t *testing.T) {
+	tr := tinyTrace()
+	tr.Samples[0].Sparse[0][0] = 99 // out of range
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Fatalf("Write accepted invalid trace")
+	}
+}
+
+// Property: BlockHistogram conserves total mass and SkewRatio >= 1.
+func TestHistogramPropertiesQuick(t *testing.T) {
+	f := func(raw []uint16, nbRaw uint8) bool {
+		nblocks := int(nbRaw)%16 + 1
+		freq := make([]int64, len(raw))
+		var total int64
+		for i, v := range raw {
+			freq[i] = int64(v)
+			total += int64(v)
+		}
+		hist := BlockHistogram(freq, nblocks)
+		var sum int64
+		for _, h := range hist {
+			sum += h
+		}
+		return sum == total && SkewRatio(hist) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

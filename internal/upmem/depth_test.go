@@ -1,0 +1,126 @@
+package upmem
+
+import "testing"
+
+// Tests for the pipeline-depth and element-width aspects of the timing
+// model added for the S2 and E2 studies.
+
+func TestPipelineDepthGatesFewTasklets(t *testing.T) {
+	// With fewer tasklets than the pipeline depth, aggregate IPC falls
+	// proportionally; at or above the depth, it stays at 1.
+	base := DefaultConfig()
+	job := makeJob(500, 50, 4)
+	timeWith := func(tk int) float64 {
+		cfg := base
+		cfg.Tasklets = tk
+		_, timing, err := RunKernel(cfg, job, ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return timing.Cycles
+	}
+	t1 := timeWith(1)
+	t11 := timeWith(11)
+	t14 := timeWith(14)
+	t24 := timeWith(24)
+	if t1 < 5*t11 {
+		t.Fatalf("1 tasklet (%v) should be far slower than 11 (%v)", t1, t11)
+	}
+	if t14 > t11*1.05 {
+		t.Fatalf("14 tasklets (%v) should match 11 (%v) within ramp noise", t14, t11)
+	}
+	if t24 > t14*1.01 {
+		t.Fatalf("24 tasklets (%v) should not beat 14 (%v)", t24, t14)
+	}
+}
+
+func TestPipelineDepthValidated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PipelineDepthCycles = 0
+	if cfg.Validate() == nil {
+		t.Fatalf("zero pipeline depth accepted")
+	}
+}
+
+func TestBytesPerElemShrinksTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	fp32 := makeJob(200, 20, 8)
+	int8 := makeJob(200, 20, 8)
+	int8.BytesPerElem = 1
+	_, tFP32, err := RunKernel(cfg, fp32, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tInt8, err := RunKernel(cfg, int8, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nc=8: fp32 reads 32B, int8 reads AlignMRAM(8)=8B -> 4x traffic cut.
+	if tInt8.BytesRead*4 != tFP32.BytesRead {
+		t.Fatalf("traffic: int8 %d, fp32 %d", tInt8.BytesRead, tFP32.BytesRead)
+	}
+	// Smaller reads can only help or tie the kernel time.
+	if tInt8.Cycles > tFP32.Cycles {
+		t.Fatalf("int8 kernel slower: %v vs %v", tInt8.Cycles, tFP32.Cycles)
+	}
+}
+
+func TestBytesPerElemValidated(t *testing.T) {
+	cfg := DefaultConfig()
+	job := makeJob(1, 1, 2)
+	job.BytesPerElem = 9
+	if job.Validate(cfg) == nil {
+		t.Fatalf("BytesPerElem=9 accepted")
+	}
+	job.BytesPerElem = -1
+	if job.Validate(cfg) == nil {
+		t.Fatalf("negative BytesPerElem accepted")
+	}
+	job.BytesPerElem = 0 // default fp32
+	if err := job.Validate(cfg); err != nil {
+		t.Fatalf("default BytesPerElem rejected: %v", err)
+	}
+}
+
+func TestBytesPerElemAffectsEventEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	// Big reads so the DMA engine binds: Width 16 at 4B = 64B occupancy
+	// 59.5 cycles vs int8 16B occupancy 38.9.
+	mk := func(bpe int) *KernelJob {
+		j := makeJob(2000, 50, 16)
+		j.BytesPerElem = bpe
+		return j
+	}
+	_, fp32, err := RunKernel(cfg, mk(0), EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, int8, err := RunKernel(cfg, mk(1), EventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int8.BytesRead >= fp32.BytesRead {
+		t.Fatalf("event engine ignored element width")
+	}
+}
+
+// Ramp correction: tiny kernels must agree between engines (the ramp is
+// exactly what the event engine observes on the first read).
+func TestRampCorrectionSmallKernels(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, n := range []int{1, 3, 10, 30} {
+		job := makeJob(n, 4, 4)
+		_, closed, err := RunKernel(cfg, job, ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, event, err := RunKernel(cfg, job, EventDriven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := event.Cycles / closed.Cycles
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("n=%d: engines diverge %vx (closed %v, event %v)", n, ratio, closed.Cycles, event.Cycles)
+		}
+	}
+}

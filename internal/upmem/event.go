@@ -1,0 +1,103 @@
+package upmem
+
+import "container/heap"
+
+// eventTiming simulates the kernel read-by-read: reads are dealt
+// round-robin to tasklets; each read first occupies the shared issue
+// pipeline for its instruction count, then the DMA engine for its
+// occupancy, and the issuing tasklet blocks for the full MRAM latency.
+// Resource contention emerges from the two shared cursors rather than
+// from aggregate division, so transient imbalance (e.g. a tail of reads
+// on one tasklet) is captured — this is the reference model the
+// closed-form engine is validated against.
+func eventTiming(cfg HWConfig, job *KernelJob) KernelTiming {
+	nT := cfg.Tasklets
+	// Deal reads to tasklets round-robin, as the UPMEM runtime's static
+	// partitioning of the index buffer would.
+	queues := make([][]Read, nT)
+	for i := range job.Reads {
+		queues[i%nT] = append(queues[i%nT], job.Reads[i])
+	}
+
+	var pipeCursor, dmaCursor float64 // next free cycle of each resource
+	var pipeBusy, dmaBusy float64     // total busy cycles (for reporting)
+	var bytes int64
+
+	h := &taskletHeap{}
+	heap.Init(h)
+	for t := 0; t < nT; t++ {
+		if len(queues[t]) > 0 {
+			heap.Push(h, taskletState{id: t, time: 0})
+		}
+	}
+	next := make([]int, nT)
+	var makespan float64
+	for h.Len() > 0 {
+		st := heap.Pop(h).(taskletState)
+		r := queues[st.id][next[st.id]]
+		next[st.id]++
+
+		// Compute phase on the shared pipeline: the tasklet's own elapsed
+		// time spans one pipeline revolution per instruction, while the
+		// shared issue cursor only advances by the instruction count
+		// (aggregate 1-IPC capacity).
+		instr := cfg.lookupInstr(int(r.Elems))
+		start := maxFloat(st.time, pipeCursor)
+		pipeCursor = start + instr
+		pipeBusy += instr
+		now := start + instr*float64(cfg.PipelineDepthCycles)
+
+		// DMA phase: engine occupancy serializes; the tasklet blocks for
+		// the full latency measured from when the engine accepts the
+		// transfer.
+		sz := AlignMRAM(int(r.Elems) * job.bytesPerElem())
+		bytes += int64(sz)
+		occ := cfg.dmaEngineOccupancy(sz)
+		lat, _ := cfg.MRAMReadLatency(sz) // job validated by caller
+		dmaStart := maxFloat(now, dmaCursor)
+		dmaCursor = dmaStart + occ
+		dmaBusy += occ
+		now = dmaStart + lat
+
+		if now > makespan {
+			makespan = now
+		}
+		if next[st.id] < len(queues[st.id]) {
+			heap.Push(h, taskletState{id: st.id, time: now})
+		}
+	}
+	return KernelTiming{
+		Cycles:         makespan,
+		PipelineCycles: pipeBusy,
+		DMACycles:      dmaBusy,
+		TaskletCycles:  makespan,
+		Reads:          len(job.Reads),
+		BytesRead:      bytes,
+	}
+}
+
+// taskletState orders tasklets by their local clock so the simulation
+// always advances the laggard, approximating fair hardware scheduling.
+type taskletState struct {
+	id   int
+	time float64
+}
+
+type taskletHeap []taskletState
+
+func (h taskletHeap) Len() int { return len(h) }
+func (h taskletHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h taskletHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskletHeap) Push(x any)   { *h = append(*h, x.(taskletState)) }
+func (h *taskletHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

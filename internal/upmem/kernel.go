@@ -1,0 +1,242 @@
+package upmem
+
+import "fmt"
+
+// Read is one MRAM access a lookup kernel performs: fetch Elems float32
+// values derived from a span of row ids and accumulate them into the
+// partial sum of sample Sample. A single-row span is a plain EMT read; a
+// multi-row span models a cached partial-sum read (one MRAM access that
+// returns the precomputed sum of those rows, per §3.3).
+//
+// Reads are flat structs referencing the job's shared Rows pool so that
+// paper-scale batches (hundreds of thousands of reads) do not allocate
+// per-read closures.
+type Read struct {
+	// Sample is the batch-local sample whose partial sum receives the
+	// fetched vector.
+	Sample int32
+	// Elems is the number of float32 values this access returns (N_c for
+	// both EMT reads and cached partial-sum reads).
+	Elems int32
+	// RowsOff and RowsLen locate this read's row span in KernelJob.Rows.
+	RowsOff, RowsLen int32
+}
+
+// KernelJob describes one lookup kernel launched on one DPU for one
+// batch.
+type KernelJob struct {
+	// NumSamples is the batch size; the kernel maintains one partial-sum
+	// accumulator of width Width per sample in WRAM.
+	NumSamples int
+	// Width is the accumulator width in float32 elements (N_c).
+	Width int
+	// Reads is the access list, in issue order.
+	Reads []Read
+	// Rows is the shared row-id pool the reads reference.
+	Rows []int32
+	// BytesPerElem is the MRAM storage per element: 4 for fp32 EMTs
+	// (the paper's configuration), 1 for int8-quantized tables (the
+	// EVStore-style mixed-precision extension). Zero means 4.
+	BytesPerElem int
+	// Fetch materializes the values of one read: it must write the
+	// (sum of the) given rows' values into dst (len Elems). It stands in
+	// for the DPU's MRAM content — dense storage, procedural generator,
+	// or a cache region. Must be safe for concurrent calls.
+	Fetch func(rows []int32, dst []float32)
+}
+
+// Validate checks the job against the hardware limits of cfg, in
+// particular that per-sample accumulators fit WRAM and that every read is
+// a legal MRAM transfer.
+func (j *KernelJob) Validate(cfg HWConfig) error {
+	if j.NumSamples < 0 {
+		return fmt.Errorf("upmem: NumSamples = %d", j.NumSamples)
+	}
+	if j.Width <= 0 {
+		return fmt.Errorf("upmem: kernel width = %d", j.Width)
+	}
+	if len(j.Reads) > 0 && j.Fetch == nil {
+		return fmt.Errorf("upmem: job with %d reads has no Fetch", len(j.Reads))
+	}
+	if j.BytesPerElem < 0 || j.BytesPerElem > 8 {
+		return fmt.Errorf("upmem: BytesPerElem = %d", j.BytesPerElem)
+	}
+	// Accumulators + per-tasklet staging buffers must fit in WRAM.
+	accBytes := int64(j.NumSamples) * int64(j.Width) * 4
+	stageBytes := int64(cfg.Tasklets) * int64(AlignMRAM(j.Width*4))
+	if accBytes+stageBytes > cfg.WRAMBytes {
+		return fmt.Errorf("upmem: WRAM overflow: %d B accumulators + %d B staging > %d B",
+			accBytes, stageBytes, cfg.WRAMBytes)
+	}
+	for i := range j.Reads {
+		r := &j.Reads[i]
+		if r.Sample < 0 || int(r.Sample) >= j.NumSamples {
+			return fmt.Errorf("upmem: read %d sample %d out of [0,%d)", i, r.Sample, j.NumSamples)
+		}
+		if r.Elems <= 0 || int(r.Elems) > j.Width {
+			return fmt.Errorf("upmem: read %d elems %d out of (0,%d]", i, r.Elems, j.Width)
+		}
+		if r.RowsOff < 0 || r.RowsLen <= 0 || int(r.RowsOff)+int(r.RowsLen) > len(j.Rows) {
+			return fmt.Errorf("upmem: read %d row span [%d,%d) out of pool %d",
+				i, r.RowsOff, r.RowsOff+r.RowsLen, len(j.Rows))
+		}
+		if _, err := cfg.MRAMReadLatency(AlignMRAM(int(r.Elems) * j.bytesPerElem())); err != nil {
+			return fmt.Errorf("upmem: read %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// bytesPerElem returns the effective element width.
+func (j *KernelJob) bytesPerElem() int {
+	if j.BytesPerElem == 0 {
+		return 4
+	}
+	return j.BytesPerElem
+}
+
+// AddRead appends a read covering the given rows for the given sample.
+func (j *KernelJob) AddRead(sample int, elems int, rows ...int32) {
+	off := int32(len(j.Rows))
+	j.Rows = append(j.Rows, rows...)
+	j.Reads = append(j.Reads, Read{
+		Sample:  int32(sample),
+		Elems:   int32(elems),
+		RowsOff: off,
+		RowsLen: int32(len(rows)),
+	})
+}
+
+// KernelResult holds the functional output of a kernel: per-sample
+// partial sums of width Width.
+type KernelResult struct {
+	// Partial[s] is sample s's partial sum (len Width).
+	Partial [][]float32
+}
+
+// KernelTiming reports where a kernel's cycles went.
+type KernelTiming struct {
+	// Cycles is the modeled kernel execution time on the DPU.
+	Cycles float64
+	// PipelineCycles, DMACycles, TaskletCycles are the three bottleneck
+	// candidates (closed-form engine) or observed resource busy times
+	// (event engine); Cycles >= max of the first two.
+	PipelineCycles float64
+	DMACycles      float64
+	TaskletCycles  float64
+	// Reads is the number of MRAM accesses issued.
+	Reads int
+	// BytesRead is the total MRAM traffic in bytes (aligned).
+	BytesRead int64
+}
+
+// TimingEngine selects how kernel time is modeled.
+type TimingEngine int
+
+const (
+	// ClosedForm computes kernel time as the max of the three resource
+	// bounds (pipeline issue, DMA engine occupancy, per-tasklet serial
+	// latency). Fast: O(#reads) arithmetic.
+	ClosedForm TimingEngine = iota
+	// EventDriven simulates tasklets contending for the issue pipeline
+	// and the DMA engine read by read. Slower, more faithful to
+	// transient imbalance; used to validate ClosedForm.
+	EventDriven
+)
+
+// String names the engine.
+func (e TimingEngine) String() string {
+	switch e {
+	case ClosedForm:
+		return "closed-form"
+	case EventDriven:
+		return "event-driven"
+	default:
+		return fmt.Sprintf("TimingEngine(%d)", int(e))
+	}
+}
+
+// RunKernel executes the job functionally and models its execution time
+// with the chosen engine. The functional result is independent of the
+// engine.
+func RunKernel(cfg HWConfig, job *KernelJob, engine TimingEngine) (*KernelResult, KernelTiming, error) {
+	if err := job.Validate(cfg); err != nil {
+		return nil, KernelTiming{}, err
+	}
+	res := &KernelResult{Partial: make([][]float32, job.NumSamples)}
+	backing := make([]float32, job.NumSamples*job.Width)
+	for s := 0; s < job.NumSamples; s++ {
+		res.Partial[s] = backing[s*job.Width : (s+1)*job.Width]
+	}
+	buf := make([]float32, job.Width)
+	for i := range job.Reads {
+		r := &job.Reads[i]
+		dst := buf[:r.Elems]
+		job.Fetch(job.Rows[r.RowsOff:r.RowsOff+r.RowsLen], dst)
+		acc := res.Partial[r.Sample]
+		for k, v := range dst {
+			acc[k] += v
+		}
+	}
+
+	var timing KernelTiming
+	switch engine {
+	case ClosedForm:
+		timing = closedFormTiming(cfg, job)
+	case EventDriven:
+		timing = eventTiming(cfg, job)
+	default:
+		return nil, KernelTiming{}, fmt.Errorf("upmem: unknown timing engine %d", engine)
+	}
+	return res, timing, nil
+}
+
+// closedFormTiming computes the analytic kernel time: the kernel is bound
+// by whichever of three resources saturates first —
+//
+//   - the single-issue pipeline: all tasklets together retire at most one
+//     instruction per cycle;
+//   - the DMA engine: MRAM transfers from all tasklets serialize;
+//   - per-tasklet serial latency: each tasklet alternates blocking DMA
+//     latency and compute, so with T tasklets a read's full latency is
+//     amortized T-fold (the pipelining effect that flattens Figure 11 at
+//     high reduction degrees).
+func closedFormTiming(cfg HWConfig, job *KernelJob) KernelTiming {
+	var pipeline, dma, perTasklet float64
+	var bytes int64
+	// Aggregate issue rate: each tasklet issues at most once per
+	// pipeline revolution, so fewer than PipelineDepthCycles tasklets
+	// cannot reach 1 IPC.
+	issueSlowdown := float64(cfg.PipelineDepthCycles) / float64(cfg.Tasklets)
+	if issueSlowdown < 1 {
+		issueSlowdown = 1
+	}
+	bpe := job.bytesPerElem()
+	for i := range job.Reads {
+		elems := int(job.Reads[i].Elems)
+		sz := AlignMRAM(elems * bpe)
+		bytes += int64(sz)
+		instr := cfg.lookupInstr(elems)
+		pipeline += instr * issueSlowdown
+		dma += cfg.dmaEngineOccupancy(sz)
+		lat, _ := cfg.MRAMReadLatency(sz) // validated already
+		perTasklet += lat + instr*float64(cfg.PipelineDepthCycles)
+	}
+	tasklet := perTasklet / float64(cfg.Tasklets)
+	cycles := maxFloat(pipeline, dma, tasklet)
+	// Pipeline fill/drain ramp: the first read of each wave serializes
+	// through the whole pipeline before steady-state overlap applies; one
+	// average read's serial time corrects small kernels (and vanishes
+	// relative to large ones).
+	if n := len(job.Reads); n > 0 {
+		cycles += perTasklet / float64(n)
+	}
+	return KernelTiming{
+		Cycles:         cycles,
+		PipelineCycles: pipeline,
+		DMACycles:      dma,
+		TaskletCycles:  tasklet,
+		Reads:          len(job.Reads),
+		BytesRead:      bytes,
+	}
+}

@@ -1,0 +1,129 @@
+package upmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MRAM address-space management. A real UPMEM deployment lays each DPU's
+// 64 MB bank out explicitly: the EMT tile, the cache region, the index
+// buffer pushed per batch, and the result buffer pulled back all get
+// fixed offsets the host and the kernel agree on. MRAMLayout reproduces
+// that bookkeeping: named, aligned segments with overflow checking, so
+// the engine can emit a concrete memory map per DPU and fail fast when a
+// plan cannot physically fit.
+
+// Segment is one named MRAM region.
+type Segment struct {
+	// Name identifies the region ("emt", "cache", "indices", "results").
+	Name string
+	// Offset is the byte offset within the bank (8-aligned).
+	Offset int64
+	// Size is the segment length in bytes (8-aligned).
+	Size int64
+}
+
+// End returns the first byte past the segment.
+func (s Segment) End() int64 { return s.Offset + s.Size }
+
+// MRAMLayout allocates segments within one DPU's bank.
+type MRAMLayout struct {
+	capacity int64
+	cursor   int64
+	segments []Segment
+	byName   map[string]int
+}
+
+// NewMRAMLayout returns an empty layout for a bank of the given
+// capacity.
+func NewMRAMLayout(capacity int64) (*MRAMLayout, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("upmem: MRAM capacity %d", capacity)
+	}
+	if capacity%MRAMAlign != 0 {
+		return nil, fmt.Errorf("upmem: MRAM capacity %d not %d-aligned", capacity, MRAMAlign)
+	}
+	return &MRAMLayout{capacity: capacity, byName: make(map[string]int)}, nil
+}
+
+// align8 rounds up to the DMA alignment.
+func align8(v int64) int64 {
+	return (v + MRAMAlign - 1) / MRAMAlign * MRAMAlign
+}
+
+// Alloc appends a segment of at least size bytes (rounded up to the DMA
+// alignment) and returns it. Allocation is bump-pointer: segments never
+// move, matching how DPU programs bake offsets at load time.
+func (l *MRAMLayout) Alloc(name string, size int64) (Segment, error) {
+	if name == "" {
+		return Segment{}, fmt.Errorf("upmem: unnamed MRAM segment")
+	}
+	if size < 0 {
+		return Segment{}, fmt.Errorf("upmem: segment %q size %d", name, size)
+	}
+	if _, dup := l.byName[name]; dup {
+		return Segment{}, fmt.Errorf("upmem: duplicate MRAM segment %q", name)
+	}
+	aligned := align8(size)
+	if l.cursor+aligned > l.capacity {
+		return Segment{}, fmt.Errorf("upmem: MRAM overflow: %q needs %d B at offset %d of %d",
+			name, aligned, l.cursor, l.capacity)
+	}
+	seg := Segment{Name: name, Offset: l.cursor, Size: aligned}
+	l.cursor += aligned
+	l.byName[name] = len(l.segments)
+	l.segments = append(l.segments, seg)
+	return seg, nil
+}
+
+// Lookup returns the named segment.
+func (l *MRAMLayout) Lookup(name string) (Segment, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return Segment{}, false
+	}
+	return l.segments[i], true
+}
+
+// Used returns the allocated bytes (including alignment padding).
+func (l *MRAMLayout) Used() int64 { return l.cursor }
+
+// Free returns the remaining bytes.
+func (l *MRAMLayout) Free() int64 { return l.capacity - l.cursor }
+
+// Segments returns the layout in address order.
+func (l *MRAMLayout) Segments() []Segment {
+	out := make([]Segment, len(l.segments))
+	copy(out, l.segments)
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// Validate checks the structural invariants: in-bounds, aligned,
+// non-overlapping segments.
+func (l *MRAMLayout) Validate() error {
+	segs := l.Segments()
+	var prevEnd int64
+	for _, s := range segs {
+		if s.Offset%MRAMAlign != 0 || s.Size%MRAMAlign != 0 {
+			return fmt.Errorf("upmem: segment %q misaligned (%d+%d)", s.Name, s.Offset, s.Size)
+		}
+		if s.Offset < prevEnd {
+			return fmt.Errorf("upmem: segment %q overlaps previous (offset %d < %d)", s.Name, s.Offset, prevEnd)
+		}
+		if s.End() > l.capacity {
+			return fmt.Errorf("upmem: segment %q exceeds bank (%d > %d)", s.Name, s.End(), l.capacity)
+		}
+		prevEnd = s.End()
+	}
+	return nil
+}
+
+// String renders the memory map.
+func (l *MRAMLayout) String() string {
+	out := fmt.Sprintf("MRAM %d B (%d used, %d free)\n", l.capacity, l.Used(), l.Free())
+	for _, s := range l.Segments() {
+		out += fmt.Sprintf("  [%#010x, %#010x) %-10s %d B\n", s.Offset, s.End(), s.Name, s.Size)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package upmem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMRAMLayoutBasics(t *testing.T) {
+	l, err := NewMRAMLayout(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emt, err := l.Alloc("emt", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emt.Offset != 0 || emt.Size != 504 { // aligned up
+		t.Fatalf("emt segment %+v", emt)
+	}
+	cache, err := l.Alloc("cache", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Offset != 504 || cache.Size != 104 {
+		t.Fatalf("cache segment %+v", cache)
+	}
+	if l.Used() != 608 || l.Free() != 416 {
+		t.Fatalf("used/free = %d/%d", l.Used(), l.Free())
+	}
+	got, ok := l.Lookup("emt")
+	if !ok || got != emt {
+		t.Fatalf("Lookup(emt) = %+v, %v", got, ok)
+	}
+	if _, ok := l.Lookup("nope"); ok {
+		t.Fatalf("Lookup(nope) succeeded")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !strings.Contains(l.String(), "emt") {
+		t.Fatalf("String() missing segment: %s", l.String())
+	}
+}
+
+func TestMRAMLayoutErrors(t *testing.T) {
+	if _, err := NewMRAMLayout(0); err == nil {
+		t.Fatalf("zero capacity accepted")
+	}
+	if _, err := NewMRAMLayout(1001); err == nil {
+		t.Fatalf("misaligned capacity accepted")
+	}
+	l, err := NewMRAMLayout(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Alloc("", 8); err == nil {
+		t.Fatalf("unnamed segment accepted")
+	}
+	if _, err := l.Alloc("a", -1); err == nil {
+		t.Fatalf("negative size accepted")
+	}
+	if _, err := l.Alloc("a", 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Alloc("a", 8); err == nil {
+		t.Fatalf("duplicate name accepted")
+	}
+	if _, err := l.Alloc("b", 64); err == nil {
+		t.Fatalf("overflow accepted")
+	}
+	// Zero-size segments are legal (empty cache regions).
+	if _, err := l.Alloc("empty", 0); err != nil {
+		t.Fatalf("zero-size segment rejected: %v", err)
+	}
+}
+
+// Property: any sequence of allocations that succeeds yields a valid,
+// non-overlapping layout whose used bytes equal the sum of aligned
+// segment sizes.
+func TestMRAMLayoutPropertiesQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		l, err := NewMRAMLayout(1 << 22) // 50 segments of <=64 KB always fit
+		if err != nil {
+			return false
+		}
+		var expect int64
+		for i, raw := range sizes {
+			size := int64(raw)
+			seg, err := l.Alloc(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune('A'+(i/260)%26)), size)
+			if err != nil {
+				// Only overflow or duplicate names may fail; with a 1MB
+				// bank and <= 64KB segments, only duplicates can occur —
+				// the name scheme above avoids them for <6760 entries.
+				return false
+			}
+			if seg.Size != align8(size) {
+				return false
+			}
+			expect += seg.Size
+		}
+		return l.Validate() == nil && l.Used() == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

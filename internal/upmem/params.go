@@ -1,0 +1,223 @@
+// Package upmem is a functional + timing simulator for the UPMEM PIM
+// architecture the paper runs on (§2.2): DIMMs of DRAM Processing Units
+// (DPUs), each a multithreaded 32-bit core with exclusive access to a
+// 64 MB MRAM bank, a 64 KB WRAM scratchpad, and a 24 KB IRAM, clocked at
+// 350 MHz, running up to 24 (here: 14) hardware tasklets over a
+// single-issue in-order pipeline. The host talks to DPUs over the DDR bus;
+// transfers to/from all banks proceed concurrently only when every
+// buffer has the same size, and inter-DPU communication must bounce
+// through the host.
+//
+// The simulator executes embedding lookups functionally (real gathers and
+// reductions over float32 data, so results can be checked against a CPU
+// reference) and charges time through a calibrated four-resource model:
+// MRAM DMA latency, per-DPU DMA engine occupancy, the shared issue
+// pipeline, and host transfer bandwidth. Both a closed-form engine and an
+// event-driven engine are provided; tests cross-check them.
+package upmem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hardware geometry constants per the paper and the UPMEM SDK.
+const (
+	// MRAMAlign is the required alignment of MRAM DMA transfers.
+	MRAMAlign = 8
+	// MRAMMaxRead is the largest single MRAM DMA transfer.
+	MRAMMaxRead = 2048
+)
+
+// HWConfig describes one DPU model plus the host link. The zero value is
+// unusable; start from DefaultConfig.
+type HWConfig struct {
+	// ClockHz is the DPU core clock (350 MHz on production DIMMs).
+	ClockHz float64
+	// MRAMBytes is the per-DPU MRAM bank capacity (64 MB).
+	MRAMBytes int64
+	// WRAMBytes is the per-DPU scratchpad capacity (64 KB).
+	WRAMBytes int64
+	// IRAMBytes is the per-DPU instruction memory (24 KB).
+	IRAMBytes int64
+	// Tasklets is the number of hardware threads used per DPU; the paper
+	// employs 14 (§4.1).
+	Tasklets int
+	// PipelineDepthCycles is the DPU pipeline depth: one tasklet may
+	// have a single instruction in flight, so it issues at most once
+	// every PipelineDepthCycles cycles and at least that many tasklets
+	// are needed to reach the pipeline's 1-IPC aggregate throughput
+	// (the UPMEM "revolver" design — why §4.1 runs 14 tasklets).
+	PipelineDepthCycles int
+
+	// DMABaseCycles and DMAPerByteCycles parameterize the MRAM read
+	// latency L(s) = base + perByte*s observed in Figure 3: nearly flat
+	// from 8 B to 32 B, then climbing steeply toward 2048 B.
+	DMABaseCycles    float64
+	DMAPerByteCycles float64
+	// DMAEngineCycles is the DMA engine occupancy per transfer
+	// (issue + s*perByte); transfers from different tasklets serialize on
+	// the engine.
+	DMAEngineCycles float64
+
+	// LookupOverheadInstr is the instruction count per lookup outside the
+	// accumulate loop (index decode, WRAM addressing, bounds, loop
+	// control) issued on the shared pipeline.
+	LookupOverheadInstr int
+	// AccInstrPerElem is the instruction count per accumulated element
+	// (load, add, store on the 32-bit core).
+	AccInstrPerElem int
+
+	// KernelLaunchNs is the fixed host-side cost to launch one kernel
+	// across the allocated DPU set and collect completion.
+	KernelLaunchNs float64
+
+	// Host link model. Push (CPU→DPU) and Pull (DPU→CPU) bandwidths are
+	// asymmetric on real UPMEM hardware: pulls run several times slower
+	// than pushes (documented by the PrIM benchmarks). The Parallel
+	// variants apply when all per-DPU buffers are equal-sized (the UPMEM
+	// fast path); the Serial variants when sizes are ragged and
+	// transfers serialize. XferLatencyNs is the fixed cost per transfer
+	// call; SerialPerDPUNs the extra per-DPU cost on the ragged path.
+	PushParallelBWBytesPerNs float64
+	PushSerialBWBytesPerNs   float64
+	PullParallelBWBytesPerNs float64
+	PullSerialBWBytesPerNs   float64
+	XferLatencyNs            float64
+	SerialPerDPUNs           float64
+}
+
+// Direction distinguishes host transfer directions, whose bandwidths
+// differ on UPMEM hardware.
+type Direction int
+
+// Transfer directions.
+const (
+	// Push moves data CPU→DPU (indices, offsets, table loads).
+	Push Direction = iota
+	// Pull moves data DPU→CPU (partial-sum results).
+	Pull
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// DefaultConfig returns the configuration of the paper's testbed: UPMEM
+// DPUs at 350 MHz with 14 tasklets. DMA parameters are calibrated to the
+// Figure 3 curve (L(8) ≈ 80 cycles, L(32) ≈ 91, L(2048) ≈ 958): see
+// DESIGN.md §5.
+func DefaultConfig() HWConfig {
+	return HWConfig{
+		ClockHz:                  350e6,
+		MRAMBytes:                64 << 20,
+		WRAMBytes:                64 << 10,
+		IRAMBytes:                24 << 10,
+		Tasklets:                 14,
+		PipelineDepthCycles:      11,
+		DMABaseCycles:            77,
+		DMAPerByteCycles:         0.43,
+		DMAEngineCycles:          32,
+		LookupOverheadInstr:      56,
+		AccInstrPerElem:          4,
+		KernelLaunchNs:           25_000,
+		PushParallelBWBytesPerNs: 16.0, // CPU→DPU rank-parallel
+		PushSerialBWBytesPerNs:   1.6,
+		PullParallelBWBytesPerNs: 2.0, // DPU→CPU is far slower (PrIM)
+		PullSerialBWBytesPerNs:   0.4,
+		XferLatencyNs:            5_000,
+		SerialPerDPUNs:           650,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c HWConfig) Validate() error {
+	switch {
+	case c.ClockHz <= 0:
+		return fmt.Errorf("upmem: ClockHz = %v", c.ClockHz)
+	case c.MRAMBytes <= 0:
+		return fmt.Errorf("upmem: MRAMBytes = %d", c.MRAMBytes)
+	case c.WRAMBytes <= 0:
+		return fmt.Errorf("upmem: WRAMBytes = %d", c.WRAMBytes)
+	case c.Tasklets <= 0 || c.Tasklets > 24:
+		return fmt.Errorf("upmem: Tasklets = %d (hardware supports 1-24)", c.Tasklets)
+	case c.PipelineDepthCycles <= 0:
+		return fmt.Errorf("upmem: PipelineDepthCycles = %d", c.PipelineDepthCycles)
+	case c.DMABaseCycles <= 0 || c.DMAPerByteCycles < 0:
+		return fmt.Errorf("upmem: DMA latency params %v/%v", c.DMABaseCycles, c.DMAPerByteCycles)
+	case c.DMAEngineCycles <= 0:
+		return fmt.Errorf("upmem: DMAEngineCycles = %v", c.DMAEngineCycles)
+	case c.LookupOverheadInstr <= 0 || c.AccInstrPerElem <= 0:
+		return fmt.Errorf("upmem: instruction params %d/%d", c.LookupOverheadInstr, c.AccInstrPerElem)
+	case c.KernelLaunchNs < 0:
+		return fmt.Errorf("upmem: KernelLaunchNs = %v", c.KernelLaunchNs)
+	case c.PushParallelBWBytesPerNs <= 0 || c.PushSerialBWBytesPerNs <= 0:
+		return fmt.Errorf("upmem: push bandwidth params %v/%v", c.PushParallelBWBytesPerNs, c.PushSerialBWBytesPerNs)
+	case c.PullParallelBWBytesPerNs <= 0 || c.PullSerialBWBytesPerNs <= 0:
+		return fmt.Errorf("upmem: pull bandwidth params %v/%v", c.PullParallelBWBytesPerNs, c.PullSerialBWBytesPerNs)
+	case c.XferLatencyNs < 0 || c.SerialPerDPUNs < 0:
+		return fmt.Errorf("upmem: host latency params %v/%v", c.XferLatencyNs, c.SerialPerDPUNs)
+	}
+	return nil
+}
+
+// CyclesToNs converts DPU core cycles to nanoseconds.
+func (c HWConfig) CyclesToNs(cycles float64) float64 {
+	return cycles / c.ClockHz * 1e9
+}
+
+// MRAMReadLatency returns the DMA latency in cycles for a single MRAM
+// read of the given size. It returns an error when the transfer violates
+// the hardware constraints (8-byte alignment, max 2048 B, non-zero).
+func (c HWConfig) MRAMReadLatency(bytes int) (float64, error) {
+	if bytes <= 0 {
+		return 0, fmt.Errorf("upmem: MRAM read of %d bytes", bytes)
+	}
+	if bytes%MRAMAlign != 0 {
+		return 0, fmt.Errorf("upmem: MRAM read of %d bytes violates %d-byte alignment", bytes, MRAMAlign)
+	}
+	if bytes > MRAMMaxRead {
+		return 0, fmt.Errorf("upmem: MRAM read of %d bytes exceeds max %d", bytes, MRAMMaxRead)
+	}
+	return c.DMABaseCycles + c.DMAPerByteCycles*float64(bytes), nil
+}
+
+// AlignMRAM rounds bytes up to the next legal MRAM transfer size.
+func AlignMRAM(bytes int) int {
+	if bytes <= 0 {
+		return MRAMAlign
+	}
+	aligned := (bytes + MRAMAlign - 1) / MRAMAlign * MRAMAlign
+	if aligned > MRAMMaxRead {
+		aligned = MRAMMaxRead
+	}
+	return aligned
+}
+
+// lookupInstr returns the pipeline instructions one lookup of elems
+// float32 values costs.
+func (c HWConfig) lookupInstr(elems int) float64 {
+	return float64(c.LookupOverheadInstr + c.AccInstrPerElem*elems)
+}
+
+// dmaEngineOccupancy returns the cycles a transfer of the given size
+// holds the DMA engine.
+func (c HWConfig) dmaEngineOccupancy(bytes int) float64 {
+	return c.DMAEngineCycles + c.DMAPerByteCycles*float64(bytes)
+}
+
+// maxFloat is a small helper (math.Max allocates nothing but reads better
+// inline here).
+func maxFloat(vals ...float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package upmem
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// System is a set of DPUs driven together, the granularity at which the
+// host launches kernels (all DPUs storing EMT tiles run the lookup kernel
+// of a batch concurrently, per Figure 4).
+type System struct {
+	cfg     HWConfig
+	numDPUs int
+	engine  TimingEngine
+}
+
+// NewSystem validates the configuration and returns a simulator for
+// numDPUs DPUs using the given timing engine.
+func NewSystem(cfg HWConfig, numDPUs int, engine TimingEngine) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numDPUs <= 0 {
+		return nil, fmt.Errorf("upmem: numDPUs = %d", numDPUs)
+	}
+	if engine != ClosedForm && engine != EventDriven {
+		return nil, fmt.Errorf("upmem: unknown timing engine %d", engine)
+	}
+	return &System{cfg: cfg, numDPUs: numDPUs, engine: engine}, nil
+}
+
+// Config returns the hardware configuration.
+func (s *System) Config() HWConfig { return s.cfg }
+
+// NumDPUs returns the DPU count.
+func (s *System) NumDPUs() int { return s.numDPUs }
+
+// Engine returns the timing engine in use.
+func (s *System) Engine() TimingEngine { return s.engine }
+
+// StepResult is the outcome of one kernel launch across the DPU set.
+type StepResult struct {
+	// Results[d] is DPU d's functional output (nil when jobs[d] was nil).
+	Results []*KernelResult
+	// Timings[d] is DPU d's kernel timing (zero when idle).
+	Timings []KernelTiming
+	// MaxCycles is the slowest DPU's kernel time; the batch waits for it.
+	MaxCycles float64
+	// StageNs is launch overhead + MaxCycles in wall time — the "DPU
+	// lookup" stage-2 latency of Figure 4.
+	StageNs float64
+	// TotalReads and TotalBytes aggregate MRAM traffic over all DPUs.
+	TotalReads int
+	TotalBytes int64
+}
+
+// RunStep executes one kernel per DPU (nil jobs leave a DPU idle) and
+// returns functional results and timing. Functional execution is
+// parallelized over host cores; modeled time is max over DPUs because the
+// hardware runs them concurrently.
+func (s *System) RunStep(jobs []*KernelJob) (*StepResult, error) {
+	if len(jobs) != s.numDPUs {
+		return nil, fmt.Errorf("upmem: %d jobs for %d DPUs", len(jobs), s.numDPUs)
+	}
+	res := &StepResult{
+		Results: make([]*KernelResult, s.numDPUs),
+		Timings: make([]KernelTiming, s.numDPUs),
+	}
+	type outcome struct {
+		d   int
+		err error
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.numDPUs {
+		workers = s.numDPUs
+	}
+	work := make(chan int)
+	errs := make(chan outcome, s.numDPUs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range work {
+				r, t, err := RunKernel(s.cfg, jobs[d], s.engine)
+				if err != nil {
+					errs <- outcome{d: d, err: err}
+					continue
+				}
+				res.Results[d] = r
+				res.Timings[d] = t
+			}
+		}()
+	}
+	for d := range jobs {
+		if jobs[d] != nil {
+			work <- d
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	for o := range errs {
+		if o.err != nil {
+			return nil, fmt.Errorf("upmem: DPU %d: %w", o.d, o.err)
+		}
+	}
+	anyWork := false
+	for d := range jobs {
+		if jobs[d] == nil {
+			continue
+		}
+		anyWork = true
+		t := res.Timings[d]
+		if t.Cycles > res.MaxCycles {
+			res.MaxCycles = t.Cycles
+		}
+		res.TotalReads += t.Reads
+		res.TotalBytes += t.BytesRead
+	}
+	if anyWork {
+		res.StageNs = s.cfg.KernelLaunchNs + s.cfg.CyclesToNs(res.MaxCycles)
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package upmem
+
+// Host transfer model (§2.2): "data transfers can occur concurrently if
+// the buffers transferred to and from all MRAM banks are of the same
+// size. Otherwise, the transfers happen sequentially."
+//
+// TransferTime models one host→DPU or DPU→host movement of per-DPU
+// buffers. Equal sizes take the rank-parallel fast path: one call
+// latency plus aggregate bytes over the parallel bandwidth. Ragged sizes
+// serialize: per-DPU fixed cost plus bytes over the (much lower) serial
+// bandwidth.
+
+// TransferStats describes one host transfer.
+type TransferStats struct {
+	// Ns is the modeled wall time of the transfer.
+	Ns float64
+	// Bytes is the payload moved (sum over DPUs, after any padding).
+	Bytes int64
+	// Parallel records whether the equal-size fast path applied.
+	Parallel bool
+	// PaddedBytes counts bytes added by padding buffers up to the max
+	// size (0 when unpadded or already equal).
+	PaddedBytes int64
+}
+
+// TransferTime computes the cost of moving the given per-DPU buffer
+// sizes in the given direction. If pad is true, every buffer is padded to
+// the maximum size so the parallel path always applies (the standard
+// UPMEM practice the engine uses for index pushes whose natural sizes are
+// ragged); the padding bytes are charged.
+func (c HWConfig) TransferTime(sizes []int64, pad bool, dir Direction) TransferStats {
+	if len(sizes) == 0 {
+		return TransferStats{}
+	}
+	parallelBW, serialBW := c.PushParallelBWBytesPerNs, c.PushSerialBWBytesPerNs
+	if dir == Pull {
+		parallelBW, serialBW = c.PullParallelBWBytesPerNs, c.PullSerialBWBytesPerNs
+	}
+	var total, max int64
+	equal := true
+	for _, s := range sizes {
+		if s < 0 {
+			s = 0
+		}
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	for _, s := range sizes {
+		if s != sizes[0] {
+			equal = false
+			break
+		}
+	}
+	if max == 0 {
+		return TransferStats{}
+	}
+
+	if equal || pad {
+		payload := total
+		var padded int64
+		if !equal {
+			payload = max * int64(len(sizes))
+			padded = payload - total
+		}
+		return TransferStats{
+			Ns:          c.XferLatencyNs + float64(payload)/parallelBW,
+			Bytes:       payload,
+			Parallel:    true,
+			PaddedBytes: padded,
+		}
+	}
+
+	// Ragged path: sequential per-DPU transfers.
+	ns := c.XferLatencyNs
+	for _, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		ns += c.SerialPerDPUNs + float64(s)/serialBW
+	}
+	return TransferStats{Ns: ns, Bytes: total, Parallel: false}
+}

@@ -1,0 +1,449 @@
+package upmem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*HWConfig){
+		func(c *HWConfig) { c.ClockHz = 0 },
+		func(c *HWConfig) { c.MRAMBytes = -1 },
+		func(c *HWConfig) { c.WRAMBytes = 0 },
+		func(c *HWConfig) { c.Tasklets = 0 },
+		func(c *HWConfig) { c.Tasklets = 25 },
+		func(c *HWConfig) { c.DMABaseCycles = 0 },
+		func(c *HWConfig) { c.DMAEngineCycles = 0 },
+		func(c *HWConfig) { c.LookupOverheadInstr = 0 },
+		func(c *HWConfig) { c.KernelLaunchNs = -1 },
+		func(c *HWConfig) { c.PushParallelBWBytesPerNs = 0 },
+		func(c *HWConfig) { c.PullParallelBWBytesPerNs = 0 },
+		func(c *HWConfig) { c.PullSerialBWBytesPerNs = -1 },
+		func(c *HWConfig) { c.XferLatencyNs = -1 },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// Figure 3 shape: latency nearly flat 8B -> 32B, then growing steeply
+// toward 2048B.
+func TestMRAMLatencyFigure3Shape(t *testing.T) {
+	cfg := DefaultConfig()
+	l8, err := cfg.MRAMReadLatency(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l32, _ := cfg.MRAMReadLatency(32)
+	l64, _ := cfg.MRAMReadLatency(64)
+	l2048, _ := cfg.MRAMReadLatency(2048)
+	if (l32-l8)/l8 > 0.2 {
+		t.Fatalf("8->32B latency grew %v%%, want < 20%% (flat region)", 100*(l32-l8)/l8)
+	}
+	if l2048 < 5*l8 {
+		t.Fatalf("2048B latency %v not >> 8B latency %v", l2048, l8)
+	}
+	if l64 <= l32 {
+		t.Fatalf("latency must increase with size: L(64)=%v <= L(32)=%v", l64, l32)
+	}
+	// Per-byte cost beyond 32B dominates: bytes/latency (bandwidth)
+	// should improve with size.
+	bw8 := 8 / l8
+	bw2048 := 2048 / l2048
+	if bw2048 < 4*bw8 {
+		t.Fatalf("large reads should be far more efficient: bw8=%v bw2048=%v", bw8, bw2048)
+	}
+}
+
+func TestMRAMLatencyConstraints(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, bad := range []int{0, -8, 7, 12, 2049, 4096} {
+		if _, err := cfg.MRAMReadLatency(bad); err == nil {
+			t.Fatalf("MRAMReadLatency(%d) accepted", bad)
+		}
+	}
+	for _, good := range []int{8, 16, 2048} {
+		if _, err := cfg.MRAMReadLatency(good); err != nil {
+			t.Fatalf("MRAMReadLatency(%d): %v", good, err)
+		}
+	}
+}
+
+func TestAlignMRAM(t *testing.T) {
+	cases := map[int]int{1: 8, 8: 8, 9: 16, 16: 16, 17: 24, 2048: 2048, 5000: 2048, 0: 8, -4: 8}
+	for in, want := range cases {
+		if got := AlignMRAM(in); got != want {
+			t.Fatalf("AlignMRAM(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCyclesToNs(t *testing.T) {
+	cfg := DefaultConfig()
+	// 350 cycles at 350 MHz = 1000 ns.
+	if got := cfg.CyclesToNs(350); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("CyclesToNs(350) = %v, want 1000", got)
+	}
+}
+
+// makeJob builds a kernel job of n reads spread over samples; the fetch
+// fills dst with (row%7)+1 so functional output is predictable.
+func makeJob(n, samples, width int) *KernelJob {
+	job := &KernelJob{
+		NumSamples: samples,
+		Width:      width,
+		Fetch: func(rows []int32, dst []float32) {
+			var v float32
+			for _, r := range rows {
+				v += float32(r%7) + 1
+			}
+			for k := range dst {
+				dst[k] = v
+			}
+		},
+	}
+	for i := 0; i < n; i++ {
+		job.AddRead(i%samples, width, int32(i))
+	}
+	return job
+}
+
+func TestRunKernelFunctional(t *testing.T) {
+	cfg := DefaultConfig()
+	// Fetch sums row ids into every element, scaled per row: row r
+	// contributes base vector [r, 2r, 3r, 4r].
+	job := &KernelJob{
+		NumSamples: 2,
+		Width:      4,
+		Fetch: func(rows []int32, dst []float32) {
+			for k := range dst {
+				dst[k] = 0
+			}
+			for _, r := range rows {
+				for k := range dst {
+					dst[k] += float32(r) * float32(k+1)
+				}
+			}
+		},
+	}
+	job.AddRead(0, 4, 1)  // [1 2 3 4]
+	job.AddRead(0, 4, 10) // [10 20 30 40]
+	job.AddRead(1, 2, 5)  // [5 10]
+	for _, engine := range []TimingEngine{ClosedForm, EventDriven} {
+		res, timing, err := RunKernel(cfg, job, engine)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		want0 := []float32{11, 22, 33, 44}
+		for i, w := range want0 {
+			if res.Partial[0][i] != w {
+				t.Fatalf("%v: partial[0] = %v, want %v", engine, res.Partial[0], want0)
+			}
+		}
+		if res.Partial[1][0] != 5 || res.Partial[1][1] != 10 || res.Partial[1][2] != 0 {
+			t.Fatalf("%v: partial[1] = %v", engine, res.Partial[1])
+		}
+		if timing.Reads != 3 {
+			t.Fatalf("%v: reads = %d", engine, timing.Reads)
+		}
+		// Bytes: 16 + 16 + AlignMRAM(8)=8 -> 40.
+		if timing.BytesRead != 40 {
+			t.Fatalf("%v: bytes = %d, want 40", engine, timing.BytesRead)
+		}
+		if timing.Cycles <= 0 {
+			t.Fatalf("%v: cycles = %v", engine, timing.Cycles)
+		}
+	}
+}
+
+func TestKernelJobValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	fetch := func(rows []int32, dst []float32) {}
+	bads := []*KernelJob{
+		{NumSamples: -1, Width: 2},
+		{NumSamples: 1, Width: 0},
+		// WRAM overflow: 64KB / 4B = 16384 accumulator floats max.
+		{NumSamples: 20000, Width: 2},
+		// Reads without a Fetch.
+		{NumSamples: 1, Width: 2, Reads: []Read{{Sample: 0, Elems: 2, RowsLen: 1}}, Rows: []int32{0}},
+		// Bad sample / elems / row spans.
+		{NumSamples: 1, Width: 2, Fetch: fetch, Reads: []Read{{Sample: 1, Elems: 2, RowsLen: 1}}, Rows: []int32{0}},
+		{NumSamples: 1, Width: 2, Fetch: fetch, Reads: []Read{{Sample: 0, Elems: 0, RowsLen: 1}}, Rows: []int32{0}},
+		{NumSamples: 1, Width: 2, Fetch: fetch, Reads: []Read{{Sample: 0, Elems: 3, RowsLen: 1}}, Rows: []int32{0}},
+		{NumSamples: 1, Width: 2, Fetch: fetch, Reads: []Read{{Sample: 0, Elems: 2, RowsLen: 0}}, Rows: []int32{0}},
+		{NumSamples: 1, Width: 2, Fetch: fetch, Reads: []Read{{Sample: 0, Elems: 2, RowsOff: 1, RowsLen: 1}}, Rows: []int32{0}},
+	}
+	for i, job := range bads {
+		if err := job.Validate(cfg); err == nil {
+			t.Fatalf("bad job %d accepted", i)
+		}
+	}
+}
+
+// Closed-form and event-driven engines must agree within a modest factor
+// across regimes (DMA-bound small reads, pipeline-bound, few reads).
+func TestEnginesAgree(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		n, samples, width int
+	}{
+		{10, 4, 2},
+		{500, 64, 2},
+		{500, 64, 8},
+		{2000, 64, 16},
+		{37, 5, 4},
+	}
+	for _, tc := range cases {
+		job := makeJob(tc.n, tc.samples, tc.width)
+		_, closed, err := RunKernel(cfg, job, ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, event, err := RunKernel(cfg, job, EventDriven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := event.Cycles / closed.Cycles
+		if ratio < 0.8 || ratio > 2.0 {
+			t.Fatalf("n=%d width=%d: event %v vs closed %v (ratio %v)",
+				tc.n, tc.width, event.Cycles, closed.Cycles, ratio)
+		}
+	}
+}
+
+// Figure 11 shape, kernel level: at fixed read size, cycles grow with
+// read count; at fixed count, *per-byte* efficiency improves as reads
+// grow from 8B to 32B; and more tasklets help when latency-bound.
+func TestKernelTimingShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	t.Run("monotone in reads", func(t *testing.T) {
+		prev := 0.0
+		for _, n := range []int{50, 100, 200, 400} {
+			_, timing, err := RunKernel(cfg, makeJob(n, 50, 2), ClosedForm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if timing.Cycles <= prev {
+				t.Fatalf("cycles not increasing: n=%d cycles=%v prev=%v", n, timing.Cycles, prev)
+			}
+			prev = timing.Cycles
+		}
+	})
+	t.Run("bigger reads amortize", func(t *testing.T) {
+		// Total elements fixed at 6400: 3200 reads of 2 elems vs 400
+		// reads of 16 elems. The latter must be much cheaper.
+		_, small, err := RunKernel(cfg, makeJob(3200, 64, 2), ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, large, err := RunKernel(cfg, makeJob(400, 64, 16), ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.Cycles >= small.Cycles*0.6 {
+			t.Fatalf("64B reads should amortize: large=%v small=%v", large.Cycles, small.Cycles)
+		}
+	})
+	t.Run("tasklets mask latency", func(t *testing.T) {
+		one := cfg
+		one.Tasklets = 1
+		_, multi, err := RunKernel(cfg, makeJob(1000, 50, 2), ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, single, err := RunKernel(one, makeJob(1000, 50, 2), ClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Cycles <= multi.Cycles {
+			t.Fatalf("single tasklet should be slower: %v vs %v", single.Cycles, multi.Cycles)
+		}
+	})
+}
+
+func TestTransferTimeEqualSizesParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := []int64{1024, 1024, 1024, 1024}
+	st := cfg.TransferTime(sizes, false, Push)
+	if !st.Parallel {
+		t.Fatalf("equal sizes must take the parallel path")
+	}
+	if st.Bytes != 4096 || st.PaddedBytes != 0 {
+		t.Fatalf("bytes = %d padded = %d", st.Bytes, st.PaddedBytes)
+	}
+	want := cfg.XferLatencyNs + 4096/cfg.PushParallelBWBytesPerNs
+	if math.Abs(st.Ns-want) > 1e-9 {
+		t.Fatalf("Ns = %v, want %v", st.Ns, want)
+	}
+}
+
+func TestTransferTimeRaggedSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := []int64{1024, 2048, 512, 0}
+	st := cfg.TransferTime(sizes, false, Pull)
+	if st.Parallel {
+		t.Fatalf("ragged sizes must serialize")
+	}
+	if st.Bytes != 3584 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	// Zero-size buffers contribute no per-DPU cost.
+	want := cfg.XferLatencyNs + 3*cfg.SerialPerDPUNs + 3584/cfg.PullSerialBWBytesPerNs
+	if math.Abs(st.Ns-want) > 1e-9 {
+		t.Fatalf("Ns = %v, want %v", st.Ns, want)
+	}
+}
+
+func TestTransferTimePadding(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := []int64{100, 200, 300}
+	st := cfg.TransferTime(sizes, true, Push)
+	if !st.Parallel {
+		t.Fatalf("padded transfer must be parallel")
+	}
+	if st.Bytes != 900 || st.PaddedBytes != 300 {
+		t.Fatalf("bytes = %d padded = %d", st.Bytes, st.PaddedBytes)
+	}
+	// Padding must beat the ragged path for realistic parameters.
+	ragged := cfg.TransferTime(sizes, false, Push)
+	if st.Ns >= ragged.Ns {
+		t.Fatalf("padded %v should beat ragged %v", st.Ns, ragged.Ns)
+	}
+}
+
+func TestTransferTimeEdgeCases(t *testing.T) {
+	cfg := DefaultConfig()
+	if st := cfg.TransferTime(nil, false, Push); st.Ns != 0 || st.Bytes != 0 {
+		t.Fatalf("empty transfer: %+v", st)
+	}
+	if st := cfg.TransferTime([]int64{0, 0}, false, Pull); st.Ns != 0 {
+		t.Fatalf("all-zero transfer: %+v", st)
+	}
+}
+
+func TestSystemRunStep(t *testing.T) {
+	cfg := DefaultConfig()
+	sys, err := NewSystem(cfg, 4, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*KernelJob, 4)
+	jobs[0] = makeJob(100, 8, 4)
+	jobs[2] = makeJob(300, 8, 4) // heavier: defines the critical path
+	res, err := sys.RunStep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[1] != nil || res.Results[3] != nil {
+		t.Fatalf("idle DPUs must have nil results")
+	}
+	if res.Results[0] == nil || res.Results[2] == nil {
+		t.Fatalf("active DPUs missing results")
+	}
+	if res.MaxCycles != res.Timings[2].Cycles {
+		t.Fatalf("MaxCycles %v != heaviest DPU %v", res.MaxCycles, res.Timings[2].Cycles)
+	}
+	if res.TotalReads != 400 {
+		t.Fatalf("TotalReads = %d", res.TotalReads)
+	}
+	wantNs := cfg.KernelLaunchNs + cfg.CyclesToNs(res.MaxCycles)
+	if math.Abs(res.StageNs-wantNs) > 1e-6 {
+		t.Fatalf("StageNs = %v, want %v", res.StageNs, wantNs)
+	}
+}
+
+func TestSystemRunStepAllIdle(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(), 3, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunStep(make([]*KernelJob, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageNs != 0 || res.MaxCycles != 0 {
+		t.Fatalf("idle step should cost nothing: %+v", res)
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	if _, err := NewSystem(DefaultConfig(), 0, ClosedForm); err == nil {
+		t.Fatalf("NewSystem(0 DPUs) accepted")
+	}
+	if _, err := NewSystem(DefaultConfig(), 4, TimingEngine(9)); err == nil {
+		t.Fatalf("NewSystem(bad engine) accepted")
+	}
+	bad := DefaultConfig()
+	bad.Tasklets = 0
+	if _, err := NewSystem(bad, 4, ClosedForm); err == nil {
+		t.Fatalf("NewSystem(bad config) accepted")
+	}
+	sys, err := NewSystem(DefaultConfig(), 2, ClosedForm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunStep(make([]*KernelJob, 3)); err == nil {
+		t.Fatalf("RunStep with wrong job count accepted")
+	}
+	// A job with an out-of-range read must surface the error.
+	jobs := make([]*KernelJob, 2)
+	jobs[0] = &KernelJob{
+		NumSamples: 1, Width: 2,
+		Fetch: func(rows []int32, dst []float32) {},
+		Reads: []Read{{Sample: 5, Elems: 2, RowsLen: 1}},
+		Rows:  []int32{0},
+	}
+	if _, err := sys.RunStep(jobs); err == nil {
+		t.Fatalf("RunStep with invalid job accepted")
+	}
+}
+
+// Property: kernel timing is deterministic and monotone — adding a read
+// never makes the kernel faster (both engines).
+func TestTimingMonotonicityQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(nRaw uint8, widthRaw uint8, extraRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		width := []int{2, 4, 8, 16}[int(widthRaw)%4]
+		extra := int(extraRaw)%8 + 1
+		base := makeJob(n, 4, width)
+		more := makeJob(n+extra, 4, width)
+		for _, engine := range []TimingEngine{ClosedForm, EventDriven} {
+			_, t1, err := RunKernel(cfg, base, engine)
+			if err != nil {
+				return false
+			}
+			_, t2, err := RunKernel(cfg, more, engine)
+			if err != nil {
+				return false
+			}
+			if t2.Cycles < t1.Cycles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingEngineString(t *testing.T) {
+	if ClosedForm.String() != "closed-form" || EventDriven.String() != "event-driven" {
+		t.Fatalf("engine names wrong")
+	}
+	if TimingEngine(5).String() != "TimingEngine(5)" {
+		t.Fatalf("unknown engine name wrong")
+	}
+}

@@ -1,0 +1,213 @@
+// Package updlrm is a library reproduction of "UpDLRM: Accelerating
+// Personalized Recommendation using Real-World PIM Architecture"
+// (DAC 2024): DLRM inference whose embedding layers are offloaded to a
+// (simulated) UPMEM processing-in-memory system, with the paper's three
+// embedding-table partitioning strategies — uniform tile-shape
+// optimization, frequency-aware non-uniform bin-packing, and cache-aware
+// partitioning over GRACE-style co-occurrence cache lists.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Workloads: WorkloadSpec / Preset / Balanced generate deterministic
+//     synthetic traces with the paper's Table 1 characteristics.
+//   - Models: ModelConfig / NewModel build the DLRM (bottom MLP,
+//     embedding tables, feature interaction, top MLP).
+//   - Engines: EngineConfig / NewEngine build UpDLRM itself; the three
+//     baselines of Table 2 are available through NewCPUBaseline,
+//     NewHybridBaseline, and NewFAEBaseline.
+//   - Results carry CTR outputs plus a per-stage latency Breakdown
+//     (CPU→DPU, DPU lookup, DPU→CPU, host aggregation, MLP).
+//
+// A minimal end-to-end run:
+//
+//	spec, _ := updlrm.Preset("read")
+//	tr, _ := updlrm.Scaled(spec, 0.01, 1.0).Generate(1024)
+//	model, _ := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
+//	eng, _ := updlrm.NewEngine(model, tr, updlrm.DefaultEngineConfig())
+//	ctrs, breakdown, _ := eng.RunTrace(tr, 64)
+//
+// Everything is deterministic given the seeds in the specs and configs.
+package updlrm
+
+import (
+	"updlrm/internal/baseline"
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/grace"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/metrics"
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+	"updlrm/internal/upmem"
+)
+
+// Workload generation.
+type (
+	// WorkloadSpec describes a synthetic DLRM workload (items, tables,
+	// reduction degree, popularity skew, co-occurrence motifs).
+	WorkloadSpec = synth.Spec
+	// Trace is a stream of inference requests.
+	Trace = trace.Trace
+	// Sample is one inference request.
+	Sample = trace.Sample
+	// Batch is a group of samples in the engines' CSR layout.
+	Batch = trace.Batch
+)
+
+// Model building.
+type (
+	// ModelConfig describes a DLRM instance.
+	ModelConfig = dlrm.Config
+	// Model is a materialized DLRM.
+	Model = dlrm.Model
+)
+
+// UpDLRM engine.
+type (
+	// EngineConfig assembles an UpDLRM engine.
+	EngineConfig = core.Config
+	// Engine is the DPU-offloaded inference engine.
+	Engine = core.Engine
+	// EngineResult is one batch's outcome.
+	EngineResult = core.Result
+	// HeteroEngine is the §6 future-work DPU-GPU system.
+	HeteroEngine = core.HeteroEngine
+	// PipelineResult summarizes a batch-pipelined run.
+	PipelineResult = core.PipelineResult
+	// PartitionMethod selects among the paper's §3 strategies.
+	PartitionMethod = partition.Method
+	// Plan is a table's partitioning outcome.
+	Plan = partition.Plan
+	// HWConfig is the DPU hardware model configuration.
+	HWConfig = upmem.HWConfig
+	// CacheMinerConfig tunes the GRACE-style cache-list miner.
+	CacheMinerConfig = grace.Config
+)
+
+// Baselines.
+type (
+	// BaselineSystem is any timed DLRM implementation.
+	BaselineSystem = baseline.System
+	// BaselineResult is one batch's outcome from a baseline.
+	BaselineResult = baseline.Result
+	// CPUModel, GPUModel and PCIeModel parameterize the host hardware.
+	CPUModel  = hosthw.CPUModel
+	GPUModel  = hosthw.GPUModel
+	PCIeModel = hosthw.PCIeModel
+	// HybridConfig and FAEConfig tune the hybrid baselines.
+	HybridConfig = baseline.HybridConfig
+	FAEConfig    = baseline.FAEConfig
+)
+
+// Breakdown attributes modeled latency to pipeline stages.
+type Breakdown = metrics.Breakdown
+
+// Partitioning strategies (the paper's §3.1-§3.3).
+const (
+	// Uniform is §3.1: equal contiguous row blocks with an optimized
+	// tile shape.
+	Uniform = partition.MethodUniform
+	// NonUniform is §3.2: greedy frequency bin-packing.
+	NonUniform = partition.MethodNonUniform
+	// CacheAware is §3.3 / Algorithm 1.
+	CacheAware = partition.MethodCacheAware
+)
+
+// Preset returns a named workload spec; see PresetNames for the
+// catalogue (the six Table 1 datasets plus the Figure 5 skew studies).
+func Preset(name string) (WorkloadSpec, error) { return synth.Preset(name) }
+
+// PresetNames lists every available workload preset.
+func PresetNames() []string { return synth.PresetNames() }
+
+// Table1Names returns the six evaluation workloads in the paper's order.
+func Table1Names() []string { return synth.Table1Names() }
+
+// Scaled shrinks a spec's item count and reduction degree while keeping
+// its shape (skew, motifs) — useful for laptop-scale experimentation.
+func Scaled(s WorkloadSpec, itemFrac, redFrac float64) WorkloadSpec {
+	return synth.Scaled(s, itemFrac, redFrac)
+}
+
+// Balanced returns a uniform-access spec (the Figure 11 sensitivity
+// workload).
+func Balanced(numItems, tables int, avgReduction float64, seed uint64) WorkloadSpec {
+	return synth.Balanced(numItems, tables, avgReduction, seed)
+}
+
+// DefaultModelConfig returns the paper's §4.1 model: 32-dim embeddings,
+// 13 dense features, inference-sized MLPs.
+func DefaultModelConfig(rowsPerTable []int) ModelConfig {
+	return dlrm.DefaultConfig(rowsPerTable)
+}
+
+// NewModel builds a DLRM with deterministic weights and tables.
+func NewModel(cfg ModelConfig) (*Model, error) { return dlrm.New(cfg) }
+
+// DefaultEngineConfig returns the paper's evaluation configuration:
+// 256 DPUs at 350 MHz with 14 tasklets, cache-aware partitioning, batch
+// size 64.
+func DefaultEngineConfig() EngineConfig { return core.DefaultConfig() }
+
+// DefaultHWConfig returns the calibrated UPMEM hardware model.
+func DefaultHWConfig() HWConfig { return upmem.DefaultConfig() }
+
+// NewEngine builds an UpDLRM engine: it mines cache lists (when
+// cache-aware), partitions every table per the configured strategy, and
+// prepares the simulated DPU system. The profile trace supplies access
+// frequencies and co-occurrence statistics.
+func NewEngine(model *Model, profile *Trace, cfg EngineConfig) (*Engine, error) {
+	return core.New(model, profile, cfg)
+}
+
+// DefaultCPUModel returns the calibrated Table 2 host CPU.
+func DefaultCPUModel() CPUModel { return hosthw.DefaultCPU() }
+
+// DefaultGPUModel returns the calibrated Table 2 GPU.
+func DefaultGPUModel() GPUModel { return hosthw.DefaultGPU() }
+
+// DefaultPCIeModel returns the calibrated host-device link.
+func DefaultPCIeModel() PCIeModel { return hosthw.DefaultPCIe() }
+
+// NewCPUBaseline builds DLRM-CPU (Table 2).
+func NewCPUBaseline(model *Model, cpu CPUModel) (BaselineSystem, error) {
+	return baseline.NewCPU(model, cpu)
+}
+
+// NewHybridBaseline builds DLRM-Hybrid (Table 2).
+func NewHybridBaseline(model *Model, cpu CPUModel, gpu GPUModel, pcie PCIeModel,
+	cfg HybridConfig) (BaselineSystem, error) {
+	return baseline.NewHybrid(model, cpu, gpu, pcie, cfg)
+}
+
+// DefaultHybridConfig returns the calibrated hybrid fixed costs.
+func DefaultHybridConfig(numTables int) HybridConfig {
+	return baseline.DefaultHybridConfig(numTables)
+}
+
+// NewFAEBaseline builds FAE (Table 2), deriving hot sets from the
+// profile trace.
+func NewFAEBaseline(model *Model, profile *Trace, cpu CPUModel, gpu GPUModel,
+	pcie PCIeModel, cfg FAEConfig) (BaselineSystem, error) {
+	return baseline.NewFAE(model, profile, cpu, gpu, pcie, cfg)
+}
+
+// DefaultFAEConfig returns the calibrated FAE parameters.
+func DefaultFAEConfig() FAEConfig { return baseline.DefaultFAEConfig() }
+
+// NewHeteroEngine wraps an engine with the §6 future-work GPU back end
+// (DPU embedding stages + PCIe + GPU dense model).
+func NewHeteroEngine(base *Engine, gpu GPUModel, pcie PCIeModel) (*HeteroEngine, error) {
+	return core.NewHetero(base, gpu, pcie)
+}
+
+// RunBaseline runs every batch of a trace through a baseline system.
+func RunBaseline(s BaselineSystem, tr *Trace, batchSize int) ([]float32, Breakdown, error) {
+	return baseline.RunTrace(s, tr, batchSize)
+}
+
+// MakeBatches cuts a trace into consecutive batches.
+func MakeBatches(tr *Trace, batchSize int) []*Batch {
+	return trace.Batches(tr, batchSize)
+}

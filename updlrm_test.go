@@ -1,0 +1,107 @@
+package updlrm
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// advertises: preset -> scale -> generate -> model -> engine -> run, plus
+// all three baselines, asserting functional agreement.
+func TestFacadeEndToEnd(t *testing.T) {
+	spec, err := Preset("read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Scaled(spec, 0.001, 0.2).Generate(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultEngineConfig()
+	cfg.TotalDPUs = 64
+	cfg.BatchSize = 64
+	eng, err := NewEngine(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs, bd, err := eng.RunTrace(tr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrs) != 128 {
+		t.Fatalf("got %d CTRs", len(ctrs))
+	}
+	if bd.EmbedNs() <= 0 || bd.TotalNs() <= bd.EmbedNs() {
+		t.Fatalf("breakdown inconsistent: %+v", bd)
+	}
+
+	cpu, err := NewCPUBaseline(model, DefaultCPUModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuCTRs, _, err := RunBaseline(cpu, tr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ctrs {
+		d := float64(ctrs[i]) - float64(cpuCTRs[i])
+		if d > 1e-4 || d < -1e-4 {
+			t.Fatalf("engine and CPU baseline disagree at %d: %v vs %v", i, ctrs[i], cpuCTRs[i])
+		}
+	}
+
+	hybrid, err := NewHybridBaseline(model, DefaultCPUModel(), DefaultGPUModel(),
+		DefaultPCIeModel(), DefaultHybridConfig(model.Cfg.NumTables()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fae, err := NewFAEBaseline(model, tr, DefaultCPUModel(), DefaultGPUModel(),
+		DefaultPCIeModel(), DefaultFAEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []BaselineSystem{hybrid, fae} {
+		out, sysBd, err := RunBaseline(sys, tr, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if len(out) != 128 || sysBd.TotalNs() <= 0 {
+			t.Fatalf("%s: bad output", sys.Name())
+		}
+	}
+}
+
+func TestFacadeCatalogue(t *testing.T) {
+	if len(PresetNames()) < 9 {
+		t.Fatalf("PresetNames = %v", PresetNames())
+	}
+	if len(Table1Names()) != 6 {
+		t.Fatalf("Table1Names = %v", Table1Names())
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatalf("unknown preset accepted")
+	}
+	b := Balanced(1000, 2, 50, 1)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Balanced: %v", err)
+	}
+	if DefaultHWConfig().Validate() != nil {
+		t.Fatalf("DefaultHWConfig invalid")
+	}
+	tr, err := Balanced(500, 2, 5, 2).Generate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(MakeBatches(tr, 16)); got != 4 {
+		t.Fatalf("MakeBatches = %d", got)
+	}
+}
+
+func TestPartitionMethodConstants(t *testing.T) {
+	if Uniform.String() != "U" || NonUniform.String() != "NU" || CacheAware.String() != "CA" {
+		t.Fatalf("method constants mismapped: %v %v %v", Uniform, NonUniform, CacheAware)
+	}
+}
