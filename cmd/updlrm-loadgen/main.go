@@ -1,0 +1,241 @@
+// Command updlrm-loadgen drives the sharded serving runtime with a
+// synthetic request stream and reports per-request latency percentiles
+// per partitioning method — the tool for exploring the batching-window
+// x shard-count x partition-method space the paper's per-batch numbers
+// cannot show.
+//
+// Two load modes:
+//
+//   - open:   requests arrive on a fixed schedule at -qps regardless of
+//     completion (an open-loop generator; queueing shows up as latency).
+//   - closed: -concurrency workers issue requests back-to-back (a
+//     closed-loop generator; latency caps throughput).
+//
+// Usage:
+//
+//	updlrm-loadgen -preset home -requests 2000 -qps 20000 -shards 4
+//	updlrm-loadgen -mode closed -concurrency 64 -methods cacheaware,uniform
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"updlrm"
+	"updlrm/internal/metrics"
+)
+
+func main() {
+	var (
+		preset      = flag.String("preset", "home", "workload preset (see updlrm.PresetNames)")
+		itemFrac    = flag.Float64("scale", 0.005, "item-count scale factor")
+		redFrac     = flag.Float64("redscale", 0.5, "reduction-degree scale factor")
+		tables      = flag.Int("tables", 4, "number of embedding tables")
+		profileN    = flag.Int("profile", 512, "profiling-trace samples (partitioner input)")
+		requests    = flag.Int("requests", 2000, "requests to issue per method")
+		mode        = flag.String("mode", "open", "load mode: open or closed")
+		qps         = flag.Float64("qps", 20000, "target arrival rate (open mode)")
+		concurrency = flag.Int("concurrency", 64, "in-flight workers (closed mode)")
+		shards      = flag.Int("shards", 4, "engine replicas")
+		maxBatch    = flag.Int("maxbatch", 32, "micro-batch size cap")
+		window      = flag.Duration("window", 200*time.Microsecond, "batching window")
+		dpus        = flag.Int("dpus", 64, "DPUs per engine replica")
+		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
+			"comma-separated partitioning methods to compare")
+	)
+	flag.Parse()
+
+	methods, err := parseMethods(*methodsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One workload for every method: a profiling trace to partition
+	// from, and a disjoint request stream to replay.
+	spec, err := updlrm.Preset(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = updlrm.Scaled(spec, *itemFrac, *redFrac)
+	spec.Tables = *tables
+	stream, err := spec.Generate(*profileN + *requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := &updlrm.Trace{
+		NumTables:    stream.NumTables,
+		RowsPerTable: stream.RowsPerTable,
+		DenseDim:     stream.DenseDim,
+		Samples:      stream.Samples[:*profileN],
+	}
+	live := stream.Samples[*profileN:]
+
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(stream.RowsPerTable))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n\n",
+		*mode, *requests, *shards, *maxBatch, *window, *dpus)
+
+	var rows [][]string
+	for _, m := range methods {
+		ecfg := updlrm.DefaultEngineConfig()
+		ecfg.TotalDPUs = *dpus
+		ecfg.Method = m.method
+		srv, err := updlrm.NewServer(model, profile, ecfg, updlrm.ServerConfig{
+			Shards:      *shards,
+			MaxBatch:    *maxBatch,
+			BatchWindow: *window,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: %s: %v", m.name, err)
+		}
+		switch *mode {
+		case "open":
+			err = runOpen(srv, live, *qps)
+		case "closed":
+			err = runClosed(srv, live, *concurrency)
+		default:
+			log.Fatalf("loadgen: unknown mode %q", *mode)
+		}
+		if err != nil {
+			log.Fatalf("loadgen: %s: %v", m.name, err)
+		}
+		st := srv.Stats()
+		srv.Close()
+		rows = append(rows, []string{
+			m.name,
+			fmt.Sprintf("%d", st.Requests),
+			fmt.Sprintf("%.0f", st.ThroughputRPS),
+			fmt.Sprintf("%.1f", st.AvgBatchSize),
+			metrics.FormatNs(st.P50Ns),
+			metrics.FormatNs(st.P95Ns),
+			metrics.FormatNs(st.P99Ns),
+			metrics.FormatNs(st.MeanNs),
+			metrics.FormatNs(st.AvgQueueNs),
+		})
+	}
+
+	fmt.Print(metrics.Table(
+		[]string{"method", "requests", "rps", "avg batch", "p50", "p95", "p99", "mean", "avg queue"},
+		rows))
+}
+
+type namedMethod struct {
+	name   string
+	method updlrm.PartitionMethod
+}
+
+func parseMethods(s string) ([]namedMethod, error) {
+	var out []namedMethod
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		switch name {
+		case "uniform":
+			out = append(out, namedMethod{name, updlrm.Uniform})
+		case "nonuniform":
+			out = append(out, namedMethod{name, updlrm.NonUniform})
+		case "cacheaware":
+			out = append(out, namedMethod{name, updlrm.CacheAware})
+		case "":
+		default:
+			return nil, fmt.Errorf("loadgen: unknown method %q (want uniform, nonuniform, cacheaware)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: no methods selected")
+	}
+	return out, nil
+}
+
+// runOpen replays samples on a fixed arrival schedule at target qps;
+// each arrival gets its own goroutine, so slow service shows up as
+// queueing latency rather than throttled arrivals.
+func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
+	if qps <= 0 {
+		return fmt.Errorf("qps must be positive")
+	}
+	ctx := context.Background()
+	interval := time.Duration(float64(time.Second) / qps)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(samples))
+	start := time.Now()
+	for i, s := range samples {
+		if d := start.Add(time.Duration(i) * interval).Sub(time.Now()); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(s updlrm.Sample) {
+			defer wg.Done()
+			if _, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	return firstErr(errs)
+}
+
+// runClosed issues requests back-to-back from a fixed worker pool. The
+// first error stops the feed, so a failing shard cannot deadlock the
+// generator against a pool of dead workers.
+func runClosed(srv *updlrm.Server, samples []updlrm.Sample, concurrency int) error {
+	if concurrency <= 0 {
+		return fmt.Errorf("concurrency must be positive")
+	}
+	ctx := context.Background()
+	next := make(chan updlrm.Sample)
+	errs := make(chan error, concurrency)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				if _, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+					errs <- err
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, s := range samples {
+		select {
+		case next <- s:
+		case <-stop:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	close(errs)
+	return firstErr(errs)
+}
+
+func firstErr(errs <-chan error) error {
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "updlrm-loadgen: drive the sharded serving runtime and report latency percentiles\n\n")
+		flag.PrintDefaults()
+	}
+}

@@ -1,26 +1,31 @@
 // Serving: a miniature online recommendation service on top of the
-// UpDLRM engine. The server owns one engine and answers POST /predict
-// requests carrying dense features and per-table multi-hot indices,
-// returning the CTR plus the modeled DPU-side latency — the shape a
-// production deployment of the paper's system would take.
+// UpDLRM sharded serving runtime. The server owns several engine
+// replicas behind a micro-batching request queue and answers POST
+// /predict requests carrying dense features and per-table multi-hot
+// indices, returning the CTR plus the modeled per-request latency
+// (queueing + batch breakdown) — the shape a production deployment of
+// the paper's system would take. Concurrent requests arriving within
+// the batching window are coalesced into one DPU batch.
 //
 // Run with: go run ./examples/serving
 // then:     curl -s localhost:8097/predict -d '{"dense":[0.1,...],"sparse":[[1,2],[3],[4,5],[6]]}'
-// (the demo also issues a few requests against itself and exits).
+// (the demo also issues a burst of requests against itself and exits).
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"updlrm"
-	"updlrm/internal/trace"
 )
 
 // predictRequest is the wire format of one inference request.
@@ -34,59 +39,47 @@ type predictResponse struct {
 	CTR              float32 `json:"ctr"`
 	ModeledLatencyUs float64 `json:"modeled_latency_us"`
 	EmbedSharePct    float64 `json:"embed_share_pct"`
+	Shard            int     `json:"shard"`
+	BatchSize        int     `json:"batch_size"`
 }
 
-// server owns the engine; the engine is not concurrency-safe, so a mutex
-// serializes batches (a production server would shard engines).
-type server struct {
-	mu     sync.Mutex
-	eng    *updlrm.Engine
-	tables int
-	dense  int
-	rows   []int
+// httpServer adapts the serving runtime to HTTP.
+type httpServer struct {
+	srv *updlrm.Server
 }
 
-func (s *server) predict(w http.ResponseWriter, r *http.Request) {
+func (h *httpServer) predict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Dense) != s.dense || len(req.Sparse) != s.tables {
-		http.Error(w, fmt.Sprintf("want %d dense features and %d sparse sets", s.dense, s.tables),
-			http.StatusBadRequest)
-		return
-	}
-	for t, idx := range req.Sparse {
-		for _, v := range idx {
-			if v < 0 || int(v) >= s.rows[t] {
-				http.Error(w, fmt.Sprintf("table %d index %d out of range", t, v), http.StatusBadRequest)
-				return
-			}
-		}
-	}
-	// A single request forms a batch of one (a real deployment would
-	// coalesce; the engine handles any batch size).
-	tr := &trace.Trace{
-		NumTables:    s.tables,
-		RowsPerTable: s.rows,
-		DenseDim:     s.dense,
-		Samples:      []trace.Sample{{Dense: req.Dense, Sparse: req.Sparse}},
-	}
-	batch := trace.MakeBatch(tr, 0, 1)
-
-	s.mu.Lock()
-	res, err := s.eng.RunBatch(batch)
-	s.mu.Unlock()
+	res, err := h.srv.Predict(r.Context(), updlrm.ServeRequest{Dense: req.Dense, Sparse: req.Sparse})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Only request-shape problems are the client's fault; shard
+		// failures and shutdown are server-side statuses.
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, updlrm.ErrBadServeRequest):
+			code = http.StatusBadRequest
+		case errors.Is(err, updlrm.ErrServerClosed):
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
-	embed := res.Breakdown.EmbedNs()
+	// Guard the share against a zero-total breakdown (degenerate but
+	// possible for pathological configs): report 0% rather than NaN.
+	embedShare := 0.0
+	if total := res.Breakdown.TotalNs(); total > 0 {
+		embedShare = 100 * res.Breakdown.EmbedNs() / total
+	}
 	resp := predictResponse{
-		CTR:              res.CTR[0],
-		ModeledLatencyUs: res.Breakdown.TotalNs() / 1e3,
-		EmbedSharePct:    100 * embed / res.Breakdown.TotalNs(),
+		CTR:              res.CTR,
+		ModeledLatencyUs: res.ModeledNs() / 1e3,
+		EmbedSharePct:    embedShare,
+		Shard:            res.Shard,
+		BatchSize:        res.BatchSize,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -95,8 +88,8 @@ func (s *server) predict(w http.ResponseWriter, r *http.Request) {
 }
 
 func main() {
-	// Build the engine from a profiling trace, as the paper's pre-process
-	// stage does.
+	// Build the engines from a profiling trace, as the paper's
+	// pre-process stage does.
 	spec, err := updlrm.Preset("home")
 	if err != nil {
 		log.Fatal(err)
@@ -113,19 +106,19 @@ func main() {
 	}
 	cfg := updlrm.DefaultEngineConfig()
 	cfg.TotalDPUs = 64
-	eng, err := updlrm.NewEngine(model, profile, cfg)
+	srv, err := updlrm.NewServer(model, profile, cfg, updlrm.ServerConfig{
+		Shards:      2,
+		MaxBatch:    16,
+		BatchWindow: 500 * time.Microsecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{
-		eng:    eng,
-		tables: profile.NumTables,
-		dense:  profile.DenseDim,
-		rows:   profile.RowsPerTable,
-	}
+	defer srv.Close()
+	h := &httpServer{srv: srv}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", srv.predict)
+	mux.HandleFunc("POST /predict", h.predict)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -136,28 +129,68 @@ func main() {
 		}
 	}()
 	addr := ln.Addr().String()
-	fmt.Printf("updlrm serving on http://%s/predict (4 sparse tables, %d dense features)\n\n",
+	fmt.Printf("updlrm serving on http://%s/predict (2 shards, 4 sparse tables, %d dense features)\n\n",
 		addr, profile.DenseDim)
 
-	// Demo client: replay a few profile samples as live requests.
+	// Demo client: replay a concurrent burst of profile samples as live
+	// requests, so the batching window has something to coalesce.
 	client := &http.Client{Timeout: 5 * time.Second}
-	for i := 0; i < 5; i++ {
-		s := profile.Samples[i]
-		body, err := json.Marshal(predictRequest{Dense: s.Dense, Sparse: s.Sparse})
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp, err := client.Post("http://"+addr+"/predict", "application/json", bytes.NewReader(body))
-		if err != nil {
-			log.Fatal(err)
-		}
-		var out predictResponse
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
-		fmt.Printf("request %d: ctr=%.4f modeled latency=%.1fus (embedding %.0f%% of it)\n",
-			i+1, out.CTR, out.ModeledLatencyUs, out.EmbedSharePct)
+	const burst = 8
+	outs := make([]predictResponse, burst)
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := profile.Samples[i]
+			outs[i], errs[i] = postPredict(client, addr, predictRequest{Dense: s.Dense, Sparse: s.Sparse})
+		}(i)
 	}
-	fmt.Println("\ndone — in a long-running deployment, keep the server alive instead of exiting")
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		fmt.Printf("request %d: ctr=%.4f modeled latency=%.1fus (embedding %.0f%%, shard %d, batch of %d)\n",
+			i+1, outs[i].CTR, outs[i].ModeledLatencyUs, outs[i].EmbedSharePct,
+			outs[i].Shard, outs[i].BatchSize)
+	}
+
+	// A malformed request exercises the error path: the client must
+	// check the status code, not blindly decode JSON.
+	if _, err := postPredict(client, addr, predictRequest{Dense: []float32{1}, Sparse: nil}); err == nil {
+		log.Fatal("malformed request unexpectedly succeeded")
+	} else {
+		fmt.Printf("\nmalformed request correctly rejected: %v\n", err)
+	}
+
+	st := srv.Stats()
+	fmt.Printf("\nserved %d requests in %d batches (avg %.1f/batch): p50=%.1fus p95=%.1fus p99=%.1fus\n",
+		st.Requests, st.Batches, st.AvgBatchSize, st.P50Ns/1e3, st.P95Ns/1e3, st.P99Ns/1e3)
+	fmt.Println("done — in a long-running deployment, keep the server alive instead of exiting")
+}
+
+// postPredict issues one request and decodes the response, surfacing
+// non-2xx statuses as errors carrying the server's message instead of a
+// confusing JSON decode failure.
+func postPredict(client *http.Client, addr string, req predictRequest) (predictResponse, error) {
+	var out predictResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Post("http://"+addr+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return out, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	return out, nil
 }

@@ -1,0 +1,3 @@
+module updlrm
+
+go 1.24

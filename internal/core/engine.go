@@ -107,6 +107,18 @@ type Result struct {
 // Name returns the implementation label used in reports.
 func (e *Engine) Name() string { return "UpDLRM" }
 
+// NumTables returns the number of embedding tables the engine serves.
+func (e *Engine) NumTables() int { return len(e.plans) }
+
+// RowsPerTable returns a copy of the served model's table sizes.
+func (e *Engine) RowsPerTable() []int {
+	return append([]int(nil), e.model.Cfg.RowsPerTable...)
+}
+
+// DenseDim returns the width of the dense feature vector the model
+// expects.
+func (e *Engine) DenseDim() int { return e.model.Cfg.DenseDim }
+
 // Plans exposes the per-table partitioning decisions.
 func (e *Engine) Plans() []*partition.Plan { return e.plans }
 

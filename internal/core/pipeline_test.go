@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"updlrm/internal/dlrm"
+	"updlrm/internal/synth"
+	"updlrm/internal/trace"
+)
+
+// pipelineFixture builds a small engine plus a trace for pipelined-run
+// tests.
+func pipelineFixture(t *testing.T) (*Engine, *trace.Trace) {
+	t.Helper()
+	spec, err := synth.Preset("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = synth.Scaled(spec, 0.005, 0.5)
+	spec.Tables = 4
+	tr, err := spec.Generate(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dlrm.New(dlrm.DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TotalDPUs = 64
+	eng, err := New(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tr
+}
+
+// TestPipelinedMatchesSerial checks RunTracePipelined's functional
+// results are bitwise-identical to RunTrace's: pipelining reorders
+// modeled time, never arithmetic.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	eng, tr := pipelineFixture(t)
+	const batchSize = 32
+	serialCTR, serialBD, err := eng.RunTrace(tr, batchSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunTracePipelined(tr, batchSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CTR) != len(serialCTR) {
+		t.Fatalf("pipelined %d CTRs, serial %d", len(res.CTR), len(serialCTR))
+	}
+	for i := range serialCTR {
+		if res.CTR[i] != serialCTR[i] {
+			t.Fatalf("CTR %d: pipelined %v != serial %v", i, res.CTR[i], serialCTR[i])
+		}
+	}
+	if res.Breakdown != serialBD {
+		t.Fatalf("pipelined breakdown %+v != serial %+v", res.Breakdown, serialBD)
+	}
+	if want := (len(tr.Samples) + batchSize - 1) / batchSize; res.Batches != want {
+		t.Fatalf("Batches = %d, want %d", res.Batches, want)
+	}
+	if res.SerialNs != serialBD.TotalNs() {
+		t.Fatalf("SerialNs %v != breakdown total %v", res.SerialNs, serialBD.TotalNs())
+	}
+}
+
+// TestPipelinedSpeedup checks overlap never hurts: the pipelined
+// makespan is bounded by the serial total, and the speedup ratio is
+// consistent with both.
+func TestPipelinedSpeedup(t *testing.T) {
+	eng, tr := pipelineFixture(t)
+	res, err := eng.RunTracePipelined(tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PipelinedNs <= 0 {
+		t.Fatalf("PipelinedNs = %v", res.PipelinedNs)
+	}
+	if res.PipelinedNs > res.SerialNs {
+		t.Fatalf("pipelined %v slower than serial %v", res.PipelinedNs, res.SerialNs)
+	}
+	if sp := res.Speedup(); sp < 1 {
+		t.Fatalf("Speedup() = %v, want >= 1", sp)
+	} else if got := res.SerialNs / res.PipelinedNs; sp != got {
+		t.Fatalf("Speedup() = %v, want %v", sp, got)
+	}
+	// Multiple batches overlapping distinct resources should show real
+	// overlap, not a degenerate serial schedule.
+	if res.Batches > 1 && res.Speedup() <= 1 {
+		t.Fatalf("no overlap across %d batches (speedup %v)", res.Batches, res.Speedup())
+	}
+}
+
+// TestPipelinedEmptyBatchSizeOne exercises the degenerate batch size:
+// every sample is its own batch, so overlap across 256 batches must
+// still reproduce serial CTRs exactly.
+func TestPipelinedBatchSizeOne(t *testing.T) {
+	eng, tr := pipelineFixture(t)
+	serialCTR, _, err := eng.RunTrace(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunTracePipelined(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != len(tr.Samples) {
+		t.Fatalf("Batches = %d, want %d", res.Batches, len(tr.Samples))
+	}
+	for i := range serialCTR {
+		if res.CTR[i] != serialCTR[i] {
+			t.Fatalf("CTR %d: pipelined %v != serial %v", i, res.CTR[i], serialCTR[i])
+		}
+	}
+}
+
+func TestPipelinedZeroSpeedupGuard(t *testing.T) {
+	r := PipelineResult{SerialNs: 100, PipelinedNs: 0}
+	if sp := r.Speedup(); sp != 1 {
+		t.Fatalf("zero-makespan Speedup() = %v, want 1", sp)
+	}
+}

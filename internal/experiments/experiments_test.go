@@ -145,6 +145,9 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure8Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := Figure8(tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +178,9 @@ func TestFigure8Bands(t *testing.T) {
 }
 
 func TestFigure9Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	scale := tinyScale()
 	_, cells, err := Figure9(scale)
 	if err != nil {
@@ -218,6 +224,9 @@ func TestFigure9Claims(t *testing.T) {
 }
 
 func TestFigure10Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := Figure10(tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -293,6 +302,9 @@ func TestFigure11Claims(t *testing.T) {
 }
 
 func TestCacheCapacityMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := CacheCapacity(tinyScale())
 	if err != nil {
 		t.Fatal(err)

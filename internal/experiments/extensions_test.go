@@ -3,6 +3,9 @@ package experiments
 import "testing"
 
 func TestEnergyExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := Energy(tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +44,9 @@ func TestEnergyExtension(t *testing.T) {
 }
 
 func TestHeteroExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	scale := tinyScale()
 	scale.Inferences = 1024 // enough samples for the large-batch rows
 	_, rows, err := Hetero(scale)
@@ -81,6 +87,9 @@ func TestPipelineExtension(t *testing.T) {
 }
 
 func TestQuantizationExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := Quantization(tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +134,9 @@ func TestDriftExtension(t *testing.T) {
 }
 
 func TestQuantizationCutsTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := Quantization(tinyScale())
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,9 @@ package experiments
 import "testing"
 
 func TestTaskletSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := TaskletSweep(tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +40,9 @@ func TestTaskletSweep(t *testing.T) {
 }
 
 func TestDPUScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow sweep in -short mode")
+	}
 	_, rows, err := DPUScaling(tinyScale())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,396 @@
+// Package serve is the concurrent serving runtime: N independent
+// core.Engine replicas (each with its own partition plan and simulated
+// DPU ranks) behind a request queue with adaptive micro-batching.
+// Requests arriving within a time/size window are coalesced into one
+// trace.Batch, dispatched to the next free shard, and fanned back out
+// with per-request modeled latency (measured queueing plus the batch's
+// modeled breakdown). This is the deployment shape the paper's §4
+// evaluation implies: the per-batch simulator turned into a system that
+// can absorb an open request stream.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/metrics"
+	"updlrm/internal/trace"
+)
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrBadRequest wraps request-shape validation failures (wrong dense
+// width, wrong table count, out-of-range index), so transports can
+// distinguish caller errors from server-side failures.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Config tunes the serving runtime.
+type Config struct {
+	// Shards is the number of engine replicas serving in parallel.
+	// Zero means DefaultShards.
+	Shards int
+	// MaxBatch caps how many requests one micro-batch coalesces.
+	// Zero means DefaultMaxBatch; 1 disables batching.
+	MaxBatch int
+	// BatchWindow is how long the batcher waits for followers after the
+	// first request of a micro-batch arrives. Zero keeps batching purely
+	// opportunistic: whatever is already queued is coalesced, nothing is
+	// waited for.
+	BatchWindow time.Duration
+	// QueueDepth is the request queue capacity; enqueueing blocks (or
+	// honors ctx cancellation) when it is full. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultShards     = 2
+	DefaultMaxBatch   = 32
+	DefaultQueueDepth = 1024
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// Request is one inference request: dense features plus one multi-hot
+// index set per embedding table.
+type Request struct {
+	Dense  []float32
+	Sparse [][]int32
+}
+
+// Response is the served outcome of one request.
+type Response struct {
+	// CTR is the prediction.
+	CTR float32
+	// Shard is the engine replica that ran the request's micro-batch.
+	Shard int
+	// BatchSize is how many requests the micro-batch coalesced.
+	BatchSize int
+	// QueueNs is the measured wall-clock time from enqueue to dispatch.
+	QueueNs float64
+	// Breakdown is the micro-batch's modeled latency (shared by every
+	// request in the batch — they ran as one trace.Batch).
+	Breakdown metrics.Breakdown
+}
+
+// ModeledNs is the request's end-to-end modeled latency: queueing plus
+// the batch's modeled execution time.
+func (r Response) ModeledNs() float64 { return r.QueueNs + r.Breakdown.TotalNs() }
+
+// pending is a queued request awaiting its micro-batch.
+type pending struct {
+	req  Request // private copy; the caller keeps its buffers
+	ctx  context.Context
+	enq  time.Time
+	done chan outcome // buffered 1; never blocks the worker
+}
+
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// copyRequest deep-copies a request so the server never aliases
+// caller-owned slices after Predict returns.
+func copyRequest(req Request) Request {
+	cp := Request{
+		Dense:  append([]float32(nil), req.Dense...),
+		Sparse: make([][]int32, len(req.Sparse)),
+	}
+	for t, idx := range req.Sparse {
+		cp.Sparse[t] = append([]int32(nil), idx...)
+	}
+	return cp
+}
+
+// Server shards engine replicas behind a micro-batching request queue.
+type Server struct {
+	cfg     Config
+	engines []*core.Engine
+
+	numTables    int
+	rowsPerTable []int
+	denseDim     int
+
+	mu     sync.RWMutex // guards closed + the reqCh send against Close
+	closed bool
+	reqCh  chan *pending
+
+	batchCh chan []*pending
+	wg      sync.WaitGroup
+
+	stats *collector
+}
+
+// NewReplicated builds n independent engine replicas from per-shard
+// model clones (identical weights, private scratch), all partitioned
+// from the same profile trace — so every replica produces bitwise-equal
+// CTRs and plans.
+func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n int) ([]*core.Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if n <= 0 {
+		n = DefaultShards
+	}
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		eng, err := core.New(model.Clone(), profile, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		engines[i] = eng
+	}
+	return engines, nil
+}
+
+// New starts a server over the given engine replicas. All replicas must
+// serve the same model shape. The server owns background goroutines
+// until Close.
+func New(engines []*core.Engine, cfg Config) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("serve: no engines")
+	}
+	cfg.Shards = len(engines)
+	cfg = cfg.withDefaults()
+	first := engines[0]
+	for i, e := range engines[1:] {
+		if e.NumTables() != first.NumTables() || e.DenseDim() != first.DenseDim() {
+			return nil, fmt.Errorf("serve: replica %d shape differs from replica 0", i+1)
+		}
+	}
+	s := &Server{
+		cfg:          cfg,
+		engines:      engines,
+		numTables:    first.NumTables(),
+		rowsPerTable: first.RowsPerTable(),
+		denseDim:     first.DenseDim(),
+		reqCh:        make(chan *pending, cfg.QueueDepth),
+		batchCh:      make(chan []*pending),
+		stats:        newCollector(),
+	}
+	s.wg.Add(1)
+	go s.batcher()
+	for i := range engines {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Config returns the normalized runtime configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// NumTables returns the number of embedding tables requests must carry.
+func (s *Server) NumTables() int { return s.numTables }
+
+// RowsPerTable returns a copy of the served table sizes.
+func (s *Server) RowsPerTable() []int {
+	return append([]int(nil), s.rowsPerTable...)
+}
+
+// DenseDim returns the dense feature width requests must carry.
+func (s *Server) DenseDim() int { return s.denseDim }
+
+// validate checks a request against the served model shape.
+func (s *Server) validate(req Request) error {
+	if len(req.Dense) != s.denseDim {
+		return fmt.Errorf("%w: %d dense features, want %d", ErrBadRequest, len(req.Dense), s.denseDim)
+	}
+	if len(req.Sparse) != s.numTables {
+		return fmt.Errorf("%w: %d sparse sets, want %d", ErrBadRequest, len(req.Sparse), s.numTables)
+	}
+	for t, idx := range req.Sparse {
+		rows := s.rowsPerTable[t]
+		for _, v := range idx {
+			if v < 0 || int(v) >= rows {
+				return fmt.Errorf("%w: table %d index %d out of [0,%d)", ErrBadRequest, t, v, rows)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict enqueues one request and blocks until its micro-batch has been
+// served (or ctx is done). It is safe for concurrent use. The request's
+// buffers are copied at enqueue, so the caller may reuse them as soon as
+// Predict returns — even on cancellation, when the queued copy may still
+// be dispatched (and dropped) later.
+func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
+	if err := s.validate(req); err != nil {
+		return Response{}, err
+	}
+	p := &pending{req: copyRequest(req), ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
+
+	// Hold the read lock across the send so Close cannot close reqCh
+	// under a blocked sender. The batcher keeps draining until Close, so
+	// a full queue still makes progress and Close cannot deadlock.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Response{}, ErrClosed
+	}
+	select {
+	case s.reqCh <- p:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return Response{}, ctx.Err()
+	}
+
+	select {
+	case out := <-p.done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// batcher coalesces queued requests into micro-batches: the first
+// request opens a window of up to BatchWindow (or an opportunistic
+// drain when the window is zero) that closes early at MaxBatch.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.batchCh)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		p, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		pend := []*pending{p}
+		drained := false
+		if s.cfg.BatchWindow > 0 {
+			timer.Reset(s.cfg.BatchWindow)
+		collect:
+			for len(pend) < s.cfg.MaxBatch {
+				select {
+				case q, ok := <-s.reqCh:
+					if !ok {
+						drained = true
+						break collect
+					}
+					pend = append(pend, q)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+		drain:
+			for len(pend) < s.cfg.MaxBatch {
+				select {
+				case q, ok := <-s.reqCh:
+					if !ok {
+						drained = true
+						break drain
+					}
+					pend = append(pend, q)
+				default:
+					break drain
+				}
+			}
+		}
+		s.batchCh <- pend
+		if drained {
+			return
+		}
+	}
+}
+
+// worker owns one engine replica: it turns each micro-batch into a
+// trace.Batch, runs it, and fans results back out per request.
+func (s *Server) worker(shard int) {
+	defer s.wg.Done()
+	eng := s.engines[shard]
+	for pend := range s.batchCh {
+		// Drop requests whose caller already gave up: their Predict has
+		// returned, nobody reads the outcome, and they should not skew
+		// the batch or the stats.
+		live := pend[:0]
+		for _, p := range pend {
+			if err := p.ctx.Err(); err != nil {
+				p.done <- outcome{err: err}
+				continue
+			}
+			live = append(live, p)
+		}
+		pend = live
+		if len(pend) == 0 {
+			continue
+		}
+		dispatch := time.Now()
+		tr := &trace.Trace{
+			NumTables:    s.numTables,
+			RowsPerTable: s.rowsPerTable,
+			DenseDim:     s.denseDim,
+			Samples:      make([]trace.Sample, len(pend)),
+		}
+		for i, p := range pend {
+			tr.Samples[i] = trace.Sample{Dense: p.req.Dense, Sparse: p.req.Sparse}
+		}
+		b := trace.MakeBatch(tr, 0, len(pend))
+		res, err := eng.RunBatch(b)
+		if err != nil {
+			for _, p := range pend {
+				p.done <- outcome{err: fmt.Errorf("serve: shard %d: %w", shard, err)}
+			}
+			s.stats.recordError(len(pend))
+			continue
+		}
+		for i, p := range pend {
+			resp := Response{
+				CTR:       res.CTR[i],
+				Shard:     shard,
+				BatchSize: len(pend),
+				QueueNs:   float64(dispatch.Sub(p.enq).Nanoseconds()),
+				Breakdown: res.Breakdown,
+			}
+			p.done <- outcome{resp: resp}
+			s.stats.record(resp)
+		}
+		s.stats.recordBatch()
+	}
+}
+
+// Close stops accepting requests, drains the queue (every already
+// enqueued request is still served), and waits for all shards to
+// finish. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqCh)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the server's cumulative serving statistics.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }

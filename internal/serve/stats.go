@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of a server's cumulative serving behaviour.
+type Stats struct {
+	// Requests is the number of requests served successfully.
+	Requests int64
+	// Errors is the number of requests that failed in a shard.
+	Errors int64
+	// Batches is the number of micro-batches dispatched.
+	Batches int64
+	// AvgBatchSize is Requests/Batches — how well the window coalesces.
+	AvgBatchSize float64
+	// ThroughputRPS is served requests divided by the wall-clock span
+	// from the first dispatch to the last completion.
+	ThroughputRPS float64
+	// MeanNs, P50Ns, P95Ns, P99Ns and MaxNs summarize the per-request
+	// modeled latency (queueing + batch breakdown).
+	MeanNs float64
+	P50Ns  float64
+	P95Ns  float64
+	P99Ns  float64
+	MaxNs  float64
+	// AvgQueueNs is the mean measured queueing delay.
+	AvgQueueNs float64
+}
+
+// collector accumulates per-request latencies; Server owns one.
+type collector struct {
+	mu         sync.Mutex
+	latencies  []float64 // modeled ns, one per served request
+	queueNsSum float64
+	errors     int64
+	batches    int64
+	first      time.Time // first recorded completion window start
+	last       time.Time // last recorded completion
+}
+
+func newCollector() *collector { return &collector{} }
+
+func (c *collector) record(r Response) {
+	now := time.Now()
+	c.mu.Lock()
+	if c.first.IsZero() {
+		c.first = now
+	}
+	c.last = now
+	c.latencies = append(c.latencies, r.ModeledNs())
+	c.queueNsSum += r.QueueNs
+	c.mu.Unlock()
+}
+
+func (c *collector) recordBatch() {
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+}
+
+func (c *collector) recordError(n int) {
+	c.mu.Lock()
+	c.errors += int64(n)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	lat := append([]float64(nil), c.latencies...)
+	st := Stats{
+		Requests: int64(len(c.latencies)),
+		Errors:   c.errors,
+		Batches:  c.batches,
+	}
+	queueSum := c.queueNsSum
+	first, last := c.first, c.last
+	c.mu.Unlock()
+
+	if st.Batches > 0 {
+		st.AvgBatchSize = float64(st.Requests) / float64(st.Batches)
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	st.MeanNs = sum / float64(len(lat))
+	st.P50Ns = Percentile(lat, 0.50)
+	st.P95Ns = Percentile(lat, 0.95)
+	st.P99Ns = Percentile(lat, 0.99)
+	st.MaxNs = lat[len(lat)-1]
+	st.AvgQueueNs = queueSum / float64(len(lat))
+	if span := last.Sub(first).Seconds(); span > 0 {
+		st.ThroughputRPS = float64(len(lat)) / span
+	}
+	return st
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of sorted by the
+// nearest-rank method. It panics if sorted is empty; a q outside (0,1]
+// clamps to the extremes.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("serve: percentile of empty set")
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

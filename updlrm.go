@@ -37,6 +37,7 @@ import (
 	"updlrm/internal/hosthw"
 	"updlrm/internal/metrics"
 	"updlrm/internal/partition"
+	"updlrm/internal/serve"
 	"updlrm/internal/synth"
 	"updlrm/internal/trace"
 	"updlrm/internal/upmem"
@@ -102,6 +103,31 @@ type (
 
 // Breakdown attributes modeled latency to pipeline stages.
 type Breakdown = metrics.Breakdown
+
+// Serving runtime.
+type (
+	// Server shards engine replicas behind a micro-batching request
+	// queue (see NewServer).
+	Server = serve.Server
+	// ServerConfig tunes shard count, batching window and queue depth.
+	ServerConfig = serve.Config
+	// ServeRequest is one online inference request.
+	ServeRequest = serve.Request
+	// ServeResponse is the served outcome, with per-request modeled
+	// latency (queueing + batch breakdown).
+	ServeResponse = serve.Response
+	// ServerStats summarizes served traffic (p50/p95/p99, throughput,
+	// batch coalescing).
+	ServerStats = serve.Stats
+)
+
+// ErrServerClosed is returned by Server.Predict after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// ErrBadServeRequest wraps request-shape validation failures from
+// Server.Predict (wrong dense width, wrong table count, out-of-range
+// index), letting transports map them to client-error statuses.
+var ErrBadServeRequest = serve.ErrBadRequest
 
 // Partitioning strategies (the paper's §3.1-§3.3).
 const (
@@ -210,4 +236,16 @@ func RunBaseline(s BaselineSystem, tr *Trace, batchSize int) ([]float32, Breakdo
 // MakeBatches cuts a trace into consecutive batches.
 func MakeBatches(tr *Trace, batchSize int) []*Batch {
 	return trace.Batches(tr, batchSize)
+}
+
+// NewServer builds a concurrent serving runtime: cfg.Shards independent
+// engine replicas (per-shard model clones, each partitioned from the
+// same profile) behind a request queue with adaptive micro-batching.
+// Close it when done to stop its background goroutines.
+func NewServer(model *Model, profile *Trace, ecfg EngineConfig, cfg ServerConfig) (*Server, error) {
+	engines, err := serve.NewReplicated(model, profile, ecfg, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return serve.New(engines, cfg)
 }

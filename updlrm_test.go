@@ -1,7 +1,10 @@
 package updlrm
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestFacadeEndToEnd exercises the public API exactly as the package doc
@@ -103,5 +106,70 @@ func TestFacadeCatalogue(t *testing.T) {
 func TestPartitionMethodConstants(t *testing.T) {
 	if Uniform.String() != "U" || NonUniform.String() != "NU" || CacheAware.String() != "CA" {
 		t.Fatalf("method constants mismapped: %v %v %v", Uniform, NonUniform, CacheAware)
+	}
+}
+
+// TestFacadeServer exercises the serving facade: build a sharded server,
+// replay profile samples concurrently, and check the served CTRs match a
+// direct engine run of the same samples.
+func TestFacadeServer(t *testing.T) {
+	spec, err := Preset("read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Scaled(spec, 0.001, 0.2).Generate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultEngineConfig()
+	cfg.TotalDPUs = 64
+	srv, err := NewServer(model, tr, cfg, ServerConfig{
+		Shards:      2,
+		MaxBatch:    8,
+		BatchWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	eng, err := NewEngine(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := eng.RunTrace(tr, len(tr.Samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := range tr.Samples {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Samples[i]
+			resp, err := srv.Predict(ctx, ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+			if err != nil {
+				t.Errorf("sample %d: %v", i, err)
+				return
+			}
+			if resp.CTR != want[i] {
+				t.Errorf("sample %d: served %v != engine %v", i, resp.CTR, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Requests != int64(len(tr.Samples)) || st.Errors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.P99Ns < st.P50Ns {
+		t.Fatalf("percentiles inverted: %+v", st)
 	}
 }
