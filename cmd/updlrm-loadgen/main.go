@@ -11,14 +11,21 @@
 //   - closed: -concurrency workers issue requests back-to-back (a
 //     closed-loop generator; latency caps throughput).
 //
+// A serving-tier hot-row cache (-cachepct, % of embedding storage) can
+// be placed in front of the DPUs: the table then also reports the
+// cache hit rate and total modeled MRAM traffic, and the shed column
+// reports admission-control drops at a full queue (-queue).
+//
 // Usage:
 //
 //	updlrm-loadgen -preset home -requests 2000 -qps 20000 -shards 4
 //	updlrm-loadgen -mode closed -concurrency 64 -methods cacheaware,uniform
+//	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +53,9 @@ func main() {
 		maxBatch    = flag.Int("maxbatch", 32, "micro-batch size cap")
 		window      = flag.Duration("window", 200*time.Microsecond, "batching window")
 		dpus        = flag.Int("dpus", 64, "DPUs per engine replica")
+		queueDepth  = flag.Int("queue", 0, "request queue depth (0 = default); full queues shed with 503-style errors")
+		cachePct    = flag.Float64("cachepct", 0,
+			"serving-tier hot-row cache size as %% of total embedding storage (0 disables)")
 		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
 			"comma-separated partitioning methods to compare")
 	)
@@ -81,8 +91,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n\n",
+	// Hot-row cache budget: a percentage of the model's total embedding
+	// storage, shared by every shard of a method's server.
+	var tableBytes int64
+	for _, rows := range stream.RowsPerTable {
+		tableBytes += int64(rows) * int64(model.Cfg.EmbDim) * 4
+	}
+	cacheBytes := int64(*cachePct / 100 * float64(tableBytes))
+
+	fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n",
 		*mode, *requests, *shards, *maxBatch, *window, *dpus)
+	if cacheBytes > 0 {
+		fmt.Printf("hot-row cache: %.1f%% of %d KB embedding storage = %d KB\n",
+			*cachePct, tableBytes/1024, cacheBytes/1024)
+	}
+	fmt.Println()
 
 	var rows [][]string
 	for _, m := range methods {
@@ -93,6 +116,8 @@ func main() {
 			Shards:      *shards,
 			MaxBatch:    *maxBatch,
 			BatchWindow: *window,
+			QueueDepth:  *queueDepth,
+			HotCache:    updlrm.HotCacheConfig{CapacityBytes: cacheBytes},
 		})
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
@@ -113,18 +138,22 @@ func main() {
 		rows = append(rows, []string{
 			m.name,
 			fmt.Sprintf("%d", st.Requests),
+			fmt.Sprintf("%.1f%%", 100*st.ShedRate()),
 			fmt.Sprintf("%.0f", st.ThroughputRPS),
 			fmt.Sprintf("%.1f", st.AvgBatchSize),
 			metrics.FormatNs(st.P50Ns),
 			metrics.FormatNs(st.P95Ns),
 			metrics.FormatNs(st.P99Ns),
-			metrics.FormatNs(st.MeanNs),
-			metrics.FormatNs(st.AvgQueueNs),
+			metrics.FormatNs(st.QueueP50Ns),
+			metrics.FormatNs(st.QueueP99Ns),
+			fmt.Sprintf("%.1f%%", 100*st.CacheHitRate),
+			fmt.Sprintf("%d", st.MRAMBytesRead/1024),
 		})
 	}
 
 	fmt.Print(metrics.Table(
-		[]string{"method", "requests", "rps", "avg batch", "p50", "p95", "p99", "mean", "avg queue"},
+		[]string{"method", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
+			"q.p50", "q.p99", "cache hit", "mram KB"},
 		rows))
 }
 
@@ -157,7 +186,10 @@ func parseMethods(s string) ([]namedMethod, error) {
 
 // runOpen replays samples on a fixed arrival schedule at target qps;
 // each arrival gets its own goroutine, so slow service shows up as
-// queueing latency rather than throttled arrivals.
+// queueing latency rather than throttled arrivals. Requests the server
+// sheds at a full queue (ErrServerOverloaded) are dropped, as an open
+// load generator's clients would be — the shed rate column reports
+// them.
 func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
 	if qps <= 0 {
 		return fmt.Errorf("qps must be positive")
@@ -174,7 +206,8 @@ func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
 		wg.Add(1)
 		go func(s updlrm.Sample) {
 			defer wg.Done()
-			if _, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+			_, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+			if err != nil && !errors.Is(err, updlrm.ErrServerOverloaded) {
 				errs <- err
 			}
 		}(s)
@@ -202,7 +235,8 @@ func runClosed(srv *updlrm.Server, samples []updlrm.Sample, concurrency int) err
 		go func() {
 			defer wg.Done()
 			for s := range next {
-				if _, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+				_, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+				if err != nil && !errors.Is(err, updlrm.ErrServerOverloaded) {
 					errs <- err
 					stopOnce.Do(func() { close(stop) })
 					return

@@ -1,33 +1,76 @@
-// Cache study: reproduce the §3.3 sensitivity analysis — how the cache
+// Cache study, in two parts.
+//
+// Part 1 reproduces the §3.3 sensitivity analysis — how the cache
 // capacity budget (as a fraction of the storage the mined GRACE lists
 // require) trades MRAM space for embedding-lookup time. The paper
 // reports 17%/22%/26% lookup-time reductions at 40%/70%/100% budgets on
-// GoodReads.
+// GoodReads. This cache lives *inside* the DPUs, as precomputed
+// partial sums in MRAM.
+//
+// Part 2 studies the serving-tier hot-row cache — the host-side
+// TinyLFU-admission cache in front of the DPU pipeline: for each
+// workload skew x partitioning method x cache size it replays a live
+// request stream through a sharded serving runtime and reports the hit
+// rate, the DPU memory traffic, and the served latency percentiles.
+// The 0% row is the cache-less baseline.
 //
 // Run with: go run ./examples/cachestudy
+// Flags:    -offline=false to skip part 1, -presets/-pcts to reshape
+//
+//	part 2's sweep, -requests for its stream length.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"updlrm"
+	"updlrm/internal/experiments"
+	"updlrm/internal/partition"
 )
 
 func main() {
+	var (
+		offline     = flag.Bool("offline", true, "run part 1 (offline GRACE capacity study)")
+		presetsFlag = flag.String("presets", "home,read",
+			"comma-separated workload presets for the serving-tier sweep (low vs high skew)")
+		pctsFlag = flag.String("pcts", "0,1,5",
+			"comma-separated cache sizes as %% of embedding storage (0 = cache-less baseline)")
+		requests = flag.Int("requests", 1024, "live requests per sweep cell")
+	)
+	flag.Parse()
+
+	if *offline {
+		if err := offlineStudy(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if err := servingStudy(*presetsFlag, *pctsFlag, *requests); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// offlineStudy is the original §3.3 reproduction: the in-MRAM cache of
+// precomputed partial sums over mined co-occurrence lists.
+func offlineStudy() error {
 	spec, err := updlrm.Preset("read")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	spec = updlrm.Scaled(spec, 0.005, 1.0)
 	tr, err := spec.Generate(512)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(tr.RowsPerTable))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	fmt.Println("== part 1: in-MRAM partial-sum cache (§3.3 capacity study) ==")
 	fmt.Printf("workload: GoodReads-like, %d samples, avg reduction %.1f\n\n", len(tr.Samples), tr.AvgReduction())
 	fmt.Printf("%-10s %14s %14s %12s %12s\n",
 		"capacity", "cached lists", "cache hits", "lookup (us)", "reduction")
@@ -39,7 +82,7 @@ func main() {
 		cfg.CacheCapacityFrac = frac
 		eng, err := updlrm.NewEngine(model, tr, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var cachedLists int
 		for _, plan := range eng.Plans() {
@@ -50,7 +93,7 @@ func main() {
 		for _, b := range updlrm.MakeBatches(tr, 64) {
 			res, err := eng.RunBatch(b)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			hits += res.CacheHitReads
 			lookupNs += res.Breakdown.DPULookupNs
@@ -63,4 +106,52 @@ func main() {
 	}
 	fmt.Println("\nlarger budgets admit more co-occurrence lists, collapsing multi-row")
 	fmt.Println("reads into single cached partial-sum reads (paper: 17/22/26% at 40/70/100%)")
+	return nil
+}
+
+// servingStudy sweeps the serving-tier hot-row cache across skews,
+// methods and sizes via the experiments harness.
+func servingStudy(presetsFlag, pctsFlag string, requests int) error {
+	presets := splitList(presetsFlag)
+	var pcts []float64
+	for _, s := range splitList(pctsFlag) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("cachestudy: bad cache pct %q", s)
+		}
+		pcts = append(pcts, v)
+	}
+	scale := experiments.BenchScale()
+	if requests > 0 {
+		scale.Inferences = requests
+	}
+	fmt.Println("== part 2: serving-tier hot-row cache (TinyLFU admission, host-side) ==")
+	rep, rows, err := experiments.HotCacheStudy(scale, presets,
+		[]partition.Method{partition.MethodUniform, partition.MethodNonUniform, partition.MethodCacheAware},
+		pcts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	var best experiments.HotCacheRow
+	for _, r := range rows {
+		if r.HitRate > best.HitRate {
+			best = r
+		}
+	}
+	if best.HitRate > 0 {
+		fmt.Printf("\nbest cell: %s/%s at %.1f%% capacity -> %.1f%% of row lookups served host-side\n",
+			best.Preset, best.Method, best.CachePct, 100*best.HitRate)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

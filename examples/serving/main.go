@@ -57,13 +57,17 @@ func (h *httpServer) predict(w http.ResponseWriter, r *http.Request) {
 	res, err := h.srv.Predict(r.Context(), updlrm.ServeRequest{Dense: req.Dense, Sparse: req.Sparse})
 	if err != nil {
 		// Only request-shape problems are the client's fault; shard
-		// failures and shutdown are server-side statuses.
+		// failures and shutdown are server-side statuses. A full queue
+		// (admission control) is 503: retryable, with a hint to back off.
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, updlrm.ErrBadServeRequest):
 			code = http.StatusBadRequest
 		case errors.Is(err, updlrm.ErrServerClosed):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, updlrm.ErrServerOverloaded):
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		http.Error(w, err.Error(), code)
 		return
@@ -110,6 +114,9 @@ func main() {
 		Shards:      2,
 		MaxBatch:    16,
 		BatchWindow: 500 * time.Microsecond,
+		// A hot-row cache worth 256 KB of host memory serves the stream's
+		// hottest embedding rows CPU-side, skipping the DPU round trip.
+		HotCache: updlrm.HotCacheConfig{CapacityBytes: 256 << 10},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -168,6 +175,10 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("\nserved %d requests in %d batches (avg %.1f/batch): p50=%.1fus p95=%.1fus p99=%.1fus\n",
 		st.Requests, st.Batches, st.AvgBatchSize, st.P50Ns/1e3, st.P95Ns/1e3, st.P99Ns/1e3)
+	fmt.Printf("queueing delay: p50=%.1fus p99=%.1fus; shed %d (%.1f%%)\n",
+		st.QueueP50Ns/1e3, st.QueueP99Ns/1e3, st.Shed, 100*st.ShedRate())
+	fmt.Printf("hot-row cache: %.1f%% hit rate (%d hits / %d lookups), %d rows resident, %d KB of MRAM reads avoided\n",
+		100*st.CacheHitRate, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheEntries, st.CacheBytesSaved/1024)
 	fmt.Println("done — in a long-running deployment, keep the server alive instead of exiting")
 }
 

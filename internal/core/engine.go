@@ -15,6 +15,7 @@ import (
 	"updlrm/internal/emt"
 	"updlrm/internal/grace"
 	"updlrm/internal/hosthw"
+	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
 	"updlrm/internal/partition"
 	"updlrm/internal/trace"
@@ -49,6 +50,14 @@ type Config struct {
 	// cost. Quantization materializes the tables, so use it with scaled
 	// workloads.
 	QuantizeEMT bool
+	// HotCache is the serving-tier hot-row cache the engine probes
+	// before dispatching lookups to the DPUs. Rows it serves are
+	// aggregated on the host (Breakdown.HostCacheNs) and never enter the
+	// three-stage DPU pipeline; misses proceed exactly as without a
+	// cache and are offered back for admission. Nil disables the path
+	// bit-for-bit. Several replicas may share one instance (the serving
+	// runtime does).
+	HotCache *hotcache.Cache
 }
 
 // DefaultConfig returns the paper's evaluation configuration: 256 DPUs,
@@ -102,6 +111,12 @@ type Result struct {
 	EMTReads int64
 	// MRAMBytesRead is the total MRAM traffic the batch's kernels moved.
 	MRAMBytesRead int64
+	// HostCacheHits counts row lookups the serving-tier hot-row cache
+	// served host-side, bypassing the DPUs entirely.
+	HostCacheHits int64
+	// HostCacheMisses counts row lookups that probed the hot-row cache
+	// and fell through to the DPU path (zero when no cache is set).
+	HostCacheMisses int64
 }
 
 // Name returns the implementation label used in reports.
@@ -124,6 +139,10 @@ func (e *Engine) Plans() []*partition.Plan { return e.plans }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// HotCache returns the serving-tier hot-row cache the engine probes;
+// nil when the path is disabled.
+func (e *Engine) HotCache() *hotcache.Cache { return e.cfg.HotCache }
 
 // New builds an engine: it chooses tile shapes, mines cache lists (for
 // cache-aware plans), partitions every table, and prepares the DPU
@@ -153,6 +172,10 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 		if err := cfg.Grace.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.HotCache != nil && cfg.HotCache.Dim() != model.Cfg.EmbDim {
+		return nil, fmt.Errorf("core: hot cache dim %d != model EmbDim %d",
+			cfg.HotCache.Dim(), model.Cfg.EmbDim)
 	}
 	dpusPerTable := cfg.TotalDPUs / numTables
 	sys, err := upmem.NewSystem(cfg.HW, cfg.TotalDPUs, cfg.Engine)
@@ -309,6 +332,18 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 	pushSizes := make([]int64, e.sys.NumDPUs())
 	pullSizes := make([]int64, e.sys.NumDPUs())
 
+	// Serving-tier hot-row cache scratch: a probe buffer, a cold-row
+	// builder reused across samples, and per-wave hit/miss totals for
+	// the host-side timing charge.
+	dim := e.model.Cfg.EmbDim
+	var cacheVec []float32
+	var coldScratch []int32
+	var waveHits, waveMisses, waveAdmits int64
+	cache := e.cfg.HotCache
+	if cache != nil {
+		cacheVec = make([]float32, dim)
+	}
+
 	// Build per-DPU kernel jobs (the pre-process stage of Figure 4).
 	for t := range e.plans {
 		plan := e.plans[t]
@@ -331,8 +366,44 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 				job(part, sl).AddRead(s-lo, shape.Nc, rows...)
 			}
 		}
+		// Hot-row cache fill closure: materializes the candidate row from
+		// the host-resident table view, called only on admission.
+		table := e.tables[t]
+		var offerRow int32
+		offerFill := func(dst []float32) { table.ReadCols(int(offerRow), 0, dim, dst) }
+
+		// activeSamples counts wave samples with at least one row left
+		// for the DPUs after cache hits; with no cache every sample is
+		// active and the stage-1/3 payloads are sized exactly as before.
+		activeSamples := 0
 		for s := lo; s < hi; s++ {
 			indices := b.SampleIndices(t, s)
+			if cache != nil {
+				// Split the sample's rows: hits aggregate host-side into
+				// the final embedding, misses continue to the DPU path.
+				coldScratch = coldScratch[:0]
+				dst := embs[s][t]
+				for _, row := range indices {
+					offerRow = row
+					hit, admitted := cache.LookupOrOffer(t, row, cacheVec, offerFill)
+					if hit {
+						for k := 0; k < dim; k++ {
+							dst[k] += cacheVec[k]
+						}
+						waveHits++
+					} else {
+						if admitted {
+							waveAdmits++
+						}
+						coldScratch = append(coldScratch, row)
+						waveMisses++
+					}
+				}
+				indices = coldScratch
+				if len(indices) > 0 {
+					activeSamples++
+				}
+			}
 			if e.assign[t] != nil {
 				cover := e.assign[t].PlanCover(indices)
 				for _, members := range cover.GroupReads {
@@ -353,7 +424,14 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 		}
 		// Stage-1 payload: each slice DPU receives its partition's read
 		// descriptors (4 B each) plus per-sample offsets; stage-3 payload:
-		// one N_c-wide partial sum per sample per DPU.
+		// one N_c-wide partial sum per sample per DPU. With a hot-row
+		// cache, fully cache-served samples drop out of both payloads —
+		// the host only pushes offsets for, and pulls partials of, the
+		// samples that still reach the DPUs.
+		sizeSamples := waveSize
+		if cache != nil {
+			sizeSamples = activeSamples
+		}
 		for part := 0; part < shape.Parts; part++ {
 			for sl := 0; sl < shape.Slices; sl++ {
 				d := base + shape.DPUAt(part, sl)
@@ -361,10 +439,25 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 				if jobs[d] != nil {
 					reads = len(jobs[d].Reads)
 				}
-				pushSizes[d] = int64(reads)*4 + int64(waveSize+1)*4
-				pullSizes[d] = int64(waveSize) * int64(shape.Nc) * 4
+				pushSizes[d] = int64(reads)*4 + int64(sizeSamples+1)*4
+				pullSizes[d] = int64(sizeSamples) * int64(shape.Nc) * 4
 			}
 		}
+	}
+
+	// Host cache service time: one hashed probe per checked row, plus
+	// each hit row's fp32 payload, plus one cold-table random gather per
+	// admitted row (the fill that materializes it). The hot set is a few
+	// percent of embedding storage and re-touched constantly, so by
+	// construction it is LLC/hot-DRAM resident — hit payloads move at
+	// streaming bandwidth, not the cold-table random-gather rate the
+	// baselines (and admission fills) pay.
+	if checked := waveHits + waveMisses; checked > 0 {
+		res.HostCacheHits += waveHits
+		res.HostCacheMisses += waveMisses
+		res.Breakdown.HostCacheNs += e.cfg.Host.GatherNs(checked, 8) +
+			e.cfg.Host.StreamNs(waveHits*int64(dim)*4) +
+			e.cfg.Host.GatherNs(waveAdmits, int64(dim)*4)
 	}
 
 	// Stage 1: CPU -> DPU index push (padded to the parallel fast path).

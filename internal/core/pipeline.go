@@ -66,6 +66,13 @@ func (e *Engine) RunTracePipelined(tr *trace.Trace, batchSize int) (*PipelineRes
 
 		// Stage 1 (LINK), stage 2 (DPUS), stage 3 (LINK), host work.
 		pushStart := linkFree
+		if bd.HostCacheNs > 0 {
+			// The hot-row cache split runs on the CPU before the batch's
+			// push can assemble: it occupies HOST and gates stage 1.
+			cacheEnd := hostFree + bd.HostCacheNs
+			hostFree = cacheEnd
+			pushStart = maxf(pushStart, cacheEnd)
+		}
 		pushEnd := pushStart + bd.CPUToDPUNs
 		linkFree = pushEnd
 

@@ -104,9 +104,11 @@ func (p Params) Run(bd metrics.Breakdown, act SystemActivity) (Estimate, error) 
 	wall := bd.TotalNs() / 1e9 // seconds
 	var e Estimate
 
-	// CPU: active during its embedding gathers, host aggregation, CPU
-	// MLP, and while driving host<->DPU transfers; idle otherwise.
-	cpuBusy := (bd.EmbedCPUNs + bd.HostAggNs + bd.CPUToDPUNs + bd.DPUToCPUNs + bd.OverheadNs) / 1e9
+	// CPU: active during its embedding gathers, host aggregation,
+	// hot-row cache service, CPU MLP, and while driving host<->DPU
+	// transfers; idle otherwise.
+	cpuBusy := (bd.EmbedCPUNs + bd.HostAggNs + bd.HostCacheNs +
+		bd.CPUToDPUNs + bd.DPUToCPUNs + bd.OverheadNs) / 1e9
 	if !act.UsesGPU {
 		cpuBusy += bd.MLPNs / 1e9
 	}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"updlrm/internal/partition"
+	"updlrm/internal/synth"
+)
+
+// TestHotCacheStudy runs the serving-tier cache sweep at bench scale
+// and checks the claims the study exists to demonstrate: the 0% column
+// matches cache-less behavior (no hits), skewed workloads see
+// substantial hit rates at a few percent of storage, and MRAM traffic
+// strictly drops versus the cache-less run of the same method.
+func TestHotCacheStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving sweep in -short mode")
+	}
+	scale := BenchScale()
+	scale.Inferences = 1024
+	rep, rows, err := HotCacheStudy(scale,
+		[]string{synth.PresetRead},
+		[]partition.Method{partition.MethodUniform, partition.MethodCacheAware},
+		[]float64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if len(rep.Rows) != len(rows) {
+		t.Fatalf("report rows %d != data rows %d", len(rep.Rows), len(rows))
+	}
+	byKey := map[string]HotCacheRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%.0f", r.Method, r.CachePct)] = r
+	}
+	for _, method := range []string{"U", "CA"} {
+		base, cached := byKey[method+"/0"], byKey[method+"/5"]
+		if base.HitRate != 0 {
+			t.Fatalf("%s: cache-less run reports hit rate %v", method, base.HitRate)
+		}
+		if cached.HitRate < 0.2 {
+			t.Fatalf("%s: 5%% cache hit rate %.3f under high-hot skew; want >= 0.2", method, cached.HitRate)
+		}
+		if cached.MRAMBytes >= base.MRAMBytes {
+			t.Fatalf("%s: cached MRAM %d not below cache-less %d", method, cached.MRAMBytes, base.MRAMBytes)
+		}
+		if base.MRAMBytes <= 0 || base.P50Ns <= 0 || base.P95Ns < base.P50Ns {
+			t.Fatalf("%s: degenerate baseline row %+v", method, base)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package hotcache is the serving-tier hot-row embedding cache: a
+// concurrent, sharded software cache of per-(table, row) embedding
+// vectors that sits between the serving layer and the DPU pipeline.
+// Rows served from it skip the full push/lookup/pull DPU round trip and
+// are aggregated on the host instead — the RecNMP observation that a
+// small cache in front of near-memory lookup hardware absorbs most of a
+// skewed stream's traffic, applied to UpDLRM's UPMEM back end.
+//
+// Admission is TinyLFU-style: a compact count-min sketch with aging
+// estimates every row's recent access frequency, and a missed row is
+// admitted only when its estimate beats the eviction candidate's.
+// Under Zipf-skewed traffic the cache therefore converges on the true
+// hot set from the live stream alone — no offline profiling pass — and
+// one-hit wonders never displace proven hot rows.
+//
+// The cache is shared by all engine replicas of a serving deployment:
+// every shard probes and feeds the same instance, so a row made hot by
+// any shard's traffic is served host-side by all of them.
+package hotcache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EntryOverheadBytes approximates the bookkeeping cost per resident
+// row (map slot, list links, key) charged against CapacityBytes in
+// addition to the vector payload.
+const EntryOverheadBytes = 64
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 8
+
+// Config sizes a hot-row cache.
+type Config struct {
+	// CapacityBytes is the total host-memory budget across all shards,
+	// payload plus EntryOverheadBytes per row. Zero disables the cache
+	// (NewServer then runs every lookup through the DPUs, bit-identical
+	// to a cache-less deployment); any positive budget holds at least
+	// one row, so small sweep fractions never abort or silently disable.
+	CapacityBytes int64
+	// Shards is the number of independently locked cache segments;
+	// zero means DefaultShards. More shards cut lock contention under
+	// concurrent serving at a small capacity-granularity cost.
+	Shards int
+	// Seed perturbs the shard and sketch hashes.
+	Seed uint64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count row lookups (a row requested k times in one
+	// batch counts k).
+	Hits, Misses int64
+	// Admitted counts rows inserted after winning the frequency duel;
+	// Rejected counts candidates that lost it; Evicted counts residents
+	// displaced by admissions.
+	Admitted, Rejected, Evicted int64
+	// Entries and CapacityEntries are current and maximum resident rows.
+	Entries, CapacityEntries int
+	// BytesSaved is the nominal fp32 row payload served host-side
+	// (Hits x Dim x 4) — MRAM traffic the DPUs never moved.
+	BytesSaved int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one resident row on a shard's intrusive LRU list.
+type entry struct {
+	key        uint64
+	vec        []float32
+	prev, next *entry
+}
+
+// shard is one independently locked cache segment with its own map,
+// LRU list and frequency sketch.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[uint64]*entry
+	capacity int
+	// head is most-recently used, tail is the eviction candidate.
+	head, tail *entry
+	sketch     *sketch
+
+	hits, misses                int64
+	admitted, rejected, evicted int64
+}
+
+// Cache is a concurrent hot-row embedding cache. The zero value of a
+// *Cache (nil) is a valid always-miss cache, so callers can thread an
+// optional cache without nil checks.
+type Cache struct {
+	shards   []*shard
+	mask     uint64
+	seed     uint64
+	dim      int
+	rowBytes int64
+}
+
+// New builds a cache for embedding vectors of the given dimension.
+// A nil cache (disabled) is represented by a nil *Cache, which New
+// returns when cfg.CapacityBytes is zero.
+func New(cfg Config, dim int) (*Cache, error) {
+	if cfg.CapacityBytes == 0 {
+		return nil, nil
+	}
+	if cfg.CapacityBytes < 0 {
+		return nil, fmt.Errorf("hotcache: CapacityBytes = %d", cfg.CapacityBytes)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("hotcache: dim = %d", dim)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("hotcache: Shards = %d", cfg.Shards)
+	}
+	rowBytes := int64(dim) * 4
+	totalEntries := int(cfg.CapacityBytes / (rowBytes + EntryOverheadBytes))
+	if totalEntries < 1 {
+		totalEntries = 1 // a positive budget always buys one row
+	}
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = DefaultShards
+	}
+	// Round down to a power of two for mask-based routing, and never
+	// use more shards than entries (every shard must hold >= 1 row).
+	for nShards&(nShards-1) != 0 {
+		nShards &= nShards - 1
+	}
+	for nShards > totalEntries {
+		nShards >>= 1
+	}
+	c := &Cache{
+		shards:   make([]*shard, nShards),
+		mask:     uint64(nShards - 1),
+		seed:     cfg.Seed,
+		dim:      dim,
+		rowBytes: rowBytes,
+	}
+	per := totalEntries / nShards
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[uint64]*entry, per),
+			capacity: per,
+			sketch:   newSketch(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15),
+		}
+	}
+	return c, nil
+}
+
+// Dim returns the vector width the cache was built for (0 for nil).
+func (c *Cache) Dim() int {
+	if c == nil {
+		return 0
+	}
+	return c.dim
+}
+
+// key packs (table, row) into the cache key space.
+func key(table int, row int32) uint64 {
+	return uint64(table)<<32 | uint64(uint32(row))
+}
+
+// shardFor routes a key to its shard.
+func (c *Cache) shardFor(k uint64) *shard {
+	return c.shards[mix64(k^c.seed)&c.mask]
+}
+
+// Lookup probes the cache for (table, row), recording the access in the
+// frequency sketch either way. On a hit it copies the vector into dst
+// (len >= Dim) and refreshes the entry's recency; on a miss it returns
+// false. A nil cache always misses without recording anything.
+func (c *Cache) Lookup(table int, row int32, dst []float32) bool {
+	if c == nil {
+		return false
+	}
+	k := key(table, row)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	sh.sketch.Record(k)
+	e, ok := sh.entries[k]
+	if !ok {
+		sh.misses++
+		sh.mu.Unlock()
+		return false
+	}
+	sh.moveToFront(e)
+	copy(dst[:c.dim], e.vec)
+	sh.hits++
+	sh.mu.Unlock()
+	return true
+}
+
+// Offer proposes (table, row) for admission after a miss. fill is
+// invoked — under the shard lock, at most once — to materialize the
+// row's vector only when the cache decides to admit it: either a free
+// slot exists, or the candidate's estimated frequency strictly beats
+// the LRU eviction candidate's (the TinyLFU duel). It reports whether
+// the row was admitted (so callers can charge the fill's cost). A nil
+// cache ignores offers.
+func (c *Cache) Offer(table int, row int32, fill func(dst []float32)) bool {
+	if c == nil {
+		return false
+	}
+	k := key(table, row)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return c.offerLocked(sh, k, fill)
+}
+
+// offerLocked runs the admission duel for key k. Caller holds sh.mu.
+func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32)) bool {
+	if e, ok := sh.entries[k]; ok {
+		// Raced with another shard worker's admission; refresh recency.
+		sh.moveToFront(e)
+		return false
+	}
+	if len(sh.entries) >= sh.capacity {
+		victim := sh.tail
+		if sh.sketch.Estimate(k) <= sh.sketch.Estimate(victim.key) {
+			sh.rejected++
+			return false
+		}
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.evicted++
+	}
+	e := &entry{key: k, vec: make([]float32, c.dim)}
+	fill(e.vec)
+	sh.entries[k] = e
+	sh.pushFront(e)
+	sh.admitted++
+	return true
+}
+
+// LookupOrOffer is the serving hot path: one shard-lock acquisition
+// that probes for (table, row) and, on a miss, immediately runs the
+// admission duel — fill is called at most once, under the lock, only
+// when the row is admitted. On a hit the vector is copied into dst
+// (len >= Dim). Returns (hit, admitted); a nil cache misses without
+// admitting.
+func (c *Cache) LookupOrOffer(table int, row int32, dst []float32, fill func(dst []float32)) (hit, admitted bool) {
+	if c == nil {
+		return false, false
+	}
+	k := key(table, row)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sketch.Record(k)
+	if e, ok := sh.entries[k]; ok {
+		sh.moveToFront(e)
+		copy(dst[:c.dim], e.vec)
+		sh.hits++
+		return true, false
+	}
+	sh.misses++
+	return false, c.offerLocked(sh, k, fill)
+}
+
+// Stats aggregates counters across shards. Safe on a nil cache (all
+// zeros).
+func (c *Cache) Stats() Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Admitted += sh.admitted
+		st.Rejected += sh.rejected
+		st.Evicted += sh.evicted
+		st.Entries += len(sh.entries)
+		st.CapacityEntries += sh.capacity
+		sh.mu.Unlock()
+	}
+	st.BytesSaved = st.Hits * c.rowBytes
+	return st
+}
+
+// pushFront links e as the most-recently-used entry. Caller holds mu.
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront refreshes e's recency. Caller holds mu.
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,128 @@
+package hotcache
+
+// sketch is a count-min frequency estimator with 4-bit saturating
+// counters and periodic aging, the TinyLFU design: it answers "has this
+// key been popular recently?" in O(depth) time and a few bits per
+// tracked key. Every recorded access increments depth counters; once
+// the total number of recorded accesses reaches the sample window, all
+// counters halve, so stale popularity decays and the estimator tracks
+// the *current* hot set of a drifting stream.
+//
+// Counters saturate at 15, which is all an admission filter needs: it
+// only ever compares two estimates, and anything seen 15+ times in one
+// window is unambiguously hot.
+type sketch struct {
+	// counters holds depth rows of width 4-bit counters, two per byte.
+	counters []uint8
+	// width is the per-row counter count (a power of two).
+	width uint64
+	// depth is the number of hash rows.
+	depth int
+	// additions counts recorded accesses since the last aging pass.
+	additions int
+	// sampleWindow triggers aging when additions reaches it.
+	sampleWindow int
+	// seeds perturb the per-row hashes.
+	seeds [maxSketchDepth]uint64
+}
+
+const (
+	sketchDepth    = 4
+	maxSketchDepth = 4
+	counterMax     = 15
+)
+
+// newSketch sizes a sketch for roughly maxKeys tracked keys: each row
+// gets the next power of two >= 8*maxKeys counters, and the aging
+// window is 8x the key budget (TinyLFU's usual sample factor).
+func newSketch(maxKeys int, seed uint64) *sketch {
+	if maxKeys < 1 {
+		maxKeys = 1
+	}
+	width := uint64(8)
+	for width < uint64(8*maxKeys) {
+		width <<= 1
+	}
+	s := &sketch{
+		counters:     make([]uint8, sketchDepth*int(width)/2),
+		width:        width,
+		depth:        sketchDepth,
+		sampleWindow: 8 * maxKeys,
+	}
+	for d := range s.seeds {
+		seed = mix64(seed + 0x9e3779b97f4a7c15)
+		s.seeds[d] = seed
+	}
+	return s
+}
+
+// mix64 is a SplitMix64-style finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// slot returns the counter index of key in row d.
+func (s *sketch) slot(d int, key uint64) uint64 {
+	return uint64(d)*s.width + (mix64(key^s.seeds[d]) & (s.width - 1))
+}
+
+// get reads the 4-bit counter at idx.
+func (s *sketch) get(idx uint64) uint8 {
+	b := s.counters[idx/2]
+	if idx&1 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+// set writes the 4-bit counter at idx.
+func (s *sketch) set(idx uint64, v uint8) {
+	i := idx / 2
+	if idx&1 == 0 {
+		s.counters[i] = (s.counters[i] & 0xf0) | v
+	} else {
+		s.counters[i] = (s.counters[i] & 0x0f) | (v << 4)
+	}
+}
+
+// Record counts one access of key, aging all counters when the sample
+// window fills.
+func (s *sketch) Record(key uint64) {
+	for d := 0; d < s.depth; d++ {
+		idx := s.slot(d, key)
+		if c := s.get(idx); c < counterMax {
+			s.set(idx, c+1)
+		}
+	}
+	s.additions++
+	if s.additions >= s.sampleWindow {
+		s.age()
+	}
+}
+
+// Estimate returns the minimum counter across rows — the classic
+// count-min upper bound on key's recent frequency.
+func (s *sketch) Estimate(key uint64) uint8 {
+	est := uint8(counterMax)
+	for d := 0; d < s.depth; d++ {
+		if c := s.get(s.slot(d, key)); c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// age halves every counter, decaying stale popularity.
+func (s *sketch) age() {
+	for i, b := range s.counters {
+		// Halve both packed counters at once: shift each nibble right
+		// within its own lane.
+		s.counters[i] = (b >> 1) & 0x77
+	}
+	s.additions = 0
+}

@@ -19,6 +19,10 @@ type Breakdown struct {
 	DPUToCPUNs float64
 	// HostAggNs is the host-side reduction of partial sums.
 	HostAggNs float64
+	// HostCacheNs is the host-side hot-row cache service time: probing
+	// the serving-tier cache and aggregating hit rows on the CPU instead
+	// of the DPUs. Zero when no cache is deployed.
+	HostCacheNs float64
 	// EmbedCPUNs is embedding-bag time on the CPU (baselines).
 	EmbedCPUNs float64
 	// EmbedGPUNs is embedding gather time on the GPU (FAE hot path).
@@ -36,7 +40,7 @@ type Breakdown struct {
 // and 10 analyze.
 func (b Breakdown) EmbedNs() float64 {
 	return b.CPUToDPUNs + b.DPULookupNs + b.DPUToCPUNs + b.HostAggNs +
-		b.EmbedCPUNs + b.EmbedGPUNs
+		b.HostCacheNs + b.EmbedCPUNs + b.EmbedGPUNs
 }
 
 // TotalNs returns end-to-end inference time.
@@ -50,6 +54,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.DPULookupNs += o.DPULookupNs
 	b.DPUToCPUNs += o.DPUToCPUNs
 	b.HostAggNs += o.HostAggNs
+	b.HostCacheNs += o.HostCacheNs
 	b.EmbedCPUNs += o.EmbedCPUNs
 	b.EmbedGPUNs += o.EmbedGPUNs
 	b.PCIeNs += o.PCIeNs
@@ -63,6 +68,7 @@ func (b *Breakdown) Scale(f float64) {
 	b.DPULookupNs *= f
 	b.DPUToCPUNs *= f
 	b.HostAggNs *= f
+	b.HostCacheNs *= f
 	b.EmbedCPUNs *= f
 	b.EmbedGPUNs *= f
 	b.PCIeNs *= f

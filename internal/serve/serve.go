@@ -18,12 +18,20 @@ import (
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
 	"updlrm/internal/trace"
 )
 
 // ErrClosed is returned by Predict after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrOverloaded is returned by Predict when the request queue is full:
+// the server sheds the request immediately instead of blocking the
+// caller behind an already-saturated pipeline. Transports should map it
+// to a retryable status (HTTP 503); load generators should count it as
+// shed traffic, not failure.
+var ErrOverloaded = errors.New("serve: overloaded: request queue full")
 
 // ErrBadRequest wraps request-shape validation failures (wrong dense
 // width, wrong table count, out-of-range index), so transports can
@@ -43,10 +51,17 @@ type Config struct {
 	// opportunistic: whatever is already queued is coalesced, nothing is
 	// waited for.
 	BatchWindow time.Duration
-	// QueueDepth is the request queue capacity; enqueueing blocks (or
-	// honors ctx cancellation) when it is full. Zero means
+	// QueueDepth is the request queue capacity. A Predict against a full
+	// queue fails fast with ErrOverloaded (admission control: shedding at
+	// the door keeps queueing delay bounded under overload). Zero means
 	// DefaultQueueDepth.
 	QueueDepth int
+	// HotCache sizes the serving-tier hot-row embedding cache shared by
+	// every shard (see package hotcache). The facade's NewServer builds
+	// one cache from this and hands it to each engine replica; a zero
+	// CapacityBytes leaves serving bit-identical to a cache-less
+	// deployment. Ignored by New, which takes already-built engines.
+	HotCache hotcache.Config
 }
 
 // Defaults for Config zero values.
@@ -138,6 +153,14 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	stats *collector
+	// cache is the hot-row cache shared by all replicas (nil when
+	// disabled); kept for stats reporting.
+	cache *hotcache.Cache
+
+	// testHookBatch, when set, runs in each worker just before a
+	// micro-batch executes — tests use it to hold workers and fill the
+	// queue deterministically.
+	testHookBatch func(shard int)
 }
 
 // NewReplicated builds n independent engine replicas from per-shard
@@ -176,6 +199,9 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 		if e.NumTables() != first.NumTables() || e.DenseDim() != first.DenseDim() {
 			return nil, fmt.Errorf("serve: replica %d shape differs from replica 0", i+1)
 		}
+		if e.HotCache() != first.HotCache() {
+			return nil, fmt.Errorf("serve: replica %d does not share replica 0's hot cache", i+1)
+		}
 	}
 	s := &Server{
 		cfg:          cfg,
@@ -186,6 +212,7 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 		reqCh:        make(chan *pending, cfg.QueueDepth),
 		batchCh:      make(chan []*pending),
 		stats:        newCollector(),
+		cache:        first.HotCache(),
 	}
 	s.wg.Add(1)
 	go s.batcher()
@@ -229,8 +256,12 @@ func (s *Server) validate(req Request) error {
 	return nil
 }
 
-// Predict enqueues one request and blocks until its micro-batch has been
-// served (or ctx is done). It is safe for concurrent use. The request's
+// Predict enqueues one request and blocks until its micro-batch has
+// been served (or ctx is done). A full request queue fails fast with
+// ErrOverloaded rather than blocking: under sustained overload the
+// queueing delay of an unbounded wait would dominate every latency
+// percentile, so the server sheds at the door and lets the caller
+// retry or back off. It is safe for concurrent use. The request's
 // buffers are copied at enqueue, so the caller may reuse them as soon as
 // Predict returns — even on cancellation, when the queued copy may still
 // be dispatched (and dropped) later.
@@ -238,11 +269,13 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	if err := s.validate(req); err != nil {
 		return Response{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	p := &pending{req: copyRequest(req), ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
 
 	// Hold the read lock across the send so Close cannot close reqCh
-	// under a blocked sender. The batcher keeps draining until Close, so
-	// a full queue still makes progress and Close cannot deadlock.
+	// under a sender; the send itself never blocks (a full queue sheds).
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -251,9 +284,10 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	select {
 	case s.reqCh <- p:
 		s.mu.RUnlock()
-	case <-ctx.Done():
+	default:
 		s.mu.RUnlock()
-		return Response{}, ctx.Err()
+		s.stats.recordShed()
+		return Response{}, ErrOverloaded
 	}
 
 	select {
@@ -345,6 +379,9 @@ func (s *Server) worker(shard int) {
 		if len(pend) == 0 {
 			continue
 		}
+		if s.testHookBatch != nil {
+			s.testHookBatch(shard)
+		}
 		dispatch := time.Now()
 		tr := &trace.Trace{
 			NumTables:    s.numTables,
@@ -375,7 +412,7 @@ func (s *Server) worker(shard int) {
 			p.done <- outcome{resp: resp}
 			s.stats.record(resp)
 		}
-		s.stats.recordBatch()
+		s.stats.recordBatch(res.MRAMBytesRead)
 	}
 }
 
@@ -392,5 +429,23 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Stats snapshots the server's cumulative serving statistics.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+// Stats snapshots the server's cumulative serving statistics, folding
+// in the shared hot-row cache's counters when one is deployed.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheHitRate = cs.HitRate()
+		st.CacheAdmitted = cs.Admitted
+		st.CacheRejected = cs.Rejected
+		st.CacheEvicted = cs.Evicted
+		st.CacheEntries = cs.Entries
+		st.CacheBytesSaved = cs.BytesSaved
+	}
+	return st
+}
+
+// HotCache returns the shared hot-row cache (nil when disabled).
+func (s *Server) HotCache() *hotcache.Cache { return s.cache }

@@ -20,6 +20,9 @@ type Stats struct {
 	// ThroughputRPS is served requests divided by the wall-clock span
 	// from the first dispatch to the last completion.
 	ThroughputRPS float64
+	// Shed is the number of requests rejected with ErrOverloaded at a
+	// full queue (admission control); they appear in no other counter.
+	Shed int64
 	// MeanNs, P50Ns, P95Ns, P99Ns and MaxNs summarize the per-request
 	// modeled latency (queueing + batch breakdown).
 	MeanNs float64
@@ -27,19 +30,52 @@ type Stats struct {
 	P95Ns  float64
 	P99Ns  float64
 	MaxNs  float64
-	// AvgQueueNs is the mean measured queueing delay.
+	// AvgQueueNs is the mean measured queueing delay; QueueP50Ns,
+	// QueueP95Ns and QueueP99Ns are its percentiles, separating
+	// queue-induced tail latency from the modeled batch execution.
 	AvgQueueNs float64
+	QueueP50Ns float64
+	QueueP95Ns float64
+	QueueP99Ns float64
+	// MRAMBytesRead is the total modeled DPU memory traffic of every
+	// dispatched micro-batch — the quantity the hot-row cache exists to
+	// reduce.
+	MRAMBytesRead int64
+	// CacheHits through CacheBytesSaved mirror the shared hot-row
+	// cache's counters (all zero when no cache is deployed): row lookups
+	// served host-side vs sent to DPUs, the admission filter's decisions,
+	// current occupancy, and the nominal MRAM payload hits avoided.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheHitRate    float64
+	CacheAdmitted   int64
+	CacheRejected   int64
+	CacheEvicted    int64
+	CacheEntries    int
+	CacheBytesSaved int64
+}
+
+// ShedRate returns Shed/(Shed+Requests+Errors) — the fraction of
+// offered load the server refused at the door; 0 when nothing arrived.
+func (s Stats) ShedRate() float64 {
+	offered := s.Shed + s.Requests + s.Errors
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(offered)
 }
 
 // collector accumulates per-request latencies; Server owns one.
 type collector struct {
-	mu         sync.Mutex
-	latencies  []float64 // modeled ns, one per served request
-	queueNsSum float64
-	errors     int64
-	batches    int64
-	first      time.Time // first recorded completion window start
-	last       time.Time // last recorded completion
+	mu        sync.Mutex
+	latencies []float64 // modeled ns, one per served request
+	queues    []float64 // measured queueing ns, one per served request
+	errors    int64
+	batches   int64
+	shed      int64
+	mramBytes int64
+	first     time.Time // first recorded completion window start
+	last      time.Time // last recorded completion
 }
 
 func newCollector() *collector { return &collector{} }
@@ -52,13 +88,20 @@ func (c *collector) record(r Response) {
 	}
 	c.last = now
 	c.latencies = append(c.latencies, r.ModeledNs())
-	c.queueNsSum += r.QueueNs
+	c.queues = append(c.queues, r.QueueNs)
 	c.mu.Unlock()
 }
 
-func (c *collector) recordBatch() {
+func (c *collector) recordBatch(mramBytes int64) {
 	c.mu.Lock()
 	c.batches++
+	c.mramBytes += mramBytes
+	c.mu.Unlock()
+}
+
+func (c *collector) recordShed() {
+	c.mu.Lock()
+	c.shed++
 	c.mu.Unlock()
 }
 
@@ -71,12 +114,14 @@ func (c *collector) recordError(n int) {
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()
 	lat := append([]float64(nil), c.latencies...)
+	queues := append([]float64(nil), c.queues...)
 	st := Stats{
-		Requests: int64(len(c.latencies)),
-		Errors:   c.errors,
-		Batches:  c.batches,
+		Requests:      int64(len(c.latencies)),
+		Errors:        c.errors,
+		Batches:       c.batches,
+		Shed:          c.shed,
+		MRAMBytesRead: c.mramBytes,
 	}
-	queueSum := c.queueNsSum
 	first, last := c.first, c.last
 	c.mu.Unlock()
 
@@ -96,7 +141,15 @@ func (c *collector) snapshot() Stats {
 	st.P95Ns = Percentile(lat, 0.95)
 	st.P99Ns = Percentile(lat, 0.99)
 	st.MaxNs = lat[len(lat)-1]
-	st.AvgQueueNs = queueSum / float64(len(lat))
+	sort.Float64s(queues)
+	var queueSum float64
+	for _, v := range queues {
+		queueSum += v
+	}
+	st.AvgQueueNs = queueSum / float64(len(queues))
+	st.QueueP50Ns = Percentile(queues, 0.50)
+	st.QueueP95Ns = Percentile(queues, 0.95)
+	st.QueueP99Ns = Percentile(queues, 0.99)
 	if span := last.Sub(first).Seconds(); span > 0 {
 		st.ThroughputRPS = float64(len(lat)) / span
 	}

@@ -35,6 +35,7 @@ import (
 	"updlrm/internal/dlrm"
 	"updlrm/internal/grace"
 	"updlrm/internal/hosthw"
+	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
 	"updlrm/internal/partition"
 	"updlrm/internal/serve"
@@ -116,9 +117,20 @@ type (
 	// ServeResponse is the served outcome, with per-request modeled
 	// latency (queueing + batch breakdown).
 	ServeResponse = serve.Response
-	// ServerStats summarizes served traffic (p50/p95/p99, throughput,
-	// batch coalescing).
+	// ServerStats summarizes served traffic (p50/p95/p99 for end-to-end
+	// and queueing delay, throughput, batch coalescing, shed count, DPU
+	// memory traffic, and hot-row cache effectiveness).
 	ServerStats = serve.Stats
+	// HotCacheConfig sizes the serving-tier hot-row embedding cache
+	// (TinyLFU admission over the live stream); set it on ServerConfig.
+	// A zero CapacityBytes disables the cache, leaving serving
+	// bit-identical to a cache-less deployment.
+	HotCacheConfig = hotcache.Config
+	// HotCache is a shared hot-row embedding cache instance; build one
+	// with NewHotCache to share across engines outside NewServer.
+	HotCache = hotcache.Cache
+	// HotCacheStats snapshots a cache's effectiveness counters.
+	HotCacheStats = hotcache.Stats
 )
 
 // ErrServerClosed is returned by Server.Predict after Close.
@@ -128,6 +140,11 @@ var ErrServerClosed = serve.ErrClosed
 // Server.Predict (wrong dense width, wrong table count, out-of-range
 // index), letting transports map them to client-error statuses.
 var ErrBadServeRequest = serve.ErrBadRequest
+
+// ErrServerOverloaded is returned by Server.Predict when the request
+// queue is full: the server sheds instead of queueing unboundedly.
+// Transports should map it to a retryable status (HTTP 503).
+var ErrServerOverloaded = serve.ErrOverloaded
 
 // Partitioning strategies (the paper's §3.1-§3.3).
 const (
@@ -241,11 +258,30 @@ func MakeBatches(tr *Trace, batchSize int) []*Batch {
 // NewServer builds a concurrent serving runtime: cfg.Shards independent
 // engine replicas (per-shard model clones, each partitioned from the
 // same profile) behind a request queue with adaptive micro-batching.
-// Close it when done to stop its background goroutines.
+// When cfg.HotCache.CapacityBytes is non-zero, one serving-tier
+// hot-row cache is built and shared by every replica: hot embedding
+// rows are served host-side, cold rows take the DPU pipeline, and
+// Stats reports hit rate and bytes saved. Close the server when done
+// to stop its background goroutines.
 func NewServer(model *Model, profile *Trace, ecfg EngineConfig, cfg ServerConfig) (*Server, error) {
+	if model != nil && cfg.HotCache.CapacityBytes != 0 {
+		cache, err := hotcache.New(cfg.HotCache, model.Cfg.EmbDim)
+		if err != nil {
+			return nil, err
+		}
+		ecfg.HotCache = cache
+	}
 	engines, err := serve.NewReplicated(model, profile, ecfg, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	return serve.New(engines, cfg)
+}
+
+// NewHotCache builds a standalone serving-tier hot-row cache for
+// embedding vectors of the given dimension; set it on
+// EngineConfig.HotCache to share one cache across hand-built engines.
+// A zero-capacity config returns nil (disabled), which is valid.
+func NewHotCache(cfg HotCacheConfig, dim int) (*HotCache, error) {
+	return hotcache.New(cfg, dim)
 }

@@ -173,3 +173,93 @@ func TestFacadeServer(t *testing.T) {
 		t.Fatalf("percentiles inverted: %+v", st)
 	}
 }
+
+// TestFacadeHotCache covers the hot-row cache through the public API:
+// a zero-capacity config serves CTRs bit-identical to a bare engine
+// (today's behavior), while a sized cache engages over a replayed
+// stream and reports coherent hit/traffic stats. (Numerical
+// correctness of the cached split path itself is proven against the
+// CPU reference in internal/core's tests.)
+func TestFacadeHotCache(t *testing.T) {
+	spec, err := Preset("read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Scaled(spec, 0.001, 0.2).Generate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := DefaultEngineConfig()
+	ecfg.TotalDPUs = 64
+
+	// Zero capacity: equivalence with the cache-less engine, request by
+	// request (MaxBatch 1 pins batch composition).
+	srv, err := NewServer(model, tr, ecfg, ServerConfig{
+		Shards:   1,
+		MaxBatch: 1,
+		HotCache: HotCacheConfig{CapacityBytes: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(model, tr, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, s := range tr.Samples[:16] {
+		resp, err := srv.Predict(ctx, ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := MakeBatches(&Trace{NumTables: tr.NumTables, RowsPerTable: tr.RowsPerTable,
+			DenseDim: tr.DenseDim, Samples: tr.Samples[i : i+1]}, 1)[0]
+		want, err := eng.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CTR != want.CTR[0] {
+			t.Fatalf("sample %d: zero-capacity cache CTR %v != engine %v", i, resp.CTR, want.CTR[0])
+		}
+	}
+	st := srv.Stats()
+	srv.Close()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheHitRate != 0 {
+		t.Fatalf("zero-capacity cache recorded traffic: %+v", st)
+	}
+
+	// Sized cache: hits must appear and the stats must hang together.
+	cached, err := NewServer(model, tr, ecfg, ServerConfig{
+		Shards:   2,
+		MaxBatch: 4,
+		HotCache: HotCacheConfig{CapacityBytes: 128 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	for pass := 0; pass < 2; pass++ { // second pass hits the warmed cache
+		for _, s := range tr.Samples {
+			if _, err := cached.Predict(ctx, ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cst := cached.Stats()
+	if cst.CacheHits == 0 {
+		t.Fatal("sized cache served no rows over two passes")
+	}
+	if cst.CacheHitRate <= 0 || cst.CacheHitRate > 1 {
+		t.Fatalf("hit rate %v out of (0,1]", cst.CacheHitRate)
+	}
+	if cst.CacheBytesSaved <= 0 || cst.MRAMBytesRead <= 0 {
+		t.Fatalf("traffic accounting: %+v", cst)
+	}
+	if cst.CacheHits+cst.CacheMisses == 0 || cst.CacheEntries == 0 {
+		t.Fatalf("cache never engaged: %+v", cst)
+	}
+}
