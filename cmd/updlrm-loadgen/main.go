@@ -14,13 +14,18 @@
 // A serving-tier hot-row cache (-cachepct, % of embedding storage) can
 // be placed in front of the DPUs: the table then also reports the
 // cache hit rate and total modeled MRAM traffic, and the shed column
-// reports admission-control drops at a full queue (-queue).
+// reports admission-control drops at a full queue (-queue). With
+// -pipeline, shard workers overlap consecutive queued micro-batches on
+// the LINK/DPUS/HOST schedule; the pipe column reports the modeled
+// throughput speedup from that overlap (1.00x when the shard never
+// backlogs, "-" when pipelining is off).
 //
 // Usage:
 //
 //	updlrm-loadgen -preset home -requests 2000 -qps 20000 -shards 4
 //	updlrm-loadgen -mode closed -concurrency 64 -methods cacheaware,uniform
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
+//	updlrm-loadgen -mode closed -concurrency 64 -pipeline
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 		window      = flag.Duration("window", 200*time.Microsecond, "batching window")
 		dpus        = flag.Int("dpus", 64, "DPUs per engine replica")
 		queueDepth  = flag.Int("queue", 0, "request queue depth (0 = default); full queues shed with 503-style errors")
+		pipeline    = flag.Bool("pipeline", false,
+			"overlap consecutive micro-batches per shard on the LINK/DPUS/HOST schedule")
 		cachePct    = flag.Float64("cachepct", 0,
 			"serving-tier hot-row cache size as %% of total embedding storage (0 disables)")
 		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
@@ -117,6 +124,7 @@ func main() {
 			MaxBatch:    *maxBatch,
 			BatchWindow: *window,
 			QueueDepth:  *queueDepth,
+			Pipeline:    *pipeline,
 			HotCache:    updlrm.HotCacheConfig{CapacityBytes: cacheBytes},
 		})
 		if err != nil {
@@ -148,13 +156,23 @@ func main() {
 			metrics.FormatNs(st.QueueP99Ns),
 			fmt.Sprintf("%.1f%%", 100*st.CacheHitRate),
 			fmt.Sprintf("%d", st.MRAMBytesRead/1024),
+			pipeCell(st.PipelineSpeedup),
 		})
 	}
 
 	fmt.Print(metrics.Table(
 		[]string{"method", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
-			"q.p50", "q.p99", "cache hit", "mram KB"},
+			"q.p50", "q.p99", "cache hit", "mram KB", "pipe"},
 		rows))
+}
+
+// pipeCell formats the pipeline-speedup column: "-" when pipelining
+// was off (no pipelined batches ran), the modeled speedup otherwise.
+func pipeCell(speedup float64) string {
+	if speedup == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", speedup)
 }
 
 type namedMethod struct {

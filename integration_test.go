@@ -195,7 +195,7 @@ func TestIntegrationDenseBackingMatchesProcedural(t *testing.T) {
 	refEmbs := dlrm.EmbedCPU(model, b)
 	for s := 0; s < b.Size; s++ {
 		for tb := range refEmbs[s] {
-			if !tensor.AlmostEqual(res.Embeddings[s][tb], refEmbs[s][tb], 1e-4) {
+			if !tensor.AlmostEqual(res.Embeddings.At(s, tb), refEmbs[s][tb], 1e-4) {
 				t.Fatalf("dense backing: embedding mismatch at sample %d table %d", s, tb)
 			}
 		}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"updlrm/internal/hotcache"
+	"updlrm/internal/partition"
+	"updlrm/internal/trace"
+)
+
+// snapshotResult deep-copies the arena-backed parts of a Result so they
+// survive the engine's next RunBatch.
+func snapshotResult(r *Result) *Result {
+	cp := *r
+	cp.CTR = append([]float32(nil), r.CTR...)
+	cp.Embeddings = r.Embeddings.Clone()
+	return &cp
+}
+
+// TestArenaReuseNoStaleBleed is the scratch-recycling safety check: the
+// engine runs a large batch, then a smaller different batch, then the
+// large batch again — every pass over the reused arena must reproduce
+// the first run bit for bit (CTRs, embeddings, breakdown, counters),
+// proving no stale rows, partial sums, or job reads leak between
+// requests.
+func TestArenaReuseNoStaleBleed(t *testing.T) {
+	model, tr := smallWorld(t)
+	for _, method := range []partition.Method{
+		partition.MethodUniform, partition.MethodCacheAware,
+	} {
+		eng, err := New(model, tr, smallConfig(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		big := trace.MakeBatch(tr, 0, 64)
+		small := trace.MakeBatch(tr, 64, 96)
+
+		first, err := eng.RunBatch(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := snapshotResult(first)
+
+		// Interleave a smaller batch so the arena shrinks, then regrows.
+		if _, err := eng.RunBatch(small); err != nil {
+			t.Fatal(err)
+		}
+		again, err := eng.RunBatch(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for s := range want.CTR {
+			if want.CTR[s] != again.CTR[s] {
+				t.Fatalf("%v: CTR[%d] drifted across arena reuse: %v != %v",
+					method, s, again.CTR[s], want.CTR[s])
+			}
+		}
+		for s := 0; s < big.Size; s++ {
+			for tb := 0; tb < want.Embeddings.Tables(); tb++ {
+				ew, ea := want.Embeddings.At(s, tb), again.Embeddings.At(s, tb)
+				for k := range ew {
+					if ew[k] != ea[k] {
+						t.Fatalf("%v: embedding (%d,%d,%d) drifted across arena reuse", method, s, tb, k)
+					}
+				}
+			}
+		}
+		if want.Breakdown != again.Breakdown {
+			t.Fatalf("%v: breakdown drifted:\nfirst %+v\nagain %+v", method, want.Breakdown, again.Breakdown)
+		}
+		if want.EMTReads != again.EMTReads || want.CacheHitReads != again.CacheHitReads ||
+			want.MRAMBytesRead != again.MRAMBytesRead {
+			t.Fatalf("%v: counters drifted across arena reuse", method)
+		}
+	}
+}
+
+// TestArenaResultsMatchFreshEngine cross-checks the reused arena
+// against a fresh engine that has never served another batch: after
+// arbitrary interleaving, the recycled buffers must produce exactly
+// what a cold engine produces.
+func TestArenaResultsMatchFreshEngine(t *testing.T) {
+	model, tr := smallWorld(t)
+	warm, err := New(model, tr, smallConfig(partition.MethodNonUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the arena with varied batch shapes.
+	for _, r := range [][2]int{{0, 96}, {10, 12}, {32, 96}} {
+		if _, err := warm.RunBatch(trace.MakeBatch(tr, r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := trace.MakeBatch(tr, 0, 48)
+	got, err := warm.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(model, tr, smallConfig(partition.MethodNonUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want.CTR {
+		if want.CTR[s] != got.CTR[s] {
+			t.Fatalf("CTR[%d]: warm arena %v != fresh engine %v", s, got.CTR[s], want.CTR[s])
+		}
+	}
+	if want.Breakdown != got.Breakdown {
+		t.Fatalf("breakdown: warm %+v != fresh %+v", got.Breakdown, want.Breakdown)
+	}
+}
+
+// TestArenaReuseWithHotCache runs the stale-bleed interleaving with a
+// live hot-row cache: the cache split path shares the same arena
+// (coldScratch, cacheVec, flat embeddings) and must stay correct as
+// batch shapes change. Cache state advances between passes, so instead
+// of bitwise-replaying, every pass is checked against the CPU
+// reference.
+func TestArenaReuseWithHotCache(t *testing.T) {
+	model, tr := smallWorld(t)
+	cfg := smallConfig(partition.MethodUniform)
+	cache, err := hotcache.New(hotcache.Config{CapacityBytes: 64 << 10, Seed: 9}, model.Cfg.EmbDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HotCache = cache
+	eng, err := New(model, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, r := range [][2]int{{0, 64}, {64, 96}, {0, 96}} {
+			b := trace.MakeBatch(tr, r[0], r[1])
+			got, err := eng.RunBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCTR := append([]float32(nil), got.CTR...)
+			want, err := ref.RunBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range want.CTR {
+				d := float64(want.CTR[s]) - float64(gotCTR[s])
+				if d > 1e-4 || d < -1e-4 {
+					t.Fatalf("pass %d [%d,%d): CTR[%d] cache-split %v != reference %v",
+						pass, r[0], r[1], s, gotCTR[s], want.CTR[s])
+				}
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Fatal("cache never hit; the split path went unexercised")
+	}
+}

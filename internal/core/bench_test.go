@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"updlrm/internal/partition"
+	"updlrm/internal/trace"
+)
+
+// BenchmarkRunBatch measures the engine's end-to-end batch hot path —
+// job building, the three DPU stages, host aggregation, and the dense
+// model — on the smallWorld fixture. allocs/op is the headline number:
+// the flat-buffer arena exists to drive it toward zero.
+func BenchmarkRunBatch(b *testing.B) {
+	for _, bench := range []struct {
+		name   string
+		method partition.Method
+	}{
+		{"uniform", partition.MethodUniform},
+		{"cacheaware", partition.MethodCacheAware},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			model, tr := smallWorld(b)
+			eng, err := New(model, tr, smallConfig(bench.method))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := trace.MakeBatch(tr, 0, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunTracePipelined measures the cross-batch overlap scheduler
+// on a whole trace, covering the CTR-growth path of PipelineResult.
+func BenchmarkRunTracePipelined(b *testing.B) {
+	model, tr := smallWorld(b)
+	eng, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunTracePipelined(tr, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"updlrm/internal/dlrm"
 	"updlrm/internal/emt"
@@ -18,6 +19,7 @@ import (
 	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
 	"updlrm/internal/partition"
+	"updlrm/internal/tensor"
 	"updlrm/internal/trace"
 	"updlrm/internal/upmem"
 )
@@ -50,6 +52,12 @@ type Config struct {
 	// cost. Quantization materializes the tables, so use it with scaled
 	// workloads.
 	QuantizeEMT bool
+	// HostWorkers bounds the dense-compute worker pool (per-core model
+	// clones ForwardBatchParallel shards over). Zero means one worker
+	// per host core (capped at maxHostWorkers); multi-engine deployments
+	// (serving shards) should divide the cores among replicas so the
+	// pools do not oversubscribe the machine — serve.NewReplicated does.
+	HostWorkers int
 	// HotCache is the serving-tier hot-row cache the engine probes
 	// before dispatching lookups to the DPUs. Rows it serves are
 	// aggregated on the host (Breakdown.HostCacheNs) and never enter the
@@ -75,7 +83,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is a ready-to-serve UpDLRM instance.
+// maxHostWorkers bounds the dense-compute worker pool (and its per-
+// worker model clones) on very wide hosts.
+const maxHostWorkers = 16
+
+// Engine is a ready-to-serve UpDLRM instance. It is not safe for
+// concurrent use: every batch runs through an engine-owned scratch
+// arena (flat embedding buffer, kernel jobs, transfer-size and
+// partial-sum storage) that is recycled from one RunBatch to the next —
+// the allocation-free hot path. Run replicas (see internal/serve) for
+// parallel serving.
 type Engine struct {
 	cfg    Config
 	model  *dlrm.Model
@@ -84,7 +101,10 @@ type Engine struct {
 	assign []*grace.Assignment // nil entries for non-CA plans
 	// baseDPU[t] is the first global DPU index of table t's group.
 	baseDPU []int
-	// fetchers[t][slice] materializes MRAM content for (table, slice).
+	// fetchers[t][local] materializes MRAM content for table t's DPU at
+	// local index Shape.DPUAt(part, slice). One closure per DPU: each
+	// owns a private staging buffer (a kernel's reads run serially, and
+	// no two DPUs share a closure), so fetching never allocates.
 	fetchers [][]func(rows []int32, dst []float32)
 	// tables are the MRAM-resident views (quantized when configured).
 	tables []emt.Table
@@ -93,15 +113,60 @@ type Engine struct {
 	// avgRed is the profile's average reduction, kept for worst-case
 	// buffer sizing.
 	avgRed float64
+	// hostModels is the dense-compute worker pool: the primary model
+	// plus one clone per additional core, each with private MLP scratch,
+	// so ForwardBatchParallel can use the whole host bit-identically.
+	hostModels []*dlrm.Model
+	// offerFills[t] materializes the admission candidate sc.offerRow of
+	// table t for the hot-row cache — prebuilt so the per-row cache loop
+	// does not allocate closures.
+	offerFills []func(dst []float32)
+	// sc is the per-engine scratch arena RunBatch recycles.
+	sc scratch
+}
+
+// scratch is the engine's reusable batch arena. Everything here is
+// sized on first use and recycled: a steady-state RunBatch performs no
+// per-sample or per-DPU heap allocation.
+type scratch struct {
+	// embs is the flat (batch x tables x dim) embedding buffer Results
+	// expose.
+	embs tensor.EmbBuf
+	// ctr is the CTR output buffer.
+	ctr []float32
+	// jobs[d] points into jobStore for DPUs active this wave, nil
+	// otherwise; jobStore keeps each job's Reads/Rows capacity across
+	// batches.
+	jobs     []*upmem.KernelJob
+	jobStore []upmem.KernelJob
+	// pushSizes and pullSizes are the per-DPU stage-1/stage-3 payloads.
+	pushSizes, pullSizes []int64
+	// step holds kernel outputs; its per-DPU partial-sum storage is
+	// recycled by upmem.RunStepInto.
+	step upmem.StepResult
+	// cover plans cache-aware group reads without per-sample maps.
+	cover grace.CoverPlanner
+	// coldScratch collects a sample's cache-missing rows; cacheVec is
+	// the hot-row probe buffer; offerRow is the admission candidate the
+	// prebuilt offerFills closures read.
+	coldScratch []int32
+	cacheVec    []float32
+	offerRow    int32
 }
 
 // Result is one batch's outcome.
+//
+// CTR and Embeddings alias the engine's scratch arena: they are valid
+// until the next RunBatch on the same engine, which recycles the
+// buffers in place. Copy them (append, Clone) to retain across batches
+// — RunTrace and the serving runtime already do.
 type Result struct {
 	// CTR holds per-sample predictions.
 	CTR []float32
 	// Embeddings are the aggregated per-sample, per-table reduced
-	// embeddings (exposed for equivalence testing).
-	Embeddings [][][]float32
+	// embeddings in the flat batch x tables x dim layout (exposed for
+	// equivalence testing; index with At).
+	Embeddings *tensor.EmbBuf
 	// Breakdown attributes the batch's modeled latency; the three DPU
 	// stages of Figure 4 fill CPUToDPUNs, DPULookupNs and DPUToCPUNs.
 	Breakdown metrics.Breakdown
@@ -241,30 +306,67 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 		}
 		e.baseDPU = append(e.baseDPU, t*dpusPerTable)
 
-		// One fetcher per (table, slice): sums the slice columns of the
-		// requested rows — a single row for EMT reads, several rows for a
-		// cached partial-sum read. emt.Table backends must be safe for
-		// concurrent reads (all provided ones are).
+		// One fetcher per (table, DPU): sums the DPU's slice columns of
+		// the requested rows — a single row for EMT reads, several rows
+		// for a cached partial-sum read. emt.Table backends must be safe
+		// for concurrent reads (all provided ones are); the staging
+		// buffer is private to the DPU, whose kernel issues reads
+		// serially, so concurrent DPUs never share it.
 		table := e.tables[t]
 		nc := shape.Nc
-		var sliceFetchers []func(rows []int32, dst []float32)
-		for sl := 0; sl < shape.Slices; sl++ {
-			col0 := sl * nc
-			sliceFetchers = append(sliceFetchers, func(rows []int32, dst []float32) {
-				for k := range dst {
-					dst[k] = 0
-				}
-				var tmp [16]float32 // Nc <= 16 by constraint (3)
-				for _, r := range rows {
-					table.ReadCols(int(r), col0, nc, tmp[:nc])
-					for k := 0; k < nc; k++ {
-						dst[k] += tmp[k]
+		dpuFetchers := make([]func(rows []int32, dst []float32), dpusPerTable)
+		for part := 0; part < shape.Parts; part++ {
+			for sl := 0; sl < shape.Slices; sl++ {
+				col0 := sl * nc
+				tmp := make([]float32, nc)
+				dpuFetchers[shape.DPUAt(part, sl)] = func(rows []int32, dst []float32) {
+					for k := range dst {
+						dst[k] = 0
+					}
+					for _, r := range rows {
+						table.ReadCols(int(r), col0, nc, tmp)
+						for k := 0; k < nc; k++ {
+							dst[k] += tmp[k]
+						}
 					}
 				}
-			})
+			}
 		}
-		e.fetchers = append(e.fetchers, sliceFetchers)
+		e.fetchers = append(e.fetchers, dpuFetchers)
 	}
+
+	// Per-table admission fills for the hot-row cache: each reads the
+	// scratch's offerRow, so the per-row cache loop allocates no
+	// closures.
+	dim := model.Cfg.EmbDim
+	for t := range e.tables {
+		table := e.tables[t]
+		e.offerFills = append(e.offerFills, func(dst []float32) {
+			table.ReadCols(int(e.sc.offerRow), 0, dim, dst)
+		})
+	}
+
+	// Dense-compute worker pool: the primary model plus per-core clones
+	// with private scratch. ForwardBatchParallel shards samples across
+	// them bit-identically to the serial path.
+	workers := cfg.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxHostWorkers {
+		workers = maxHostWorkers
+	}
+	e.hostModels = append(e.hostModels, model)
+	for i := 1; i < workers; i++ {
+		e.hostModels = append(e.hostModels, model.Clone())
+	}
+
+	// Size the per-batch scratch arena once.
+	e.sc.jobs = make([]*upmem.KernelJob, cfg.TotalDPUs)
+	e.sc.jobStore = make([]upmem.KernelJob, cfg.TotalDPUs)
+	e.sc.pushSizes = make([]int64, cfg.TotalDPUs)
+	e.sc.pullSizes = make([]int64, cfg.TotalDPUs)
+	e.sc.cacheVec = make([]float32, dim)
 	return e, nil
 }
 
@@ -289,7 +391,9 @@ func (e *Engine) maxKernelSamples() int {
 }
 
 // RunBatch executes one batch end to end. Batches whose accumulators
-// exceed WRAM run as several kernel waves.
+// exceed WRAM run as several kernel waves. The returned Result's CTR
+// and Embeddings alias the engine's recycled scratch arena (see
+// Result); the steady-state hot path allocates nothing per sample.
 func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 	if b == nil || b.Size == 0 {
 		return nil, fmt.Errorf("core: empty batch")
@@ -297,80 +401,83 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 	if len(b.Idx) != len(e.plans) {
 		return nil, fmt.Errorf("core: batch has %d tables, engine %d", len(b.Idx), len(e.plans))
 	}
-	res := &Result{}
-	embs := make([][][]float32, b.Size)
-	for s := range embs {
-		embs[s] = make([][]float32, len(e.plans))
-		for t := range e.plans {
-			embs[s][t] = make([]float32, e.model.Cfg.EmbDim)
-		}
+	sc := &e.sc
+	sc.embs.Reset(b.Size, len(e.plans), e.model.Cfg.EmbDim)
+	if cap(sc.ctr) < b.Size {
+		sc.ctr = make([]float32, b.Size)
 	}
+	sc.ctr = sc.ctr[:b.Size]
+	res := &Result{}
 	wave := e.maxKernelSamples()
 	for lo := 0; lo < b.Size; lo += wave {
 		hi := lo + wave
 		if hi > b.Size {
 			hi = b.Size
 		}
-		if err := e.runWave(b, lo, hi, res, embs); err != nil {
+		if err := e.runWave(b, lo, hi, res); err != nil {
 			return nil, err
 		}
 	}
 
-	// Dense model on the host CPU.
-	res.CTR = e.model.ForwardBatch(b, embs)
-	res.Embeddings = embs
+	// Dense model on the host CPU, sharded across the worker-pool clones
+	// (bit-identical to the serial path; samples are independent).
+	dlrm.ForwardBatchParallel(e.hostModels, b, &sc.embs, sc.ctr)
+	res.CTR = sc.ctr
+	res.Embeddings = &sc.embs
 	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
 	return res, nil
 }
 
+// waveJob returns (creating on first touch) the kernel job of the DPU
+// serving (table, part, slice) this wave, recycling the job's Reads and
+// Rows storage from previous batches.
+func (e *Engine) waveJob(t, part, slice, waveSize int) *upmem.KernelJob {
+	shape := e.plans[t].Shape
+	d := e.baseDPU[t] + shape.DPUAt(part, slice)
+	j := e.sc.jobs[d]
+	if j == nil {
+		j = &e.sc.jobStore[d]
+		j.Reset()
+		j.NumSamples = waveSize
+		j.Width = shape.Nc
+		j.BytesPerElem = e.bytesPerElem
+		j.Fetch = e.fetchers[t][shape.DPUAt(part, slice)]
+		e.sc.jobs[d] = j
+	}
+	return j
+}
+
+// addRead appends one MRAM read of rows for wave-local sample ws to
+// every column slice of table t's partition part.
+func (e *Engine) addRead(t, ws, part, waveSize int, rows ...int32) {
+	shape := e.plans[t].Shape
+	for sl := 0; sl < shape.Slices; sl++ {
+		e.waveJob(t, part, sl, waveSize).AddRead(ws, shape.Nc, rows...)
+	}
+}
+
 // runWave executes the three DPU stages of Figure 4 for samples
 // [lo, hi) of the batch, accumulating timing into res and aggregated
-// embeddings into embs.
-func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]float32) error {
+// embeddings into the engine's flat embedding arena. All per-wave state
+// lives in the scratch arena.
+func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result) error {
+	sc := &e.sc
 	waveSize := hi - lo
-	jobs := make([]*upmem.KernelJob, e.sys.NumDPUs())
-	pushSizes := make([]int64, e.sys.NumDPUs())
-	pullSizes := make([]int64, e.sys.NumDPUs())
+	clear(sc.jobs)
+	clear(sc.pushSizes)
+	clear(sc.pullSizes)
 
-	// Serving-tier hot-row cache scratch: a probe buffer, a cold-row
-	// builder reused across samples, and per-wave hit/miss totals for
-	// the host-side timing charge.
+	// Per-wave hot-row cache hit/miss totals for the host-side timing
+	// charge.
 	dim := e.model.Cfg.EmbDim
-	var cacheVec []float32
-	var coldScratch []int32
 	var waveHits, waveMisses, waveAdmits int64
 	cache := e.cfg.HotCache
-	if cache != nil {
-		cacheVec = make([]float32, dim)
-	}
 
 	// Build per-DPU kernel jobs (the pre-process stage of Figure 4).
 	for t := range e.plans {
 		plan := e.plans[t]
 		shape := plan.Shape
 		base := e.baseDPU[t]
-		job := func(part, slice int) *upmem.KernelJob {
-			d := base + shape.DPUAt(part, slice)
-			if jobs[d] == nil {
-				jobs[d] = &upmem.KernelJob{
-					NumSamples:   waveSize,
-					Width:        shape.Nc,
-					BytesPerElem: e.bytesPerElem,
-					Fetch:        e.fetchers[t][slice],
-				}
-			}
-			return jobs[d]
-		}
-		addRead := func(s, part int, rows ...int32) {
-			for sl := 0; sl < shape.Slices; sl++ {
-				job(part, sl).AddRead(s-lo, shape.Nc, rows...)
-			}
-		}
-		// Hot-row cache fill closure: materializes the candidate row from
-		// the host-resident table view, called only on admission.
-		table := e.tables[t]
-		var offerRow int32
-		offerFill := func(dst []float32) { table.ReadCols(int(offerRow), 0, dim, dst) }
 
 		// activeSamples counts wave samples with at least one row left
 		// for the DPUs after cache hits; with no cache every sample is
@@ -381,43 +488,43 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 			if cache != nil {
 				// Split the sample's rows: hits aggregate host-side into
 				// the final embedding, misses continue to the DPU path.
-				coldScratch = coldScratch[:0]
-				dst := embs[s][t]
+				sc.coldScratch = sc.coldScratch[:0]
+				dst := sc.embs.At(s, t)
 				for _, row := range indices {
-					offerRow = row
-					hit, admitted := cache.LookupOrOffer(t, row, cacheVec, offerFill)
+					sc.offerRow = row
+					hit, admitted := cache.LookupOrOffer(t, row, sc.cacheVec, e.offerFills[t])
 					if hit {
 						for k := 0; k < dim; k++ {
-							dst[k] += cacheVec[k]
+							dst[k] += sc.cacheVec[k]
 						}
 						waveHits++
 					} else {
 						if admitted {
 							waveAdmits++
 						}
-						coldScratch = append(coldScratch, row)
+						sc.coldScratch = append(sc.coldScratch, row)
 						waveMisses++
 					}
 				}
-				indices = coldScratch
+				indices = sc.coldScratch
 				if len(indices) > 0 {
 					activeSamples++
 				}
 			}
 			if e.assign[t] != nil {
-				cover := e.assign[t].PlanCover(indices)
+				cover := sc.cover.Plan(e.assign[t], indices)
 				for _, members := range cover.GroupReads {
 					part := int(plan.RowPart[members[0]])
-					addRead(s, part, members...)
+					e.addRead(t, s-lo, part, waveSize, members...)
 					res.CacheHitReads++
 				}
 				for _, row := range cover.Misses {
-					addRead(s, int(plan.RowPart[row]), row)
+					e.addRead(t, s-lo, int(plan.RowPart[row]), waveSize, row)
 					res.EMTReads++
 				}
 			} else {
 				for _, row := range indices {
-					addRead(s, int(plan.RowPart[row]), row)
+					e.addRead(t, s-lo, int(plan.RowPart[row]), waveSize, row)
 					res.EMTReads++
 				}
 			}
@@ -436,11 +543,11 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 			for sl := 0; sl < shape.Slices; sl++ {
 				d := base + shape.DPUAt(part, sl)
 				var reads int
-				if jobs[d] != nil {
-					reads = len(jobs[d].Reads)
+				if sc.jobs[d] != nil {
+					reads = len(sc.jobs[d].Reads)
 				}
-				pushSizes[d] = int64(reads)*4 + int64(sizeSamples+1)*4
-				pullSizes[d] = int64(sizeSamples) * int64(shape.Nc) * 4
+				sc.pushSizes[d] = int64(reads)*4 + int64(sizeSamples+1)*4
+				sc.pullSizes[d] = int64(sizeSamples) * int64(shape.Nc) * 4
 			}
 		}
 	}
@@ -461,20 +568,20 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 	}
 
 	// Stage 1: CPU -> DPU index push (padded to the parallel fast path).
-	push := e.cfg.HW.TransferTime(pushSizes, true, upmem.Push)
+	push := e.cfg.HW.TransferTime(sc.pushSizes, true, upmem.Push)
 	res.Breakdown.CPUToDPUNs += push.Ns
 
-	// Stage 2: lookup kernels on all DPUs.
-	step, err := e.sys.RunStep(jobs)
-	if err != nil {
+	// Stage 2: lookup kernels on all DPUs (partial-sum storage recycled
+	// across waves).
+	if err := e.sys.RunStepInto(sc.jobs, &sc.step); err != nil {
 		return err
 	}
-	res.Breakdown.DPULookupNs += step.StageNs
-	res.MRAMBytesRead += step.TotalBytes
+	res.Breakdown.DPULookupNs += sc.step.StageNs
+	res.MRAMBytesRead += sc.step.TotalBytes
 
 	// Stage 3: DPU -> CPU partial-sum pull (padded; N_c can differ across
 	// tables, making natural sizes ragged).
-	pull := e.cfg.HW.TransferTime(pullSizes, true, upmem.Pull)
+	pull := e.cfg.HW.TransferTime(sc.pullSizes, true, upmem.Pull)
 	res.Breakdown.DPUToCPUNs += pull.Ns
 
 	// Host aggregation: place each DPU's slice into the final embedding
@@ -484,13 +591,13 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 		base := e.baseDPU[t]
 		for part := 0; part < shape.Parts; part++ {
 			for sl := 0; sl < shape.Slices; sl++ {
-				r := step.Results[base+shape.DPUAt(part, sl)]
+				r := sc.step.Results[base+shape.DPUAt(part, sl)]
 				if r == nil {
 					continue
 				}
 				col0 := sl * shape.Nc
 				for s := lo; s < hi; s++ {
-					dst := embs[s][t][col0 : col0+shape.Nc]
+					dst := sc.embs.At(s, t)[col0 : col0+shape.Nc]
 					for k, v := range r.Partial[s-lo] {
 						dst[k] += v
 					}
@@ -505,7 +612,7 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result, embs [][][]flo
 // RunTrace runs every batch of the trace, returning all CTRs and the
 // summed breakdown.
 func (e *Engine) RunTrace(tr *trace.Trace, batchSize int) ([]float32, metrics.Breakdown, error) {
-	var all []float32
+	all := make([]float32, 0, len(tr.Samples))
 	var total metrics.Breakdown
 	for _, b := range trace.Batches(tr, batchSize) {
 		res, err := e.RunBatch(b)

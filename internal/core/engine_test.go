@@ -13,8 +13,9 @@ import (
 )
 
 // smallWorld builds a model + trace sized so every partitioner and Nc is
-// feasible on 32 DPUs with 4 tables (8 DPUs per table).
-func smallWorld(t *testing.T) (*dlrm.Model, *trace.Trace) {
+// feasible on 32 DPUs with 4 tables (8 DPUs per table). It takes a
+// testing.TB so the hot-path benchmarks share the fixture.
+func smallWorld(t testing.TB) (*dlrm.Model, *trace.Trace) {
 	t.Helper()
 	spec := synth.Spec{
 		NumItems: 3000, Tables: 4, AvgReduction: 10,
@@ -65,9 +66,9 @@ func TestEngineMatchesCPUReference(t *testing.T) {
 		}
 		for s := 0; s < b.Size; s++ {
 			for tb := 0; tb < 4; tb++ {
-				if !tensor.AlmostEqual(res.Embeddings[s][tb], refEmbs[s][tb], 1e-4) {
+				if !tensor.AlmostEqual(res.Embeddings.At(s, tb), refEmbs[s][tb], 1e-4) {
 					t.Fatalf("%v: embedding mismatch sample %d table %d: max diff %v",
-						method, s, tb, tensor.MaxAbsDiff(res.Embeddings[s][tb], refEmbs[s][tb]))
+						method, s, tb, tensor.MaxAbsDiff(res.Embeddings.At(s, tb), refEmbs[s][tb]))
 				}
 			}
 		}

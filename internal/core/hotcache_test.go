@@ -78,10 +78,11 @@ func TestHotCacheZeroIsBitIdentical(t *testing.T) {
 				t.Fatalf("%v: CTR[%d] %v != %v with zero-size cache", method, i, rp.CTR[i], rg.CTR[i])
 			}
 		}
-		for s := range rp.Embeddings {
-			for tb := range rp.Embeddings[s] {
-				for k := range rp.Embeddings[s][tb] {
-					if rp.Embeddings[s][tb][k] != rg.Embeddings[s][tb][k] {
+		for s := 0; s < b.Size; s++ {
+			for tb := 0; tb < rp.Embeddings.Tables(); tb++ {
+				ep, eg := rp.Embeddings.At(s, tb), rg.Embeddings.At(s, tb)
+				for k := range ep {
+					if ep[k] != eg[k] {
 						t.Fatalf("%v: embedding bit-difference at (%d,%d,%d)", method, s, tb, k)
 					}
 				}
@@ -125,10 +126,10 @@ func TestHotCacheStaysCorrect(t *testing.T) {
 			t.Fatalf("%v: warmed 5%% cache served no rows", method)
 		}
 		for s := 0; s < b.Size; s++ {
-			for tb := range res.Embeddings[s] {
-				if !tensor.AlmostEqual(res.Embeddings[s][tb], refEmbs[s][tb], 1e-4) {
+			for tb := 0; tb < res.Embeddings.Tables(); tb++ {
+				if !tensor.AlmostEqual(res.Embeddings.At(s, tb), refEmbs[s][tb], 1e-4) {
 					t.Fatalf("%v: embedding mismatch at sample %d table %d (max diff %v)",
-						method, s, tb, tensor.MaxAbsDiff(res.Embeddings[s][tb], refEmbs[s][tb]))
+						method, s, tb, tensor.MaxAbsDiff(res.Embeddings.At(s, tb), refEmbs[s][tb]))
 				}
 			}
 		}

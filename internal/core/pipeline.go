@@ -45,15 +45,60 @@ func (r PipelineResult) Speedup() float64 {
 	return r.SerialNs / r.PipelinedNs
 }
 
+// PipeSched is the greedy earliest-start scheduler over the three
+// modeled resources. RunTracePipelined drives it batch by batch; the
+// serving runtime's pipelined shard workers reuse it with real arrival
+// times so queued micro-batches overlap exactly the same way.
+type PipeSched struct {
+	// LinkFree, DPUsFree and HostFree are the timeline points (ns) at
+	// which each resource next becomes available.
+	LinkFree, DPUsFree, HostFree float64
+}
+
+// Schedule places one batch whose inputs are ready at arrival (ns on
+// the scheduler's timeline) and returns its completion time. Stage 1
+// (LINK), stage 2 (DPUS), stage 3 (LINK), then host aggregation and the
+// dense model (HOST); a hot-row cache split occupies HOST before the
+// push can assemble. Completion never exceeds the serial rule's
+// max(arrival, prevEnd) + bd.TotalNs(), so overlap can only help.
+func (p *PipeSched) Schedule(arrival float64, bd metrics.Breakdown) float64 {
+	pushStart := max(arrival, p.LinkFree)
+	if bd.HostCacheNs > 0 {
+		cacheEnd := max(arrival, p.HostFree) + bd.HostCacheNs
+		p.HostFree = cacheEnd
+		pushStart = max(pushStart, cacheEnd)
+	}
+	pushEnd := pushStart + bd.CPUToDPUNs
+	p.LinkFree = pushEnd
+
+	execStart := max(pushEnd, p.DPUsFree)
+	execEnd := execStart + bd.DPULookupNs
+	p.DPUsFree = execEnd
+
+	pullStart := max(execEnd, p.LinkFree)
+	pullEnd := pullStart + bd.DPUToCPUNs
+	p.LinkFree = pullEnd
+
+	hostStart := max(pullEnd, p.HostFree)
+	hostEnd := hostStart + bd.HostAggNs + bd.MLPNs
+	p.HostFree = hostEnd
+	return hostEnd
+}
+
 // RunTracePipelined executes the trace with cross-batch overlap.
 // Functional results are identical to RunTrace's.
 func (e *Engine) RunTracePipelined(tr *trace.Trace, batchSize int) (*PipelineResult, error) {
+	// One batch slice for the whole run, and CTR storage preallocated to
+	// the trace length — the accumulation loop never reallocates.
 	batches := trace.Batches(tr, batchSize)
 	if len(batches) == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
-	res := &PipelineResult{Batches: len(batches)}
-	var linkFree, dpusFree, hostFree float64
+	res := &PipelineResult{
+		Batches: len(batches),
+		CTR:     make([]float32, 0, len(tr.Samples)),
+	}
+	var sched PipeSched
 	for _, b := range batches {
 		r, err := e.RunBatch(b)
 		if err != nil {
@@ -64,40 +109,11 @@ func (e *Engine) RunTracePipelined(tr *trace.Trace, batchSize int) (*PipelineRes
 		bd := r.Breakdown
 		res.SerialNs += bd.TotalNs()
 
-		// Stage 1 (LINK), stage 2 (DPUS), stage 3 (LINK), host work.
-		pushStart := linkFree
-		if bd.HostCacheNs > 0 {
-			// The hot-row cache split runs on the CPU before the batch's
-			// push can assemble: it occupies HOST and gates stage 1.
-			cacheEnd := hostFree + bd.HostCacheNs
-			hostFree = cacheEnd
-			pushStart = maxf(pushStart, cacheEnd)
-		}
-		pushEnd := pushStart + bd.CPUToDPUNs
-		linkFree = pushEnd
-
-		execStart := maxf(pushEnd, dpusFree)
-		execEnd := execStart + bd.DPULookupNs
-		dpusFree = execEnd
-
-		pullStart := maxf(execEnd, linkFree)
-		pullEnd := pullStart + bd.DPUToCPUNs
-		linkFree = pullEnd
-
-		hostStart := maxf(pullEnd, hostFree)
-		hostEnd := hostStart + bd.HostAggNs + bd.MLPNs
-		hostFree = hostEnd
-
-		if hostEnd > res.PipelinedNs {
+		// Every batch's inputs are ready at time 0; only the three
+		// resources constrain the schedule.
+		if hostEnd := sched.Schedule(0, bd); hostEnd > res.PipelinedNs {
 			res.PipelinedNs = hostEnd
 		}
 	}
 	return res, nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

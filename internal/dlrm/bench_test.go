@@ -1,0 +1,76 @@
+package dlrm
+
+import (
+	"runtime"
+	"testing"
+
+	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// benchModel builds a default model plus a 64-sample batch and its
+// reference embeddings.
+func benchModel(b *testing.B) (*Model, *trace.Batch) {
+	b.Helper()
+	spec := synth.Spec{
+		NumItems: 3000, Tables: 8, AvgReduction: 10,
+		ReductionStdFrac: 0.2, ZipfExponent: 0.9,
+		DenseDim: 13, Seed: 11,
+	}
+	tr, err := spec.Generate(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, trace.MakeBatch(tr, 0, 64)
+}
+
+// flatten copies a [][][]float32 embedding pyramid into a flat EmbBuf.
+func flatten(embs [][][]float32, tables, dim int) *tensor.EmbBuf {
+	var buf tensor.EmbBuf
+	buf.Reset(len(embs), tables, dim)
+	for s := range embs {
+		for t := range embs[s] {
+			copy(buf.At(s, t), embs[s][t])
+		}
+	}
+	return &buf
+}
+
+// BenchmarkForwardBatch measures the dense-model host compute (bottom
+// MLP, feature interaction, top MLP) over a 64-sample batch: the legacy
+// pyramid path, the flat zero-allocation path, and the flat path
+// sharded across per-core model clones.
+func BenchmarkForwardBatch(b *testing.B) {
+	m, batch := benchModel(b)
+	embs := EmbedCPU(m, batch)
+	flat := flatten(embs, m.Cfg.NumTables(), m.Cfg.EmbDim)
+	ctr := make([]float32, batch.Size)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ForwardBatch(batch, embs)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ForwardBatchFlat(batch, flat, ctr)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		models := []*Model{m}
+		for i := 1; i < runtime.GOMAXPROCS(0); i++ {
+			models = append(models, m.Clone())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ForwardBatchParallel(models, batch, flat, ctr)
+		}
+	})
+}

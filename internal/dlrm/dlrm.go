@@ -10,6 +10,7 @@ package dlrm
 
 import (
 	"fmt"
+	"sync"
 
 	"updlrm/internal/emt"
 	"updlrm/internal/mlp"
@@ -185,6 +186,32 @@ func (m *Model) Interact(dense []float32, embs [][]float32, dst []float32) {
 	}
 }
 
+// interactFlat is Interact over a flat tables*EmbDim embedding row (one
+// EmbBuf sample). The arithmetic — and therefore the result, bit for
+// bit — is identical to Interact over per-table slices.
+func (m *Model) interactFlat(dense, embs, dst []float32) {
+	d := m.Cfg.EmbDim
+	if len(embs) != m.Cfg.NumTables()*d {
+		panic(fmt.Sprintf("dlrm: interact flat embs len %d != %d", len(embs), m.Cfg.NumTables()*d))
+	}
+	copy(dst[:d], dense)
+	vecAt := func(i int) []float32 {
+		if i == 0 {
+			return dense
+		}
+		return embs[(i-1)*d : i*d]
+	}
+	k := d
+	n := m.Cfg.NumTables() + 1
+	for i := 0; i < n; i++ {
+		vi := vecAt(i)
+		for j := i + 1; j < n; j++ {
+			dst[k] = tensor.Dot(vi, vecAt(j))
+			k++
+		}
+	}
+}
+
 // Forward computes one sample's CTR given its dense features and the
 // per-table reduced embeddings.
 func (m *Model) Forward(dense []float32, embs [][]float32) float32 {
@@ -245,6 +272,64 @@ func (m *Model) ForwardBatch(b *trace.Batch, embs [][][]float32) []float32 {
 		ctr[s] = m.Forward(b.Dense[s], embs[s])
 	}
 	return ctr
+}
+
+// ForwardFlat computes one sample's CTR from a flat tables*EmbDim
+// embedding row (one tensor.EmbBuf sample). Bit-identical to Forward
+// over the equivalent per-table slices.
+func (m *Model) ForwardFlat(dense, embs []float32) float32 {
+	m.Bottom.Forward(dense, m.denseBuf)
+	m.interactFlat(m.denseBuf, embs, m.interBuf)
+	m.Top.Forward(m.interBuf, m.ctrBuf)
+	return m.ctrBuf[0]
+}
+
+// ForwardBatchFlat runs ForwardFlat over every sample of a batch whose
+// embeddings live in a flat EmbBuf, writing CTRs into ctr (len b.Size).
+// It allocates nothing.
+func (m *Model) ForwardBatchFlat(b *trace.Batch, embs *tensor.EmbBuf, ctr []float32) {
+	for s := 0; s < b.Size; s++ {
+		ctr[s] = m.ForwardFlat(b.Dense[s], embs.Sample(s))
+	}
+}
+
+// ForwardBatchParallel shards ForwardBatchFlat across the given models
+// — one per worker goroutine, each with private scratch (Clone) — so
+// the dense MLPs use every core. Samples are computed independently
+// with identical weights, so the CTRs are bit-identical to the serial
+// path no matter how the batch splits. Small batches run serially on
+// models[0]; models must be non-empty.
+func ForwardBatchParallel(models []*Model, b *trace.Batch, embs *tensor.EmbBuf, ctr []float32) {
+	// Below ~4 samples per worker the goroutine overhead beats the
+	// parallel MLP win; cap the worker count by the batch size.
+	workers := len(models)
+	if max := (b.Size + 3) / 4; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		models[0].ForwardBatchFlat(b, embs, ctr)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (b.Size + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > b.Size {
+			hi = b.Size
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(m *Model, lo, hi int) {
+			defer wg.Done()
+			for s := lo; s < hi; s++ {
+				ctr[s] = m.ForwardFlat(b.Dense[s], embs.Sample(s))
+			}
+		}(models[w], lo, hi)
+	}
+	wg.Wait()
 }
 
 // EmbedLookups returns the total lookups a batch performs across tables —

@@ -1,0 +1,90 @@
+package dlrm
+
+import (
+	"testing"
+
+	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// parallelFixture builds a model, a batch, and its embeddings in both
+// the pyramid and flat layouts.
+func parallelFixture(t *testing.T, samples int) (*Model, *trace.Batch, [][][]float32, *tensor.EmbBuf) {
+	t.Helper()
+	spec := synth.Spec{
+		NumItems: 2000, Tables: 6, AvgReduction: 8,
+		ReductionStdFrac: 0.3, ZipfExponent: 0.8,
+		DenseDim: 13, Seed: 31,
+	}
+	tr, err := spec.Generate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.MakeBatch(tr, 0, samples)
+	embs := EmbedCPU(m, b)
+	var flat tensor.EmbBuf
+	flat.Reset(b.Size, m.Cfg.NumTables(), m.Cfg.EmbDim)
+	for s := range embs {
+		for tb := range embs[s] {
+			copy(flat.At(s, tb), embs[s][tb])
+		}
+	}
+	return m, b, embs, &flat
+}
+
+// TestForwardFlatMatchesForward: the flat layout must be arithmetic-
+// for-arithmetic the same code path, so CTRs are bit-identical.
+func TestForwardFlatMatchesForward(t *testing.T) {
+	m, b, embs, flat := parallelFixture(t, 33)
+	want := m.ForwardBatch(b, embs)
+	got := make([]float32, b.Size)
+	m.ForwardBatchFlat(b, flat, got)
+	for s := range want {
+		if want[s] != got[s] {
+			t.Fatalf("sample %d: flat CTR %v != pyramid %v", s, got[s], want[s])
+		}
+	}
+}
+
+// TestForwardBatchParallelBitIdentical shards the batch across worker
+// clones at several pool widths (including widths that do not divide
+// the batch size) and requires bit-identical CTRs every time.
+func TestForwardBatchParallelBitIdentical(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 37)
+	want := make([]float32, b.Size)
+	m.ForwardBatchFlat(b, flat, want)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		models := []*Model{m}
+		for i := 1; i < workers; i++ {
+			models = append(models, m.Clone())
+		}
+		got := make([]float32, b.Size)
+		ForwardBatchParallel(models, b, flat, got)
+		for s := range want {
+			if want[s] != got[s] {
+				t.Fatalf("%d workers: sample %d CTR %v != serial %v", workers, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+// TestForwardBatchParallelSmallBatch: a batch smaller than the worker
+// pool must still fill every CTR slot.
+func TestForwardBatchParallelSmallBatch(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 3)
+	want := make([]float32, b.Size)
+	m.ForwardBatchFlat(b, flat, want)
+	models := []*Model{m, m.Clone(), m.Clone(), m.Clone(), m.Clone()}
+	got := make([]float32, b.Size)
+	ForwardBatchParallel(models, b, flat, got)
+	for s := range want {
+		if want[s] != got[s] {
+			t.Fatalf("sample %d: CTR %v != serial %v", s, got[s], want[s])
+		}
+	}
+}

@@ -72,35 +72,67 @@ func (c *Cover) CoveredLookups() int {
 // PlanCover computes the cover for one sample's indices. Indices not in
 // any cached group — or sole members of a group in this sample — read
 // from EMT space. The plan is deterministic given the input order.
+// It allocates a fresh cover; hot loops reuse a CoverPlanner instead.
 func (a *Assignment) PlanCover(indices []int32) Cover {
-	var cover Cover
-	if len(indices) == 0 {
-		return cover
-	}
-	// Bucket present members per cached group, preserving first-seen
-	// group order for determinism.
-	var order []int32
-	buckets := make(map[int32][]int32)
+	var p CoverPlanner
+	return p.Plan(a, indices)
+}
+
+// CoverPlanner computes covers into reusable storage: the returned
+// Cover's slices alias the planner and stay valid until the next Plan
+// call, so per-sample cover planning in a batch loop allocates nothing
+// at steady state. The zero value is ready for use.
+type CoverPlanner struct {
+	groups  []int32   // first-seen cached-group ids, in encounter order
+	buckets [][]int32 // present members per group, parallel to groups
+	reads   [][]int32
+	misses  []int32
+}
+
+// Plan computes the same deterministic cover as PlanCover: present
+// members bucket per cached group in first-seen order, lone members and
+// uncached indices fall through to EMT reads.
+func (p *CoverPlanner) Plan(a *Assignment, indices []int32) Cover {
+	p.groups = p.groups[:0]
+	p.reads = p.reads[:0]
+	p.misses = p.misses[:0]
+	used := 0
 	for _, idx := range indices {
 		g := a.GroupOf(idx)
-		if g >= 0 && a.Cached[g] {
-			if _, seen := buckets[g]; !seen {
-				order = append(order, g)
-			}
-			buckets[g] = append(buckets[g], idx)
+		if g < 0 || !a.Cached[g] {
+			p.misses = append(p.misses, idx)
 			continue
 		}
-		cover.Misses = append(cover.Misses, idx)
+		// A sample touches few distinct groups; a linear scan beats a
+		// per-call map.
+		bi := -1
+		for i, gg := range p.groups {
+			if gg == g {
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			if used < len(p.buckets) {
+				p.buckets[used] = p.buckets[used][:0]
+			} else {
+				p.buckets = append(p.buckets, nil)
+			}
+			bi = used
+			used++
+			p.groups = append(p.groups, g)
+		}
+		p.buckets[bi] = append(p.buckets[bi], idx)
 	}
-	for _, g := range order {
-		members := buckets[g]
+	for i := 0; i < used; i++ {
+		members := p.buckets[i]
 		if len(members) >= 2 {
-			cover.GroupReads = append(cover.GroupReads, members)
+			p.reads = append(p.reads, members)
 		} else {
 			// A lone member gains nothing from the subset cache; read it
 			// from EMT space like any other row.
-			cover.Misses = append(cover.Misses, members...)
+			p.misses = append(p.misses, members...)
 		}
 	}
-	return cover
+	return Cover{GroupReads: p.reads, Misses: p.misses}
 }

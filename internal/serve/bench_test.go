@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServeThroughput measures one closed-loop request through the
+// full serving stack: validation, queueing, micro-batching, a shard
+// worker's RunBatch, and the fan-out. allocs/op covers every goroutine
+// the request touches.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, bench := range []struct {
+		name     string
+		pipeline bool
+	}{
+		{"serial", false},
+		{"pipelined", true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			model, profile, ecfg := testFixture(b)
+			engines, err := NewReplicated(model, profile, ecfg, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := New(engines, Config{MaxBatch: 8, Pipeline: bench.pipeline})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ctx := context.Background()
+			samples := profile.Samples
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := samples[i%len(samples)]
+				if _, err := srv.Predict(ctx, Request{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -62,6 +63,15 @@ type Config struct {
 	// CapacityBytes leaves serving bit-identical to a cache-less
 	// deployment. Ignored by New, which takes already-built engines.
 	HotCache hotcache.Config
+	// Pipeline lets each shard worker overlap consecutive queued
+	// micro-batches using the greedy LINK/DPUS/HOST schedule of
+	// internal/core's batch pipeliner: while one batch runs its lookup
+	// kernels, the next batch's indices can already cross the host link.
+	// Predictions and per-request ModeledNs are unchanged; the overlap
+	// shows up as Response.PipelinedNs (the overlap-aware shard
+	// residency) and Stats.PipelineSpeedup (the modeled throughput
+	// gain, >= 1 by construction).
+	Pipeline bool
 }
 
 // Defaults for Config zero values.
@@ -104,10 +114,22 @@ type Response struct {
 	// Breakdown is the micro-batch's modeled latency (shared by every
 	// request in the batch — they ran as one trace.Batch).
 	Breakdown metrics.Breakdown
+	// PipelinedNs is the micro-batch's modeled shard-residency latency
+	// when the worker overlaps consecutive batches (Config.Pipeline):
+	// completion minus dispatch on the worker's LINK/DPUS/HOST schedule,
+	// including any modeled wait behind the previous batch's stages. It
+	// is informational — not additive with QueueNs, which already
+	// measures the real wait behind earlier batches — and zero when
+	// pipelining is disabled. The overlap's throughput gain is reported
+	// by Stats.PipelineSpeedup.
+	PipelinedNs float64
 }
 
 // ModeledNs is the request's end-to-end modeled latency: queueing plus
-// the batch's modeled execution time.
+// the batch's modeled execution time. Pipelining does not change it —
+// one batch's own stages run sequentially either way; overlap helps
+// throughput (Stats.PipelineSpeedup), not a single batch's service
+// time.
 func (r Response) ModeledNs() float64 { return r.QueueNs + r.Breakdown.TotalNs() }
 
 // pending is a queued request awaiting its micro-batch.
@@ -173,6 +195,16 @@ func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n 
 	}
 	if n <= 0 {
 		n = DefaultShards
+	}
+	// Shards execute concurrently: divide the host cores among their
+	// dense-compute pools instead of letting every replica size itself
+	// to the whole machine (n engines x GOMAXPROCS clones would
+	// oversubscribe memory and scheduler alike).
+	if ecfg.HostWorkers <= 0 {
+		ecfg.HostWorkers = runtime.GOMAXPROCS(0) / n
+		if ecfg.HostWorkers < 1 {
+			ecfg.HostWorkers = 1
+		}
 	}
 	engines := make([]*core.Engine, n)
 	for i := range engines {
@@ -359,10 +391,22 @@ func (s *Server) batcher() {
 }
 
 // worker owns one engine replica: it turns each micro-batch into a
-// trace.Batch, runs it, and fans results back out per request.
+// trace.Batch, runs it, and fans results back out per request. With
+// Config.Pipeline it overlaps consecutive micro-batches on the greedy
+// LINK/DPUS/HOST schedule of internal/core's batch pipeliner: each
+// batch's modeled arrival is its dispatch wall time on the worker's
+// timeline, so an idle shard behaves exactly like the serial worker
+// while a backlogged one pushes batch i+1's indices during batch i's
+// lookup kernels.
 func (s *Server) worker(shard int) {
 	defer s.wg.Done()
 	eng := s.engines[shard]
+	// Pipelined-mode state: the resource schedule, the serial-rule
+	// completion clock it is compared against, and the wall-clock anchor
+	// (first dispatch) both timelines are measured from.
+	var sched core.PipeSched
+	var serialFree float64
+	var anchor time.Time
 	for pend := range s.batchCh {
 		// Drop requests whose caller already gave up: their Predict has
 		// returned, nobody reads the outcome, and they should not skew
@@ -401,18 +445,43 @@ func (s *Server) worker(shard int) {
 			s.stats.recordError(len(pend))
 			continue
 		}
+		// Pipelined schedule: place this batch at its dispatch time on
+		// the worker timeline and compare against the serial rule
+		// (wait for the previous batch, then run every stage back to
+		// back). Schedule never exceeds the serial completion, so
+		// pipeLat <= serialLat batch by batch and the reported speedup
+		// is >= 1 by construction.
+		var pipeLat, serialLat float64
+		if s.cfg.Pipeline {
+			if anchor.IsZero() {
+				anchor = dispatch
+			}
+			arrival := float64(dispatch.Sub(anchor).Nanoseconds())
+			serialEnd := max(arrival, serialFree) + res.Breakdown.TotalNs()
+			serialFree = serialEnd
+			serialLat = serialEnd - arrival
+			pipeLat = sched.Schedule(arrival, res.Breakdown) - arrival
+			// The schedule adds stages incrementally while TotalNs sums
+			// them in one pass; fp associativity can leave pipeLat a few
+			// ulps above serialLat on an idle shard. Overlap never
+			// models slower than serial, so clamp.
+			if pipeLat > serialLat {
+				pipeLat = serialLat
+			}
+		}
 		for i, p := range pend {
 			resp := Response{
-				CTR:       res.CTR[i],
-				Shard:     shard,
-				BatchSize: len(pend),
-				QueueNs:   float64(dispatch.Sub(p.enq).Nanoseconds()),
-				Breakdown: res.Breakdown,
+				CTR:         res.CTR[i],
+				Shard:       shard,
+				BatchSize:   len(pend),
+				QueueNs:     float64(dispatch.Sub(p.enq).Nanoseconds()),
+				Breakdown:   res.Breakdown,
+				PipelinedNs: pipeLat,
 			}
 			p.done <- outcome{resp: resp}
 			s.stats.record(resp)
 		}
-		s.stats.recordBatch(res.MRAMBytesRead)
+		s.stats.recordBatch(res.MRAMBytesRead, serialLat, pipeLat)
 	}
 }
 

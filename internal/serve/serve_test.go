@@ -14,8 +14,8 @@ import (
 )
 
 // testFixture builds a small profile trace, model and engine config
-// shared by the serving tests.
-func testFixture(t *testing.T) (*dlrm.Model, *trace.Trace, core.Config) {
+// shared by the serving tests and benchmarks.
+func testFixture(t testing.TB) (*dlrm.Model, *trace.Trace, core.Config) {
 	t.Helper()
 	spec, err := synth.Preset("home")
 	if err != nil {

@@ -41,6 +41,17 @@ type Stats struct {
 	// dispatched micro-batch — the quantity the hot-row cache exists to
 	// reduce.
 	MRAMBytesRead int64
+	// PipelineSerialNs and PipelinePipelinedNs sum every micro-batch's
+	// modeled shard residency under the serial rule (wait for the
+	// previous batch, then run stages back to back) and under the
+	// overlapped LINK/DPUS/HOST schedule. Both are zero unless the
+	// server runs with Config.Pipeline.
+	PipelineSerialNs    float64
+	PipelinePipelinedNs float64
+	// PipelineSpeedup is PipelineSerialNs / PipelinePipelinedNs — the
+	// modeled throughput gain from cross-batch overlap, >= 1 by
+	// construction whenever pipelined batches ran, 0 otherwise.
+	PipelineSpeedup float64
 	// CacheHits through CacheBytesSaved mirror the shared hot-row
 	// cache's counters (all zero when no cache is deployed): row lookups
 	// served host-side vs sent to DPUs, the admission filter's decisions,
@@ -74,6 +85,10 @@ type collector struct {
 	batches   int64
 	shed      int64
 	mramBytes int64
+	// pipeSerialNs / pipePipelinedNs accumulate the per-batch modeled
+	// shard residencies of the pipelined workers (zero when disabled).
+	pipeSerialNs    float64
+	pipePipelinedNs float64
 	first     time.Time // first recorded completion window start
 	last      time.Time // last recorded completion
 }
@@ -92,10 +107,12 @@ func (c *collector) record(r Response) {
 	c.mu.Unlock()
 }
 
-func (c *collector) recordBatch(mramBytes int64) {
+func (c *collector) recordBatch(mramBytes int64, pipeSerialNs, pipePipelinedNs float64) {
 	c.mu.Lock()
 	c.batches++
 	c.mramBytes += mramBytes
+	c.pipeSerialNs += pipeSerialNs
+	c.pipePipelinedNs += pipePipelinedNs
 	c.mu.Unlock()
 }
 
@@ -116,17 +133,22 @@ func (c *collector) snapshot() Stats {
 	lat := append([]float64(nil), c.latencies...)
 	queues := append([]float64(nil), c.queues...)
 	st := Stats{
-		Requests:      int64(len(c.latencies)),
-		Errors:        c.errors,
-		Batches:       c.batches,
-		Shed:          c.shed,
-		MRAMBytesRead: c.mramBytes,
+		Requests:            int64(len(c.latencies)),
+		Errors:              c.errors,
+		Batches:             c.batches,
+		Shed:                c.shed,
+		MRAMBytesRead:       c.mramBytes,
+		PipelineSerialNs:    c.pipeSerialNs,
+		PipelinePipelinedNs: c.pipePipelinedNs,
 	}
 	first, last := c.first, c.last
 	c.mu.Unlock()
 
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(st.Requests) / float64(st.Batches)
+	}
+	if st.PipelinePipelinedNs > 0 {
+		st.PipelineSpeedup = st.PipelineSerialNs / st.PipelinePipelinedNs
 	}
 	if len(lat) == 0 {
 		return st

@@ -1,0 +1,69 @@
+package tensor
+
+import "fmt"
+
+// EmbBuf is a flat (samples x tables x dim) float32 buffer holding a
+// batch's aggregated per-sample, per-table reduced embeddings. It
+// replaces the [][][]float32 pyramid the engines used to allocate per
+// batch: one contiguous backing array plus stride arithmetic, so a
+// batch costs zero small allocations once the buffer has grown to the
+// engine's steady-state shape, and the dense model can walk a sample's
+// embeddings as one cache-friendly row.
+//
+// The zero value is ready for use; Reset shapes (and reuses) it.
+type EmbBuf struct {
+	samples, tables, dim int
+	data                 []float32
+}
+
+// Reset shapes the buffer to samples x tables x dim and zeroes the
+// active region, reusing the existing backing array whenever it is
+// large enough. Values written before Reset are gone after it.
+func (e *EmbBuf) Reset(samples, tables, dim int) {
+	if samples < 0 || tables <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("tensor: EmbBuf.Reset(%d, %d, %d)", samples, tables, dim))
+	}
+	n := samples * tables * dim
+	if cap(e.data) < n {
+		e.data = make([]float32, n)
+	} else {
+		e.data = e.data[:n]
+		clear(e.data)
+	}
+	e.samples, e.tables, e.dim = samples, tables, dim
+}
+
+// Samples returns the batch size the buffer is shaped for.
+func (e *EmbBuf) Samples() int { return e.samples }
+
+// Tables returns the table count the buffer is shaped for.
+func (e *EmbBuf) Tables() int { return e.tables }
+
+// Dim returns the embedding dimension the buffer is shaped for.
+func (e *EmbBuf) Dim() int { return e.dim }
+
+// At returns sample s's reduced embedding for table t as a slice
+// aliasing the flat storage (len Dim).
+func (e *EmbBuf) At(s, t int) []float32 {
+	off := (s*e.tables + t) * e.dim
+	return e.data[off : off+e.dim : off+e.dim]
+}
+
+// Sample returns sample s's embeddings for all tables as one flat
+// tables*dim slice aliasing the storage — the layout the flat forward
+// pass consumes.
+func (e *EmbBuf) Sample(s int) []float32 {
+	off := s * e.tables * e.dim
+	n := e.tables * e.dim
+	return e.data[off : off+n : off+n]
+}
+
+// Data exposes the whole active backing array (samples*tables*dim).
+func (e *EmbBuf) Data() []float32 { return e.data }
+
+// Clone returns an independent deep copy with the same shape.
+func (e *EmbBuf) Clone() *EmbBuf {
+	c := &EmbBuf{samples: e.samples, tables: e.tables, dim: e.dim}
+	c.data = append([]float32(nil), e.data...)
+	return c
+}

@@ -1,0 +1,88 @@
+package tensor
+
+import "testing"
+
+func TestEmbBufShapeAndViews(t *testing.T) {
+	var e EmbBuf
+	e.Reset(3, 2, 4)
+	if e.Samples() != 3 || e.Tables() != 2 || e.Dim() != 4 {
+		t.Fatalf("shape = (%d,%d,%d)", e.Samples(), e.Tables(), e.Dim())
+	}
+	if len(e.Data()) != 3*2*4 {
+		t.Fatalf("data len = %d", len(e.Data()))
+	}
+	// At views tile the flat storage without overlap.
+	for s := 0; s < 3; s++ {
+		for tb := 0; tb < 2; tb++ {
+			v := e.At(s, tb)
+			if len(v) != 4 {
+				t.Fatalf("At(%d,%d) len %d", s, tb, len(v))
+			}
+			for k := range v {
+				v[k] = float32(100*s + 10*tb + k)
+			}
+		}
+	}
+	for s := 0; s < 3; s++ {
+		row := e.Sample(s)
+		if len(row) != 8 {
+			t.Fatalf("Sample(%d) len %d", s, len(row))
+		}
+		for tb := 0; tb < 2; tb++ {
+			for k := 0; k < 4; k++ {
+				if want := float32(100*s + 10*tb + k); row[tb*4+k] != want {
+					t.Fatalf("Sample(%d)[%d] = %v, want %v", s, tb*4+k, row[tb*4+k], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbBufResetClears: shrinking then regrowing within capacity must
+// never expose a previous batch's values.
+func TestEmbBufResetClears(t *testing.T) {
+	var e EmbBuf
+	e.Reset(4, 2, 3)
+	for i := range e.Data() {
+		e.Data()[i] = 7
+	}
+	e.Reset(2, 2, 3) // shrink: reuses capacity
+	for i, v := range e.Data() {
+		if v != 0 {
+			t.Fatalf("stale value %v at %d after shrink", v, i)
+		}
+	}
+	e.Reset(4, 2, 3) // regrow within capacity
+	if len(e.Data()) != 24 {
+		t.Fatalf("regrow len = %d", len(e.Data()))
+	}
+	for i, v := range e.Data() {
+		if v != 0 {
+			t.Fatalf("stale value %v at %d after regrow", v, i)
+		}
+	}
+}
+
+func TestEmbBufClone(t *testing.T) {
+	var e EmbBuf
+	e.Reset(2, 1, 2)
+	e.At(1, 0)[1] = 42
+	c := e.Clone()
+	e.At(1, 0)[1] = 0
+	if c.At(1, 0)[1] != 42 {
+		t.Fatalf("clone shares storage")
+	}
+	if c.Samples() != 2 || c.Tables() != 1 || c.Dim() != 2 {
+		t.Fatalf("clone shape (%d,%d,%d)", c.Samples(), c.Tables(), c.Dim())
+	}
+}
+
+func TestEmbBufResetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shape accepted")
+		}
+	}()
+	var e EmbBuf
+	e.Reset(-1, 1, 1)
+}

@@ -43,16 +43,28 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Dot returns the inner product of a and b. The slices must have equal
-// length.
+// length. Four independent accumulator lanes break the add dependency
+// chain (this is the single hottest function in the inference path —
+// every MLP MatVec and interaction dot lands here); lane count is part
+// of the function's observable float semantics, so changing it shifts
+// results by ulps.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
 	var s float32
-	for i := range a {
+	for ; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
-	return s
+	return ((s0 + s1) + (s2 + s3)) + s
 }
 
 // Axpy computes dst[i] += alpha * x[i].

@@ -95,6 +95,13 @@ func (j *KernelJob) bytesPerElem() int {
 	return j.BytesPerElem
 }
 
+// Reset clears the job's access list for a new batch, keeping the Reads
+// and Rows capacity so steady-state job building allocates nothing.
+func (j *KernelJob) Reset() {
+	j.Reads = j.Reads[:0]
+	j.Rows = j.Rows[:0]
+}
+
 // AddRead appends a read covering the given rows for the given sample.
 func (j *KernelJob) AddRead(sample int, elems int, rows ...int32) {
 	off := int32(len(j.Rows))
@@ -108,10 +115,41 @@ func (j *KernelJob) AddRead(sample int, elems int, rows ...int32) {
 }
 
 // KernelResult holds the functional output of a kernel: per-sample
-// partial sums of width Width.
+// partial sums of width Width. A KernelResult is reusable: RunKernelInto
+// reshapes it in place, recycling the backing array and fetch scratch,
+// so steady-state kernel execution allocates nothing.
 type KernelResult struct {
-	// Partial[s] is sample s's partial sum (len Width).
+	// Partial[s] is sample s's partial sum (len Width), a view into one
+	// shared backing array.
 	Partial [][]float32
+
+	// backing is the contiguous NumSamples*Width accumulator storage the
+	// Partial views alias; buf is the per-read fetch scratch.
+	backing []float32
+	buf     []float32
+}
+
+// reset shapes the result for samples x width, zeroing the accumulators
+// and reusing storage whenever capacity allows.
+func (r *KernelResult) reset(samples, width int) {
+	n := samples * width
+	if cap(r.backing) < n {
+		r.backing = make([]float32, n)
+	} else {
+		r.backing = r.backing[:n]
+		clear(r.backing)
+	}
+	if cap(r.Partial) < samples {
+		r.Partial = make([][]float32, samples)
+	} else {
+		r.Partial = r.Partial[:samples]
+	}
+	for s := 0; s < samples; s++ {
+		r.Partial[s] = r.backing[s*width : (s+1)*width : (s+1)*width]
+	}
+	if cap(r.buf) < width {
+		r.buf = make([]float32, width)
+	}
 }
 
 // KernelTiming reports where a kernel's cycles went.
@@ -158,20 +196,28 @@ func (e TimingEngine) String() string {
 
 // RunKernel executes the job functionally and models its execution time
 // with the chosen engine. The functional result is independent of the
-// engine.
+// engine. It allocates a fresh result; hot paths reuse one via
+// RunKernelInto.
 func RunKernel(cfg HWConfig, job *KernelJob, engine TimingEngine) (*KernelResult, KernelTiming, error) {
-	if err := job.Validate(cfg); err != nil {
+	res := &KernelResult{}
+	timing, err := RunKernelInto(cfg, job, engine, res)
+	if err != nil {
 		return nil, KernelTiming{}, err
 	}
-	res := &KernelResult{Partial: make([][]float32, job.NumSamples)}
-	backing := make([]float32, job.NumSamples*job.Width)
-	for s := 0; s < job.NumSamples; s++ {
-		res.Partial[s] = backing[s*job.Width : (s+1)*job.Width]
+	return res, timing, nil
+}
+
+// RunKernelInto executes the job into a reusable result: res is reshaped
+// in place (its backing array and scratch recycled), so repeated calls
+// with a stable job shape allocate nothing.
+func RunKernelInto(cfg HWConfig, job *KernelJob, engine TimingEngine, res *KernelResult) (KernelTiming, error) {
+	if err := job.Validate(cfg); err != nil {
+		return KernelTiming{}, err
 	}
-	buf := make([]float32, job.Width)
+	res.reset(job.NumSamples, job.Width)
 	for i := range job.Reads {
 		r := &job.Reads[i]
-		dst := buf[:r.Elems]
+		dst := res.buf[:r.Elems]
 		job.Fetch(job.Rows[r.RowsOff:r.RowsOff+r.RowsLen], dst)
 		acc := res.Partial[r.Sample]
 		for k, v := range dst {
@@ -179,16 +225,14 @@ func RunKernel(cfg HWConfig, job *KernelJob, engine TimingEngine) (*KernelResult
 		}
 	}
 
-	var timing KernelTiming
 	switch engine {
 	case ClosedForm:
-		timing = closedFormTiming(cfg, job)
+		return closedFormTiming(cfg, job), nil
 	case EventDriven:
-		timing = eventTiming(cfg, job)
+		return eventTiming(cfg, job), nil
 	default:
-		return nil, KernelTiming{}, fmt.Errorf("upmem: unknown timing engine %d", engine)
+		return KernelTiming{}, fmt.Errorf("upmem: unknown timing engine %d", engine)
 	}
-	return res, timing, nil
 }
 
 // closedFormTiming computes the analytic kernel time: the kernel is bound

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // System is a set of DPUs driven together, the granularity at which the
@@ -40,6 +41,9 @@ func (s *System) NumDPUs() int { return s.numDPUs }
 func (s *System) Engine() TimingEngine { return s.engine }
 
 // StepResult is the outcome of one kernel launch across the DPU set.
+// A StepResult is reusable: RunStepInto reshapes it in place, recycling
+// every per-DPU kernel result, so steady-state stepping allocates only
+// the worker goroutines.
 type StepResult struct {
 	// Results[d] is DPU d's functional output (nil when jobs[d] was nil).
 	Results []*KernelResult
@@ -53,65 +57,106 @@ type StepResult struct {
 	// TotalReads and TotalBytes aggregate MRAM traffic over all DPUs.
 	TotalReads int
 	TotalBytes int64
+
+	// pool holds one reusable KernelResult per DPU; active lists the DPU
+	// indices with work this step.
+	pool   []KernelResult
+	active []int
 }
 
 // RunStep executes one kernel per DPU (nil jobs leave a DPU idle) and
-// returns functional results and timing. Functional execution is
-// parallelized over host cores; modeled time is max over DPUs because the
-// hardware runs them concurrently.
+// returns functional results and timing. Hot paths reuse a StepResult
+// via RunStepInto instead.
 func (s *System) RunStep(jobs []*KernelJob) (*StepResult, error) {
+	res := &StepResult{}
+	if err := s.RunStepInto(jobs, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunStepInto executes one kernel per DPU into a reusable StepResult
+// (nil jobs leave a DPU idle). Functional execution is parallelized over
+// host cores; modeled time is max over DPUs because the hardware runs
+// them concurrently. res's previous contents are overwritten; per-DPU
+// accumulator storage is recycled across calls.
+func (s *System) RunStepInto(jobs []*KernelJob, res *StepResult) error {
 	if len(jobs) != s.numDPUs {
-		return nil, fmt.Errorf("upmem: %d jobs for %d DPUs", len(jobs), s.numDPUs)
+		return fmt.Errorf("upmem: %d jobs for %d DPUs", len(jobs), s.numDPUs)
 	}
-	res := &StepResult{
-		Results: make([]*KernelResult, s.numDPUs),
-		Timings: make([]KernelTiming, s.numDPUs),
+	if cap(res.pool) < s.numDPUs {
+		res.pool = make([]KernelResult, s.numDPUs)
 	}
-	type outcome struct {
-		d   int
-		err error
+	res.pool = res.pool[:s.numDPUs]
+	if cap(res.Results) < s.numDPUs {
+		res.Results = make([]*KernelResult, s.numDPUs)
+		res.Timings = make([]KernelTiming, s.numDPUs)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > s.numDPUs {
-		workers = s.numDPUs
-	}
-	work := make(chan int)
-	errs := make(chan outcome, s.numDPUs)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range work {
-				r, t, err := RunKernel(s.cfg, jobs[d], s.engine)
-				if err != nil {
-					errs <- outcome{d: d, err: err}
-					continue
-				}
-				res.Results[d] = r
-				res.Timings[d] = t
-			}
-		}()
-	}
+	res.Results = res.Results[:s.numDPUs]
+	res.Timings = res.Timings[:s.numDPUs]
+	clear(res.Results)
+	clear(res.Timings)
+	res.MaxCycles, res.StageNs = 0, 0
+	res.TotalReads, res.TotalBytes = 0, 0
+	res.active = res.active[:0]
 	for d := range jobs {
 		if jobs[d] != nil {
-			work <- d
+			res.active = append(res.active, d)
 		}
 	}
-	close(work)
-	wg.Wait()
-	close(errs)
-	for o := range errs {
-		if o.err != nil {
-			return nil, fmt.Errorf("upmem: DPU %d: %w", o.d, o.err)
+	if len(res.active) == 0 {
+		return nil
+	}
+
+	run := func(d int) error {
+		kr := &res.pool[d]
+		t, err := RunKernelInto(s.cfg, jobs[d], s.engine, kr)
+		if err != nil {
+			return fmt.Errorf("upmem: DPU %d: %w", d, err)
+		}
+		res.Results[d] = kr
+		res.Timings[d] = t
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(res.active) {
+		workers = len(res.active)
+	}
+	if workers <= 1 {
+		for _, d := range res.active {
+			if err := run(d); err != nil {
+				return err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(res.active) {
+						return
+					}
+					if err := run(res.active[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
 	}
-	anyWork := false
-	for d := range jobs {
-		if jobs[d] == nil {
-			continue
-		}
-		anyWork = true
+
+	for _, d := range res.active {
 		t := res.Timings[d]
 		if t.Cycles > res.MaxCycles {
 			res.MaxCycles = t.Cycles
@@ -119,8 +164,6 @@ func (s *System) RunStep(jobs []*KernelJob) (*StepResult, error) {
 		res.TotalReads += t.Reads
 		res.TotalBytes += t.BytesRead
 	}
-	if anyWork {
-		res.StageNs = s.cfg.KernelLaunchNs + s.cfg.CyclesToNs(res.MaxCycles)
-	}
-	return res, nil
+	res.StageNs = s.cfg.KernelLaunchNs + s.cfg.CyclesToNs(res.MaxCycles)
+	return nil
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# scripts/bench.sh — run the hot-path micro-benchmarks (RunBatch,
+# RunTracePipelined, ForwardBatch, ServeThroughput) with -benchmem and
+# record the results as BENCH_hotpath.json at the repo root, so the
+# perf trajectory of the batch execution path is tracked in-tree.
+#
+#   ./scripts/bench.sh            # 1 run per benchmark
+#   COUNT=5 ./scripts/bench.sh    # 5 runs per benchmark
+set -eu
+cd "$(dirname "$0")/.."
+out=BENCH_hotpath.json
+
+go test -run '^$' \
+	-bench 'BenchmarkRunBatch$|BenchmarkRunTracePipelined$|BenchmarkForwardBatch$|BenchmarkServeThroughput$' \
+	-benchmem -count "${COUNT:-1}" \
+	./internal/core ./internal/dlrm ./internal/serve |
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	BEGIN {
+		printf "{\n  \"generated\": \"%s\",\n", date
+		n = 0
+	}
+	/^goos: / { goos = $2 }
+	/^goarch: / { goarch = $2 }
+	/^pkg: / { pkg = $2 }
+	/^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
+	/^Benchmark/ {
+		if (n == 0)
+			printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", goos, goarch, cpu
+		else
+			printf ",\n"
+		printf "    {\"name\": \"%s\", \"pkg\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			$1, pkg, $2, $3, $5, $7
+		n++
+	}
+	END {
+		if (n == 0) { print "  \"benchmarks\": []\n}"; exit 1 }
+		printf "\n  ]\n}\n"
+	}' >"$out"
+
+echo "wrote $out:"
+cat "$out"

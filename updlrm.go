@@ -110,7 +110,9 @@ type (
 	// Server shards engine replicas behind a micro-batching request
 	// queue (see NewServer).
 	Server = serve.Server
-	// ServerConfig tunes shard count, batching window and queue depth.
+	// ServerConfig tunes shard count, batching window, queue depth and
+	// cross-batch pipelining (Pipeline: shard workers overlap queued
+	// micro-batches on the LINK/DPUS/HOST schedule).
 	ServerConfig = serve.Config
 	// ServeRequest is one online inference request.
 	ServeRequest = serve.Request
@@ -119,7 +121,8 @@ type (
 	ServeResponse = serve.Response
 	// ServerStats summarizes served traffic (p50/p95/p99 for end-to-end
 	// and queueing delay, throughput, batch coalescing, shed count, DPU
-	// memory traffic, and hot-row cache effectiveness).
+	// memory traffic, hot-row cache effectiveness, and the modeled
+	// pipeline speedup when shard workers overlap batches).
 	ServerStats = serve.Stats
 	// HotCacheConfig sizes the serving-tier hot-row embedding cache
 	// (TinyLFU admission over the live stream); set it on ServerConfig.
