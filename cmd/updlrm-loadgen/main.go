@@ -20,12 +20,20 @@
 // throughput speedup from that overlap (1.00x when the shard never
 // backlogs, "-" when pipelining is off).
 //
+// -prio mixes QoS classes into the stream as "crit:normal:batch"
+// integer weights (e.g. -prio 1:0:9 is 10% latency-critical ranking
+// traffic over a best-effort backfill flood). The percentile table then
+// grows one row per class under each method — so the per-class latency
+// isolation and which class admission control shed are visible — plus
+// the all-traffic summary row.
+//
 // Usage:
 //
 //	updlrm-loadgen -preset home -requests 2000 -qps 20000 -shards 4
 //	updlrm-loadgen -mode closed -concurrency 64 -methods cacheaware,uniform
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 //	updlrm-loadgen -mode closed -concurrency 64 -pipeline
+//	updlrm-loadgen -prio 1:0:9 -qps 50000 -queue 256
 package main
 
 import (
@@ -34,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -61,14 +71,20 @@ func main() {
 		queueDepth  = flag.Int("queue", 0, "request queue depth (0 = default); full queues shed with 503-style errors")
 		pipeline    = flag.Bool("pipeline", false,
 			"overlap consecutive micro-batches per shard on the LINK/DPUS/HOST schedule")
-		cachePct    = flag.Float64("cachepct", 0,
+		cachePct = flag.Float64("cachepct", 0,
 			"serving-tier hot-row cache size as %% of total embedding storage (0 disables)")
 		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
 			"comma-separated partitioning methods to compare")
+		prio = flag.String("prio", "",
+			"QoS traffic mix as crit:normal:batch integer weights (e.g. 1:0:9); empty serves everything as normal class")
 	)
 	flag.Parse()
 
 	methods, err := parseMethods(*methodsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := parsePrio(*prio)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,6 +108,7 @@ func main() {
 		Samples:      stream.Samples[:*profileN],
 	}
 	live := stream.Samples[*profileN:]
+	classes := assignClasses(len(live), mix)
 
 	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(stream.RowsPerTable))
 	if err != nil {
@@ -111,6 +128,9 @@ func main() {
 	if cacheBytes > 0 {
 		fmt.Printf("hot-row cache: %.1f%% of %d KB embedding storage = %d KB\n",
 			*cachePct, tableBytes/1024, cacheBytes/1024)
+	}
+	if *prio != "" {
+		fmt.Printf("QoS mix (crit:normal:batch): %s\n", *prio)
 	}
 	fmt.Println()
 
@@ -132,9 +152,9 @@ func main() {
 		}
 		switch *mode {
 		case "open":
-			err = runOpen(srv, live, *qps)
+			err = runOpen(srv, live, classes, *qps)
 		case "closed":
-			err = runClosed(srv, live, *concurrency)
+			err = runClosed(srv, live, classes, *concurrency)
 		default:
 			log.Fatalf("loadgen: unknown mode %q", *mode)
 		}
@@ -144,7 +164,7 @@ func main() {
 		st := srv.Stats()
 		srv.Close()
 		rows = append(rows, []string{
-			m.name,
+			m.name, "all",
 			fmt.Sprintf("%d", st.Requests),
 			fmt.Sprintf("%.1f%%", 100*st.ShedRate()),
 			fmt.Sprintf("%.0f", st.ThroughputRPS),
@@ -158,12 +178,88 @@ func main() {
 			fmt.Sprintf("%d", st.MRAMBytesRead/1024),
 			pipeCell(st.PipelineSpeedup),
 		})
+		// With a QoS mix, one row per class with traffic: the per-class
+		// latency isolation and which class the admission control shed.
+		// Without -prio everything is Normal and the class rows would
+		// just repeat the "all" row.
+		if *prio == "" {
+			continue
+		}
+		for c := updlrm.RequestClass(0); c < updlrm.NumRequestClasses; c++ {
+			cs := st.PerClass[c]
+			if cs.Requests+cs.Shed == 0 {
+				continue
+			}
+			rows = append(rows, []string{
+				m.name, c.String(),
+				fmt.Sprintf("%d", cs.Requests),
+				fmt.Sprintf("%.1f%%", 100*cs.ShedRate()),
+				"-", "-",
+				metrics.FormatNs(cs.P50Ns),
+				metrics.FormatNs(cs.P95Ns),
+				metrics.FormatNs(cs.P99Ns),
+				metrics.FormatNs(cs.QueueP50Ns),
+				metrics.FormatNs(cs.QueueP99Ns),
+				"-", "-", "-",
+			})
+		}
 	}
 
 	fmt.Print(metrics.Table(
-		[]string{"method", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
+		[]string{"method", "class", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
 			"q.p50", "q.p99", "cache hit", "mram KB", "pipe"},
 		rows))
+}
+
+// parsePrio parses a "crit:normal:batch" integer-weight mix; an empty
+// string means all traffic is Normal (the pre-QoS behaviour).
+func parsePrio(s string) ([3]int, error) {
+	var mix [3]int
+	if s == "" {
+		mix[updlrm.NormalClass] = 1
+		return mix, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mix, fmt.Errorf("loadgen: -prio %q: want crit:normal:batch", s)
+	}
+	order := []updlrm.RequestClass{updlrm.CriticalClass, updlrm.NormalClass, updlrm.BatchClass}
+	total := 0
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("loadgen: -prio %q: bad weight %q", s, p)
+		}
+		mix[order[i]] = w
+		total += w
+	}
+	if total == 0 {
+		return mix, fmt.Errorf("loadgen: -prio %q: all weights zero", s)
+	}
+	return mix, nil
+}
+
+// assignClasses tags the request stream with QoS classes in the mix's
+// proportions, deterministically (fixed seed) so every method serves
+// the same classed stream.
+func assignClasses(n int, mix [3]int) []updlrm.RequestClass {
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	rng := rand.New(rand.NewSource(42))
+	classes := make([]updlrm.RequestClass, n)
+	for i := range classes {
+		pick := rng.Intn(total)
+		for c, w := range mix {
+			if pick < w {
+				classes[i] = updlrm.RequestClass(c)
+				break
+			}
+			pick -= w
+		}
+	}
+	return classes
 }
 
 // pipeCell formats the pipeline-speedup column: "-" when pipelining
@@ -208,7 +304,7 @@ func parseMethods(s string) ([]namedMethod, error) {
 // sheds at a full queue (ErrServerOverloaded) are dropped, as an open
 // load generator's clients would be — the shed rate column reports
 // them.
-func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
+func runOpen(srv *updlrm.Server, samples []updlrm.Sample, classes []updlrm.RequestClass, qps float64) error {
 	if qps <= 0 {
 		return fmt.Errorf("qps must be positive")
 	}
@@ -222,13 +318,13 @@ func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(s updlrm.Sample) {
+		go func(s updlrm.Sample, class updlrm.RequestClass) {
 			defer wg.Done()
-			_, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+			_, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse, Class: class})
 			if err != nil && !errors.Is(err, updlrm.ErrServerOverloaded) {
 				errs <- err
 			}
-		}(s)
+		}(s, classes[i])
 	}
 	wg.Wait()
 	close(errs)
@@ -238,12 +334,12 @@ func runOpen(srv *updlrm.Server, samples []updlrm.Sample, qps float64) error {
 // runClosed issues requests back-to-back from a fixed worker pool. The
 // first error stops the feed, so a failing shard cannot deadlock the
 // generator against a pool of dead workers.
-func runClosed(srv *updlrm.Server, samples []updlrm.Sample, concurrency int) error {
+func runClosed(srv *updlrm.Server, samples []updlrm.Sample, classes []updlrm.RequestClass, concurrency int) error {
 	if concurrency <= 0 {
 		return fmt.Errorf("concurrency must be positive")
 	}
 	ctx := context.Background()
-	next := make(chan updlrm.Sample)
+	next := make(chan updlrm.ServeRequest)
 	errs := make(chan error, concurrency)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
@@ -252,8 +348,8 @@ func runClosed(srv *updlrm.Server, samples []updlrm.Sample, concurrency int) err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range next {
-				_, err := srv.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+			for req := range next {
+				_, err := srv.Predict(ctx, req)
 				if err != nil && !errors.Is(err, updlrm.ErrServerOverloaded) {
 					errs <- err
 					stopOnce.Do(func() { close(stop) })
@@ -263,9 +359,9 @@ func runClosed(srv *updlrm.Server, samples []updlrm.Sample, concurrency int) err
 		}()
 	}
 feed:
-	for _, s := range samples {
+	for i, s := range samples {
 		select {
-		case next <- s:
+		case next <- updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse, Class: classes[i]}:
 		case <-stop:
 			break feed
 		}

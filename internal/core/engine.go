@@ -68,6 +68,15 @@ type Config struct {
 	HotCache *hotcache.Cache
 }
 
+// Clone returns a copy of the config for per-shard overrides: value
+// fields (partitioning method, tile shape, quantization, worker-pool
+// width) may be changed freely on the copy, while reference fields —
+// HotCache in particular — stay shared, which is exactly what a
+// heterogeneous serving tier wants (one admission filter and hit-rate
+// accounting across all replicas). Serving constructors clone a base
+// config per shard before applying that shard's overrides.
+func (c Config) Clone() Config { return c }
+
 // DefaultConfig returns the paper's evaluation configuration: 256 DPUs,
 // cache-aware partitioning with a full cache budget, batch 64.
 func DefaultConfig() Config {
@@ -121,6 +130,10 @@ type Engine struct {
 	// table t for the hot-row cache — prebuilt so the per-row cache loop
 	// does not allocate closures.
 	offerFills []func(dst []float32)
+	// profile is the construction profile trace, retained so
+	// EstimateBreakdown can assemble representative probe batches after
+	// construction (serving routers seed per-shard cost priors from it).
+	profile *trace.Trace
 	// sc is the per-engine scratch arena RunBatch recycles.
 	sc scratch
 }
@@ -247,7 +260,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, model: model, sys: sys, bytesPerElem: 4}
+	e := &Engine{cfg: cfg, model: model, sys: sys, bytesPerElem: 4, profile: profile}
 	for _, tb := range model.Tables {
 		if cfg.QuantizeEMT {
 			e.tables = append(e.tables, emt.Quantize(tb))
@@ -623,6 +636,38 @@ func (e *Engine) RunTrace(tr *trace.Trace, batchSize int) ([]float32, metrics.Br
 		total.Add(res.Breakdown)
 	}
 	return all, total, nil
+}
+
+// EstimateBreakdown is the engine's serving-profile hook: it assembles
+// one probe batch from the head of the construction profile, runs it
+// with the hot-row cache disabled (a probe must not perturb shared
+// admission state or hit counters), and returns the modeled breakdown
+// plus the probe's sample count. Because the probe exercises the
+// engine's real partition plans and timing model, different shard
+// configurations (partition method, tile shape, quantization) yield
+// genuinely different estimates — the static prior a heterogeneous
+// serving router needs before it has observed live traffic. Like
+// RunBatch it recycles the scratch arena and is not safe for concurrent
+// use; call it before the engine starts serving.
+func (e *Engine) EstimateBreakdown(batchSize int) (metrics.Breakdown, int, error) {
+	if batchSize <= 0 {
+		batchSize = e.cfg.BatchSize
+	}
+	n := len(e.profile.Samples)
+	if n == 0 {
+		return metrics.Breakdown{}, 0, fmt.Errorf("core: profile has no samples to probe with")
+	}
+	if n > batchSize {
+		n = batchSize
+	}
+	saved := e.cfg.HotCache
+	e.cfg.HotCache = nil
+	res, err := e.RunBatch(trace.MakeBatch(e.profile, 0, n))
+	e.cfg.HotCache = saved
+	if err != nil {
+		return metrics.Breakdown{}, 0, err
+	}
+	return res.Breakdown, n, nil
 }
 
 // TableBytes reports the EMT storage the engine distributed across DPUs.

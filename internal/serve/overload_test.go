@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,17 +24,20 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
-// TestOverloadShedsFast fills the pipeline — worker parked, batcher
-// holding a batch, queue full — and checks the next Predict fails fast
-// with ErrOverloaded instead of blocking, with the shed recorded.
+// TestOverloadShedsFast fills the pipeline — worker parked, shard
+// queue full, scheduler blocked mid-route, class queue full — and
+// checks the next Predict fails fast with ErrOverloaded instead of
+// blocking, with the shed recorded against its class.
 func TestOverloadShedsFast(t *testing.T) {
 	srv, profile, _ := newTestServer(t, 1, Config{MaxBatch: 1, QueueDepth: 1})
 	hold := make(chan struct{})
 	entered := make(chan struct{}, 16)
-	srv.testHookBatch = func(int) {
+	srv.testHookBatch = func(int, *microBatch) {
 		entered <- struct{}{}
 		<-hold
 	}
+	var routed atomic.Int64
+	srv.testHookRoute = func(Class, int, int) { routed.Add(1) }
 	var once sync.Once
 	release := func() { once.Do(func() { close(hold) }) }
 	t.Cleanup(release)
@@ -56,15 +60,18 @@ func TestOverloadShedsFast(t *testing.T) {
 
 	predict(0) // occupies the worker (parked in the hook)
 	<-entered  //
-	predict(1) // held by the batcher, blocked on the worker
-	waitFor(t, "batcher to take request 1", func() bool { return len(srv.reqCh) == 0 })
-	predict(2) // sits in the depth-1 queue
-	waitFor(t, "queue to fill", func() bool { return len(srv.reqCh) == 1 })
+	predict(1) // routed into the shard's depth-1 dispatch queue
+	waitFor(t, "scheduler to route request 1", func() bool { return routed.Load() == 2 })
+	predict(2) // held by the scheduler, blocked routing to the full shard
+	waitFor(t, "scheduler to take request 2", func() bool { return routed.Load() == 3 })
+	predict(3) // sits in the depth-1 Normal class queue
+	waitFor(t, "class queue to fill", func() bool { return len(srv.classCh[Normal]) == 1 })
 
-	// The pipeline is saturated: worker busy, batcher blocked, queue
-	// full. The next request must shed immediately.
+	// The pipeline is saturated: worker busy, shard queue full,
+	// scheduler blocked, class queue full. The next request must shed
+	// immediately.
 	start := time.Now()
-	_, err := srv.Predict(ctx, req(3))
+	_, err := srv.Predict(ctx, req(4))
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full-queue Predict error = %v, want ErrOverloaded", err)
 	}
@@ -78,11 +85,17 @@ func TestOverloadShedsFast(t *testing.T) {
 	if st.Shed != 1 {
 		t.Fatalf("Shed = %d, want 1", st.Shed)
 	}
-	if st.Requests != 3 {
-		t.Fatalf("Requests = %d, want 3", st.Requests)
+	if st.Requests != 4 {
+		t.Fatalf("Requests = %d, want 4", st.Requests)
 	}
-	if got, want := st.ShedRate(), 0.25; got != want {
+	if got, want := st.ShedRate(), 0.2; got != want {
 		t.Fatalf("ShedRate = %v, want %v", got, want)
+	}
+	if cs := st.PerClass[Normal]; cs.Shed != 1 || cs.Requests != 4 {
+		t.Fatalf("Normal class stats = %d shed / %d served, want 1/4", cs.Shed, cs.Requests)
+	}
+	if got, want := st.PerClass[Normal].ShedRate(), 0.2; got != want {
+		t.Fatalf("Normal ShedRate = %v, want %v", got, want)
 	}
 	if st.QueueP50Ns < 0 || st.QueueP95Ns < st.QueueP50Ns || st.QueueP99Ns < st.QueueP95Ns {
 		t.Fatalf("queue percentiles not monotone: %v/%v/%v", st.QueueP50Ns, st.QueueP95Ns, st.QueueP99Ns)
@@ -99,10 +112,12 @@ func TestCancelledMidQueueLeavesNoTrace(t *testing.T) {
 	srv, profile, _ := newTestServer(t, 1, Config{MaxBatch: 1, QueueDepth: 4})
 	hold := make(chan struct{})
 	entered := make(chan struct{}, 16)
-	srv.testHookBatch = func(int) {
+	srv.testHookBatch = func(int, *microBatch) {
 		entered <- struct{}{}
 		<-hold
 	}
+	var routed atomic.Int64
+	srv.testHookRoute = func(Class, int, int) { routed.Add(1) }
 	var once sync.Once
 	release := func() { once.Do(func() { close(hold) }) }
 	t.Cleanup(release)
@@ -121,20 +136,22 @@ func TestCancelledMidQueueLeavesNoTrace(t *testing.T) {
 	}
 	predict(0) // occupies the worker (parked in the hook)
 	<-entered  //
-	predict(1) // held by the batcher, which blocks sending it to the worker
-	waitFor(t, "batcher to take request 1", func() bool { return len(srv.reqCh) == 0 })
+	predict(1) // routed into the shard's depth-1 dispatch queue
+	waitFor(t, "scheduler to route request 1", func() bool { return routed.Load() == 2 })
+	predict(2) // held by the scheduler, blocked routing to the full shard
+	waitFor(t, "scheduler to take request 2", func() bool { return routed.Load() == 3 })
 
-	// Request 2 now sits in the queue until cancelled out of it.
+	// Request 3 now sits in the class queue until cancelled out of it.
 	cctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s := profile.Samples[2]
+		s := profile.Samples[3]
 		_, err := srv.Predict(cctx, Request{Dense: s.Dense, Sparse: s.Sparse})
 		errCh <- err
 	}()
-	waitFor(t, "request 2 to queue", func() bool { return len(srv.reqCh) == 1 })
+	waitFor(t, "request 3 to queue", func() bool { return len(srv.classCh[Normal]) == 1 })
 	cancel()
 	if err := <-errCh; !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled Predict error = %v, want context.Canceled", err)
@@ -144,8 +161,8 @@ func TestCancelledMidQueueLeavesNoTrace(t *testing.T) {
 	wg.Wait()
 	srv.Close() // drain everything before reading stats
 	st := srv.Stats()
-	if st.Requests != 2 {
-		t.Fatalf("Requests = %d, want 2 (cancelled request polluted stats)", st.Requests)
+	if st.Requests != 3 {
+		t.Fatalf("Requests = %d, want 3 (cancelled request polluted stats)", st.Requests)
 	}
 	if st.Errors != 0 || st.Shed != 0 {
 		t.Fatalf("Errors/Shed = %d/%d, want 0/0", st.Errors, st.Shed)

@@ -1,0 +1,203 @@
+// Shard routing for heterogeneous serving: every shard keeps a cost
+// profile — an EWMA of the per-request Breakdown terms its batches
+// actually exhibited plus an exponentially-weighted affine fit of
+// batch cost against batch size — seeded from the engine's static
+// EstimateBreakdown probes before any live traffic. The scheduler
+// routes each micro-batch to the shard with the lowest predicted
+// completion cost (outstanding backlog plus predicted service time for
+// that batch size). With identical replicas every profile converges to
+// the same value and routing degenerates to least-backlog (the
+// work-conserving behaviour of the old free-worker queue); with
+// heterogeneous replicas (different partition methods, tile shapes,
+// quantization) the router steers traffic to whichever configuration
+// is cheapest for each offered batch — the affine model lets a shard
+// with low fixed cost win the small latency-critical batches while a
+// shard with low marginal cost wins the large best-effort ones.
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"updlrm/internal/metrics"
+)
+
+// profileAlpha is the exponential weight of new observations: high
+// enough to track drift, low enough that one odd batch does not flip
+// routing.
+const profileAlpha = 0.2
+
+// shardChanCap is each shard worker's dispatch-queue depth. Keeping it
+// at 1 bounds how much committed work can hide from admission control
+// while still decoupling the scheduler from a momentarily busy worker.
+const shardChanCap = 1
+
+// profilePoint is one (batch size, modeled batch cost) observation.
+type profilePoint struct {
+	n    int
+	cost float64
+	bd   metrics.Breakdown
+}
+
+// shardProfile is one shard's cost profile and outstanding work.
+type shardProfile struct {
+	mu sync.Mutex
+	// perReq is the EWMA of the shard's observed per-request breakdown
+	// terms (the batch breakdown divided by its size) — the stage-level
+	// view Stats exposes and the fallback cost model.
+	perReq metrics.Breakdown
+	// s0..sxy are the exponentially-decayed sufficient statistics of the
+	// affine fit cost(n) = intercept + slope*n over observed batches.
+	s0, s1, s2, sy, sxy float64
+	// backlogNs is predicted work routed to the shard and not yet
+	// completed.
+	backlogNs float64
+	// batches/requests count completed work, for Stats.
+	batches, requests int64
+}
+
+// observe folds one weighted observation into the affine statistics.
+func (p *shardProfile) observe(weight float64, n int, cost float64) {
+	keep := 1 - weight
+	fn := float64(n)
+	p.s0 = keep*p.s0 + weight
+	p.s1 = keep*p.s1 + weight*fn
+	p.s2 = keep*p.s2 + weight*fn*fn
+	p.sy = keep*p.sy + weight*cost
+	p.sxy = keep*p.sxy + weight*fn*cost
+}
+
+// predict returns the profile's modeled cost of a batch of n requests.
+// When the observed sizes have no spread (the fit is degenerate) it
+// falls back to proportional cost, then to the per-request EWMA.
+func (p *shardProfile) predict(n int) float64 {
+	fn := float64(n)
+	det := p.s0*p.s2 - p.s1*p.s1
+	if det > 1e-9*math.Max(p.s2, 1) {
+		slope := (p.s0*p.sxy - p.s1*p.sy) / det
+		intercept := (p.sy - slope*p.s1) / p.s0
+		if c := intercept + slope*fn; c > 0 {
+			return c
+		}
+	}
+	if p.s1 > 0 {
+		return fn * p.sy / p.s1
+	}
+	return fn * p.perReq.TotalNs()
+}
+
+// router scores micro-batches against the shard profiles.
+type router struct {
+	shards []shardProfile
+}
+
+func newRouter(n int) *router { return &router{shards: make([]shardProfile, n)} }
+
+// seed installs a shard's static cost priors: probe breakdowns at one
+// or more batch sizes. Two distinct sizes pin the affine fit exactly,
+// so the very first batches already route by predicted size-dependent
+// cost; live observations then take over exponentially.
+func (r *router) seed(shard int, points []profilePoint) {
+	p := &r.shards[shard]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(points) == 0 {
+		return
+	}
+	w := 1 / float64(len(points))
+	for i, pt := range points {
+		if pt.n <= 0 {
+			continue
+		}
+		if i == 0 {
+			p.s0, p.s1, p.s2, p.sy, p.sxy = 0, 0, 0, 0, 0
+		}
+		fn := float64(pt.n)
+		p.s0 += w
+		p.s1 += w * fn
+		p.s2 += w * fn * fn
+		p.sy += w * pt.cost
+		p.sxy += w * fn * pt.cost
+	}
+	// Per-request stage terms from the largest probe (best amortized).
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.n > best.n {
+			best = pt
+		}
+	}
+	if best.n > 0 {
+		bd := best.bd
+		bd.Scale(1 / float64(best.n))
+		p.perReq = bd
+	}
+}
+
+// rank returns the shard indices ordered by predicted completion cost
+// for a batch of n requests, cheapest first; ties break toward the
+// lowest index, keeping routing deterministic.
+func (r *router) rank(n int) []int {
+	scores := make([]float64, len(r.shards))
+	order := make([]int, len(r.shards))
+	for i := range r.shards {
+		p := &r.shards[i]
+		p.mu.Lock()
+		scores[i] = p.backlogNs + p.predict(n)
+		p.mu.Unlock()
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	return order
+}
+
+// charge books a batch of n requests against the shard's backlog and
+// returns the predicted cost the worker must release on completion.
+func (r *router) charge(shard, n int) float64 {
+	p := &r.shards[shard]
+	p.mu.Lock()
+	pred := p.predict(n)
+	p.backlogNs += pred
+	p.mu.Unlock()
+	return pred
+}
+
+// complete releases a batch's charged backlog and folds its observed
+// cost into the shard's profile. A batch that evaporated before
+// execution (every caller cancelled) passes n = 0: the charge is
+// released, the profile unchanged.
+func (r *router) complete(shard int, predNs float64, bd metrics.Breakdown, n int) {
+	p := &r.shards[shard]
+	p.mu.Lock()
+	p.backlogNs -= predNs
+	if p.backlogNs < 0 {
+		p.backlogNs = 0
+	}
+	if n > 0 {
+		p.observe(profileAlpha, n, bd.TotalNs())
+		bd.Scale(profileAlpha / float64(n))
+		p.perReq.Scale(1 - profileAlpha)
+		p.perReq.Add(bd)
+		p.batches++
+		p.requests += int64(n)
+	}
+	p.mu.Unlock()
+}
+
+// snapshot returns per-shard routing statistics.
+func (r *router) snapshot() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i := range r.shards {
+		p := &r.shards[i]
+		p.mu.Lock()
+		out[i] = ShardStats{
+			Batches:           p.batches,
+			Requests:          p.requests,
+			PredictedPerReqNs: p.perReq.TotalNs(),
+			PredictedBatchNs:  p.predict(1),
+			BacklogNs:         p.backlogNs,
+		}
+		p.mu.Unlock()
+	}
+	return out
+}

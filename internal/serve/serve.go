@@ -1,12 +1,18 @@
 // Package serve is the concurrent serving runtime: N independent
 // core.Engine replicas (each with its own partition plan and simulated
-// DPU ranks) behind a request queue with adaptive micro-batching.
-// Requests arriving within a time/size window are coalesced into one
-// trace.Batch, dispatched to the next free shard, and fanned back out
-// with per-request modeled latency (measured queueing plus the batch's
-// modeled breakdown). This is the deployment shape the paper's §4
-// evaluation implies: the per-batch simulator turned into a system that
-// can absorb an open request stream.
+// DPU ranks) behind a QoS-aware request scheduler. Requests carry one
+// of three priority classes (Critical/Normal/Batch); a weighted
+// deficit-round-robin scheduler drains the per-class admission queues,
+// coalesces same-class micro-batches within per-class windows, and a
+// profile-driven router dispatches each batch to the shard predicted
+// cheapest for it — which makes heterogeneous shard sets (replicas
+// running different partition methods or tile shapes) first-class:
+// traffic concentrates on whichever configuration serves the offered
+// batches fastest. Results fan back out with per-request modeled
+// latency (measured queueing plus the batch's modeled breakdown). This
+// is the deployment shape the paper's §4 evaluation implies: the
+// per-batch simulator turned into a system that can absorb an open,
+// mixed-priority request stream.
 package serve
 
 import (
@@ -27,36 +33,71 @@ import (
 // ErrClosed is returned by Predict after Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// ErrOverloaded is returned by Predict when the request queue is full:
-// the server sheds the request immediately instead of blocking the
-// caller behind an already-saturated pipeline. Transports should map it
-// to a retryable status (HTTP 503); load generators should count it as
-// shed traffic, not failure.
+// ErrOverloaded is returned by Predict when the request's class queue
+// is full: the server sheds the request immediately instead of blocking
+// the caller behind an already-saturated pipeline. Transports should
+// map it to a retryable status (HTTP 503); load generators should count
+// it as shed traffic, not failure. Admission is per class, so Batch
+// pressure fills (and sheds from) the Batch queue without consuming
+// Critical's admission capacity.
 var ErrOverloaded = errors.New("serve: overloaded: request queue full")
 
 // ErrBadRequest wraps request-shape validation failures (wrong dense
-// width, wrong table count, out-of-range index), so transports can
-// distinguish caller errors from server-side failures.
+// width, wrong table count, out-of-range index, unknown class), so
+// transports can distinguish caller errors from server-side failures.
 var ErrBadRequest = errors.New("serve: bad request")
+
+// ClassConfig overrides one QoS class's scheduling parameters; zero
+// fields inherit the server-wide defaults (see Config.Classes).
+type ClassConfig struct {
+	// Weight is the class's deficit-round-robin quantum: the number of
+	// requests credited to the class per scheduler round. Zero means the
+	// default (Critical 16, Normal 4, Batch 1).
+	Weight int
+	// MaxBatch caps the class's micro-batch size. Zero means
+	// Config.MaxBatch.
+	MaxBatch int
+	// BatchWindow is how long the class's forming micro-batch waits for
+	// followers. Zero means the default (opportunistic for Critical,
+	// Config.BatchWindow otherwise); a negative value forces
+	// opportunistic closing.
+	BatchWindow time.Duration
+	// QueueDepth is the class's admission queue capacity. Zero means
+	// Config.QueueDepth.
+	QueueDepth int
+}
 
 // Config tunes the serving runtime.
 type Config struct {
 	// Shards is the number of engine replicas serving in parallel.
-	// Zero means DefaultShards.
+	// Zero means DefaultShards (or len(ShardConfigs) when set).
 	Shards int
 	// MaxBatch caps how many requests one micro-batch coalesces.
 	// Zero means DefaultMaxBatch; 1 disables batching.
 	MaxBatch int
 	// BatchWindow is how long the batcher waits for followers after the
-	// first request of a micro-batch arrives. Zero keeps batching purely
+	// first request of a micro-batch arrives (Normal and Batch classes;
+	// Critical defaults to opportunistic). Zero keeps batching purely
 	// opportunistic: whatever is already queued is coalesced, nothing is
 	// waited for.
 	BatchWindow time.Duration
-	// QueueDepth is the request queue capacity. A Predict against a full
-	// queue fails fast with ErrOverloaded (admission control: shedding at
-	// the door keeps queueing delay bounded under overload). Zero means
+	// QueueDepth is the per-class request queue capacity. A Predict
+	// against the request's full class queue fails fast with
+	// ErrOverloaded (admission control: shedding at the door keeps
+	// queueing delay bounded under overload). Zero means
 	// DefaultQueueDepth.
 	QueueDepth int
+	// Classes optionally overrides per-class scheduling (weight,
+	// micro-batch cap, window, queue depth), indexed by Class.
+	Classes [NumClasses]ClassConfig
+	// ShardConfigs, when non-empty, makes the serving tier
+	// heterogeneous: constructors that build their own replicas (the
+	// facade's NewServer, NewHeteroReplicated) build shard i from
+	// ShardConfigs[i] — different partition methods, tile shapes, cache
+	// or pipeline settings per replica — and Shards becomes
+	// len(ShardConfigs). serve.New itself ignores it (its engines are
+	// already built).
+	ShardConfigs []core.Config
 	// HotCache sizes the serving-tier hot-row embedding cache shared by
 	// every shard (see package hotcache). The facade's NewServer builds
 	// one cache from this and hands it to each engine replica; a zero
@@ -72,6 +113,10 @@ type Config struct {
 	// residency) and Stats.PipelineSpeedup (the modeled throughput
 	// gain, >= 1 by construction).
 	Pipeline bool
+	// ShardPipeline, when non-empty, overrides Pipeline per shard —
+	// letting a heterogeneous deployment pipeline only the replicas
+	// whose configuration benefits.
+	ShardPipeline []bool
 }
 
 // Defaults for Config zero values.
@@ -94,17 +139,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// pipelineFor reports whether the given shard's worker overlaps
+// batches.
+func (c Config) pipelineFor(shard int) bool {
+	if shard < len(c.ShardPipeline) {
+		return c.ShardPipeline[shard]
+	}
+	return c.Pipeline
+}
+
 // Request is one inference request: dense features plus one multi-hot
-// index set per embedding table.
+// index set per embedding table, tagged with a QoS class (the zero
+// value is Normal).
 type Request struct {
 	Dense  []float32
 	Sparse [][]int32
+	// Class is the request's QoS class; untagged requests are Normal.
+	Class Class
 }
 
 // Response is the served outcome of one request.
 type Response struct {
 	// CTR is the prediction.
 	CTR float32
+	// Class is the request's QoS class.
+	Class Class
 	// Shard is the engine replica that ran the request's micro-batch.
 	Shard int
 	// BatchSize is how many requests the micro-batch coalesced.
@@ -151,6 +210,7 @@ func copyRequest(req Request) Request {
 	cp := Request{
 		Dense:  append([]float32(nil), req.Dense...),
 		Sparse: make([][]int32, len(req.Sparse)),
+		Class:  req.Class,
 	}
 	for t, idx := range req.Sparse {
 		cp.Sparse[t] = append([]int32(nil), idx...)
@@ -158,20 +218,23 @@ func copyRequest(req Request) Request {
 	return cp
 }
 
-// Server shards engine replicas behind a micro-batching request queue.
+// Server shards engine replicas behind the QoS scheduler.
 type Server struct {
-	cfg     Config
+	cfg   Config
+	class [NumClasses]classParams
+
 	engines []*core.Engine
 
 	numTables    int
 	rowsPerTable []int
 	denseDim     int
 
-	mu     sync.RWMutex // guards closed + the reqCh send against Close
-	closed bool
-	reqCh  chan *pending
+	mu      sync.RWMutex // guards closed + the classCh sends against Close
+	closed  bool
+	classCh [NumClasses]chan *pending
 
-	batchCh chan []*pending
+	shardCh []chan *microBatch
+	router  *router
 	wg      sync.WaitGroup
 
 	stats *collector
@@ -181,8 +244,11 @@ type Server struct {
 
 	// testHookBatch, when set, runs in each worker just before a
 	// micro-batch executes — tests use it to hold workers and fill the
-	// queue deterministically.
-	testHookBatch func(shard int)
+	// queues deterministically. testHookRoute runs in the scheduler as
+	// each micro-batch is routed — tests use it to record the dispatch
+	// order and shard choice.
+	testHookBatch func(shard int, mb *microBatch)
+	testHookRoute func(class Class, size int, shard int)
 }
 
 // NewReplicated builds n independent engine replicas from per-shard
@@ -190,24 +256,46 @@ type Server struct {
 // from the same profile trace — so every replica produces bitwise-equal
 // CTRs and plans.
 func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n int) ([]*core.Engine, error) {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfgs[i] = ecfg.Clone()
+	}
+	return NewHeteroReplicated(model, profile, cfgs)
+}
+
+// NewHeteroReplicated builds one engine replica per config — the
+// heterogeneous counterpart of NewReplicated: each shard may run a
+// different partition method, tile shape, quantization or worker-pool
+// width over clones of the same model, all partitioned from the same
+// profile trace. The scheduler's router then steers each micro-batch to
+// whichever replica is cheapest for it. A request's result is bitwise
+// identical to a homogeneous server of its serving shard's
+// configuration (and routing never perturbs arithmetic at all when the
+// configs differ only in non-arithmetic settings such as HostWorkers or
+// pipelining).
+func NewHeteroReplicated(model *dlrm.Model, profile *trace.Trace, cfgs []core.Config) ([]*core.Engine, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
-	if n <= 0 {
-		n = DefaultShards
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("serve: no shard configs")
 	}
 	// Shards execute concurrently: divide the host cores among their
 	// dense-compute pools instead of letting every replica size itself
 	// to the whole machine (n engines x GOMAXPROCS clones would
 	// oversubscribe memory and scheduler alike).
-	if ecfg.HostWorkers <= 0 {
-		ecfg.HostWorkers = runtime.GOMAXPROCS(0) / n
-		if ecfg.HostWorkers < 1 {
-			ecfg.HostWorkers = 1
-		}
+	share := runtime.GOMAXPROCS(0) / len(cfgs)
+	if share < 1 {
+		share = 1
 	}
-	engines := make([]*core.Engine, n)
-	for i := range engines {
+	engines := make([]*core.Engine, len(cfgs))
+	for i, ecfg := range cfgs {
+		if ecfg.HostWorkers <= 0 {
+			ecfg.HostWorkers = share
+		}
 		eng, err := core.New(model.Clone(), profile, ecfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
@@ -218,8 +306,9 @@ func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n 
 }
 
 // New starts a server over the given engine replicas. All replicas must
-// serve the same model shape. The server owns background goroutines
-// until Close.
+// serve the same model shape (their partitioning may differ — that is
+// the heterogeneous-shard case the router exists for). The server owns
+// background goroutines until Close.
 func New(engines []*core.Engine, cfg Config) (*Server, error) {
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("serve: no engines")
@@ -241,13 +330,39 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 		numTables:    first.NumTables(),
 		rowsPerTable: first.RowsPerTable(),
 		denseDim:     first.DenseDim(),
-		reqCh:        make(chan *pending, cfg.QueueDepth),
-		batchCh:      make(chan []*pending),
+		shardCh:      make([]chan *microBatch, len(engines)),
+		router:       newRouter(len(engines)),
 		stats:        newCollector(),
 		cache:        first.HotCache(),
 	}
+	for c := Class(0); c < NumClasses; c++ {
+		s.class[c] = cfg.classParams(c)
+		s.classCh[c] = make(chan *pending, s.class[c].depth)
+	}
+	// Seed each shard's cost profile from the engine's static probes —
+	// one single-request batch and one MaxBatch-sized batch, pinning the
+	// affine fixed-plus-marginal cost fit — so the very first batches
+	// already route toward the configuration predicted cheapest for
+	// their size; live observations take over via the EWMA. Engines are
+	// idle here, so the probes' use of the scratch arena is safe.
+	for i, eng := range engines {
+		var points []profilePoint
+		if bd, n, err := eng.EstimateBreakdown(1); err == nil {
+			points = append(points, profilePoint{n: n, cost: bd.TotalNs(), bd: bd})
+		}
+		if cfg.MaxBatch > 1 {
+			if bd, n, err := eng.EstimateBreakdown(cfg.MaxBatch); err == nil &&
+				(len(points) == 0 || n != points[0].n) {
+				points = append(points, profilePoint{n: n, cost: bd.TotalNs(), bd: bd})
+			}
+		}
+		s.router.seed(i, points)
+	}
+	for i := range engines {
+		s.shardCh[i] = make(chan *microBatch, shardChanCap)
+	}
 	s.wg.Add(1)
-	go s.batcher()
+	go s.scheduler()
 	for i := range engines {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -271,6 +386,9 @@ func (s *Server) DenseDim() int { return s.denseDim }
 
 // validate checks a request against the served model shape.
 func (s *Server) validate(req Request) error {
+	if req.Class >= NumClasses {
+		return fmt.Errorf("%w: unknown class %d", ErrBadRequest, req.Class)
+	}
 	if len(req.Dense) != s.denseDim {
 		return fmt.Errorf("%w: %d dense features, want %d", ErrBadRequest, len(req.Dense), s.denseDim)
 	}
@@ -288,15 +406,17 @@ func (s *Server) validate(req Request) error {
 	return nil
 }
 
-// Predict enqueues one request and blocks until its micro-batch has
-// been served (or ctx is done). A full request queue fails fast with
-// ErrOverloaded rather than blocking: under sustained overload the
-// queueing delay of an unbounded wait would dominate every latency
-// percentile, so the server sheds at the door and lets the caller
-// retry or back off. It is safe for concurrent use. The request's
-// buffers are copied at enqueue, so the caller may reuse them as soon as
-// Predict returns — even on cancellation, when the queued copy may still
-// be dispatched (and dropped) later.
+// Predict enqueues one request on its class's queue and blocks until
+// its micro-batch has been served (or ctx is done). A full class queue
+// fails fast with ErrOverloaded rather than blocking: under sustained
+// overload the queueing delay of an unbounded wait would dominate every
+// latency percentile, so the server sheds at the door and lets the
+// caller retry or back off — and because admission is per class, a
+// Batch flood sheds Batch traffic without consuming Critical's
+// capacity. It is safe for concurrent use. The request's buffers are
+// copied at enqueue, so the caller may reuse them as soon as Predict
+// returns — even on cancellation, when the queued copy may still be
+// dispatched (and dropped) later.
 func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	if err := s.validate(req); err != nil {
 		return Response{}, err
@@ -306,19 +426,20 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	}
 	p := &pending{req: copyRequest(req), ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
 
-	// Hold the read lock across the send so Close cannot close reqCh
-	// under a sender; the send itself never blocks (a full queue sheds).
+	// Hold the read lock across the send so Close cannot close the
+	// class queue under a sender; the send itself never blocks (a full
+	// queue sheds).
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return Response{}, ErrClosed
 	}
 	select {
-	case s.reqCh <- p:
+	case s.classCh[req.Class] <- p:
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.stats.recordShed()
+		s.stats.recordShed(req.Class)
 		return Response{}, ErrOverloaded
 	}
 
@@ -330,87 +451,30 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
-// batcher coalesces queued requests into micro-batches: the first
-// request opens a window of up to BatchWindow (or an opportunistic
-// drain when the window is zero) that closes early at MaxBatch.
-func (s *Server) batcher() {
-	defer s.wg.Done()
-	defer close(s.batchCh)
-	timer := time.NewTimer(0)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	for {
-		p, ok := <-s.reqCh
-		if !ok {
-			return
-		}
-		pend := []*pending{p}
-		drained := false
-		if s.cfg.BatchWindow > 0 {
-			timer.Reset(s.cfg.BatchWindow)
-		collect:
-			for len(pend) < s.cfg.MaxBatch {
-				select {
-				case q, ok := <-s.reqCh:
-					if !ok {
-						drained = true
-						break collect
-					}
-					pend = append(pend, q)
-				case <-timer.C:
-					break collect
-				}
-			}
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-		} else {
-		drain:
-			for len(pend) < s.cfg.MaxBatch {
-				select {
-				case q, ok := <-s.reqCh:
-					if !ok {
-						drained = true
-						break drain
-					}
-					pend = append(pend, q)
-				default:
-					break drain
-				}
-			}
-		}
-		s.batchCh <- pend
-		if drained {
-			return
-		}
-	}
-}
-
-// worker owns one engine replica: it turns each micro-batch into a
-// trace.Batch, runs it, and fans results back out per request. With
-// Config.Pipeline it overlaps consecutive micro-batches on the greedy
-// LINK/DPUS/HOST schedule of internal/core's batch pipeliner: each
-// batch's modeled arrival is its dispatch wall time on the worker's
-// timeline, so an idle shard behaves exactly like the serial worker
-// while a backlogged one pushes batch i+1's indices during batch i's
-// lookup kernels.
+// worker owns one engine replica: it turns each routed micro-batch into
+// a trace.Batch, runs it, reports the observed breakdown back to the
+// shard's cost profile, and fans results back out per request. With
+// pipelining enabled for the shard it overlaps consecutive
+// micro-batches on the greedy LINK/DPUS/HOST schedule of internal/core's
+// batch pipeliner: each batch's modeled arrival is its dispatch wall
+// time on the worker's timeline, so an idle shard behaves exactly like
+// the serial worker while a backlogged one pushes batch i+1's indices
+// during batch i's lookup kernels.
 func (s *Server) worker(shard int) {
 	defer s.wg.Done()
 	eng := s.engines[shard]
+	pipelined := s.cfg.pipelineFor(shard)
 	// Pipelined-mode state: the resource schedule, the serial-rule
 	// completion clock it is compared against, and the wall-clock anchor
 	// (first dispatch) both timelines are measured from.
 	var sched core.PipeSched
 	var serialFree float64
 	var anchor time.Time
-	for pend := range s.batchCh {
+	for mb := range s.shardCh[shard] {
 		// Drop requests whose caller already gave up: their Predict has
 		// returned, nobody reads the outcome, and they should not skew
 		// the batch or the stats.
+		pend := mb.pend
 		live := pend[:0]
 		for _, p := range pend {
 			if err := p.ctx.Err(); err != nil {
@@ -421,10 +485,11 @@ func (s *Server) worker(shard int) {
 		}
 		pend = live
 		if len(pend) == 0 {
+			s.router.complete(shard, mb.predNs, metrics.Breakdown{}, 0)
 			continue
 		}
 		if s.testHookBatch != nil {
-			s.testHookBatch(shard)
+			s.testHookBatch(shard, mb)
 		}
 		dispatch := time.Now()
 		tr := &trace.Trace{
@@ -443,6 +508,7 @@ func (s *Server) worker(shard int) {
 				p.done <- outcome{err: fmt.Errorf("serve: shard %d: %w", shard, err)}
 			}
 			s.stats.recordError(len(pend))
+			s.router.complete(shard, mb.predNs, metrics.Breakdown{}, 0)
 			continue
 		}
 		// Pipelined schedule: place this batch at its dispatch time on
@@ -452,7 +518,7 @@ func (s *Server) worker(shard int) {
 		// pipeLat <= serialLat batch by batch and the reported speedup
 		// is >= 1 by construction.
 		var pipeLat, serialLat float64
-		if s.cfg.Pipeline {
+		if pipelined {
 			if anchor.IsZero() {
 				anchor = dispatch
 			}
@@ -472,6 +538,7 @@ func (s *Server) worker(shard int) {
 		for i, p := range pend {
 			resp := Response{
 				CTR:         res.CTR[i],
+				Class:       mb.class,
 				Shard:       shard,
 				BatchSize:   len(pend),
 				QueueNs:     float64(dispatch.Sub(p.enq).Nanoseconds()),
@@ -482,26 +549,31 @@ func (s *Server) worker(shard int) {
 			s.stats.record(resp)
 		}
 		s.stats.recordBatch(res.MRAMBytesRead, serialLat, pipeLat)
+		s.router.complete(shard, mb.predNs, res.Breakdown, len(pend))
 	}
 }
 
-// Close stops accepting requests, drains the queue (every already
+// Close stops accepting requests, drains the queues (every already
 // enqueued request is still served), and waits for all shards to
 // finish. It is idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.reqCh)
+		for c := range s.classCh {
+			close(s.classCh[c])
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
 // Stats snapshots the server's cumulative serving statistics, folding
-// in the shared hot-row cache's counters when one is deployed.
+// in the shared hot-row cache's counters when one is deployed and the
+// router's per-shard profiles.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
+	st.Shards = s.router.snapshot()
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.CacheHits = cs.Hits

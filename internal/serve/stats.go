@@ -7,6 +7,57 @@ import (
 	"time"
 )
 
+// ClassStats summarizes one QoS class's served traffic.
+type ClassStats struct {
+	// Requests is the number of requests of this class served
+	// successfully.
+	Requests int64
+	// Shed is the number of requests of this class rejected with
+	// ErrOverloaded at a full class queue.
+	Shed int64
+	// MeanNs, P50Ns, P95Ns, P99Ns and MaxNs summarize the class's
+	// per-request modeled latency (queueing + batch breakdown).
+	MeanNs float64
+	P50Ns  float64
+	P95Ns  float64
+	P99Ns  float64
+	MaxNs  float64
+	// QueueP50Ns, QueueP95Ns and QueueP99Ns are the class's measured
+	// queueing-delay percentiles — the quantity the scheduler's
+	// priority weights exist to shape.
+	QueueP50Ns float64
+	QueueP95Ns float64
+	QueueP99Ns float64
+}
+
+// ShedRate returns Shed/(Shed+Requests) for the class; 0 when the
+// class saw no traffic.
+func (c ClassStats) ShedRate() float64 {
+	offered := c.Shed + c.Requests
+	if offered == 0 {
+		return 0
+	}
+	return float64(c.Shed) / float64(offered)
+}
+
+// ShardStats summarizes one shard's routed traffic and cost profile.
+type ShardStats struct {
+	// Batches and Requests count the shard's completed work.
+	Batches  int64
+	Requests int64
+	// PredictedPerReqNs is the router's current per-request cost
+	// estimate for the shard (the EWMA of its observed breakdowns,
+	// seeded from the engine's static probes).
+	PredictedPerReqNs float64
+	// PredictedBatchNs is the affine cost model's prediction for a
+	// single-request batch — fixed dispatch cost plus one request's
+	// marginal cost — the number small Critical micro-batches route by.
+	PredictedBatchNs float64
+	// BacklogNs is predicted work routed to the shard and not yet
+	// completed at snapshot time.
+	BacklogNs float64
+}
+
 // Stats is a snapshot of a server's cumulative serving behaviour.
 type Stats struct {
 	// Requests is the number of requests served successfully.
@@ -21,10 +72,18 @@ type Stats struct {
 	// from the first dispatch to the last completion.
 	ThroughputRPS float64
 	// Shed is the number of requests rejected with ErrOverloaded at a
-	// full queue (admission control); they appear in no other counter.
+	// full class queue (admission control); they appear in no other
+	// counter. PerClass breaks it down by QoS class.
 	Shed int64
+	// PerClass summarizes each QoS class's traffic separately: request
+	// and shed counts, modeled-latency percentiles and queueing-delay
+	// percentiles, indexed by Class.
+	PerClass [NumClasses]ClassStats
+	// Shards summarizes each shard's routed traffic and the router's
+	// current cost profile for it, indexed by shard.
+	Shards []ShardStats
 	// MeanNs, P50Ns, P95Ns, P99Ns and MaxNs summarize the per-request
-	// modeled latency (queueing + batch breakdown).
+	// modeled latency (queueing + batch breakdown) across all classes.
 	MeanNs float64
 	P50Ns  float64
 	P95Ns  float64
@@ -44,8 +103,8 @@ type Stats struct {
 	// PipelineSerialNs and PipelinePipelinedNs sum every micro-batch's
 	// modeled shard residency under the serial rule (wait for the
 	// previous batch, then run stages back to back) and under the
-	// overlapped LINK/DPUS/HOST schedule. Both are zero unless the
-	// server runs with Config.Pipeline.
+	// overlapped LINK/DPUS/HOST schedule. Both are zero unless at least
+	// one shard runs pipelined.
 	PipelineSerialNs    float64
 	PipelinePipelinedNs float64
 	// PipelineSpeedup is PipelineSerialNs / PipelinePipelinedNs — the
@@ -76,21 +135,28 @@ func (s Stats) ShedRate() float64 {
 	return float64(s.Shed) / float64(offered)
 }
 
+// classAgg accumulates one class's per-request samples.
+type classAgg struct {
+	latencies []float64
+	queues    []float64
+	shed      int64
+}
+
 // collector accumulates per-request latencies; Server owns one.
 type collector struct {
 	mu        sync.Mutex
 	latencies []float64 // modeled ns, one per served request
 	queues    []float64 // measured queueing ns, one per served request
+	perClass  [NumClasses]classAgg
 	errors    int64
 	batches   int64
-	shed      int64
 	mramBytes int64
 	// pipeSerialNs / pipePipelinedNs accumulate the per-batch modeled
 	// shard residencies of the pipelined workers (zero when disabled).
 	pipeSerialNs    float64
 	pipePipelinedNs float64
-	first     time.Time // first recorded completion window start
-	last      time.Time // last recorded completion
+	first           time.Time // first recorded completion window start
+	last            time.Time // last recorded completion
 }
 
 func newCollector() *collector { return &collector{} }
@@ -104,6 +170,9 @@ func (c *collector) record(r Response) {
 	c.last = now
 	c.latencies = append(c.latencies, r.ModeledNs())
 	c.queues = append(c.queues, r.QueueNs)
+	agg := &c.perClass[r.Class]
+	agg.latencies = append(agg.latencies, r.ModeledNs())
+	agg.queues = append(agg.queues, r.QueueNs)
 	c.mu.Unlock()
 }
 
@@ -116,9 +185,9 @@ func (c *collector) recordBatch(mramBytes int64, pipeSerialNs, pipePipelinedNs f
 	c.mu.Unlock()
 }
 
-func (c *collector) recordShed() {
+func (c *collector) recordShed(cl Class) {
 	c.mu.Lock()
-	c.shed++
+	c.perClass[cl].shed++
 	c.mu.Unlock()
 }
 
@@ -128,15 +197,38 @@ func (c *collector) recordError(n int) {
 	c.mu.Unlock()
 }
 
+// summarize fills mean/percentile fields from an unsorted sample set;
+// it sorts in place.
+func summarize(lat []float64) (mean, p50, p95, p99, maxv float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	return sum / float64(len(lat)),
+		Percentile(lat, 0.50), Percentile(lat, 0.95), Percentile(lat, 0.99),
+		lat[len(lat)-1]
+}
+
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()
 	lat := append([]float64(nil), c.latencies...)
 	queues := append([]float64(nil), c.queues...)
+	var perClass [NumClasses]classAgg
+	for i := range c.perClass {
+		perClass[i] = classAgg{
+			latencies: append([]float64(nil), c.perClass[i].latencies...),
+			queues:    append([]float64(nil), c.perClass[i].queues...),
+			shed:      c.perClass[i].shed,
+		}
+	}
 	st := Stats{
 		Requests:            int64(len(c.latencies)),
 		Errors:              c.errors,
 		Batches:             c.batches,
-		Shed:                c.shed,
 		MRAMBytesRead:       c.mramBytes,
 		PipelineSerialNs:    c.pipeSerialNs,
 		PipelinePipelinedNs: c.pipePipelinedNs,
@@ -144,6 +236,14 @@ func (c *collector) snapshot() Stats {
 	first, last := c.first, c.last
 	c.mu.Unlock()
 
+	for i := range perClass {
+		cs := &st.PerClass[i]
+		cs.Requests = int64(len(perClass[i].latencies))
+		cs.Shed = perClass[i].shed
+		st.Shed += perClass[i].shed
+		cs.MeanNs, cs.P50Ns, cs.P95Ns, cs.P99Ns, cs.MaxNs = summarize(perClass[i].latencies)
+		_, cs.QueueP50Ns, cs.QueueP95Ns, cs.QueueP99Ns, _ = summarize(perClass[i].queues)
+	}
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(st.Requests) / float64(st.Batches)
 	}
@@ -153,25 +253,8 @@ func (c *collector) snapshot() Stats {
 	if len(lat) == 0 {
 		return st
 	}
-	sort.Float64s(lat)
-	var sum float64
-	for _, v := range lat {
-		sum += v
-	}
-	st.MeanNs = sum / float64(len(lat))
-	st.P50Ns = Percentile(lat, 0.50)
-	st.P95Ns = Percentile(lat, 0.95)
-	st.P99Ns = Percentile(lat, 0.99)
-	st.MaxNs = lat[len(lat)-1]
-	sort.Float64s(queues)
-	var queueSum float64
-	for _, v := range queues {
-		queueSum += v
-	}
-	st.AvgQueueNs = queueSum / float64(len(queues))
-	st.QueueP50Ns = Percentile(queues, 0.50)
-	st.QueueP95Ns = Percentile(queues, 0.95)
-	st.QueueP99Ns = Percentile(queues, 0.99)
+	st.MeanNs, st.P50Ns, st.P95Ns, st.P99Ns, st.MaxNs = summarize(lat)
+	st.AvgQueueNs, st.QueueP50Ns, st.QueueP95Ns, st.QueueP99Ns, _ = summarize(queues)
 	if span := last.Sub(first).Seconds(); span > 0 {
 		st.ThroughputRPS = float64(len(lat)) / span
 	}

@@ -4,11 +4,13 @@
 # record the results as BENCH_hotpath.json at the repo root, so the
 # perf trajectory of the batch execution path is tracked in-tree.
 #
-#   ./scripts/bench.sh            # 1 run per benchmark
-#   COUNT=5 ./scripts/bench.sh    # 5 runs per benchmark
+#   ./scripts/bench.sh                      # 1 run per benchmark
+#   COUNT=5 ./scripts/bench.sh              # 5 runs per benchmark
+#   OUT=/tmp/fresh.json ./scripts/bench.sh  # write elsewhere (CI gate:
+#                                           # compare with scripts/bench_compare.go)
 set -eu
 cd "$(dirname "$0")/.."
-out=BENCH_hotpath.json
+out="${OUT:-BENCH_hotpath.json}"
 
 go test -run '^$' \
 	-bench 'BenchmarkRunBatch$|BenchmarkRunTracePipelined$|BenchmarkForwardBatch$|BenchmarkServeThroughput$' \

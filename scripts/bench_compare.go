@@ -1,0 +1,153 @@
+// Command bench_compare diffs a fresh scripts/bench.sh run against the
+// committed BENCH_hotpath.json baseline and exits non-zero when the hot
+// path regressed — the CI benchmark-regression gate.
+//
+// A benchmark regresses when its best ns/op exceeds the baseline's by
+// more than -tol (default 25%, absorbing shared-runner noise; repeated
+// counts are aggregated by min), or when allocs/op increases at all
+// (allocations are deterministic, so any increase is a real leak into
+// the hot path). A benchmark present in the baseline but missing from
+// the fresh run also fails: the suite rotted.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_hotpath.json -fresh /tmp/fresh.json
+//	go run ./scripts -baseline BENCH_hotpath.json -fresh /tmp/fresh.json -tol 0.10
+//
+// To refresh the committed baseline after an intentional perf change:
+//
+//	COUNT=5 ./scripts/bench.sh && git add BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// sortedKeys returns a map's keys in lexical order so report rows are
+// stable across runs.
+func sortedKeys(m map[string]entry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type benchFile struct {
+	Generated  string  `json:"generated"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name     string  `json:"name"`
+	Pkg      string  `json:"pkg"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// entry is one benchmark's aggregate across repeated counts: best-case
+// ns (noise-robust) and worst-case allocs (deterministic anyway).
+type entry struct {
+	minNs     float64
+	maxAllocs int64
+}
+
+func load(path string) (map[string]entry, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return nil, "", fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	out := make(map[string]entry)
+	for _, b := range bf.Benchmarks {
+		key := b.Pkg + " " + b.Name
+		e, ok := out[key]
+		if !ok {
+			e = entry{minNs: b.NsPerOp, maxAllocs: b.AllocsOp}
+		} else {
+			if b.NsPerOp < e.minNs {
+				e.minNs = b.NsPerOp
+			}
+			if b.AllocsOp > e.maxAllocs {
+				e.maxAllocs = b.AllocsOp
+			}
+		}
+		out[key] = e
+	}
+	return out, bf.Generated, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "committed baseline file")
+		freshPath    = flag.String("fresh", "", "fresh bench.sh output to compare (required)")
+		tol          = flag.Float64("tol", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "bench_compare: -fresh is required")
+		os.Exit(2)
+	}
+	baseline, baseGen, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	fresh, freshGen, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("bench_compare: baseline %s (%s) vs fresh %s (%s), tol +%.0f%%\n\n",
+		*baselinePath, baseGen, *freshPath, freshGen, 100**tol)
+	fmt.Printf("%-60s %14s %14s %8s %7s %7s\n",
+		"benchmark", "base ns/op", "fresh ns/op", "delta", "allocs", "status")
+
+	failed := false
+	for _, key := range sortedKeys(baseline) {
+		base := baseline[key]
+		f, ok := fresh[key]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s %8s %7s %7s\n", key, base.minNs, "-", "-", "-", "MISSING")
+			failed = true
+			continue
+		}
+		delta := f.minNs/base.minNs - 1
+		status := "ok"
+		switch {
+		case f.maxAllocs > base.maxAllocs:
+			status = "ALLOCS"
+			failed = true
+		case delta > *tol:
+			status = "SLOW"
+			failed = true
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %3d/%-3d %7s\n",
+			key, base.minNs, f.minNs, 100*delta, base.maxAllocs, f.maxAllocs, status)
+	}
+	for _, key := range sortedKeys(fresh) {
+		if _, ok := baseline[key]; !ok {
+			fmt.Printf("%-60s %14s %14.0f %8s %7s %7s\n", key, "-", fresh[key].minNs, "-", "-", "NEW")
+		}
+	}
+
+	if failed {
+		fmt.Println("\nbench_compare: REGRESSION — ns/op beyond tolerance, allocs/op increase, or missing benchmark.")
+		fmt.Println("If intentional, refresh the baseline: COUNT=5 ./scripts/bench.sh && git add BENCH_hotpath.json")
+		os.Exit(1)
+	}
+	fmt.Println("\nbench_compare: OK")
+}

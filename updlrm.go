@@ -107,23 +107,41 @@ type Breakdown = metrics.Breakdown
 
 // Serving runtime.
 type (
-	// Server shards engine replicas behind a micro-batching request
-	// queue (see NewServer).
+	// Server shards engine replicas behind the QoS request scheduler
+	// (see NewServer).
 	Server = serve.Server
-	// ServerConfig tunes shard count, batching window, queue depth and
-	// cross-batch pipelining (Pipeline: shard workers overlap queued
-	// micro-batches on the LINK/DPUS/HOST schedule).
+	// ServerConfig tunes shard count, batching window, queue depth,
+	// per-class QoS scheduling (Classes), per-shard engine heterogeneity
+	// (ShardConfigs) and cross-batch pipelining (Pipeline/ShardPipeline:
+	// shard workers overlap queued micro-batches on the LINK/DPUS/HOST
+	// schedule).
 	ServerConfig = serve.Config
-	// ServeRequest is one online inference request.
+	// ServeRequest is one online inference request, tagged with a
+	// RequestClass (untagged requests are NormalClass).
 	ServeRequest = serve.Request
 	// ServeResponse is the served outcome, with per-request modeled
-	// latency (queueing + batch breakdown).
+	// latency (queueing + batch breakdown), the serving shard, and the
+	// request's class.
 	ServeResponse = serve.Response
 	// ServerStats summarizes served traffic (p50/p95/p99 for end-to-end
-	// and queueing delay, throughput, batch coalescing, shed count, DPU
-	// memory traffic, hot-row cache effectiveness, and the modeled
-	// pipeline speedup when shard workers overlap batches).
+	// and queueing delay — overall and per QoS class — throughput,
+	// batch coalescing, per-class shed counts, per-shard routing
+	// profiles, DPU memory traffic, hot-row cache effectiveness, and
+	// the modeled pipeline speedup when shard workers overlap batches).
 	ServerStats = serve.Stats
+	// RequestClass is a request's QoS class: CriticalClass requests are
+	// scheduled first within every round, BatchClass yields but is
+	// never starved, NormalClass (the zero value) sits between.
+	RequestClass = serve.Class
+	// ClassConfig overrides one class's scheduling (DRR weight,
+	// micro-batch cap, batching window, queue depth) on
+	// ServerConfig.Classes.
+	ClassConfig = serve.ClassConfig
+	// ClassStats is one QoS class's slice of ServerStats.
+	ClassStats = serve.ClassStats
+	// ShardStats is one shard's routed traffic and the router's current
+	// cost profile for it.
+	ShardStats = serve.ShardStats
 	// HotCacheConfig sizes the serving-tier hot-row embedding cache
 	// (TinyLFU admission over the live stream); set it on ServerConfig.
 	// A zero CapacityBytes disables the cache, leaving serving
@@ -134,6 +152,21 @@ type (
 	HotCache = hotcache.Cache
 	// HotCacheStats snapshots a cache's effectiveness counters.
 	HotCacheStats = hotcache.Stats
+)
+
+// QoS classes for ServeRequest.Class.
+const (
+	// NormalClass is the default class for untagged requests.
+	NormalClass = serve.Normal
+	// CriticalClass is latency-sensitive ranking traffic: served first
+	// in every scheduler round, opportunistic micro-batching.
+	CriticalClass = serve.Critical
+	// BatchClass is best-effort prefetch/backfill traffic: it yields to
+	// the other classes but keeps a guaranteed share of every round.
+	BatchClass = serve.Batch
+	// NumRequestClasses is the number of QoS classes (indexes
+	// ServerConfig.Classes and ServerStats.PerClass).
+	NumRequestClasses = serve.NumClasses
 )
 
 // ErrServerClosed is returned by Server.Predict after Close.
@@ -258,23 +291,49 @@ func MakeBatches(tr *Trace, batchSize int) []*Batch {
 	return trace.Batches(tr, batchSize)
 }
 
-// NewServer builds a concurrent serving runtime: cfg.Shards independent
-// engine replicas (per-shard model clones, each partitioned from the
-// same profile) behind a request queue with adaptive micro-batching.
+// NewServer builds a concurrent serving runtime: independent engine
+// replicas (per-shard model clones, each partitioned from the same
+// profile) behind the QoS scheduler — per-class admission queues,
+// weighted deficit-round-robin dispatch, and profile-driven routing of
+// each micro-batch to the predicted-cheapest shard.
+//
+// By default every replica runs ecfg (cfg.Shards homogeneous shards).
+// When cfg.ShardConfigs is non-empty the tier is heterogeneous: shard i
+// is built from cfg.ShardConfigs[i] — different partition methods, tile
+// shapes or quantization per replica — and the router steers traffic to
+// whichever configuration is cheapest for the offered batches.
+//
 // When cfg.HotCache.CapacityBytes is non-zero, one serving-tier
 // hot-row cache is built and shared by every replica: hot embedding
 // rows are served host-side, cold rows take the DPU pipeline, and
 // Stats reports hit rate and bytes saved. Close the server when done
 // to stop its background goroutines.
 func NewServer(model *Model, profile *Trace, ecfg EngineConfig, cfg ServerConfig) (*Server, error) {
+	var cache *hotcache.Cache
 	if model != nil && cfg.HotCache.CapacityBytes != 0 {
-		cache, err := hotcache.New(cfg.HotCache, model.Cfg.EmbDim)
+		c, err := hotcache.New(cfg.HotCache, model.Cfg.EmbDim)
 		if err != nil {
 			return nil, err
 		}
-		ecfg.HotCache = cache
+		cache = c
 	}
-	engines, err := serve.NewReplicated(model, profile, ecfg, cfg.Shards)
+	var engines []*Engine
+	var err error
+	if len(cfg.ShardConfigs) > 0 {
+		shardCfgs := make([]EngineConfig, len(cfg.ShardConfigs))
+		for i, sc := range cfg.ShardConfigs {
+			shardCfgs[i] = sc.Clone()
+			if cache != nil {
+				shardCfgs[i].HotCache = cache
+			}
+		}
+		engines, err = serve.NewHeteroReplicated(model, profile, shardCfgs)
+	} else {
+		if cache != nil {
+			ecfg.HotCache = cache
+		}
+		engines, err = serve.NewReplicated(model, profile, ecfg, cfg.Shards)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -263,3 +263,78 @@ func TestFacadeHotCache(t *testing.T) {
 		t.Fatalf("cache never engaged: %+v", cst)
 	}
 }
+
+// TestFacadeQoSHeterogeneous drives the QoS scheduler and heterogeneous
+// shards through the public API: two shards on different partition
+// methods behind ServerConfig.ShardConfigs, mixed-class traffic, and
+// the per-class / per-shard slices of ServerStats.
+func TestFacadeQoSHeterogeneous(t *testing.T) {
+	spec, err := Preset("read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Scaled(spec, 0.001, 0.2).Generate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(DefaultModelConfig(tr.RowsPerTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := DefaultEngineConfig()
+	uni.TotalDPUs = 64
+	uni.Method = Uniform
+	non := uni.Clone()
+	non.Method = NonUniform
+	srv, err := NewServer(model, tr, EngineConfig{}, ServerConfig{
+		ShardConfigs: []EngineConfig{uni, non},
+		MaxBatch:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Config().Shards; got != 2 {
+		t.Fatalf("heterogeneous server has %d shards, want 2", got)
+	}
+
+	ctx := context.Background()
+	classes := []RequestClass{CriticalClass, NormalClass, BatchClass}
+	for i, s := range tr.Samples {
+		resp, err := srv.Predict(ctx, ServeRequest{Dense: s.Dense, Sparse: s.Sparse, Class: classes[i%3]})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if resp.Class != classes[i%3] {
+			t.Fatalf("sample %d: response class %v, want %v", i, resp.Class, classes[i%3])
+		}
+		if resp.Shard < 0 || resp.Shard > 1 {
+			t.Fatalf("sample %d: shard %d out of range", i, resp.Shard)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Requests != int64(len(tr.Samples)) {
+		t.Fatalf("served %d, want %d", st.Requests, len(tr.Samples))
+	}
+	var perClass int64
+	for c := 0; c < NumRequestClasses; c++ {
+		perClass += st.PerClass[c].Requests
+	}
+	if perClass != st.Requests {
+		t.Fatalf("per-class requests sum to %d, want %d", perClass, st.Requests)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("Stats.Shards has %d entries, want 2", len(st.Shards))
+	}
+	var routed int64
+	for _, sh := range st.Shards {
+		routed += sh.Requests
+		if sh.PredictedPerReqNs <= 0 {
+			t.Fatalf("unseeded shard profile: %+v", sh)
+		}
+	}
+	if routed != st.Requests {
+		t.Fatalf("shard requests sum to %d, want %d", routed, st.Requests)
+	}
+}
