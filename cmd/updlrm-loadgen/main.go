@@ -34,6 +34,10 @@
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 //	updlrm-loadgen -mode closed -concurrency 64 -pipeline
 //	updlrm-loadgen -prio 1:0:9 -qps 50000 -queue 256
+//	updlrm-loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cpuprofile/-memprofile write standard pprof profiles of the run, so
+// hot-spot hunts over the serving stack need no ad-hoc harness.
 package main
 
 import (
@@ -44,6 +48,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -77,8 +83,45 @@ func main() {
 			"comma-separated partitioning methods to compare")
 		prio = flag.String("prio", "",
 			"QoS traffic mix as crit:normal:batch integer weights (e.g. 1:0:9); empty serves everything as normal class")
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a CPU profile of the whole run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "",
+			"write a heap profile to this file after the run completes")
 	)
 	flag.Parse()
+
+	// Profiling hooks for hot-spot hunts: the CPU profile covers the
+	// entire run (all methods), the heap profile snapshots the end
+	// state. log.Fatal skips deferred stops, so profiles from a failed
+	// run are truncated — acceptable for a diagnostics flag.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	methods, err := parseMethods(*methodsFlag)
 	if err != nil {

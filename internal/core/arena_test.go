@@ -76,6 +76,46 @@ func TestArenaReuseNoStaleBleed(t *testing.T) {
 	}
 }
 
+// TestArenaReuseMultiWorkerWorkspaces pins the batch-major dense
+// path's per-worker GEMM activation workspaces: with a multi-worker
+// host pool, batches of shifting sizes (growing, shrinking, odd) must
+// stay bit-identical to a single-worker engine that recycles one
+// workspace — no stale activation rows may survive a reshape, and no
+// row-block split may perturb arithmetic.
+func TestArenaReuseMultiWorkerWorkspaces(t *testing.T) {
+	model, tr := smallWorld(t)
+	cfg := smallConfig(partition.MethodUniform)
+	cfg.HostWorkers = 1
+	serial, err := New(model.Clone(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgN := smallConfig(partition.MethodUniform)
+	cfgN.HostWorkers = 4
+	pooled, err := New(model.Clone(), tr, cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range [][2]int{{0, 64}, {10, 21}, {0, 96}, {90, 96}, {5, 70}} {
+		b := trace.MakeBatch(tr, span[0], span[1])
+		want, err := serial.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCTR := append([]float32(nil), want.CTR...)
+		got, err := pooled.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range wantCTR {
+			if wantCTR[s] != got.CTR[s] {
+				t.Fatalf("batch [%d,%d): CTR[%d] %v (4 workers) != %v (serial)",
+					span[0], span[1], s, got.CTR[s], wantCTR[s])
+			}
+		}
+	}
+}
+
 // TestArenaResultsMatchFreshEngine cross-checks the reused arena
 // against a fresh engine that has never served another batch: after
 // arbitrary interleaving, the recycled buffers must produce exactly

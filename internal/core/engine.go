@@ -52,9 +52,9 @@ type Config struct {
 	// cost. Quantization materializes the tables, so use it with scaled
 	// workloads.
 	QuantizeEMT bool
-	// HostWorkers bounds the dense-compute worker pool (per-core model
-	// clones ForwardBatchParallel shards over). Zero means one worker
-	// per host core (capped at maxHostWorkers); multi-engine deployments
+	// HostWorkers bounds the dense-compute worker pool (per-worker GEMM
+	// workspaces the host pool shards row-blocks over). Zero means one
+	// worker per host core (capped at maxHostWorkers); multi-engine deployments
 	// (serving shards) should divide the cores among replicas so the
 	// pools do not oversubscribe the machine — serve.NewReplicated does.
 	HostWorkers int
@@ -93,7 +93,7 @@ func DefaultConfig() Config {
 }
 
 // maxHostWorkers bounds the dense-compute worker pool (and its per-
-// worker model clones) on very wide hosts.
+// worker activation workspaces) on very wide hosts.
 const maxHostWorkers = 16
 
 // Engine is a ready-to-serve UpDLRM instance. It is not safe for
@@ -122,10 +122,12 @@ type Engine struct {
 	// avgRed is the profile's average reduction, kept for worst-case
 	// buffer sizing.
 	avgRed float64
-	// hostModels is the dense-compute worker pool: the primary model
-	// plus one clone per additional core, each with private MLP scratch,
-	// so ForwardBatchParallel can use the whole host bit-identically.
-	hostModels []*dlrm.Model
+	// hostPool is the dense-compute worker pool: per-worker batch-major
+	// GEMM activation workspaces (part of the engine's recycled scratch
+	// arena — sized on first batch, reused thereafter) over the shared
+	// read-only model weights, so HostPool.Forward can shard GEMM
+	// row-blocks across the host bit-identically to the serial path.
+	hostPool *dlrm.HostPool
 	// offerFills[t] materializes the admission candidate sc.offerRow of
 	// table t for the hot-row cache — prebuilt so the per-row cache loop
 	// does not allocate closures.
@@ -359,9 +361,9 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 		})
 	}
 
-	// Dense-compute worker pool: the primary model plus per-core clones
-	// with private scratch. ForwardBatchParallel shards samples across
-	// them bit-identically to the serial path.
+	// Dense-compute worker pool: per-worker GEMM workspaces over the
+	// shared model weights. HostPool.Forward shards the batch's
+	// GEMM row-blocks across them bit-identically to the serial path.
 	workers := cfg.HostWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -369,10 +371,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	if workers > maxHostWorkers {
 		workers = maxHostWorkers
 	}
-	e.hostModels = append(e.hostModels, model)
-	for i := 1; i < workers; i++ {
-		e.hostModels = append(e.hostModels, model.Clone())
-	}
+	e.hostPool = dlrm.NewHostPool(model, workers)
 
 	// Size the per-batch scratch arena once.
 	e.sc.jobs = make([]*upmem.KernelJob, cfg.TotalDPUs)
@@ -432,9 +431,10 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 		}
 	}
 
-	// Dense model on the host CPU, sharded across the worker-pool clones
-	// (bit-identical to the serial path; samples are independent).
-	dlrm.ForwardBatchParallel(e.hostModels, b, &sc.embs, sc.ctr)
+	// Dense model on the host CPU: the batch-major GEMM path, sharded
+	// across the worker pool's row-blocks (bit-identical to the serial
+	// per-sample path; samples are independent rows).
+	e.hostPool.Forward(b, &sc.embs, sc.ctr)
 	res.CTR = sc.ctr
 	res.Embeddings = &sc.embs
 	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))

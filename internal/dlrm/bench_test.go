@@ -42,9 +42,11 @@ func flatten(embs [][][]float32, tables, dim int) *tensor.EmbBuf {
 }
 
 // BenchmarkForwardBatch measures the dense-model host compute (bottom
-// MLP, feature interaction, top MLP) over a 64-sample batch: the legacy
-// pyramid path, the flat zero-allocation path, and the flat path
-// sharded across per-core model clones.
+// MLP, feature interaction, top MLP) over a 64-sample batch: the
+// pyramid-layout entry point, the flat batch-major GEMM path, and the
+// GEMM path with row-blocks sharded across a multi-worker host pool.
+// A "persample" sub-benchmark tracks the legacy MatVec reference path
+// the GEMM kernels are bit-compared against.
 func BenchmarkForwardBatch(b *testing.B) {
 	m, batch := benchModel(b)
 	embs := EmbedCPU(m, batch)
@@ -63,14 +65,30 @@ func BenchmarkForwardBatch(b *testing.B) {
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
-		models := []*Model{m}
-		for i := 1; i < runtime.GOMAXPROCS(0); i++ {
-			models = append(models, m.Clone())
+		// At least two workers even on a single-core host: the
+		// benchmark must exercise the real fan-out path (a pool split
+		// that degenerates to one worker would silently re-measure the
+		// serial path — TestHostPoolFansOut guards the same property).
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
 		}
+		pool := NewHostPool(m, workers)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			ForwardBatchParallel(models, batch, flat, ctr)
+			pool.Forward(batch, flat, ctr)
+		}
+		if pool.LastWorkers() < 2 {
+			b.Fatalf("parallel benchmark ran with %d worker(s)", pool.LastWorkers())
+		}
+	})
+	b.Run("persample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < batch.Size; s++ {
+				ctr[s] = m.ForwardFlat(batch.Dense[s], flat.Sample(s))
+			}
 		}
 	})
 }

@@ -10,7 +10,8 @@ package dlrm
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"updlrm/internal/emt"
 	"updlrm/internal/mlp"
@@ -110,6 +111,10 @@ type Model struct {
 	interBuf []float32 // top MLP input scratch
 	denseBuf []float32 // bottom MLP output scratch
 	ctrBuf   []float32
+	// ws is the recycled batch-major workspace the serial batch entry
+	// points use, allocated on first use (part of why Model is not safe
+	// for concurrent use; HostPool brings per-worker workspaces).
+	ws *BatchWorkspace
 }
 
 // New builds a model with deterministic weights and tables.
@@ -264,13 +269,86 @@ func EmbedCPU(m *Model, b *trace.Batch) [][][]float32 {
 	return out
 }
 
-// ForwardBatch runs Forward over a batch given precomputed embeddings,
-// returning the CTRs.
-func (m *Model) ForwardBatch(b *trace.Batch, embs [][][]float32) []float32 {
-	ctr := make([]float32, b.Size)
-	for s := 0; s < b.Size; s++ {
-		ctr[s] = m.Forward(b.Dense[s], embs[s])
+// BatchWorkspace holds the activation matrices of the batch-major
+// dense path: the assembled dense-input matrix, the bottom MLP output,
+// the interaction matrix, the CTR column, and the MLP ping-pong
+// scratch. Everything is recycled across batches (sized on first use,
+// reshaped thereafter) and fully overwritten each run, so a workspace
+// never bleeds one batch's activations into the next. The zero value
+// is ready for use. Not safe for concurrent use — one per worker.
+type BatchWorkspace struct {
+	x0    tensor.Matrix // batch dense features (n x DenseDim)
+	dense tensor.Matrix // bottom MLP output (n x EmbDim)
+	inter tensor.Matrix // interaction output (n x InteractionDim)
+	out   tensor.Matrix // top MLP output (n x 1)
+	mw    mlp.Workspace
+	// flat is scratch for flattening pyramid embeddings (ForwardBatch).
+	flat tensor.EmbBuf
+}
+
+// forwardGemm runs the batch-major dense path over samples [lo, hi) of
+// the batch: assemble the dense rows, bottom MLP as one GEMM per
+// layer, per-row feature interaction, top MLP as one GEMM per layer,
+// CTRs into ctr[lo:hi]. Bit-identical to ForwardFlat per sample; it
+// touches only ws (never the model's per-sample scratch), so
+// concurrent workers on disjoint row ranges may share the model.
+func (m *Model) forwardGemm(b *trace.Batch, embs *tensor.EmbBuf, ctr []float32, ws *BatchWorkspace, lo, hi int) {
+	n := hi - lo
+	if n <= 0 {
+		return
 	}
+	d := m.Cfg.EmbDim
+	ws.x0.Reshape(n, m.Cfg.DenseDim)
+	for r := 0; r < n; r++ {
+		row := b.Dense[lo+r]
+		if len(row) != m.Cfg.DenseDim {
+			// A short row must fail loudly, as the per-sample MatVec
+			// did — a truncating copy would leave stale workspace
+			// values in the tail and yield silently wrong CTRs.
+			panic(fmt.Sprintf("dlrm: sample %d dense len %d != %d", lo+r, len(row), m.Cfg.DenseDim))
+		}
+		copy(ws.x0.Row(r), row)
+	}
+	ws.dense.Reshape(n, d)
+	m.Bottom.ForwardBatch(&ws.x0, &ws.dense, &ws.mw)
+	ws.inter.Reshape(n, m.Cfg.InteractionDim())
+	for r := 0; r < n; r++ {
+		m.interactFlat(ws.dense.Row(r), embs.Sample(lo+r), ws.inter.Row(r))
+	}
+	ws.out.Reshape(n, 1)
+	m.Top.ForwardBatch(&ws.inter, &ws.out, &ws.mw)
+	copy(ctr[lo:hi], ws.out.Data)
+}
+
+// batchWS returns the model-owned workspace serial batch calls use,
+// allocating it on first use.
+func (m *Model) batchWS() *BatchWorkspace {
+	if m.ws == nil {
+		m.ws = &BatchWorkspace{}
+	}
+	return m.ws
+}
+
+// ForwardBatch runs the dense model over a batch given precomputed
+// pyramid-layout embeddings, returning the CTRs. Since the batch-major
+// rewrite it flattens the pyramid into the model workspace and runs
+// the GEMM path — bit-identical to the old per-sample loop, which
+// survives as Forward/ForwardFlat (the reference the equivalence tests
+// compare against).
+func (m *Model) ForwardBatch(b *trace.Batch, embs [][][]float32) []float32 {
+	ws := m.batchWS()
+	ws.flat.Reset(b.Size, m.Cfg.NumTables(), m.Cfg.EmbDim)
+	for s := 0; s < b.Size; s++ {
+		for t := 0; t < m.Cfg.NumTables(); t++ {
+			if len(embs[s][t]) != m.Cfg.EmbDim {
+				panic(fmt.Sprintf("dlrm: sample %d table %d embedding len %d != %d",
+					s, t, len(embs[s][t]), m.Cfg.EmbDim))
+			}
+			copy(ws.flat.At(s, t), embs[s][t])
+		}
+	}
+	ctr := make([]float32, b.Size)
+	m.forwardGemm(b, &ws.flat, ctr, ws, 0, b.Size)
 	return ctr
 }
 
@@ -284,52 +362,132 @@ func (m *Model) ForwardFlat(dense, embs []float32) float32 {
 	return m.ctrBuf[0]
 }
 
-// ForwardBatchFlat runs ForwardFlat over every sample of a batch whose
-// embeddings live in a flat EmbBuf, writing CTRs into ctr (len b.Size).
-// It allocates nothing.
+// ForwardBatchFlat runs the batch-major GEMM dense path over a batch
+// whose embeddings live in a flat EmbBuf, writing CTRs into ctr (len
+// b.Size). Bit-identical to running ForwardFlat per sample (the
+// per-sample reference path it replaced on the hot path). Activation
+// matrices come from the model-owned recycled workspace, so the
+// steady state allocates nothing.
 func (m *Model) ForwardBatchFlat(b *trace.Batch, embs *tensor.EmbBuf, ctr []float32) {
-	for s := 0; s < b.Size; s++ {
-		ctr[s] = m.ForwardFlat(b.Dense[s], embs.Sample(s))
+	m.forwardGemm(b, embs, ctr, m.batchWS(), 0, b.Size)
+}
+
+// minRowsPerWorker is the smallest GEMM row-block worth a goroutine:
+// below it, spawn overhead beats the parallel dense-compute win.
+const minRowsPerWorker = 8
+
+// HostPool is the dense-compute worker pool of the batch-major path:
+// per-worker activation workspaces over one shared, read-only model.
+// Forward shards the batch's GEMM row-blocks across the workers —
+// each runs the whole layer pipeline on its block — which replaced
+// the old pool of full model clones: weights (and their packed
+// panels) are shared, only activations are per-worker. Samples are
+// rows, rows are independent, so any split is bit-identical to the
+// serial path.
+//
+// Workers are persistent goroutines (started at construction, stopped
+// by a GC cleanup when the pool becomes unreachable), so a steady-
+// state Forward allocates nothing — row-block jobs travel by value
+// over per-worker channels. A pool serves one Forward at a time; run
+// one pool per engine.
+type HostPool struct {
+	model *Model
+	ws    []*BatchWorkspace
+	// jobs[i] feeds persistent worker i+1 (the caller's goroutine is
+	// worker 0); done collects their block completions.
+	jobs []chan hostJob
+	done chan struct{}
+	// last is the worker count of the most recent Forward, stored
+	// atomically so tests can assert the parallel path really fans out.
+	last atomic.Int32
+}
+
+// hostJob is one row-block assignment, passed by value (no per-batch
+// allocation).
+type hostJob struct {
+	b      *trace.Batch
+	embs   *tensor.EmbBuf
+	ctr    []float32
+	lo, hi int
+}
+
+// NewHostPool builds a pool of the given width (minimum 1) around the
+// model. The model's weights must not be mutated while the pool is in
+// use.
+func NewHostPool(m *Model, workers int) *HostPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &HostPool{model: m, done: make(chan struct{}, workers)}
+	for i := 0; i < workers; i++ {
+		p.ws = append(p.ws, &BatchWorkspace{})
+	}
+	for i := 1; i < workers; i++ {
+		ch := make(chan hostJob)
+		p.jobs = append(p.jobs, ch)
+		go hostWorker(m, p.ws[i], ch, p.done)
+	}
+	if len(p.jobs) > 0 {
+		// The workers capture the model and their workspace, never the
+		// pool itself, so the pool stays collectable; the cleanup then
+		// releases the goroutines (and, through them, the model).
+		runtime.AddCleanup(p, func(chans []chan hostJob) {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}, p.jobs)
+	}
+	return p
+}
+
+// hostWorker serves row-block jobs until its channel closes.
+func hostWorker(m *Model, ws *BatchWorkspace, jobs <-chan hostJob, done chan<- struct{}) {
+	for j := range jobs {
+		m.forwardGemm(j.b, j.embs, j.ctr, ws, j.lo, j.hi)
+		done <- struct{}{}
 	}
 }
 
-// ForwardBatchParallel shards ForwardBatchFlat across the given models
-// — one per worker goroutine, each with private scratch (Clone) — so
-// the dense MLPs use every core. Samples are computed independently
-// with identical weights, so the CTRs are bit-identical to the serial
-// path no matter how the batch splits. Small batches run serially on
-// models[0]; models must be non-empty.
-func ForwardBatchParallel(models []*Model, b *trace.Batch, embs *tensor.EmbBuf, ctr []float32) {
-	// Below ~4 samples per worker the goroutine overhead beats the
-	// parallel MLP win; cap the worker count by the batch size.
-	workers := len(models)
-	if max := (b.Size + 3) / 4; workers > max {
+// Workers returns the pool width.
+func (p *HostPool) Workers() int { return len(p.ws) }
+
+// LastWorkers reports how many workers the most recent Forward fanned
+// out over (1 = it ran serially).
+func (p *HostPool) LastWorkers() int { return int(p.last.Load()) }
+
+// Forward runs the dense model over the batch, sharding GEMM
+// row-blocks across the pool. Row-block boundaries are aligned to the
+// GEMM micro-tile so full tiles never straddle workers; the CTRs are
+// bit-identical to the serial path no matter how the batch splits.
+func (p *HostPool) Forward(b *trace.Batch, embs *tensor.EmbBuf, ctr []float32) {
+	workers := len(p.ws)
+	if max := (b.Size + minRowsPerWorker - 1) / minRowsPerWorker; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		models[0].ForwardBatchFlat(b, embs, ctr)
+		p.last.Store(1)
+		p.model.forwardGemm(b, embs, ctr, p.ws[0], 0, b.Size)
 		return
 	}
-	var wg sync.WaitGroup
+	// Even-sized blocks rounded up to tile alignment (gemm row pairs);
+	// blocks 1..n-1 go to the persistent workers, block 0 runs on the
+	// caller's goroutine.
 	chunk := (b.Size + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	chunk = (chunk + 1) &^ 1
+	blocks := (b.Size + chunk - 1) / chunk
+	p.last.Store(int32(blocks))
+	for w := 1; w < blocks; w++ {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > b.Size {
 			hi = b.Size
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(m *Model, lo, hi int) {
-			defer wg.Done()
-			for s := lo; s < hi; s++ {
-				ctr[s] = m.ForwardFlat(b.Dense[s], embs.Sample(s))
-			}
-		}(models[w], lo, hi)
+		p.jobs[w-1] <- hostJob{b: b, embs: embs, ctr: ctr, lo: lo, hi: hi}
 	}
-	wg.Wait()
+	p.model.forwardGemm(b, embs, ctr, p.ws[0], 0, chunk)
+	for w := 1; w < blocks; w++ {
+		<-p.done
+	}
 }
 
 // EmbedLookups returns the total lookups a batch performs across tables —

@@ -37,54 +37,157 @@ func parallelFixture(t *testing.T, samples int) (*Model, *trace.Batch, [][][]flo
 	return m, b, embs, &flat
 }
 
-// TestForwardFlatMatchesForward: the flat layout must be arithmetic-
-// for-arithmetic the same code path, so CTRs are bit-identical.
-func TestForwardFlatMatchesForward(t *testing.T) {
-	m, b, embs, flat := parallelFixture(t, 33)
-	want := m.ForwardBatch(b, embs)
-	got := make([]float32, b.Size)
-	m.ForwardBatchFlat(b, flat, got)
-	for s := range want {
-		if want[s] != got[s] {
-			t.Fatalf("sample %d: flat CTR %v != pyramid %v", s, got[s], want[s])
-		}
+// perSampleReference runs the per-sample MatVec/Dot reference path —
+// the arithmetic every batch-major variant must reproduce bit for bit.
+func perSampleReference(m *Model, b *trace.Batch, flat *tensor.EmbBuf) []float32 {
+	want := make([]float32, b.Size)
+	for s := 0; s < b.Size; s++ {
+		want[s] = m.ForwardFlat(b.Dense[s], flat.Sample(s))
 	}
+	return want
 }
 
-// TestForwardBatchParallelBitIdentical shards the batch across worker
-// clones at several pool widths (including widths that do not divide
-// the batch size) and requires bit-identical CTRs every time.
-func TestForwardBatchParallelBitIdentical(t *testing.T) {
-	m, b, _, flat := parallelFixture(t, 37)
-	want := make([]float32, b.Size)
-	m.ForwardBatchFlat(b, flat, want)
-	for _, workers := range []int{1, 2, 3, 8, 64} {
-		models := []*Model{m}
-		for i := 1; i < workers; i++ {
-			models = append(models, m.Clone())
-		}
+// TestForwardBatchFlatMatchesPerSample: the batch-major GEMM path must
+// be bit-identical to the per-sample reference, including at batch
+// sizes that leave edge tiles (odd M).
+func TestForwardBatchFlatMatchesPerSample(t *testing.T) {
+	for _, samples := range []int{1, 2, 3, 33, 64} {
+		m, b, _, flat := parallelFixture(t, samples)
+		want := perSampleReference(m, b, flat)
 		got := make([]float32, b.Size)
-		ForwardBatchParallel(models, b, flat, got)
+		m.ForwardBatchFlat(b, flat, got)
 		for s := range want {
 			if want[s] != got[s] {
-				t.Fatalf("%d workers: sample %d CTR %v != serial %v", workers, s, got[s], want[s])
+				t.Fatalf("%d samples: sample %d GEMM CTR %v != per-sample %v", samples, s, got[s], want[s])
 			}
 		}
 	}
 }
 
-// TestForwardBatchParallelSmallBatch: a batch smaller than the worker
-// pool must still fill every CTR slot.
-func TestForwardBatchParallelSmallBatch(t *testing.T) {
-	m, b, _, flat := parallelFixture(t, 3)
-	want := make([]float32, b.Size)
-	m.ForwardBatchFlat(b, flat, want)
-	models := []*Model{m, m.Clone(), m.Clone(), m.Clone(), m.Clone()}
-	got := make([]float32, b.Size)
-	ForwardBatchParallel(models, b, flat, got)
+// TestForwardBatchPyramidMatchesFlat: the pyramid-layout entry point
+// flattens and runs the same GEMM path.
+func TestForwardBatchPyramidMatchesFlat(t *testing.T) {
+	m, b, embs, flat := parallelFixture(t, 33)
+	want := perSampleReference(m, b, flat)
+	got := m.ForwardBatch(b, embs)
 	for s := range want {
 		if want[s] != got[s] {
-			t.Fatalf("sample %d: CTR %v != serial %v", s, got[s], want[s])
+			t.Fatalf("sample %d: pyramid CTR %v != reference %v", s, got[s], want[s])
+		}
+	}
+}
+
+// TestHostPoolBitIdentical shards the batch across pool widths
+// (including widths that do not divide the batch size) and requires
+// bit-identical CTRs every time.
+func TestHostPoolBitIdentical(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 37)
+	want := perSampleReference(m, b, flat)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		pool := NewHostPool(m, workers)
+		got := make([]float32, b.Size)
+		pool.Forward(b, flat, got)
+		for s := range want {
+			if want[s] != got[s] {
+				t.Fatalf("%d workers: sample %d CTR %v != reference %v", workers, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+// TestHostPoolFansOut: with more than one worker and a batch large
+// enough, Forward must actually shard row-blocks across multiple
+// goroutine workers — the property the parallel benchmark measures
+// (a degenerate pool split would silently benchmark the serial path,
+// which is exactly what happened before this test existed). Distinct
+// workers are observable both through LastWorkers and through which
+// per-worker workspaces were shaped by the run.
+func TestHostPoolFansOut(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 64)
+	pool := NewHostPool(m, 4)
+	ctr := make([]float32, b.Size)
+	pool.Forward(b, flat, ctr)
+	if got := pool.LastWorkers(); got < 2 {
+		t.Fatalf("LastWorkers = %d, want >= 2 (parallel path not exercised)", got)
+	}
+	used := 0
+	for _, ws := range pool.ws {
+		if ws.x0.Rows > 0 {
+			used++
+		}
+	}
+	if used != pool.LastWorkers() {
+		t.Fatalf("%d workspaces touched, LastWorkers = %d", used, pool.LastWorkers())
+	}
+	if used < 2 {
+		t.Fatalf("only %d worker workspaces used; row-blocks did not fan out", used)
+	}
+}
+
+// TestHostPoolSmallBatch: a batch smaller than the worker pool must
+// still fill every CTR slot (and collapse to the serial path).
+func TestHostPoolSmallBatch(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 3)
+	want := perSampleReference(m, b, flat)
+	pool := NewHostPool(m, 5)
+	got := make([]float32, b.Size)
+	pool.Forward(b, flat, got)
+	for s := range want {
+		if want[s] != got[s] {
+			t.Fatalf("sample %d: CTR %v != reference %v", s, got[s], want[s])
+		}
+	}
+	if pool.LastWorkers() != 1 {
+		t.Fatalf("LastWorkers = %d for a 3-sample batch, want 1", pool.LastWorkers())
+	}
+}
+
+// TestBatchWorkspaceNoStaleBleed runs a large batch through a
+// workspace, then a smaller, different batch, and requires the second
+// result to be bit-identical to a fresh-workspace run: recycled
+// activation matrices must never leak one batch's values into the
+// next.
+func TestBatchWorkspaceNoStaleBleed(t *testing.T) {
+	m, big, _, bigFlat := parallelFixture(t, 64)
+	ctr := make([]float32, big.Size)
+	m.ForwardBatchFlat(big, bigFlat, ctr) // dirty the model workspace
+
+	spec := synth.Spec{
+		NumItems: 2000, Tables: 6, AvgReduction: 8,
+		ReductionStdFrac: 0.3, ZipfExponent: 0.8,
+		DenseDim: 13, Seed: 77,
+	}
+	tr, err := spec.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := trace.MakeBatch(tr, 0, 11)
+	embs := EmbedCPU(m, small)
+	var flat tensor.EmbBuf
+	flat.Reset(small.Size, m.Cfg.NumTables(), m.Cfg.EmbDim)
+	for s := range embs {
+		for tb := range embs[s] {
+			copy(flat.At(s, tb), embs[s][tb])
+		}
+	}
+	want := perSampleReference(m, small, &flat)
+	got := make([]float32, small.Size)
+	m.ForwardBatchFlat(small, &flat, got) // recycled workspace
+	for s := range want {
+		if want[s] != got[s] {
+			t.Fatalf("sample %d: recycled-workspace CTR %v != fresh %v", s, got[s], want[s])
+		}
+	}
+
+	// Same property through a pool whose workspaces served the big
+	// batch: shrinking the fan-out must not expose stale rows.
+	pool := NewHostPool(m, 4)
+	pool.Forward(big, bigFlat, ctr)
+	got2 := make([]float32, small.Size)
+	pool.Forward(small, &flat, got2)
+	for s := range want {
+		if want[s] != got2[s] {
+			t.Fatalf("sample %d: recycled-pool CTR %v != fresh %v", s, got2[s], want[s])
 		}
 	}
 }

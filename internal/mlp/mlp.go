@@ -42,6 +42,12 @@ type Layer struct {
 	W   *tensor.Matrix // Out x In
 	B   []float32      // Out
 	Act Activation
+
+	// packed is W in the panel layout tensor.Gemm consumes; built once
+	// at construction (New, Clone) and treated as read-only alongside W
+	// thereafter, which is what lets the batch path share one Layer
+	// across worker goroutines. Call Repack after mutating W by hand.
+	packed *tensor.PackedB
 }
 
 // In returns the layer input width.
@@ -61,6 +67,60 @@ func (l *Layer) Forward(x, dst []float32) {
 	case Sigmoid:
 		tensor.SigmoidInPlace(dst)
 	}
+}
+
+// Repack rebuilds the packed weight layout from W. New and Clone pack
+// automatically; only code that mutates W afterwards needs this.
+func (l *Layer) Repack() {
+	if l.packed == nil {
+		l.packed = &tensor.PackedB{}
+	}
+	l.packed.Pack(l.W)
+}
+
+// ForwardBatch computes the layer output for a batch of inputs: x is
+// samples x In, dst samples x Out, dst[i] = act(W*x[i] + b) with
+// arithmetic bit-identical to Forward per row. dst must not alias x;
+// its stale contents (a recycled workspace) are fully overwritten. It
+// only reads the layer (weights, bias, packed panels), so concurrent
+// row-block workers may share one Layer.
+func (l *Layer) ForwardBatch(x, dst *tensor.Matrix) {
+	if l.packed == nil {
+		// Manually assembled layer: pack on first use (single-goroutine
+		// only — construct via New/Clone or call Repack before sharing).
+		l.Repack()
+	}
+	tensor.Gemm(x, l.packed, dst)
+	for i := 0; i < dst.Rows; i++ {
+		row := dst.Row(i)
+		tensor.Add(l.B, row)
+		switch l.Act {
+		case ReLU:
+			tensor.ReLUInPlace(row)
+		case Sigmoid:
+			tensor.SigmoidInPlace(row)
+		}
+	}
+}
+
+// Workspace holds the ping-pong activation matrices of the batch-major
+// forward pass, recycled across calls (and across the MLPs sharing
+// it). The zero value is ready for use. Not safe for concurrent use —
+// one Workspace per worker.
+type Workspace struct {
+	a, b tensor.Matrix
+}
+
+// next returns the recycled scratch matrix to use after cur, reshaped
+// to rows x cols: the one of the two ping-pong buffers cur is not
+// backed by.
+func (w *Workspace) next(cur *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	m := &w.a
+	if cur == &w.a {
+		m = &w.b
+	}
+	m.Reshape(rows, cols)
+	return m
 }
 
 // MLP is a stack of layers applied in order.
@@ -101,6 +161,7 @@ func New(widths []int, final Activation, rng *tensor.RNG) (*MLP, error) {
 		for j := range layer.W.Data {
 			layer.W.Data[j] = (2*rng.Float32() - 1) * limit
 		}
+		layer.Repack()
 		m.Layers = append(m.Layers, layer)
 	}
 	m.buf0 = make([]float32, maxW)
@@ -158,7 +219,33 @@ func (m *MLP) Clone() *MLP {
 	for _, l := range m.Layers {
 		nl := &Layer{W: l.W.Clone(), B: make([]float32, len(l.B)), Act: l.Act}
 		copy(nl.B, l.B)
+		nl.Repack()
 		c.Layers = append(c.Layers, nl)
 	}
 	return c
+}
+
+// ForwardBatch runs the stack batch-major: x is samples x InDim, dst
+// samples x OutDim, with hidden activations held in ws's recycled
+// ping-pong matrices — one layer at a time over the whole batch, so
+// each weight panel is streamed once per row-block instead of once per
+// sample. Row for row bit-identical to Forward. It reads the MLP's
+// weights only (never the per-MLP scratch), so concurrent row-block
+// workers may share the model as long as each brings its own ws.
+func (m *MLP) ForwardBatch(x, dst *tensor.Matrix, ws *Workspace) {
+	if x.Cols != m.InDim() {
+		panic(fmt.Sprintf("mlp: batch input width %d, want %d", x.Cols, m.InDim()))
+	}
+	if dst.Rows != x.Rows || dst.Cols != m.OutDim() {
+		panic(fmt.Sprintf("mlp: batch dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, m.OutDim()))
+	}
+	cur := x
+	for i, l := range m.Layers {
+		out := dst
+		if i != len(m.Layers)-1 {
+			out = ws.next(cur, x.Rows, l.Out())
+		}
+		l.ForwardBatch(cur, out)
+		cur = out
+	}
 }

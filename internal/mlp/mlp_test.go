@@ -178,6 +178,58 @@ func TestForwardPanicsOnBadLengths(t *testing.T) {
 	}
 }
 
+// TestForwardBatchMatchesForward: the batch-major GEMM stack must be
+// bit-identical to the per-sample path, across batch sizes that hit
+// the micro-tile edges and stacks whose widths are not multiples of
+// the Dot lanes.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	for _, widths := range [][]int{
+		{13, 128, 64, 32},
+		{7, 5, 3},
+		{1, 1},
+		{68, 256, 64, 1},
+	} {
+		m := mustNew(t, widths, Sigmoid, 21)
+		rng := tensor.NewRNG(77)
+		for _, samples := range []int{1, 2, 3, 7, 64, 65} {
+			x := tensor.NewMatrix(samples, m.InDim())
+			for i := range x.Data {
+				x.Data[i] = 2*rng.Float32() - 1
+			}
+			dst := tensor.NewMatrix(samples, m.OutDim())
+			var ws Workspace
+			m.ForwardBatch(x, dst, &ws)
+			want := make([]float32, m.OutDim())
+			for s := 0; s < samples; s++ {
+				m.Forward(x.Row(s), want)
+				for j := range want {
+					if dst.At(s, j) != want[j] {
+						t.Fatalf("widths %v, %d samples: out[%d][%d] = %v, per-sample %v",
+							widths, samples, s, j, dst.At(s, j), want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchRepack: hand-mutated weights must flow into the
+// batch path after Repack.
+func TestForwardBatchRepack(t *testing.T) {
+	m := mustNew(t, []int{2, 2}, Linear, 1)
+	copy(m.Layers[0].W.Data, []float32{1, 2, 3, 4})
+	copy(m.Layers[0].B, []float32{0.5, -0.5})
+	m.Layers[0].Repack()
+	x := tensor.NewMatrix(1, 2)
+	x.Data[0], x.Data[1] = 1, 1
+	dst := tensor.NewMatrix(1, 2)
+	var ws Workspace
+	m.ForwardBatch(x, dst, &ws)
+	if dst.At(0, 0) != 3.5 || dst.At(0, 1) != 6.5 {
+		t.Fatalf("ForwardBatch = %v, want [3.5 6.5]", dst.Data)
+	}
+}
+
 func TestActivationString(t *testing.T) {
 	if Linear.String() != "linear" || ReLU.String() != "relu" || Sigmoid.String() != "sigmoid" {
 		t.Fatalf("activation names wrong")

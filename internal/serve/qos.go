@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"updlrm/internal/metrics"
@@ -116,6 +117,22 @@ type microBatch struct {
 	// shard's backlog; the worker releases exactly this amount on
 	// completion.
 	predNs float64
+}
+
+// mbPool recycles microBatch headers (and their pend backing arrays)
+// between the scheduler, which fills one per dispatch, and the
+// workers, which release it after fan-out — two allocations per
+// micro-batch the serve hot path no longer pays.
+var mbPool = sync.Pool{New: func() any { return new(microBatch) }}
+
+// putMicroBatch clears the batch's request references (so pooled
+// headers never retain served requests) and returns it to the pool.
+func putMicroBatch(mb *microBatch) {
+	for i := range mb.pend {
+		mb.pend[i] = nil
+	}
+	mb.pend = mb.pend[:0]
+	mbPool.Put(mb)
 }
 
 // scheduler replaces the FIFO batcher: it drains the three class queues
@@ -325,7 +342,10 @@ func (s *Server) scheduler() {
 				if n > s.class[c].maxBatch {
 					n = s.class[c].maxBatch
 				}
-				mb := &microBatch{class: c, pend: append([]*pending(nil), staged[c][:n]...)}
+				mb := mbPool.Get().(*microBatch)
+				mb.class = c
+				mb.pend = append(mb.pend[:0], staged[c][:n]...)
+				mb.predNs = 0
 				staged[c] = append(staged[c][:0], staged[c][n:]...)
 				deficit[c] -= float64(n)
 				s.route(mb)
@@ -344,13 +364,17 @@ func (s *Server) scheduler() {
 // prediction until its worker completes the batch.
 func (s *Server) route(mb *microBatch) {
 	n := len(mb.pend)
+	// Once a send succeeds the worker owns mb and may recycle it
+	// through the pool, so anything needed afterwards (the test hook's
+	// class) must be read before the send.
+	class := mb.class
 	order := s.router.rank(n)
 	for _, shard := range order {
 		mb.predNs = s.router.charge(shard, n)
 		select {
 		case s.shardCh[shard] <- mb:
 			if h := s.testHookRoute; h != nil {
-				h(mb.class, n, shard)
+				h(class, n, shard)
 			}
 			return
 		default:
@@ -360,7 +384,7 @@ func (s *Server) route(mb *microBatch) {
 	best := order[0]
 	mb.predNs = s.router.charge(best, n)
 	if h := s.testHookRoute; h != nil {
-		h(mb.class, n, best)
+		h(class, n, best)
 	}
 	s.shardCh[best] <- mb
 }

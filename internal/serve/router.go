@@ -17,7 +17,6 @@ package serve
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"updlrm/internal/metrics"
@@ -90,9 +89,21 @@ func (p *shardProfile) predict(n int) float64 {
 // router scores micro-batches against the shard profiles.
 type router struct {
 	shards []shardProfile
+	// rankScores and rankOrder are rank's recycled scratch. rank is
+	// called only from the scheduler goroutine (routing is serialized
+	// by design), so per-dispatch slices would be pure allocator
+	// pressure on the serve hot path.
+	rankScores []float64
+	rankOrder  []int
 }
 
-func newRouter(n int) *router { return &router{shards: make([]shardProfile, n)} }
+func newRouter(n int) *router {
+	return &router{
+		shards:     make([]shardProfile, n),
+		rankScores: make([]float64, n),
+		rankOrder:  make([]int, n),
+	}
+}
 
 // seed installs a shard's static cost priors: probe breakdowns at one
 // or more batch sizes. Two distinct sizes pin the affine fit exactly,
@@ -136,10 +147,12 @@ func (r *router) seed(shard int, points []profilePoint) {
 
 // rank returns the shard indices ordered by predicted completion cost
 // for a batch of n requests, cheapest first; ties break toward the
-// lowest index, keeping routing deterministic.
+// lowest index, keeping routing deterministic. The returned slice is
+// the router's recycled scratch: valid until the next rank call
+// (scheduler goroutine only).
 func (r *router) rank(n int) []int {
-	scores := make([]float64, len(r.shards))
-	order := make([]int, len(r.shards))
+	scores := r.rankScores
+	order := r.rankOrder
 	for i := range r.shards {
 		p := &r.shards[i]
 		p.mu.Lock()
@@ -147,7 +160,13 @@ func (r *router) rank(n int) []int {
 		p.mu.Unlock()
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	// Stable insertion sort: shard counts are single digits, and the
+	// stdlib sort's interface boxing would allocate per dispatch.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && scores[order[j]] < scores[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	return order
 }
 

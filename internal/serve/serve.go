@@ -470,6 +470,15 @@ func (s *Server) worker(shard int) {
 	var sched core.PipeSched
 	var serialFree float64
 	var anchor time.Time
+	// The worker's recycled batch arena: one trace and one flattened
+	// batch, refilled per micro-batch (sample rows alias the requests'
+	// private copies), so dispatch allocates nothing at steady state.
+	tr := trace.Trace{
+		NumTables:    s.numTables,
+		RowsPerTable: s.rowsPerTable,
+		DenseDim:     s.denseDim,
+	}
+	var batch trace.Batch
 	for mb := range s.shardCh[shard] {
 		// Drop requests whose caller already gave up: their Predict has
 		// returned, nobody reads the outcome, and they should not skew
@@ -486,29 +495,26 @@ func (s *Server) worker(shard int) {
 		pend = live
 		if len(pend) == 0 {
 			s.router.complete(shard, mb.predNs, metrics.Breakdown{}, 0)
+			putMicroBatch(mb)
 			continue
 		}
 		if s.testHookBatch != nil {
 			s.testHookBatch(shard, mb)
 		}
 		dispatch := time.Now()
-		tr := &trace.Trace{
-			NumTables:    s.numTables,
-			RowsPerTable: s.rowsPerTable,
-			DenseDim:     s.denseDim,
-			Samples:      make([]trace.Sample, len(pend)),
+		tr.Samples = tr.Samples[:0]
+		for _, p := range pend {
+			tr.Samples = append(tr.Samples, trace.Sample{Dense: p.req.Dense, Sparse: p.req.Sparse})
 		}
-		for i, p := range pend {
-			tr.Samples[i] = trace.Sample{Dense: p.req.Dense, Sparse: p.req.Sparse}
-		}
-		b := trace.MakeBatch(tr, 0, len(pend))
-		res, err := eng.RunBatch(b)
+		batch.Reset(&tr, 0, len(pend))
+		res, err := eng.RunBatch(&batch)
 		if err != nil {
 			for _, p := range pend {
 				p.done <- outcome{err: fmt.Errorf("serve: shard %d: %w", shard, err)}
 			}
 			s.stats.recordError(len(pend))
 			s.router.complete(shard, mb.predNs, metrics.Breakdown{}, 0)
+			putMicroBatch(mb)
 			continue
 		}
 		// Pipelined schedule: place this batch at its dispatch time on
@@ -550,6 +556,7 @@ func (s *Server) worker(shard int) {
 		}
 		s.stats.recordBatch(res.MRAMBytesRead, serialLat, pipeLat)
 		s.router.complete(shard, mb.predNs, res.Breakdown, len(pend))
+		putMicroBatch(mb)
 	}
 }
 

@@ -1,0 +1,205 @@
+// Batch-major GEMM: the dense-path kernel that lets the host amortize
+// weight reuse across a batch. C[M x N] = A[M x K] * B^T, where B is
+// held in a packed, transposed panel layout (PackedB) so each pair of
+// weight rows streams as one contiguous panel per row-block of A
+// instead of being re-walked row by row per sample, the way the
+// per-sample MatVec path did.
+//
+// Bit-identity contract: every output element's reduction over k runs
+// in exactly tensor.Dot's order — four independent accumulator lanes
+// over the 4-aligned prefix, a scalar tail, combined as
+// ((s0+s1)+(s2+s3))+tail. Blocking therefore happens over M and N
+// only; the k loop is never split or reordered, and the panel padding
+// added for odd N is never summed into a live output (a padded weight
+// row belongs to no output column — its products are discarded, not
+// folded in, so not even a -0.0 can differ). On amd64 the quad loop
+// runs as an SSE micro-kernel (gemm_amd64.s) whose vector lanes are
+// the four Dot lanes — per-lane MULPS/ADDPS are the same IEEE scalar
+// operations, so the arch split is invisible in the results; other
+// architectures use the pure-Go kernels in gemm_generic.go.
+package tensor
+
+import "fmt"
+
+// gemmMR x gemmNR is the register micro-tile: 2 sample rows by 2
+// weight rows, i.e. 4 output elements' 4-lane accumulators live across
+// the k loop and every activation/weight quad loaded is used twice —
+// half the loads per FLOP of four independent Dot calls.
+const (
+	gemmMR = 2
+	gemmNR = 2
+	// gemmMC is the row-block height of the outer cache blocking: the
+	// whole packed B is streamed once per gemmMC rows of A, while the
+	// A block stays L1/L2-resident.
+	gemmMC = 64
+)
+
+// PackedB is a weight matrix repacked for Gemm's B^T operand: the N
+// weight rows (each of length K) are grouped into panels of gemmNR
+// rows — panel p holds rows p*gemmNR..+gemmNR-1 back to back, with a
+// trailing partial panel padded by a zero row so every panel has
+// uniform shape (the pad row's products never reach an output; see
+// the package comment). With the current row-major panels the layout
+// happens to coincide with the source matrix's storage; what the pack
+// step buys is edge-free panel addressing, a snapshot insulated from
+// later W mutation (see mlp.Layer.Repack), and a stable seam for
+// interleaved layouts a future wider-SIMD kernel would want. Packing
+// is layout-only: values are untouched, so results stay bit-identical
+// to the row-major source.
+type PackedB struct {
+	n, k   int
+	panels []float32 // ceil(n/gemmNR) panels of gemmNR*k values
+}
+
+// N returns the packed weight-row count (output width).
+func (p *PackedB) N() int { return p.n }
+
+// K returns the packed inner dimension.
+func (p *PackedB) K() int { return p.k }
+
+// PackB packs bt — an N x K matrix whose rows are the weight rows of
+// the product C = A * bt^T — into the panel layout Gemm consumes.
+func PackB(bt *Matrix) *PackedB {
+	p := &PackedB{}
+	p.Pack(bt)
+	return p
+}
+
+// Pack (re)fills p from bt, reusing the panel storage when it is large
+// enough — the repack path for cloned or reinitialized weights.
+func (p *PackedB) Pack(bt *Matrix) {
+	n, k := bt.Rows, bt.Cols
+	numPanels := (n + gemmNR - 1) / gemmNR
+	need := numPanels * gemmNR * k
+	if cap(p.panels) < need {
+		p.panels = make([]float32, need)
+	} else {
+		p.panels = p.panels[:need]
+		clear(p.panels)
+	}
+	p.n, p.k = n, k
+	for j := 0; j < n; j++ {
+		copy(p.panels[j*k:(j+1)*k], bt.Row(j))
+	}
+}
+
+// panelRows returns panel i's two weight-row slices (the second is the
+// zero pad row on the trailing odd panel).
+func (p *PackedB) panelRows(i int) (b0, b1 []float32) {
+	off := i * gemmNR * p.k
+	return p.panels[off : off+p.k : off+p.k],
+		p.panels[off+p.k : off+2*p.k : off+2*p.k]
+}
+
+// Gemm computes dst = a * b^T for an M x K activation matrix and a
+// packed N x K weight matrix: dst[i][j] = Dot(a.Row(i), weightRow(j)),
+// bit-identical to the per-sample MatVec path (see the package comment
+// for why blocking stays on M/N). dst must be M x N and must not alias
+// a. Every dst element is overwritten, so dst may hold stale values
+// from a recycled workspace.
+func Gemm(a *Matrix, b *PackedB, dst *Matrix) {
+	if a.Cols != b.k {
+		panic(fmt.Sprintf("tensor: Gemm inner dims %d vs %d", a.Cols, b.k))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.n {
+		panic(fmt.Sprintf("tensor: Gemm dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.n))
+	}
+	m, n := a.Rows, b.n
+	for i0 := 0; i0 < m; i0 += gemmMC {
+		iEnd := i0 + gemmMC
+		if iEnd > m {
+			iEnd = m
+		}
+		i := i0
+		for ; i+gemmMR <= iEnd; i += gemmMR {
+			a0, a1 := a.Row(i), a.Row(i+1)
+			d0, d1 := dst.Row(i), dst.Row(i+1)
+			for p, j := 0, 0; j < n; p, j = p+1, j+gemmNR {
+				b0, b1 := b.panelRows(p)
+				if j+1 < n {
+					gemmTile2x2(a0, a1, b0, b1, d0, d1, j)
+				} else {
+					gemmTile2x1(a0, a1, b0, d0, d1, j)
+				}
+			}
+		}
+		if i < iEnd {
+			a0 := a.Row(i)
+			d0 := dst.Row(i)
+			for p, j := 0, 0; j < n; p, j = p+1, j+gemmNR {
+				b0, b1 := b.panelRows(p)
+				if j+1 < n {
+					gemmTile1x2(a0, b0, b1, d0, j)
+				} else {
+					gemmTile1x1(a0, b0, d0, j)
+				}
+			}
+		}
+	}
+}
+
+// combineDot folds four lane sums and a scalar tail exactly as Dot
+// does: ((s0+s1)+(s2+s3))+tail.
+func combineDot(l *[4]float32, tail float32) float32 {
+	return ((l[0] + l[1]) + (l[2] + l[3])) + tail
+}
+
+// gemmTile2x2 computes the 2x2 output tile d{0,1}[j], d{0,1}[j+1] from
+// sample rows a0, a1 and weight rows b0, b1. The quad loop runs in the
+// arch kernel; the tails and lane combines here preserve Dot's order.
+func gemmTile2x2(a0, a1, b0, b1, d0, d1 []float32, j int) {
+	var lanes [4][4]float32
+	kk := gemmQuads2x2Lanes(a0, a1, b0, b1, &lanes)
+	k := len(a0)
+	var t00, t01, t10, t11 float32
+	for ; kk < k; kk++ {
+		t00 += a0[kk] * b0[kk]
+		t01 += a0[kk] * b1[kk]
+		t10 += a1[kk] * b0[kk]
+		t11 += a1[kk] * b1[kk]
+	}
+	d0[j] = combineDot(&lanes[0], t00)
+	d0[j+1] = combineDot(&lanes[1], t01)
+	d1[j] = combineDot(&lanes[2], t10)
+	d1[j+1] = combineDot(&lanes[3], t11)
+}
+
+// gemmTile2x1 is the N-edge variant: two sample rows, one weight row.
+func gemmTile2x1(a0, a1, b0, d0, d1 []float32, j int) {
+	var lanes [4][4]float32
+	kk := gemmQuads2x2Lanes(a0, a1, b0, b0, &lanes)
+	k := len(a0)
+	var t0, t1 float32
+	for ; kk < k; kk++ {
+		t0 += a0[kk] * b0[kk]
+		t1 += a1[kk] * b0[kk]
+	}
+	d0[j] = combineDot(&lanes[0], t0)
+	d1[j] = combineDot(&lanes[2], t1)
+}
+
+// gemmTile1x2 is the M-edge variant: one sample row, two weight rows.
+func gemmTile1x2(a0, b0, b1, d0 []float32, j int) {
+	var lanes [4][4]float32
+	kk := gemmQuads2x2Lanes(a0, a0, b0, b1, &lanes)
+	k := len(a0)
+	var t0, t1 float32
+	for ; kk < k; kk++ {
+		t0 += a0[kk] * b0[kk]
+		t1 += a0[kk] * b1[kk]
+	}
+	d0[j] = combineDot(&lanes[0], t0)
+	d0[j+1] = combineDot(&lanes[1], t1)
+}
+
+// gemmTile1x1 is the corner variant: one sample row, one weight row.
+func gemmTile1x1(a0, b0, d0 []float32, j int) {
+	var lanes [4][4]float32
+	kk := gemmQuads2x2Lanes(a0, a0, b0, b0, &lanes)
+	k := len(a0)
+	var t float32
+	for ; kk < k; kk++ {
+		t += a0[kk] * b0[kk]
+	}
+	d0[j] = combineDot(&lanes[0], t)
+}

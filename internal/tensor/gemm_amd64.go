@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// gemmQuads2x2Lanes computes the 4-aligned prefix of the 2x2
+// micro-tile's four dot products into lanes (lanes[0]=a0·b0,
+// [1]=a0·b1, [2]=a1·b0, [3]=a1·b1, four Dot lanes each) and returns
+// how many k positions were consumed. It OVERWRITES lanes when at
+// least one quad is consumed and leaves it untouched otherwise —
+// callers pass a fresh zeroed tile accumulator (the generic kernel
+// has the same contract). The SSE kernel's vector lanes are exactly
+// the scalar Dot lanes — per-lane MULPS/ADDPS are the same IEEE
+// operations — so results are bit-identical to the generic path.
+func gemmQuads2x2Lanes(a0, a1, b0, b1 []float32, lanes *[4][4]float32) int {
+	q := len(a0) >> 2
+	if q > 0 {
+		gemmQuads2x2SSE(&a0[0], &a1[0], &b0[0], &b1[0], q, lanes)
+	}
+	return q * 4
+}
+
+// gemmQuads2x2SSE is implemented in gemm_amd64.s. It overwrites lanes
+// with the accumulated quad products; quads must be > 0 and every row
+// must hold at least 4*quads values.
+//
+//go:noescape
+func gemmQuads2x2SSE(a0, a1, b0, b1 *float32, quads int, lanes *[4][4]float32)

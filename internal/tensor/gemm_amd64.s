@@ -1,0 +1,51 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmQuads2x2SSE(a0, a1, b0, b1 *float32, quads int, lanes *[4][4]float32)
+//
+// The 2x2 micro-tile quad loop: X0..X3 hold the four output elements'
+// 4-lane accumulators (c00=a0*b0, c01=a0*b1, c10=a1*b0, c11=a1*b1).
+// Each SIMD lane is one scalar Dot lane; MULPS/ADDPS apply the same
+// IEEE single-precision multiply and add per lane as the scalar code,
+// so the accumulated lanes are bit-identical to gemm_generic.go. SSE1
+// only — part of the amd64 baseline.
+TEXT ·gemmQuads2x2SSE(SB), NOSPLIT, $0-48
+	MOVQ  a0+0(FP), SI
+	MOVQ  a1+8(FP), DI
+	MOVQ  b0+16(FP), R8
+	MOVQ  b1+24(FP), R9
+	MOVQ  quads+32(FP), CX
+	MOVQ  lanes+40(FP), DX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+loop:
+	MOVUPS (SI), X4
+	MOVUPS (DI), X5
+	MOVUPS (R8), X6
+	MOVUPS (R9), X7
+	MOVAPS X4, X8
+	MULPS  X6, X8
+	ADDPS  X8, X0
+	MULPS  X7, X4
+	ADDPS  X4, X1
+	MOVAPS X5, X9
+	MULPS  X6, X9
+	ADDPS  X9, X2
+	MULPS  X7, X5
+	ADDPS  X5, X3
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	ADDQ   $16, R8
+	ADDQ   $16, R9
+	DECQ   CX
+	JNZ    loop
+
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	RET

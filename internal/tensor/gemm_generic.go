@@ -1,0 +1,34 @@
+//go:build !amd64
+
+package tensor
+
+// gemmQuads2x2Lanes is the portable micro-kernel: it computes the
+// 4-aligned prefix of the 2x2 tile's four dot products into lanes
+// (lanes[0]=a0·b0, [1]=a0·b1, [2]=a1·b0, [3]=a1·b1, four Dot lanes
+// each) and returns how many k positions were consumed. Lane l only
+// ever accumulates products at k positions congruent to l mod 4, in
+// increasing k order — exactly the scalar Dot lanes, and exactly what
+// the amd64 SSE kernel computes per vector lane. Like that kernel it
+// OVERWRITES lanes when at least one quad is consumed and leaves it
+// untouched otherwise — callers pass a fresh zeroed tile accumulator.
+func gemmQuads2x2Lanes(a0, a1, b0, b1 []float32, lanes *[4][4]float32) int {
+	k4 := len(a0) &^ 3
+	if k4 == 0 {
+		return 0
+	}
+	var acc [4][4]float32
+	for kk := 0; kk < k4; kk += 4 {
+		av := a0[kk : kk+4 : kk+4]
+		bv := a1[kk : kk+4 : kk+4]
+		p0 := b0[kk : kk+4 : kk+4]
+		p1 := b1[kk : kk+4 : kk+4]
+		for l := 0; l < 4; l++ {
+			acc[0][l] += av[l] * p0[l]
+			acc[1][l] += av[l] * p1[l]
+			acc[2][l] += bv[l] * p0[l]
+			acc[3][l] += bv[l] * p1[l]
+		}
+	}
+	*lanes = acc
+	return k4
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// gemmRef computes the reference product row by row with MatVec — the
+// per-sample path Gemm must reproduce bit for bit.
+func gemmRef(a, bt *Matrix) *Matrix {
+	ref := NewMatrix(a.Rows, bt.Rows)
+	for i := 0; i < a.Rows; i++ {
+		// MatVec(bt, a.Row(i)) == row i of a * bt^T.
+		MatVec(bt, a.Row(i), ref.Row(i))
+	}
+	return ref
+}
+
+func fillRand(m *Matrix, rng *RNG) {
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float32() - 1
+	}
+}
+
+// TestGemmBitIdenticalOddShapes sweeps shapes around every blocking
+// edge: M and N smaller than the micro-tile and the row block, K not a
+// multiple of the four Dot lanes, and empty dims. Equality is exact —
+// the kernel's whole contract is that blocking over M/N never touches
+// an element's k-summation order.
+func TestGemmBitIdenticalOddShapes(t *testing.T) {
+	rng := NewRNG(42)
+	for _, m := range []int{0, 1, 2, 3, 5, 64, 65, 67} {
+		for _, n := range []int{0, 1, 2, 3, 7, 256, 257} {
+			for _, k := range []int{0, 1, 2, 3, 4, 5, 13, 32, 68, 255} {
+				a := NewMatrix(m, k)
+				bt := NewMatrix(n, k)
+				fillRand(a, rng)
+				fillRand(bt, rng)
+				want := gemmRef(a, bt)
+				got := NewMatrix(m, n)
+				// Poison dst: Gemm must overwrite every element.
+				Fill(got.Data, 7.25)
+				Gemm(a, PackB(bt), got)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						if got.At(i, j) != want.At(i, j) {
+							t.Fatalf("M=%d N=%d K=%d: C[%d][%d] = %v, MatVec %v",
+								m, n, k, i, j, got.At(i, j), want.At(i, j))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmBitIdenticalRandomized cross-checks random shapes (including
+// values spanning magnitudes, where summation order actually matters)
+// against the MatVec reference.
+func TestGemmBitIdenticalRandomized(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		m := int(rng.Uint64()%97) + 1
+		n := int(rng.Uint64()%97) + 1
+		k := int(rng.Uint64() % 130)
+		a := NewMatrix(m, k)
+		bt := NewMatrix(n, k)
+		for i := range a.Data {
+			// Mix magnitudes so a reordered reduction would differ.
+			a.Data[i] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%16))
+		}
+		fillRand(bt, rng)
+		want := gemmRef(a, bt)
+		got := NewMatrix(m, n)
+		Gemm(a, PackB(bt), got)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d (M=%d N=%d K=%d): element %d = %v, want %v",
+					trial, m, n, k, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestPackBReuse: repacking different shapes through one PackedB must
+// leave no stale panel state behind.
+func TestPackBReuse(t *testing.T) {
+	rng := NewRNG(3)
+	var p PackedB
+	for _, shape := range []struct{ n, k int }{{9, 33}, {3, 5}, {16, 64}, {1, 1}, {5, 7}} {
+		bt := NewMatrix(shape.n, shape.k)
+		fillRand(bt, rng)
+		p.Pack(bt)
+		a := NewMatrix(4, shape.k)
+		fillRand(a, rng)
+		want := gemmRef(a, bt)
+		got := NewMatrix(4, shape.n)
+		Gemm(a, &p, got)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("N=%d K=%d: element %d = %v, want %v",
+					shape.n, shape.k, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatrixReshape: growing and shrinking must preserve the backing
+// array when possible and track the logical shape.
+func TestMatrixReshape(t *testing.T) {
+	m := NewMatrix(4, 8)
+	base := &m.Data[0]
+	m.Reshape(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("shrink: got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != base {
+		t.Fatal("shrink reallocated the backing array")
+	}
+	m.Reshape(16, 16)
+	if m.Rows != 16 || m.Cols != 16 || len(m.Data) != 256 {
+		t.Fatalf("grow: got %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+// BenchmarkGemmVsMatVec compares the batched kernel against the
+// per-sample MatVec loop on the top-MLP-like shape (64 samples, the
+// widest layer of the evaluation model).
+func BenchmarkGemmVsMatVec(b *testing.B) {
+	rng := NewRNG(1)
+	const M, N, K = 64, 256, 68
+	a := NewMatrix(M, K)
+	bt := NewMatrix(N, K)
+	fillRand(a, rng)
+	fillRand(bt, rng)
+	dst := NewMatrix(M, N)
+	packed := PackB(bt)
+	b.Run("matvec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < M; r++ {
+				MatVec(bt, a.Row(r), dst.Row(r))
+			}
+		}
+	})
+	b.Run("gemm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Gemm(a, packed, dst)
+		}
+	})
+}

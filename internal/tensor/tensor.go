@@ -35,6 +35,24 @@ func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 // Set assigns the element at (i, j).
 func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
 
+// Reshape resizes the matrix to rows x cols in place, reusing the
+// backing array when it is large enough — the recycled-workspace path
+// of the batch-major dense pipeline. The active region's contents are
+// unspecified after Reshape (stale values from a previous shape may
+// remain); callers must fully overwrite it, as Gemm does.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: Reshape to %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)

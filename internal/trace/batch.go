@@ -21,25 +21,53 @@ type Batch struct {
 
 // MakeBatch flattens samples[lo:hi] of tr into a Batch.
 func MakeBatch(tr *Trace, lo, hi int) *Batch {
+	b := &Batch{}
+	b.Reset(tr, lo, hi)
+	return b
+}
+
+// Reset re-flattens samples[lo:hi] of tr into b, reusing its index,
+// offset, and dense-row storage — the allocation-free path for callers
+// that rebuild a batch per dispatch (the serving workers). Dense rows
+// alias the trace's sample slices, exactly as MakeBatch's do.
+func (b *Batch) Reset(tr *Trace, lo, hi int) {
 	if lo < 0 || hi > len(tr.Samples) || lo > hi {
 		panic(fmt.Sprintf("trace: batch range [%d,%d) out of [0,%d]", lo, hi, len(tr.Samples)))
 	}
-	b := &Batch{
-		Size:  hi - lo,
-		Dense: make([][]float32, hi-lo),
-		Idx:   make([][]int32, tr.NumTables),
-		Off:   make([][]int32, tr.NumTables),
+	n := hi - lo
+	b.Size = n
+	if cap(b.Dense) < n {
+		b.Dense = make([][]float32, n)
 	}
+	b.Dense = b.Dense[:n]
 	for s := lo; s < hi; s++ {
 		b.Dense[s-lo] = tr.Samples[s].Dense
 	}
+	if cap(b.Idx) < tr.NumTables {
+		b.Idx = make([][]int32, tr.NumTables)
+		b.Off = make([][]int32, tr.NumTables)
+	}
+	b.Idx = b.Idx[:tr.NumTables]
+	b.Off = b.Off[:tr.NumTables]
 	for t := 0; t < tr.NumTables; t++ {
 		var total int
 		for s := lo; s < hi; s++ {
 			total += len(tr.Samples[s].Sparse[t])
 		}
-		idx := make([]int32, 0, total)
-		off := make([]int32, 0, hi-lo+1)
+		// Size the index storage in one step (no incremental growth),
+		// reusing the previous batch's arrays when they are big enough.
+		idx := b.Idx[t]
+		if cap(idx) < total {
+			idx = make([]int32, 0, total)
+		} else {
+			idx = idx[:0]
+		}
+		off := b.Off[t]
+		if cap(off) < n+1 {
+			off = make([]int32, 0, n+1)
+		} else {
+			off = off[:0]
+		}
 		off = append(off, 0)
 		for s := lo; s < hi; s++ {
 			idx = append(idx, tr.Samples[s].Sparse[t]...)
@@ -48,7 +76,6 @@ func MakeBatch(tr *Trace, lo, hi int) *Batch {
 		b.Idx[t] = idx
 		b.Off[t] = off
 	}
-	return b
 }
 
 // SampleIndices returns the indices of sample s for table t.

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -52,9 +53,11 @@ type bench struct {
 }
 
 // entry is one benchmark's aggregate across repeated counts: best-case
-// ns (noise-robust) and worst-case allocs (deterministic anyway).
+// ns (noise-robust), best-case bytes, and worst-case allocs
+// (deterministic anyway).
 type entry struct {
 	minNs     float64
+	minBytes  int64
 	maxAllocs int64
 }
 
@@ -75,10 +78,13 @@ func load(path string) (map[string]entry, string, error) {
 		key := b.Pkg + " " + b.Name
 		e, ok := out[key]
 		if !ok {
-			e = entry{minNs: b.NsPerOp, maxAllocs: b.AllocsOp}
+			e = entry{minNs: b.NsPerOp, minBytes: b.BytesOp, maxAllocs: b.AllocsOp}
 		} else {
 			if b.NsPerOp < e.minNs {
 				e.minNs = b.NsPerOp
+			}
+			if b.BytesOp < e.minBytes {
+				e.minBytes = b.BytesOp
 			}
 			if b.AllocsOp > e.maxAllocs {
 				e.maxAllocs = b.AllocsOp
@@ -111,21 +117,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The delta table prints on every run, pass or fail, so the perf
+	// trajectory (old -> new ns/op, bytes/op, allocs/op) is visible in
+	// the job log of every push, not only on regressions.
 	fmt.Printf("bench_compare: baseline %s (%s) vs fresh %s (%s), tol +%.0f%%\n\n",
 		*baselinePath, baseGen, *freshPath, freshGen, 100**tol)
-	fmt.Printf("%-60s %14s %14s %8s %7s %7s\n",
-		"benchmark", "base ns/op", "fresh ns/op", "delta", "allocs", "status")
+	fmt.Printf("%-60s %14s %14s %8s %15s %11s %7s\n",
+		"benchmark", "base ns/op", "fresh ns/op", "delta", "B/op", "allocs", "status")
 
 	failed := false
+	var logSum float64
+	var logN int
 	for _, key := range sortedKeys(baseline) {
 		base := baseline[key]
 		f, ok := fresh[key]
 		if !ok {
-			fmt.Printf("%-60s %14.0f %14s %8s %7s %7s\n", key, base.minNs, "-", "-", "-", "MISSING")
+			fmt.Printf("%-60s %14.0f %14s %8s %15s %11s %7s\n", key, base.minNs, "-", "-", "-", "-", "MISSING")
 			failed = true
 			continue
 		}
 		delta := f.minNs/base.minNs - 1
+		logSum += math.Log(f.minNs / base.minNs)
+		logN++
 		status := "ok"
 		switch {
 		case f.maxAllocs > base.maxAllocs:
@@ -135,13 +148,20 @@ func main() {
 			status = "SLOW"
 			failed = true
 		}
-		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %3d/%-3d %7s\n",
-			key, base.minNs, f.minNs, 100*delta, base.maxAllocs, f.maxAllocs, status)
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %7d/%-7d %5d/%-5d %7s\n",
+			key, base.minNs, f.minNs, 100*delta,
+			base.minBytes, f.minBytes, base.maxAllocs, f.maxAllocs, status)
 	}
 	for _, key := range sortedKeys(fresh) {
 		if _, ok := baseline[key]; !ok {
-			fmt.Printf("%-60s %14s %14.0f %8s %7s %7s\n", key, "-", fresh[key].minNs, "-", "-", "NEW")
+			f := fresh[key]
+			fmt.Printf("%-60s %14s %14.0f %8s %7s/%-7d %5s/%-5d %7s\n",
+				key, "-", f.minNs, "-", "-", f.minBytes, "-", f.maxAllocs, "NEW")
 		}
+	}
+	if logN > 0 {
+		fmt.Printf("\ngeomean ns/op delta vs baseline: %+.1f%% across %d benchmarks\n",
+			100*(math.Exp(logSum/float64(logN))-1), logN)
 	}
 
 	if failed {
@@ -149,5 +169,5 @@ func main() {
 		fmt.Println("If intentional, refresh the baseline: COUNT=5 ./scripts/bench.sh && git add BENCH_hotpath.json")
 		os.Exit(1)
 	}
-	fmt.Println("\nbench_compare: OK")
+	fmt.Println("\nbench_compare: OK — no regression; delta table above tracks the trajectory.")
 }
