@@ -81,6 +81,10 @@ func main() {
 			"serving-tier hot-row cache size as %% of total embedding storage (0 disables)")
 		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
 			"comma-separated partitioning methods to compare")
+		writePct = flag.Float64("writepct", 0,
+			"online-update intensity: row deltas per 100 embedding lookups (0 disables the update stream)")
+		drift = flag.Bool("drift", false,
+			"migrate the hot set halfway through the run: rotate every row index (requests and updates) by half the table")
 		prio = flag.String("prio", "",
 			"QoS traffic mix as crit:normal:batch integer weights (e.g. 1:0:9); empty serves everything as normal class")
 		cpuprofile = flag.String("cpuprofile", "",
@@ -153,6 +157,33 @@ func main() {
 	live := stream.Samples[*profileN:]
 	classes := assignClasses(len(live), mix)
 
+	// The online-update stream: -writepct row deltas per 100 lookups of
+	// the live stream, drawn from the same popularity distribution
+	// (training touches the rows inference reads). With -drift, the
+	// second half of both streams rotates its row indices by half the
+	// table — a hot-set migration the cache and its TinyLFU filter must
+	// re-learn while updates keep invalidating residents.
+	var lookups int64
+	for _, s := range live {
+		for _, bag := range s.Sparse {
+			lookups += int64(len(bag))
+		}
+	}
+	updates, err := spec.Updates(int(*writePct / 100 * float64(lookups)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *drift {
+		live = append([]updlrm.Sample(nil), live...)
+		for i := len(live) / 2; i < len(live); i++ {
+			live[i] = rotateSample(live[i], stream.RowsPerTable)
+		}
+		for i := len(updates) / 2; i < len(updates); i++ {
+			u := &updates[i]
+			u.Row = rotateRow(u.Row, stream.RowsPerTable[u.Table])
+		}
+	}
+
 	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(stream.RowsPerTable))
 	if err != nil {
 		log.Fatal(err)
@@ -175,6 +206,10 @@ func main() {
 	if *prio != "" {
 		fmt.Printf("QoS mix (crit:normal:batch): %s\n", *prio)
 	}
+	if len(updates) > 0 {
+		fmt.Printf("update stream: %d row deltas (%.1f per 100 lookups), drift %v\n",
+			len(updates), *writePct, *drift)
+	}
 	fmt.Println()
 
 	var rows [][]string
@@ -193,6 +228,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
+		start := time.Now()
+		updErr := make(chan error, 1)
+		go func() { updErr <- runUpdates(srv, updates, model.Cfg.EmbDim) }()
 		switch *mode {
 		case "open":
 			err = runOpen(srv, live, classes, *qps)
@@ -201,6 +239,10 @@ func main() {
 		default:
 			log.Fatalf("loadgen: unknown mode %q", *mode)
 		}
+		if uerr := <-updErr; err == nil {
+			err = uerr
+		}
+		wall := time.Since(start)
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
@@ -220,6 +262,8 @@ func main() {
 			fmt.Sprintf("%.1f%%", 100*st.CacheHitRate),
 			fmt.Sprintf("%d", st.MRAMBytesRead/1024),
 			pipeCell(st.PipelineSpeedup),
+			updCell(st.UpdatedRows, wall),
+			invalCell(len(updates), st.CacheInvalidations),
 		})
 		// With a QoS mix, one row per class with traffic: the per-class
 		// latency isolation and which class the admission control shed.
@@ -243,14 +287,14 @@ func main() {
 				metrics.FormatNs(cs.P99Ns),
 				metrics.FormatNs(cs.QueueP50Ns),
 				metrics.FormatNs(cs.QueueP99Ns),
-				"-", "-", "-",
+				"-", "-", "-", "-", "-",
 			})
 		}
 	}
 
 	fmt.Print(metrics.Table(
 		[]string{"method", "class", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
-			"q.p50", "q.p99", "cache hit", "mram KB", "pipe"},
+			"q.p50", "q.p99", "cache hit", "mram KB", "pipe", "upd/s", "inval"},
 		rows))
 }
 
@@ -312,6 +356,81 @@ func pipeCell(speedup float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.2fx", speedup)
+}
+
+// rotateRow shifts a row index by half its table, wrapping — the
+// -drift hot-set migration (popularity shape preserved, hot set moved).
+func rotateRow(row int32, rows int) int32 {
+	return int32((int(row) + rows/2) % rows)
+}
+
+// rotateSample deep-copies a sample with every sparse index rotated.
+func rotateSample(s updlrm.Sample, rowsPerTable []int) updlrm.Sample {
+	out := updlrm.Sample{Dense: s.Dense, Sparse: make([][]int32, len(s.Sparse))}
+	for t, bag := range s.Sparse {
+		rot := make([]int32, len(bag))
+		for i, r := range bag {
+			rot[i] = rotateRow(r, rowsPerTable[t])
+		}
+		out.Sparse[t] = rot
+	}
+	return out
+}
+
+// updCell formats the update-throughput column: applied row deltas per
+// second of the run's wall clock, "-" when no update stream ran.
+func updCell(rows int64, wall time.Duration) string {
+	if rows == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(rows)/wall.Seconds())
+}
+
+// invalCell formats the invalidation column: hot-cache entries evicted
+// as stale by the update stream ("-" when no update stream ran; 0 with
+// an update stream means nothing it touched was cached).
+func invalCell(updates int, inval int64) string {
+	if updates == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", inval)
+}
+
+// runUpdates streams row deltas through the server's update lane in
+// chunks, concurrently with the request load, retrying on a full update
+// queue. A nil/empty stream returns immediately.
+func runUpdates(srv *updlrm.Server, ups []updlrm.RowUpdate, dim int) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	ctx := context.Background()
+	vec := make([]float32, dim)
+	for i := range vec {
+		vec[i] = 1e-4
+	}
+	const chunk = 64
+	for lo := 0; lo < len(ups); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ups) {
+			hi = len(ups)
+		}
+		deltas := make([]updlrm.Delta, hi-lo)
+		for i, u := range ups[lo:hi] {
+			deltas[i] = updlrm.Delta{Table: u.Table, Row: u.Row, Vec: vec}
+		}
+		for {
+			err := srv.ApplyDeltas(ctx, deltas)
+			if errors.Is(err, updlrm.ErrUpdateOverloaded) {
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
 }
 
 type namedMethod struct {

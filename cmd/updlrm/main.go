@@ -52,7 +52,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "table2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "cachecap", "energy", "hetero", "pipeline", "tasklets", "dpuscaling", "quant", "drift", "ablations"}
+		args = []string{"table1", "table2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "cachecap", "energy", "hetero", "pipeline", "tasklets", "dpuscaling", "quant", "drift", "writeaware", "updrift", "ablations"}
 	}
 	for _, name := range args {
 		if err := run(name, scale); err != nil {
@@ -135,6 +135,18 @@ func run(name string, scale experiments.Scale) error {
 			return err
 		}
 		reps = append(reps, rep)
+	case "writeaware":
+		rep, _, err := experiments.WriteAware(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	case "updrift":
+		rep, _, err := experiments.UpdateDrift(scale)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
 	case "tasklets":
 		rep, _, err := experiments.TaskletSweep(scale)
 		if err != nil {
@@ -203,6 +215,8 @@ experiments:
   cachecap  cache capacity sensitivity (§3.3)
   quant     int8-quantized EMTs vs fp32 (extension)
   drift     profile staleness study (extension)
+  writeaware read-only vs write-aware partitioning (extension)
+  updrift   online-update drift with hot-set migration (extension)
   tasklets  tasklet-count sensitivity (why §4.1 uses 14)
   dpuscaling fleet-size sensitivity (why 256 DPUs)
   energy    per-run energy estimates (extension; §2.3 motivation)

@@ -58,6 +58,12 @@ type Config struct {
 	// (serving shards) should divide the cores among replicas so the
 	// pools do not oversubscribe the machine — serve.NewReplicated does.
 	HostWorkers int
+	// WriteRatio is the expected embedding-update traffic (row deltas
+	// per lookup) the deployment will sustain. It flows into the shape
+	// optimizer's workload and the cache-aware planner, so write-heavy
+	// presets partition differently from read-only ones; zero (the
+	// default) reproduces read-only planning exactly.
+	WriteRatio float64
 	// HotCache is the serving-tier hot-row cache the engine probes
 	// before dispatching lookups to the DPUs. Rows it serves are
 	// aggregated on the host (Breakdown.HostCacheNs) and never enter the
@@ -117,6 +123,12 @@ type Engine struct {
 	fetchers [][]func(rows []int32, dst []float32)
 	// tables are the MRAM-resident views (quantized when configured).
 	tables []emt.Table
+	// mutables[t] is the copy-on-write overlay absorbing row deltas for
+	// table t — nil until the first ApplyDeltas touches the table, at
+	// which point tables[t] is swapped to the overlay. Model tables are
+	// shared across replicas (dlrm.Model.Clone), so writes always go
+	// through a per-engine overlay, never the base storage.
+	mutables []emt.MutableTable
 	// bytesPerElem is the MRAM element width (4 fp32, 1 int8).
 	bytesPerElem int
 	// avgRed is the profile's average reduction, kept for worst-case
@@ -129,9 +141,10 @@ type Engine struct {
 	// row-blocks across the host bit-identically to the serial path.
 	hostPool *dlrm.HostPool
 	// offerFills[t] materializes the admission candidate sc.offerRow of
-	// table t for the hot-row cache — prebuilt so the per-row cache loop
-	// does not allocate closures.
-	offerFills []func(dst []float32)
+	// table t for the hot-row cache (returning the row's version for
+	// the entry stamp) — prebuilt so the per-row cache loop does not
+	// allocate closures.
+	offerFills []func(dst []float32) uint64
 	// profile is the construction profile trace, retained so
 	// EstimateBreakdown can assemble representative probe batches after
 	// construction (serving routers seed per-shard cost priors from it).
@@ -279,7 +292,8 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 		avgRed = 1
 	}
 	e.avgRed = avgRed
-	w := partition.Workload{BatchSize: cfg.BatchSize, AvgReduction: avgRed, Tables: numTables}
+	w := partition.Workload{BatchSize: cfg.BatchSize, AvgReduction: avgRed, Tables: numTables,
+		WriteRatio: cfg.WriteRatio}
 
 	for t := 0; t < numTables; t++ {
 		rows := model.Cfg.RowsPerTable[t]
@@ -306,7 +320,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 			}
 		}
 		plan, err := partition.Build(cfg.Method, rows, cols, shape, freq, lists, cfg.HW,
-			partition.CacheAwareConfig{CapacityFrac: cfg.CacheCapacityFrac})
+			partition.CacheAwareConfig{CapacityFrac: cfg.CacheCapacityFrac, WriteRatio: cfg.WriteRatio})
 		if err != nil {
 			return nil, fmt.Errorf("core: table %d: %w", t, err)
 		}
@@ -326,8 +340,10 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 		// for a cached partial-sum read. emt.Table backends must be safe
 		// for concurrent reads (all provided ones are); the staging
 		// buffer is private to the DPU, whose kernel issues reads
-		// serially, so concurrent DPUs never share it.
-		table := e.tables[t]
+		// serially, so concurrent DPUs never share it. The table is
+		// re-read from e.tables per call (not captured) so the
+		// copy-on-write overlay ApplyDeltas swaps in becomes visible to
+		// subsequent batches.
 		nc := shape.Nc
 		dpuFetchers := make([]func(rows []int32, dst []float32), dpusPerTable)
 		for part := 0; part < shape.Parts; part++ {
@@ -335,6 +351,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 				col0 := sl * nc
 				tmp := make([]float32, nc)
 				dpuFetchers[shape.DPUAt(part, sl)] = func(rows []int32, dst []float32) {
+					table := e.tables[t]
 					for k := range dst {
 						dst[k] = 0
 					}
@@ -354,10 +371,14 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	// scratch's offerRow, so the per-row cache loop allocates no
 	// closures.
 	dim := model.Cfg.EmbDim
+	e.mutables = make([]emt.MutableTable, numTables)
 	for t := range e.tables {
-		table := e.tables[t]
-		e.offerFills = append(e.offerFills, func(dst []float32) {
-			table.ReadCols(int(e.sc.offerRow), 0, dim, dst)
+		e.offerFills = append(e.offerFills, func(dst []float32) uint64 {
+			e.tables[t].ReadCols(int(e.sc.offerRow), 0, dim, dst)
+			if mt := e.mutables[t]; mt != nil {
+				return mt.Version(int(e.sc.offerRow))
+			}
+			return 0
 		})
 	}
 

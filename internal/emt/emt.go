@@ -60,6 +60,9 @@ func checkRange(rows, dim, row, col0, cols int, dst []float32) {
 type DenseTable struct {
 	rows, dim int
 	data      []float32
+	// versions counts ApplyDelta calls per row; nil until the first
+	// write (see mutable.go).
+	versions []uint64
 }
 
 // NewDense allocates a zeroed rows x dim table.

@@ -1,0 +1,138 @@
+package emt
+
+// Online embedding updates. Production recommenders retrain continuously
+// and trickle row deltas into the serving tables; UpDLRM's workload axis
+// is explicitly read/write. MutableTable extends the read-only Table
+// contract with an additive delta operation plus a per-row version
+// counter that the hot-row cache uses for coherence: a cached entry is
+// stamped with the version observed at fill time and evicted when a
+// newer version exists.
+//
+// Concurrency contract (matches the rest of the engine): any number of
+// goroutines may read concurrently, but ApplyDelta must not race with
+// readers or other writers. The core engine upholds this by serializing
+// ApplyDeltas against RunBatch on each replica.
+
+import "fmt"
+
+// MutableTable is a Table that can absorb additive row updates.
+type MutableTable interface {
+	Table
+	// ApplyDelta adds delta (len == Dim()) element-wise into row and
+	// returns the row's new version. Versions start at 0 (never
+	// written) and increment by one per applied delta.
+	ApplyDelta(row int, delta []float32) uint64
+	// Version returns the number of deltas applied to row so far.
+	Version(row int) uint64
+}
+
+// ApplyDelta implements MutableTable. The version slice is allocated
+// lazily so read-only DenseTables pay nothing.
+func (t *DenseTable) ApplyDelta(row int, delta []float32) uint64 {
+	if len(delta) != t.dim {
+		panic(fmt.Sprintf("emt: delta len %d != dim %d", len(delta), t.dim))
+	}
+	checkRange(t.rows, t.dim, row, 0, t.dim, delta)
+	vec := t.Row(row)
+	for i, d := range delta {
+		vec[i] += d
+	}
+	if t.versions == nil {
+		t.versions = make([]uint64, t.rows)
+	}
+	t.versions[row]++
+	return t.versions[row]
+}
+
+// Version implements MutableTable.
+func (t *DenseTable) Version(row int) uint64 {
+	if t.versions == nil {
+		return 0
+	}
+	return t.versions[row]
+}
+
+// overlayRow is one materialized row of an Overlay.
+type overlayRow struct {
+	vec     []float32
+	version uint64
+}
+
+// Overlay is a copy-on-write MutableTable over any read-only base.
+// Untouched rows read through to the base; the first delta to a row
+// materializes it (base values + delta) into an overlay map. This is how
+// ProceduralTable-backed models absorb updates without densifying the
+// whole table, and how engines sharing one base table across replicas
+// (dlrm.Model.Clone shares Tables) keep their writes private.
+//
+// Reads are safe from concurrent goroutines as long as no ApplyDelta is
+// in flight (plain map reads); writes follow the package contract above.
+type Overlay struct {
+	base Table
+	rows map[int32]*overlayRow
+}
+
+// NewOverlay wraps base in an empty copy-on-write overlay.
+func NewOverlay(base Table) *Overlay {
+	return &Overlay{base: base, rows: make(map[int32]*overlayRow)}
+}
+
+// Rows implements Table.
+func (o *Overlay) Rows() int { return o.base.Rows() }
+
+// Dim implements Table.
+func (o *Overlay) Dim() int { return o.base.Dim() }
+
+// Base returns the wrapped read-only table.
+func (o *Overlay) Base() Table { return o.base }
+
+// Dirty returns the number of materialized (written) rows.
+func (o *Overlay) Dirty() int { return len(o.rows) }
+
+// ReadCols implements Table.
+func (o *Overlay) ReadCols(row, col0, cols int, dst []float32) {
+	if or, ok := o.rows[int32(row)]; ok {
+		checkRange(o.base.Rows(), o.base.Dim(), row, col0, cols, dst)
+		copy(dst[:cols], or.vec[col0:col0+cols])
+		return
+	}
+	o.base.ReadCols(row, col0, cols, dst)
+}
+
+// ApplyDelta implements MutableTable. The first delta to a row copies the
+// base values, so a zero delta leaves the observed values bit-identical
+// (float32 x + 0.0 == x for every finite x the generators produce).
+func (o *Overlay) ApplyDelta(row int, delta []float32) uint64 {
+	dim := o.base.Dim()
+	if len(delta) != dim {
+		panic(fmt.Sprintf("emt: delta len %d != dim %d", len(delta), dim))
+	}
+	or, ok := o.rows[int32(row)]
+	if !ok {
+		or = &overlayRow{vec: make([]float32, dim)}
+		o.base.ReadCols(row, 0, dim, or.vec)
+		o.rows[int32(row)] = or
+	}
+	for i, d := range delta {
+		or.vec[i] += d
+	}
+	or.version++
+	return or.version
+}
+
+// Version implements MutableTable.
+func (o *Overlay) Version(row int) uint64 {
+	if or, ok := o.rows[int32(row)]; ok {
+		return or.version
+	}
+	return 0
+}
+
+// AsMutable returns t itself when it already supports deltas, or wraps
+// it in a fresh Overlay otherwise.
+func AsMutable(t Table) MutableTable {
+	if mt, ok := t.(MutableTable); ok {
+		return mt
+	}
+	return NewOverlay(t)
+}

@@ -1,0 +1,129 @@
+package emt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseTableApplyDelta(t *testing.T) {
+	tb := NewDense(4, 3)
+	FillRandom(tb, 7, 0.1)
+	want := make([]float32, 3)
+	tb.ReadCols(2, 0, 3, want)
+
+	if v := tb.Version(2); v != 0 {
+		t.Fatalf("fresh row version = %d, want 0", v)
+	}
+	if v := tb.ApplyDelta(2, []float32{1, -2, 0.5}); v != 1 {
+		t.Fatalf("first delta version = %d, want 1", v)
+	}
+	if v := tb.ApplyDelta(2, []float32{1, 0, 0}); v != 2 {
+		t.Fatalf("second delta version = %d, want 2", v)
+	}
+	got := make([]float32, 3)
+	tb.ReadCols(2, 0, 3, got)
+	exp := []float32{want[0] + 2, want[1] - 2, want[2] + 0.5}
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("col %d = %v, want %v", i, got[i], exp[i])
+		}
+	}
+	// Untouched rows keep version 0.
+	if v := tb.Version(0); v != 0 {
+		t.Fatalf("untouched row version = %d, want 0", v)
+	}
+}
+
+func TestOverlayCopyOnWrite(t *testing.T) {
+	base := NewProcedural(100, 8, 42)
+	ov := NewOverlay(base)
+	if ov.Rows() != 100 || ov.Dim() != 8 {
+		t.Fatalf("overlay shape %dx%d", ov.Rows(), ov.Dim())
+	}
+
+	baseRow := make([]float32, 8)
+	base.ReadCols(5, 0, 8, baseRow)
+
+	// Pre-write reads pass through to the base bit-for-bit.
+	got := make([]float32, 8)
+	ov.ReadCols(5, 0, 8, got)
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(baseRow[i]) {
+			t.Fatalf("pass-through col %d differs", i)
+		}
+	}
+
+	delta := make([]float32, 8)
+	delta[3] = 1.5
+	if v := ov.ApplyDelta(5, delta); v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	ov.ReadCols(5, 0, 8, got)
+	for i := range got {
+		want := baseRow[i]
+		if i == 3 {
+			want += 1.5
+		}
+		if got[i] != want {
+			t.Fatalf("post-delta col %d = %v, want %v", i, got[i], want)
+		}
+	}
+	if ov.Dirty() != 1 {
+		t.Fatalf("Dirty = %d, want 1", ov.Dirty())
+	}
+
+	// The base is untouched, and other rows still read through.
+	fresh := make([]float32, 8)
+	base.ReadCols(5, 0, 8, fresh)
+	for i := range fresh {
+		if math.Float32bits(fresh[i]) != math.Float32bits(baseRow[i]) {
+			t.Fatalf("base mutated at col %d", i)
+		}
+	}
+	ov.ReadCols(6, 0, 8, got)
+	base.ReadCols(6, 0, 8, fresh)
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(fresh[i]) {
+			t.Fatalf("untouched row diverged at col %d", i)
+		}
+	}
+
+	// Partial-column reads hit the overlay too.
+	part := make([]float32, 2)
+	ov.ReadCols(5, 3, 2, part)
+	if part[0] != baseRow[3]+1.5 {
+		t.Fatalf("partial read = %v, want %v", part[0], baseRow[3]+1.5)
+	}
+}
+
+func TestOverlayZeroDeltaBitIdentical(t *testing.T) {
+	base := NewProcedural(64, 16, 99)
+	ov := NewOverlay(base)
+	zero := make([]float32, 16)
+	for row := 0; row < 64; row += 7 {
+		ov.ApplyDelta(row, zero)
+	}
+	a, b := make([]float32, 16), make([]float32, 16)
+	for row := 0; row < 64; row++ {
+		ov.ReadCols(row, 0, 16, a)
+		base.ReadCols(row, 0, 16, b)
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("row %d col %d: zero delta changed bits %x -> %x",
+					row, i, math.Float32bits(b[i]), math.Float32bits(a[i]))
+			}
+		}
+	}
+}
+
+func TestAsMutable(t *testing.T) {
+	dense := NewDense(2, 2)
+	if mt := AsMutable(dense); mt != Table(dense) {
+		t.Fatal("AsMutable should return the DenseTable itself")
+	}
+	proc := NewProcedural(10, 4, 1)
+	mt := AsMutable(proc)
+	if _, ok := mt.(*Overlay); !ok {
+		t.Fatalf("AsMutable(procedural) = %T, want *Overlay", mt)
+	}
+}

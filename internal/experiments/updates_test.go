@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"updlrm/internal/synth"
+)
+
+// TestWriteAware checks the S8 acceptance criterion: a write preset
+// must plan differently — or charge measurably different modeled MRAM
+// traffic — than its read counterpart.
+func TestWriteAware(t *testing.T) {
+	rep, rows, err := WriteAware(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(rep.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byName := map[string]WriteAwareRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	pairs := [][2]string{
+		{synth.PresetRead, synth.PresetWrite},
+		{synth.PresetRead2, synth.PresetWrite2},
+	}
+	for _, pair := range pairs {
+		read, write := byName[pair[0]], byName[pair[1]]
+		if read.WriteRatio != 0 || write.WriteRatio <= 0 {
+			t.Fatalf("ratios: read %v write %v", read.WriteRatio, write.WriteRatio)
+		}
+		// Both replay the identical trace; the plans (and hence the
+		// modeled read times) may differ — that is the point of the study.
+		if read.EmbedNs <= 0 || write.EmbedNs <= 0 {
+			t.Fatalf("%s/%s: no read-path time charged", pair[0], pair[1])
+		}
+		if read.UpdateNs != 0 || read.MRAMWriteBytes != 0 {
+			t.Fatalf("%s: read preset charged write cost: %+v", pair[0], read)
+		}
+		if write.UpdateNs <= 0 || write.MRAMWriteBytes <= 0 || write.UpdatedRows == 0 {
+			t.Fatalf("%s: update stream charged nothing: %+v", pair[1], write)
+		}
+		if write.CachedLists > read.CachedLists {
+			t.Fatalf("%s cached %d lists > read's %d — write discount increased benefit?",
+				pair[1], write.CachedLists, read.CachedLists)
+		}
+	}
+}
+
+func TestUpdateDrift(t *testing.T) {
+	rep, rows, err := UpdateDrift(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rep.Rows) != 2 {
+		t.Fatalf("got %d phases, want 2", len(rows))
+	}
+	stable, drifted := rows[0], rows[1]
+	if stable.Phase != "stable" || drifted.Phase != "drifted" {
+		t.Fatalf("phases: %q, %q", stable.Phase, drifted.Phase)
+	}
+	for _, r := range rows {
+		if r.UpdatedRows == 0 {
+			t.Fatalf("phase %s applied no updates", r.Phase)
+		}
+		if r.HitRate < 0 || r.HitRate > 1 {
+			t.Fatalf("phase %s hit rate %v", r.Phase, r.HitRate)
+		}
+	}
+	// The update stream and the cache residents share the Zipf head, so
+	// deltas must actually evict cached rows somewhere in the run.
+	if stable.Invalidations+drifted.Invalidations == 0 {
+		t.Fatal("no cache invalidations across the whole run")
+	}
+	if drifted.UpdateP99Ns <= 0 {
+		t.Fatal("update latency not recorded")
+	}
+}

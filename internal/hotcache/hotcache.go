@@ -61,6 +61,15 @@ type Stats struct {
 	// BytesSaved is the nominal fp32 row payload served host-side
 	// (Hits x Dim x 4) — MRAM traffic the DPUs never moved.
 	BytesSaved int64
+	// Invalidations counts resident entries evicted because a row delta
+	// made their stamped version stale.
+	Invalidations int64
+	// BadFills counts admissions rolled back because the filled vector
+	// failed validation (NaN/Inf); NegativeHits counts offers
+	// short-circuited by a remembered bad row; NegativeEntries is the
+	// number of rows currently marked bad.
+	BadFills, NegativeHits int64
+	NegativeEntries        int
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when nothing was looked up.
@@ -74,8 +83,11 @@ func (s Stats) HitRate() float64 {
 
 // entry is one resident row on a shard's intrusive LRU list.
 type entry struct {
-	key        uint64
-	vec        []float32
+	key uint64
+	vec []float32
+	// version is the row version the fill observed; Invalidate evicts
+	// entries whose version predates a delta.
+	version    uint64
 	prev, next *entry
 }
 
@@ -88,9 +100,16 @@ type shard struct {
 	// head is most-recently used, tail is the eviction candidate.
 	head, tail *entry
 	sketch     *sketch
+	// neg remembers rows whose fill failed validation (key -> version at
+	// failure) so repeated bad-row offers short-circuit. Bounded by
+	// negCap; cleared wholesale when full (epoch reset).
+	neg    map[uint64]uint64
+	negCap int
 
 	hits, misses                int64
 	admitted, rejected, evicted int64
+	invalidations               int64
+	badFills, negHits           int64
 }
 
 // Cache is a concurrent hot-row embedding cache. The zero value of a
@@ -146,9 +165,14 @@ func New(cfg Config, dim int) (*Cache, error) {
 	}
 	per := totalEntries / nShards
 	for i := range c.shards {
+		negCap := per
+		if negCap < 64 {
+			negCap = 64
+		}
 		c.shards[i] = &shard{
 			entries:  make(map[uint64]*entry, per),
 			capacity: per,
+			negCap:   negCap,
 			sketch:   newSketch(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15),
 		}
 	}
@@ -202,10 +226,11 @@ func (c *Cache) Lookup(table int, row int32, dst []float32) bool {
 // invoked — under the shard lock, at most once — to materialize the
 // row's vector only when the cache decides to admit it: either a free
 // slot exists, or the candidate's estimated frequency strictly beats
-// the LRU eviction candidate's (the TinyLFU duel). It reports whether
-// the row was admitted (so callers can charge the fill's cost). A nil
-// cache ignores offers.
-func (c *Cache) Offer(table int, row int32, fill func(dst []float32)) bool {
+// the LRU eviction candidate's (the TinyLFU duel). fill returns the
+// row's current version, which stamps the entry for coherence. It
+// reports whether the row was admitted (so callers can charge the
+// fill's cost). A nil cache ignores offers.
+func (c *Cache) Offer(table int, row int32, fill func(dst []float32) uint64) bool {
 	if c == nil {
 		return false
 	}
@@ -217,13 +242,19 @@ func (c *Cache) Offer(table int, row int32, fill func(dst []float32)) bool {
 }
 
 // offerLocked runs the admission duel for key k. Caller holds sh.mu.
-func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32)) bool {
+func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32) uint64) bool {
 	if e, ok := sh.entries[k]; ok {
 		// Raced with another shard worker's admission; refresh recency.
 		sh.moveToFront(e)
 		return false
 	}
-	if len(sh.entries) >= sh.capacity {
+	if _, bad := sh.neg[k]; bad {
+		// Remembered bad row: skip the duel and the fill entirely.
+		sh.negHits++
+		return false
+	}
+	evict := len(sh.entries) >= sh.capacity
+	if evict {
 		victim := sh.tail
 		if sh.sketch.Estimate(k) <= sh.sketch.Estimate(victim.key) {
 			sh.rejected++
@@ -234,10 +265,62 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32)) bool 
 		sh.evicted++
 	}
 	e := &entry{key: k, vec: make([]float32, c.dim)}
-	fill(e.vec)
+	e.version = fill(e.vec)
+	if !validRow(e.vec) {
+		// Caching a corrupt vector would serve it forever; remember the
+		// row instead so repeated offers short-circuit until a delta
+		// (Invalidate) gives it a chance to heal.
+		sh.badFills++
+		if len(sh.neg) >= sh.negCap {
+			sh.neg = nil // epoch reset keeps the mark set bounded
+		}
+		if sh.neg == nil {
+			sh.neg = make(map[uint64]uint64)
+		}
+		sh.neg[k] = e.version
+		return false
+	}
 	sh.entries[k] = e
 	sh.pushFront(e)
 	sh.admitted++
+	return true
+}
+
+// validRow reports whether every element is finite (no NaN/Inf).
+func validRow(vec []float32) bool {
+	for _, v := range vec {
+		// x != x catches NaN; the subtraction check catches ±Inf
+		// without importing math for float32.
+		if v != v || v-v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate evicts the cached entry for (table, row) when its stamped
+// version predates minVersion, and clears any stale negative mark the
+// same way. Callers pass the row's post-delta version, so entries
+// re-filled after the delta (version >= minVersion) survive. Reports
+// whether a resident entry was evicted. Safe on a nil cache.
+func (c *Cache) Invalidate(table int, row int32, minVersion uint64) bool {
+	if c == nil {
+		return false
+	}
+	k := key(table, row)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ver, bad := sh.neg[k]; bad && ver < minVersion {
+		delete(sh.neg, k)
+	}
+	e, ok := sh.entries[k]
+	if !ok || e.version >= minVersion {
+		return false
+	}
+	sh.unlink(e)
+	delete(sh.entries, k)
+	sh.invalidations++
 	return true
 }
 
@@ -247,7 +330,7 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32)) bool 
 // when the row is admitted. On a hit the vector is copied into dst
 // (len >= Dim). Returns (hit, admitted); a nil cache misses without
 // admitting.
-func (c *Cache) LookupOrOffer(table int, row int32, dst []float32, fill func(dst []float32)) (hit, admitted bool) {
+func (c *Cache) LookupOrOffer(table int, row int32, dst []float32, fill func(dst []float32) uint64) (hit, admitted bool) {
 	if c == nil {
 		return false, false
 	}
@@ -282,6 +365,10 @@ func (c *Cache) Stats() Stats {
 		st.Evicted += sh.evicted
 		st.Entries += len(sh.entries)
 		st.CapacityEntries += sh.capacity
+		st.Invalidations += sh.invalidations
+		st.BadFills += sh.badFills
+		st.NegativeHits += sh.negHits
+		st.NegativeEntries += len(sh.neg)
 		sh.mu.Unlock()
 	}
 	st.BytesSaved = st.Hits * c.rowBytes

@@ -9,11 +9,12 @@ import (
 )
 
 // fillConst returns a fill function writing a recognizable vector.
-func fillConst(table int, row int32, dim int) func([]float32) {
-	return func(dst []float32) {
+func fillConst(table int, row int32, dim int) func([]float32) uint64 {
+	return func(dst []float32) uint64 {
 		for i := range dst {
 			dst[i] = float32(table)*1e6 + float32(row) + float32(i)/100
 		}
+		return 0
 	}
 }
 
@@ -41,7 +42,7 @@ func TestNilCacheIsValid(t *testing.T) {
 	if c.Lookup(0, 1, buf) {
 		t.Fatal("nil cache hit")
 	}
-	c.Offer(0, 1, func([]float32) { t.Fatal("nil cache materialized a row") })
+	c.Offer(0, 1, func([]float32) uint64 { t.Fatal("nil cache materialized a row"); return 0 })
 	if st := c.Stats(); st != (Stats{}) {
 		t.Fatalf("nil cache stats = %+v", st)
 	}
@@ -98,7 +99,7 @@ func TestLookupOrOffer(t *testing.T) {
 	if hit || !admitted {
 		t.Fatalf("first touch: hit=%v admitted=%v, want miss+admit into empty cache", hit, admitted)
 	}
-	hit, admitted = c.LookupOrOffer(0, 3, buf, func([]float32) { t.Fatal("fill on a hit") })
+	hit, admitted = c.LookupOrOffer(0, 3, buf, func([]float32) uint64 { t.Fatal("fill on a hit"); return 0 })
 	if !hit || admitted {
 		t.Fatalf("second touch: hit=%v admitted=%v, want hit", hit, admitted)
 	}
@@ -115,7 +116,7 @@ func TestLookupOrOffer(t *testing.T) {
 	}
 	// Nil cache: miss, no admit, no fill.
 	var nilCache *Cache
-	hit, admitted = nilCache.LookupOrOffer(0, 3, buf, func([]float32) { t.Fatal("nil cache filled") })
+	hit, admitted = nilCache.LookupOrOffer(0, 3, buf, func([]float32) uint64 { t.Fatal("nil cache filled"); return 0 })
 	if hit || admitted {
 		t.Fatal("nil cache engaged")
 	}
@@ -174,7 +175,7 @@ func TestAdmissionFiltersColdRows(t *testing.T) {
 	}
 	// Row 99 was seen once; it must lose the duel against a hot victim.
 	c.Lookup(0, 99, buf)
-	c.Offer(0, 99, func([]float32) { t.Fatal("cold row was materialized") })
+	c.Offer(0, 99, func([]float32) uint64 { t.Fatal("cold row was materialized"); return 0 })
 	if c.Lookup(0, 99, buf) {
 		t.Fatal("cold row admitted over hot residents")
 	}

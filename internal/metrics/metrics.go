@@ -34,6 +34,11 @@ type Breakdown struct {
 	// OverheadNs is fixed per-batch orchestration cost (GPU pipelines,
 	// synchronization).
 	OverheadNs float64
+	// UpdateNs is the embedding-update (write) path: pushing row deltas
+	// to DPUs and the MRAM read-modify-write kernels that apply them.
+	// Zero on a pure read workload, so read-only breakdowns are
+	// unchanged by the write path's existence.
+	UpdateNs float64
 }
 
 // EmbedNs returns the embedding-layer portion — the quantity Figures 9
@@ -45,7 +50,7 @@ func (b Breakdown) EmbedNs() float64 {
 
 // TotalNs returns end-to-end inference time.
 func (b Breakdown) TotalNs() float64 {
-	return b.EmbedNs() + b.PCIeNs + b.MLPNs + b.OverheadNs
+	return b.EmbedNs() + b.PCIeNs + b.MLPNs + b.OverheadNs + b.UpdateNs
 }
 
 // Add accumulates another breakdown into b.
@@ -60,6 +65,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.PCIeNs += o.PCIeNs
 	b.MLPNs += o.MLPNs
 	b.OverheadNs += o.OverheadNs
+	b.UpdateNs += o.UpdateNs
 }
 
 // Scale multiplies every component by f (e.g. to average over batches).
@@ -74,6 +80,7 @@ func (b *Breakdown) Scale(f float64) {
 	b.PCIeNs *= f
 	b.MLPNs *= f
 	b.OverheadNs *= f
+	b.UpdateNs *= f
 }
 
 // StageRatios returns the Figure 10 ratios: the share of CPU→DPU, DPU

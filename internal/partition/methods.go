@@ -66,6 +66,34 @@ type CacheAwareConfig struct {
 	// storage the mined lists require (the §3.3 sensitivity knob: 0.4,
 	// 0.7, 1.0). Zero disables caching, degenerating to NonUniform.
 	CapacityFrac float64
+	// WriteRatio is the expected row-delta rate per lookup (see
+	// Workload.WriteRatio). A delta to any member row invalidates the
+	// group's cached subset sums, which must be recomputed and
+	// rewritten — 2^n-1 entries of N_c values for an n-item group. The
+	// planner discounts each list's read benefit by that modeled
+	// refresh traffic and refuses lists whose effective benefit goes
+	// non-positive, so write-heavy presets cache fewer (and different)
+	// lists than their read-only counterparts.
+	WriteRatio float64
+}
+
+// effectiveBenefit returns the list's read savings minus the modeled
+// refresh cost its members' updates would incur, in the same
+// MRAM-read-equivalents unit PartLoad uses.
+func effectiveBenefit(l grace.List, freq []int64, nc int, writeRatio float64) int64 {
+	if writeRatio <= 0 {
+		return l.Benefit
+	}
+	var memberFreq int64
+	for _, item := range l.Items {
+		memberFreq += freq[item]
+	}
+	// Each member update rewrites the group's stored entries; one
+	// stored entry is one tile-row (N_c*4 B) write ≈ one read
+	// equivalent.
+	refreshRows := float64(grace.StorageBytes(len(l.Items), nc)) / float64(nc*4)
+	writeCost := int64(writeRatio * float64(memberFreq) * refreshRows)
+	return l.Benefit - writeCost
 }
 
 // CacheAware builds the §3.3 plan per Algorithm 1: cache lists (highest
@@ -133,6 +161,10 @@ func CacheAware(rows, cols int, shape Shape, freq []int64, lists []grace.List,
 	var globalUsed int64
 	for g := range lists {
 		p.ListPart[g] = -1
+		eb := effectiveBenefit(lists[g], freq, shape.Nc, ca.WriteRatio)
+		if eb <= 0 {
+			continue // refresh traffic eats the savings; don't cache
+		}
 		storage := grace.StorageBytes(len(lists[g].Items), shape.Nc)
 		if globalUsed+storage > globalBudget {
 			continue // over the capacity fraction; items fall to phase 2
@@ -161,7 +193,7 @@ func CacheAware(rows, cols int, shape Shape, freq []int64, lists []grace.List,
 			rowsUsed[best]++
 			p.PartLoad[best] += freq[item] // line 9
 		}
-		p.PartLoad[best] -= lists[g].Benefit // line 10
+		p.PartLoad[best] -= eb // line 10 (write-discounted benefit)
 		if p.PartLoad[best] < 0 {
 			p.PartLoad[best] = 0
 		}

@@ -50,6 +50,12 @@ type Workload struct {
 	// concurrently, so the estimator must cost transfers globally.
 	// Zero means 1.
 	Tables int
+	// WriteRatio is the expected embedding-update traffic as a fraction
+	// of lookup traffic (row deltas per lookup). Zero models the frozen
+	// tables of a read-only deployment; UpDLRM's "write" presets set it,
+	// making planners charge the MRAM read-modify-write and delta-push
+	// cost each candidate shape would pay.
+	WriteRatio float64
 }
 
 // tables returns the effective table count.
@@ -69,10 +75,17 @@ type Estimate struct {
 	LookupNs float64
 	// DPUToCPUNs is T_d-comm: pulling per-sample partial sums back.
 	DPUToCPUNs float64
+	// UpdateNs is the modeled embedding-update cost the workload's
+	// WriteRatio implies: pushing row deltas plus the per-slice MRAM
+	// read-modify-writes applying them. Zero for read-only workloads.
+	UpdateNs float64
 }
 
-// TotalNs returns the objective of Equation (1).
-func (e Estimate) TotalNs() float64 { return e.CPUToDPUNs + e.LookupNs + e.DPUToCPUNs }
+// TotalNs returns the objective of Equation (1), extended with the
+// write-path term when the workload carries update traffic.
+func (e Estimate) TotalNs() float64 {
+	return e.CPUToDPUNs + e.LookupNs + e.DPUToCPUNs + e.UpdateNs
+}
 
 // Shapes enumerates every feasible shape for an R x C table on ndpu DPUs
 // under the paper's constraints: N_c = 2^k with 1 <= k <= 4 (3), N_c
@@ -154,7 +167,33 @@ func EstimateShape(s Shape, w Workload, cfg upmem.HWConfig) Estimate {
 	}
 	pull := cfg.TransferTime(pullSizes, false, upmem.Pull)
 
-	return Estimate{CPUToDPUNs: push.Ns, LookupNs: lookupNs, DPUToCPUNs: pull.Ns}
+	// Write path: WriteRatio row deltas per lookup. Each delta pushes a
+	// 4 B row descriptor plus its N_c*4 B slice payload to every slice
+	// DPU of the row's partition, then the DPU read-modify-writes the
+	// aligned tile row (read old + write new on the same DMA curve).
+	var updateNs float64
+	if w.WriteRatio > 0 {
+		writesPerPart := lookupsPerPart * w.WriteRatio
+		wPipeline := writesPerPart * instr
+		wDMA := writesPerPart * 2 * occ
+		wTasklet := writesPerPart * (2*lat + instr) / float64(cfg.Tasklets)
+		wCycles := wPipeline
+		if wDMA > wCycles {
+			wCycles = wDMA
+		}
+		if wTasklet > wCycles {
+			wCycles = wTasklet
+		}
+		deltaBytesPerDPU := int64(writesPerPart * float64(4+s.Nc*4))
+		deltaSizes := make([]int64, totalDPUs)
+		for i := range deltaSizes {
+			deltaSizes[i] = deltaBytesPerDPU
+		}
+		deltaPush := cfg.TransferTime(deltaSizes, true, upmem.Push)
+		updateNs = deltaPush.Ns + cfg.KernelLaunchNs + cfg.CyclesToNs(wCycles)
+	}
+
+	return Estimate{CPUToDPUNs: push.Ns, LookupNs: lookupNs, DPUToCPUNs: pull.Ns, UpdateNs: updateNs}
 }
 
 // OptimalShape exhaustively searches the feasible shapes (the paper notes

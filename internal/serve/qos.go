@@ -109,10 +109,15 @@ func (c Config) classParams(cl Class) classParams {
 	return p
 }
 
-// microBatch is one same-class group of requests bound for one shard.
+// microBatch is one same-class group of requests bound for one shard —
+// or, when update is set, one shard's share of a broadcast update job
+// (pend empty, predNs zero).
 type microBatch struct {
 	class Class
 	pend  []*pending
+	// update, when non-nil, marks this as an update-lane broadcast the
+	// worker applies instead of running a batch.
+	update *updateJob
 	// predNs is the routing-time predicted cost charged against the
 	// shard's backlog; the worker releases exactly this amount on
 	// completion.
@@ -132,6 +137,7 @@ func putMicroBatch(mb *microBatch) {
 		mb.pend[i] = nil
 	}
 	mb.pend = mb.pend[:0]
+	mb.update = nil
 	mbPool.Put(mb)
 }
 
@@ -158,9 +164,41 @@ func (s *Server) scheduler() {
 		staged  [NumClasses][]*pending
 		deficit [NumClasses]float64
 		open    = [NumClasses]bool{}
+		// The update lane: staged jobs are broadcast to every shard at
+		// the top of the loop, ahead of further micro-batches.
+		updates []*updateJob
+		updOpen = true
 	)
 	for c := range open {
 		open[c] = true
+	}
+	uChFor := func() chan *updateJob {
+		if !updOpen {
+			return nil
+		}
+		return s.updateCh
+	}
+	handleUpd := func(j *updateJob, ok bool) {
+		if !ok {
+			updOpen = false
+			return
+		}
+		updates = append(updates, j)
+	}
+	// dispatchUpdates broadcasts every staged update job to all shard
+	// channels in order. The per-shard FIFO guarantees each replica
+	// applies updates in the same sequence, so row versions agree
+	// across shards and cache invalidation stamps are consistent.
+	dispatchUpdates := func() {
+		for _, j := range updates {
+			for shard := range s.shardCh {
+				mb := mbPool.Get().(*microBatch)
+				mb.update = j
+				mb.predNs = 0
+				s.shardCh[shard] <- mb
+			}
+		}
+		updates = updates[:0]
 	}
 
 	// chFor returns class c's queue for receiving, or nil when the class
@@ -184,8 +222,9 @@ func (s *Server) scheduler() {
 	// queues; it returns false when nothing was received.
 	recvOne := func(block bool) bool {
 		c0, c1, c2 := chFor(classOrder[0]), chFor(classOrder[1]), chFor(classOrder[2])
+		u := uChFor()
 		if block {
-			if c0 == nil && c1 == nil && c2 == nil {
+			if c0 == nil && c1 == nil && c2 == nil && u == nil {
 				return false
 			}
 			select {
@@ -195,6 +234,8 @@ func (s *Server) scheduler() {
 				handle(classOrder[1], p, ok)
 			case p, ok := <-c2:
 				handle(classOrder[2], p, ok)
+			case j, ok := <-u:
+				handleUpd(j, ok)
 			}
 			return true
 		}
@@ -205,6 +246,8 @@ func (s *Server) scheduler() {
 			handle(classOrder[1], p, ok)
 		case p, ok := <-c2:
 			handle(classOrder[2], p, ok)
+		case j, ok := <-u:
+			handleUpd(j, ok)
 		default:
 			return false
 		}
@@ -265,6 +308,11 @@ func (s *Server) scheduler() {
 			case p, ok := <-c2:
 				handle(classOrder[2], p, ok)
 				stop = ok && classOrder[2].rank() < c.rank()
+			case j, ok := <-uChFor():
+				// An update arrival closes the window: coherence work
+				// must not wait out a batching window.
+				handleUpd(j, ok)
+				stop = ok
 			case <-timer.C:
 				return
 			}
@@ -280,6 +328,9 @@ func (s *Server) scheduler() {
 		}
 	}
 	allClosed := func() bool {
+		if updOpen {
+			return false
+		}
 		for _, o := range open {
 			if !o {
 				continue
@@ -297,6 +348,12 @@ func (s *Server) scheduler() {
 	}
 
 	for {
+		// Flush the update lane first: broadcasts reach every shard's
+		// FIFO ahead of the round's micro-batches, so a caller blocked
+		// in ApplyDeltas is released as soon as all shards drain to it.
+		if len(updates) > 0 {
+			dispatchUpdates()
+		}
 		// Idle: block until work arrives or every queue has closed.
 		if totalStaged() == 0 {
 			if !recvOne(false) {
@@ -305,12 +362,15 @@ func (s *Server) scheduler() {
 				}
 				if !recvOne(true) {
 					// Only closed channels remained.
-					if allClosed() && totalStaged() == 0 {
+					if allClosed() && totalStaged() == 0 && len(updates) == 0 {
 						return
 					}
 				}
 			}
 			for recvOne(false) {
+			}
+			if len(updates) > 0 {
+				continue
 			}
 		}
 

@@ -228,10 +228,15 @@ type Server struct {
 	numTables    int
 	rowsPerTable []int
 	denseDim     int
+	embDim       int
 
-	mu      sync.RWMutex // guards closed + the classCh sends against Close
+	mu      sync.RWMutex // guards closed + the classCh/updateCh sends against Close
 	closed  bool
 	classCh [NumClasses]chan *pending
+	// updateCh is the update lane's admission queue: ApplyDeltas jobs
+	// the scheduler broadcasts to every shard ahead of further
+	// micro-batches.
+	updateCh chan *updateJob
 
 	shardCh []chan *microBatch
 	router  *router
@@ -330,7 +335,9 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 		numTables:    first.NumTables(),
 		rowsPerTable: first.RowsPerTable(),
 		denseDim:     first.DenseDim(),
+		embDim:       first.EmbDim(),
 		shardCh:      make([]chan *microBatch, len(engines)),
+		updateCh:     make(chan *updateJob, updateQueueDepth),
 		router:       newRouter(len(engines)),
 		stats:        newCollector(),
 		cache:        first.HotCache(),
@@ -480,6 +487,15 @@ func (s *Server) worker(shard int) {
 	}
 	var batch trace.Batch
 	for mb := range s.shardCh[shard] {
+		// Update-lane broadcasts apply on the worker goroutine, so a
+		// shard's deltas never race its batches; FIFO channel order
+		// keeps every replica's row-version sequence identical.
+		if mb.update != nil {
+			job := mb.update
+			putMicroBatch(mb)
+			s.applyUpdate(shard, job)
+			continue
+		}
 		// Drop requests whose caller already gave up: their Predict has
 		// returned, nobody reads the outcome, and they should not skew
 		// the batch or the stats.
@@ -570,6 +586,7 @@ func (s *Server) Close() {
 		for c := range s.classCh {
 			close(s.classCh[c])
 		}
+		close(s.updateCh)
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -591,6 +608,9 @@ func (s *Server) Stats() Stats {
 		st.CacheEvicted = cs.Evicted
 		st.CacheEntries = cs.Entries
 		st.CacheBytesSaved = cs.BytesSaved
+		st.CacheInvalidations = cs.Invalidations
+		st.CacheNegativeHits = cs.NegativeHits
+		st.CacheBadFills = cs.BadFills
 	}
 	return st
 }

@@ -123,6 +123,30 @@ type Stats struct {
 	CacheEvicted    int64
 	CacheEntries    int
 	CacheBytesSaved int64
+	// CacheInvalidations, CacheNegativeHits and CacheBadFills mirror
+	// the cache's coherence counters: entries evicted as stale by the
+	// update stream, lookups short-circuited by the negative cache, and
+	// fills rejected for failing row validation.
+	CacheInvalidations int64
+	CacheNegativeHits  int64
+	CacheBadFills      int64
+	// UpdateBatches and UpdatedRows count completed ApplyDeltas calls
+	// and the row deltas they carried; UpdateShed counts calls refused
+	// at a full update queue.
+	UpdateBatches int64
+	UpdatedRows   int64
+	UpdateShed    int64
+	// UpdateInvalidations sums hot-cache evictions triggered by the
+	// update stream (as reported per job; equals CacheInvalidations when
+	// all invalidation traffic comes through ApplyDeltas).
+	UpdateInvalidations int64
+	// UpdateModeledNs sums each update's modeled DPU-side cost (the
+	// slowest replica's delta push + RMW kernel). UpdateP50Ns/P99Ns are
+	// percentiles of the measured wall time from enqueue to the last
+	// replica finishing.
+	UpdateModeledNs float64
+	UpdateP50Ns     float64
+	UpdateP99Ns     float64
 }
 
 // ShedRate returns Shed/(Shed+Requests+Errors) — the fraction of
@@ -155,8 +179,16 @@ type collector struct {
 	// shard residencies of the pipelined workers (zero when disabled).
 	pipeSerialNs    float64
 	pipePipelinedNs float64
-	first           time.Time // first recorded completion window start
-	last            time.Time // last recorded completion
+	// Update-lane counters: one recordUpdate per completed ApplyDeltas
+	// job (after the last replica applies it).
+	updBatches   int64
+	updRows      int64
+	updShed      int64
+	updInval     int64
+	updModeledNs float64
+	updLats      []float64 // measured wall ns per update job
+	first        time.Time // first recorded completion window start
+	last         time.Time // last recorded completion
 }
 
 func newCollector() *collector { return &collector{} }
@@ -197,6 +229,22 @@ func (c *collector) recordError(n int) {
 	c.mu.Unlock()
 }
 
+func (c *collector) recordUpdate(rows int64, wallNs, modeledNs float64, inval int64) {
+	c.mu.Lock()
+	c.updBatches++
+	c.updRows += rows
+	c.updInval += inval
+	c.updModeledNs += modeledNs
+	c.updLats = append(c.updLats, wallNs)
+	c.mu.Unlock()
+}
+
+func (c *collector) recordUpdateShed() {
+	c.mu.Lock()
+	c.updShed++
+	c.mu.Unlock()
+}
+
 // summarize fills mean/percentile fields from an unsorted sample set;
 // it sorts in place.
 func summarize(lat []float64) (mean, p50, p95, p99, maxv float64) {
@@ -232,7 +280,13 @@ func (c *collector) snapshot() Stats {
 		MRAMBytesRead:       c.mramBytes,
 		PipelineSerialNs:    c.pipeSerialNs,
 		PipelinePipelinedNs: c.pipePipelinedNs,
+		UpdateBatches:       c.updBatches,
+		UpdatedRows:         c.updRows,
+		UpdateShed:          c.updShed,
+		UpdateInvalidations: c.updInval,
+		UpdateModeledNs:     c.updModeledNs,
 	}
+	updLats := append([]float64(nil), c.updLats...)
 	first, last := c.first, c.last
 	c.mu.Unlock()
 
@@ -249,6 +303,9 @@ func (c *collector) snapshot() Stats {
 	}
 	if st.PipelinePipelinedNs > 0 {
 		st.PipelineSpeedup = st.PipelineSerialNs / st.PipelinePipelinedNs
+	}
+	if len(updLats) > 0 {
+		_, st.UpdateP50Ns, _, st.UpdateP99Ns, _ = summarize(updLats)
 	}
 	if len(lat) == 0 {
 		return st

@@ -22,6 +22,15 @@ const (
 	PresetTwitchSkew    = "twitch"
 )
 
+// Preset names for the online-update study: each is its read
+// counterpart (same seed, so the read trace is bit-identical) with a
+// non-zero WriteRatio — UpDLRM's motivating scenario of training
+// trickling row deltas into serving tables.
+const (
+	PresetWrite  = "write"  // GoodReads  + 0.25 deltas/lookup
+	PresetWrite2 = "write2" // GoodReads2 + 0.40 deltas/lookup
+)
+
 // Hotness buckets the six Table 1 workloads the way §4.1 does.
 type Hotness string
 
@@ -107,6 +116,25 @@ var presets = map[string]Spec{
 		ZipfExponent: 1.25, MotifCount: 96, MotifMinSize: 2, MotifMaxSize: 5, MotifProb: 0.5,
 		DenseDim: 13, Seed: 0x90003,
 	},
+}
+
+func init() {
+	// Write presets derive from their read counterparts so the two
+	// traces differ only in update intensity — any partitioning or
+	// latency difference between "read" and "write" is attributable to
+	// the write stream alone.
+	w := presets[PresetRead]
+	w.Name, w.WriteRatio = PresetWrite, 0.25
+	presets[PresetWrite] = w
+	w2 := presets[PresetRead2]
+	w2.Name, w2.WriteRatio = PresetWrite2, 0.40
+	presets[PresetWrite2] = w2
+}
+
+// WritePresetNames returns the online-update workloads paired with
+// their read-only baselines, in study order.
+func WritePresetNames() []string {
+	return []string{PresetRead, PresetWrite, PresetRead2, PresetWrite2}
 }
 
 // Preset returns the named workload spec.

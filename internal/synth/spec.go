@@ -39,6 +39,12 @@ type Spec struct {
 	DenseDim int
 	// Seed makes generation reproducible.
 	Seed uint64
+	// WriteRatio is the workload's online-update intensity: row deltas
+	// per embedding lookup (0 = read-only). It parameterizes write-aware
+	// partitioning and sizes the update stream Updates draws; it does
+	// not perturb Generate — a write preset sharing a read preset's
+	// seed produces a bit-identical read trace.
+	WriteRatio float64
 }
 
 // Validate reports the first problem with the spec.
@@ -62,8 +68,42 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("synth: MotifProb = %v", s.MotifProb)
 	case s.DenseDim < 0:
 		return fmt.Errorf("synth: DenseDim = %d", s.DenseDim)
+	case s.WriteRatio < 0 || s.WriteRatio > 1:
+		return fmt.Errorf("synth: WriteRatio = %v (want [0,1])", s.WriteRatio)
 	}
 	return nil
+}
+
+// RowUpdate identifies one embedding row receiving an online delta.
+type RowUpdate struct {
+	Table int
+	Row   int32
+}
+
+// Updates draws n row updates from the same per-table popularity
+// distribution as the read stream — online training touches the rows
+// inference reads, hot rows most — but from a write-specific seed, so
+// the update stream is decorrelated from (and never perturbs) the read
+// trace. Same spec + n always yields the identical stream.
+func (s Spec) Updates(n int) ([]RowUpdate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("synth: updates n = %d", n)
+	}
+	const writeSalt = 0x77726974 // decorrelates the write stream's draws
+	zipfs := make([]*Zipf, s.Tables)
+	for t := 0; t < s.Tables; t++ {
+		zipfs[t] = NewZipf(s.NumItems, s.ZipfExponent, tensor.NewRNG(s.Seed^writeSalt+uint64(t)*0x9e3779b9+1))
+	}
+	pick := tensor.NewRNG(s.Seed ^ writeSalt ^ 0x5bd1e995)
+	ups := make([]RowUpdate, n)
+	for i := range ups {
+		t := pick.Intn(s.Tables)
+		ups[i] = RowUpdate{Table: t, Row: int32(zipfs[t].Draw())}
+	}
+	return ups, nil
 }
 
 // motifs are groups of items that tend to co-occur in one sample; they are

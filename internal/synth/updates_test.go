@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWritePresetsMirrorReadPresets: a write preset must generate a
+// bit-identical read trace to its read counterpart — only the update
+// intensity differs.
+func TestWritePresetsMirrorReadPresets(t *testing.T) {
+	pairs := [][2]string{{PresetRead, PresetWrite}, {PresetRead2, PresetWrite2}}
+	for _, pair := range pairs {
+		read, err := Preset(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		write, err := Preset(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if write.WriteRatio <= 0 {
+			t.Fatalf("%s: WriteRatio = %v", pair[1], write.WriteRatio)
+		}
+		if read.WriteRatio != 0 {
+			t.Fatalf("%s: read preset has WriteRatio %v", pair[0], read.WriteRatio)
+		}
+		if write.Seed != read.Seed || write.NumItems != read.NumItems {
+			t.Fatalf("%s does not mirror %s", pair[1], pair[0])
+		}
+		rt, err := Scaled(read, 0.001, 0.2).Generate(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, err := Scaled(write, 0.001, 0.2).Generate(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rt.Samples {
+			for tab := range rt.Samples[i].Sparse {
+				a, b := rt.Samples[i].Sparse[tab], wt.Samples[i].Sparse[tab]
+				if len(a) != len(b) {
+					t.Fatalf("sample %d table %d: bag sizes differ", i, tab)
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("sample %d table %d: read traces diverge", i, tab)
+					}
+				}
+			}
+		}
+	}
+	if got := WritePresetNames(); len(got) != 4 {
+		t.Fatalf("WritePresetNames = %v", got)
+	}
+}
+
+func TestUpdatesStream(t *testing.T) {
+	spec, err := Preset(PresetWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = Scaled(spec, 0.001, 0.2)
+	a, err := spec.Updates(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Updates(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, spec.NumItems)
+	tables := map[int]bool{}
+	for i, u := range a {
+		if u != b[i] {
+			t.Fatalf("update %d not deterministic: %+v vs %+v", i, u, b[i])
+		}
+		if u.Table < 0 || u.Table >= spec.Tables {
+			t.Fatalf("update %d table %d out of range", i, u.Table)
+		}
+		if u.Row < 0 || int(u.Row) >= spec.NumItems {
+			t.Fatalf("update %d row %d out of range", i, u.Row)
+		}
+		tables[u.Table] = true
+		counts[u.Row]++
+	}
+	if len(tables) < 2 {
+		t.Fatalf("updates hit only %d tables", len(tables))
+	}
+	// The stream must be skewed like the reads: head rows dominate.
+	var head, total int64
+	headSpan := spec.NumItems / 100
+	for r, c := range counts {
+		total += c
+		if r < headSpan {
+			head += c
+		}
+	}
+	if frac := float64(head) / float64(total); frac < 0.3 {
+		t.Fatalf("head %d%% of items got %.0f%% of writes — not Zipf-skewed",
+			1, math.Round(100*frac))
+	}
+	if _, err := spec.Updates(-1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}

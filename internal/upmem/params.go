@@ -186,6 +186,37 @@ func (c HWConfig) MRAMReadLatency(bytes int) (float64, error) {
 	return c.DMABaseCycles + c.DMAPerByteCycles*float64(bytes), nil
 }
 
+// MRAMWriteLatency returns the DMA latency in cycles for a single MRAM
+// write. UPMEM's MRAM DMA engine is symmetric — writes traverse the same
+// base + per-byte pipeline as reads (the Figure 3 calibration) — so the
+// write curve reuses the read parameters. Kept as a named entry point so
+// the update path reads correctly and an asymmetric calibration can slot
+// in later.
+func (c HWConfig) MRAMWriteLatency(bytes int) (float64, error) {
+	return c.MRAMReadLatency(bytes)
+}
+
+// MRAMRMWCycles returns the DMA cycles one read-modify-write of bytes
+// costs, chunking transfers larger than the hardware maximum. Updating an
+// embedding slice in MRAM is a read of the old values plus a write of the
+// new ones. bytes is aligned up per chunk.
+func (c HWConfig) MRAMRMWCycles(bytes int64) float64 {
+	var cycles float64
+	for bytes > 0 {
+		chunk := bytes
+		if chunk > MRAMMaxRead {
+			chunk = MRAMMaxRead
+		}
+		lat, err := c.MRAMReadLatency(AlignMRAM(int(chunk)))
+		if err != nil {
+			panic(err) // AlignMRAM guarantees a legal size
+		}
+		cycles += 2 * lat
+		bytes -= chunk
+	}
+	return cycles
+}
+
 // AlignMRAM rounds bytes up to the next legal MRAM transfer size.
 func AlignMRAM(bytes int) int {
 	if bytes <= 0 {

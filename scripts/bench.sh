@@ -1,6 +1,7 @@
 #!/bin/sh
 # scripts/bench.sh — run the hot-path micro-benchmarks (RunBatch,
-# RunTracePipelined, ForwardBatch, ServeThroughput) with -benchmem and
+# RunTracePipelined, ForwardBatch, ServeThroughput, ApplyDeltas,
+# ServeMixedRW) with -benchmem and
 # record the results as BENCH_hotpath.json at the repo root, so the
 # perf trajectory of the batch execution path is tracked in-tree.
 #
@@ -13,7 +14,7 @@ cd "$(dirname "$0")/.."
 out="${OUT:-BENCH_hotpath.json}"
 
 go test -run '^$' \
-	-bench 'BenchmarkRunBatch$|BenchmarkRunTracePipelined$|BenchmarkForwardBatch$|BenchmarkServeThroughput$' \
+	-bench 'BenchmarkRunBatch$|BenchmarkRunTracePipelined$|BenchmarkForwardBatch$|BenchmarkServeThroughput$|BenchmarkApplyDeltas$|BenchmarkServeMixedRW$' \
 	-benchmem -count "${COUNT:-1}" \
 	./internal/core ./internal/dlrm ./internal/serve |
 	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

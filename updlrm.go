@@ -152,6 +152,17 @@ type (
 	HotCache = hotcache.Cache
 	// HotCacheStats snapshots a cache's effectiveness counters.
 	HotCacheStats = hotcache.Stats
+	// Delta is one additive embedding-row update for Server.ApplyDeltas:
+	// Vec (len EmbDim) is added into (Table, Row) on every shard
+	// replica, coherently with in-flight batches.
+	Delta = serve.Delta
+	// RowUpdate identifies one row of a synthetic online-update stream
+	// (see WorkloadSpec.Updates).
+	RowUpdate = synth.RowUpdate
+	// UpdateResult is one engine-level ApplyDeltas outcome: rows
+	// written, hot-cache invalidations, and the modeled MRAM write
+	// traffic and time.
+	UpdateResult = core.UpdateResult
 )
 
 // QoS classes for ServeRequest.Class.
@@ -182,6 +193,10 @@ var ErrBadServeRequest = serve.ErrBadRequest
 // Transports should map it to a retryable status (HTTP 503).
 var ErrServerOverloaded = serve.ErrOverloaded
 
+// ErrUpdateOverloaded is returned by Server.ApplyDeltas when the update
+// lane's admission queue is full; retryable like ErrServerOverloaded.
+var ErrUpdateOverloaded = serve.ErrUpdateOverloaded
+
 // Partitioning strategies (the paper's §3.1-§3.3).
 const (
 	// Uniform is §3.1: equal contiguous row blocks with an optimized
@@ -199,6 +214,10 @@ func Preset(name string) (WorkloadSpec, error) { return synth.Preset(name) }
 
 // PresetNames lists every available workload preset.
 func PresetNames() []string { return synth.PresetNames() }
+
+// WritePresetNames returns the online-update workloads ("write",
+// "write2") paired with their read-only baselines, in study order.
+func WritePresetNames() []string { return synth.WritePresetNames() }
 
 // Table1Names returns the six evaluation workloads in the paper's order.
 func Table1Names() []string { return synth.Table1Names() }
