@@ -1,0 +1,192 @@
+// Live observability for the load generator: a -metrics HTTP listener
+// exposing the current method run's registry, and a -live in-terminal
+// dashboard refreshing once per second. The loadgen runs one server —
+// with one fresh metrics registry — per partitioning method, so both
+// surfaces dereference atomic pointers to the current run's state and
+// follow the method-to-method server swaps without rebinding.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"updlrm"
+	"updlrm/internal/metrics"
+)
+
+// liveObs is the shared observability state across method runs. A nil
+// *liveObs (observability not requested) no-ops everywhere.
+type liveObs struct {
+	method atomic.Value // string: current method name
+	srv    atomic.Pointer[updlrm.Server]
+	reg    atomic.Pointer[updlrm.MetricsRegistry]
+	tracer atomic.Pointer[updlrm.Tracer]
+
+	live bool
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newLiveObs starts the requested surfaces: an HTTP listener on
+// metricsAddr serving /metrics and /debug/traces (empty addr disables),
+// and the terminal dashboard goroutine when live is set. Returns nil
+// when neither surface is requested.
+func newLiveObs(metricsAddr string, live bool) (*liveObs, error) {
+	if metricsAddr == "" && !live {
+		return nil, nil
+	}
+	o := &liveObs{live: live, stop: make(chan struct{}), done: make(chan struct{})}
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: -metrics: %w", err)
+		}
+		// The handler is rebuilt per scrape so it always reads the
+		// current method's registry; scrape-rate traffic makes the
+		// per-request mux construction irrelevant.
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			updlrm.MetricsHandler(o.reg.Load(), o.tracer.Load()).ServeHTTP(w, r)
+		})
+		go func() {
+			if err := http.Serve(ln, h); err != nil && err != http.ErrServerClosed {
+				fmt.Printf("loadgen: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("metrics: http://%s/metrics, traces: http://%s/debug/traces\n",
+			ln.Addr(), ln.Addr())
+	}
+	if live {
+		go o.renderLoop()
+	}
+	return o, nil
+}
+
+// attach points the surfaces at a method run's server and instruments.
+func (o *liveObs) attach(method string, srv *updlrm.Server,
+	reg *updlrm.MetricsRegistry, tracer *updlrm.Tracer) {
+	if o == nil {
+		return
+	}
+	o.method.Store(method)
+	o.reg.Store(reg)
+	o.tracer.Store(tracer)
+	o.srv.Store(srv)
+}
+
+// detach clears the server pointer before it is closed, so the
+// dashboard never calls Stats on a closed server. The registry stays
+// scrapeable (its final counters remain valid) until the next attach.
+func (o *liveObs) detach() {
+	if o == nil {
+		return
+	}
+	o.srv.Store(nil)
+}
+
+// close stops the dashboard goroutine and restores the cursor.
+func (o *liveObs) close() {
+	if o == nil || !o.live {
+		return
+	}
+	close(o.stop)
+	<-o.done
+}
+
+// renderLoop redraws the dashboard once per second until closed.
+func (o *liveObs) renderLoop() {
+	defer close(o.done)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var prev updlrm.MetricsSnapshot
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-tick.C:
+			prev = o.render(prev)
+		}
+	}
+}
+
+// render draws one dashboard frame and returns the registry snapshot
+// for the next frame's interval diff.
+func (o *liveObs) render(prev updlrm.MetricsSnapshot) updlrm.MetricsSnapshot {
+	srv := o.srv.Load()
+	reg := o.reg.Load()
+	if srv == nil || reg == nil {
+		return prev
+	}
+	method, _ := o.method.Load().(string)
+	st := srv.Stats()
+	snap := reg.Snapshot()
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "updlrm-loadgen live — method %s — %s\n\n",
+		method, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "throughput %.0f rps   served %d   shed %d (%.1f%%)   avg batch %.1f\n\n",
+		st.ThroughputRPS, st.Requests, st.Shed, 100*st.ShedRate(), st.AvgBatchSize)
+
+	rows := [][]string{{
+		"all",
+		fmt.Sprintf("%d", st.Requests),
+		fmt.Sprintf("%d", st.Shed),
+		metrics.FormatNs(st.P50Ns), metrics.FormatNs(st.P95Ns), metrics.FormatNs(st.P99Ns),
+		metrics.FormatNs(st.QueueP50Ns), metrics.FormatNs(st.QueueP99Ns),
+	}}
+	for c := updlrm.RequestClass(0); c < updlrm.NumRequestClasses; c++ {
+		cs := st.PerClass[c]
+		if cs.Requests+cs.Shed == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			c.String(),
+			fmt.Sprintf("%d", cs.Requests),
+			fmt.Sprintf("%d", cs.Shed),
+			metrics.FormatNs(cs.P50Ns), metrics.FormatNs(cs.P95Ns), metrics.FormatNs(cs.P99Ns),
+			metrics.FormatNs(cs.QueueP50Ns), metrics.FormatNs(cs.QueueP99Ns),
+		})
+	}
+	b.WriteString(metrics.Table(
+		[]string{"class", "served", "shed", "p50", "p95", "p99", "q.p50", "q.p99"}, rows))
+
+	hitPct := 0.0
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		hitPct = 100 * float64(st.CacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(&b, "\ncache: %.1f%% hit rate (%d hits / %d misses), %d rows resident\n",
+		hitPct, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	fmt.Fprintf(&b, "router backlog: %s across shards\n",
+		metrics.FormatNs(sumByPrefix(snap, "serve_router_backlog_ns{")))
+	fmt.Fprintf(&b, "updates: %.0f applied (%.0f rows), %.0f invalidations, %.0f shed\n",
+		snap.Get("serve_update_applied_total"), snap.Get("serve_update_rows_total"),
+		snap.Get("serve_update_invalidations_total"), snap.Get("serve_update_shed_total"))
+	if prev != nil {
+		d := snap.Sub(prev)
+		fmt.Fprintf(&b, "last 1s: +%.0f served, +%.0f shed, +%.0f rows updated\n",
+			sumByPrefix(d, "serve_requests_total{"),
+			sumByPrefix(d, "serve_shed_total{"),
+			d.Get("serve_update_rows_total"))
+	}
+
+	// Home the cursor and clear before each frame so the dashboard
+	// repaints in place instead of scrolling the terminal.
+	fmt.Printf("\x1b[H\x1b[2J%s", b.String())
+	return snap
+}
+
+// sumByPrefix totals every snapshot sample whose key starts with
+// prefix — e.g. a per-shard gauge family summed across shards.
+func sumByPrefix(s updlrm.MetricsSnapshot, prefix string) float64 {
+	var total float64
+	for k, v := range s {
+		if strings.HasPrefix(k, prefix) {
+			total += v
+		}
+	}
+	return total
+}

@@ -38,6 +38,14 @@
 //
 // -cpuprofile/-memprofile write standard pprof profiles of the run, so
 // hot-spot hunts over the serving stack need no ad-hoc harness.
+//
+// Observability: -metrics ADDR exposes the current run's instrument
+// registry at /metrics (Prometheus text format) and its sampled
+// per-request stage traces at /debug/traces for the duration of the
+// run; -live renders an in-terminal dashboard (throughput, per-class
+// percentiles, cache hit rate, router backlog, update coherence)
+// refreshing once per second; -tracesample sets the trace sampling
+// rate. Each method run gets a fresh registry — the endpoints follow.
 package main
 
 import (
@@ -91,6 +99,12 @@ func main() {
 			"write a CPU profile of the whole run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "",
 			"write a heap profile to this file after the run completes")
+		metricsAddr = flag.String("metrics", "",
+			"serve /metrics (Prometheus text format) and /debug/traces on this address for the run (e.g. 127.0.0.1:9090)")
+		liveDash = flag.Bool("live", false,
+			"render an in-terminal serving dashboard refreshing once per second")
+		traceEvery = flag.Int("tracesample", 64,
+			"trace 1 in N requests into the /debug/traces ring (with -metrics)")
 	)
 	flag.Parse()
 
@@ -212,22 +226,41 @@ func main() {
 	}
 	fmt.Println()
 
+	// Observability surfaces, shared across method runs: each run gets
+	// its own registry/tracer (instrument registration is per server),
+	// and the listener/dashboard follow the swaps.
+	lobs, err := newLiveObs(*metricsAddr, *liveDash)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lobs.close()
+
 	var rows [][]string
 	for _, m := range methods {
 		ecfg := updlrm.DefaultEngineConfig()
 		ecfg.TotalDPUs = *dpus
 		ecfg.Method = m.method
-		srv, err := updlrm.NewServer(model, profile, ecfg, updlrm.ServerConfig{
+		scfg := updlrm.ServerConfig{
 			Shards:      *shards,
 			MaxBatch:    *maxBatch,
 			BatchWindow: *window,
 			QueueDepth:  *queueDepth,
 			Pipeline:    *pipeline,
 			HotCache:    updlrm.HotCacheConfig{CapacityBytes: cacheBytes},
-		})
+		}
+		var reg *updlrm.MetricsRegistry
+		var tracer *updlrm.Tracer
+		if lobs != nil {
+			reg = updlrm.NewMetricsRegistry()
+			tracer = updlrm.NewTracer(*traceEvery, 256)
+			scfg.Metrics = reg
+			scfg.Tracer = tracer
+		}
+		srv, err := updlrm.NewServer(model, profile, ecfg, scfg)
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
+		lobs.attach(m.name, srv, reg, tracer)
 		start := time.Now()
 		updErr := make(chan error, 1)
 		go func() { updErr <- runUpdates(srv, updates, model.Cfg.EmbDim) }()
@@ -247,6 +280,7 @@ func main() {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
 		st := srv.Stats()
+		lobs.detach()
 		srv.Close()
 		rows = append(rows, []string{
 			m.name, "all",

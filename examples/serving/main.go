@@ -7,15 +7,28 @@
 // the paper's system would take. Concurrent requests arriving within
 // the batching window are coalesced into one DPU batch.
 //
+// The server also exposes the fleet observability surface: GET
+// /metrics serves the live instrument registry in Prometheus text
+// exposition format (per-class serving latency, router cost profiles,
+// hot-cache effectiveness, per-stage engine histograms) and GET
+// /debug/traces serves the most recent sampled per-request stage
+// traces as JSON.
+//
 // Run with: go run ./examples/serving
 // then:     curl -s localhost:8097/predict -d '{"dense":[0.1,...],"sparse":[[1,2],[3],[4,5],[6]]}'
-// (the demo also issues a burst of requests against itself and exits).
+//
+//	curl -s localhost:8097/metrics
+//
+// (the demo also issues a burst of requests against itself and exits;
+// pass -linger to keep serving after the demo burst, and -addr to bind
+// a fixed address instead of an ephemeral port.)
 package main
 
 import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -92,6 +105,10 @@ func (h *httpServer) predict(w http.ResponseWriter, r *http.Request) {
 }
 
 func main() {
+	bind := flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks an ephemeral port)")
+	linger := flag.Bool("linger", false, "keep serving after the demo burst instead of exiting")
+	flag.Parse()
+
 	// Build the engines from a profiling trace, as the paper's
 	// pre-process stage does.
 	spec, err := updlrm.Preset("home")
@@ -110,6 +127,11 @@ func main() {
 	}
 	cfg := updlrm.DefaultEngineConfig()
 	cfg.TotalDPUs = 64
+	// The registry and tracer instrument the whole serving stack; the
+	// tracer keeps the 128 most recent requests (every request sampled —
+	// a demo-scale setting; fleets would sample 1-in-100s).
+	reg := updlrm.NewMetricsRegistry()
+	tracer := updlrm.NewTracer(1, 128)
 	srv, err := updlrm.NewServer(model, profile, cfg, updlrm.ServerConfig{
 		Shards:      2,
 		MaxBatch:    16,
@@ -117,6 +139,8 @@ func main() {
 		// A hot-row cache worth 256 KB of host memory serves the stream's
 		// hottest embedding rows CPU-side, skipping the DPU round trip.
 		HotCache: updlrm.HotCacheConfig{CapacityBytes: 256 << 10},
+		Metrics:  reg,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -126,7 +150,11 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", h.predict)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Observability endpoints: Prometheus scrape target + trace dump.
+	obsHandler := updlrm.MetricsHandler(reg, tracer)
+	mux.Handle("GET /metrics", obsHandler)
+	mux.Handle("GET /debug/traces", obsHandler)
+	ln, err := net.Listen("tcp", *bind)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,8 +164,9 @@ func main() {
 		}
 	}()
 	addr := ln.Addr().String()
-	fmt.Printf("updlrm serving on http://%s/predict (2 shards, 4 sparse tables, %d dense features)\n\n",
+	fmt.Printf("updlrm serving on http://%s/predict (2 shards, 4 sparse tables, %d dense features)\n",
 		addr, profile.DenseDim)
+	fmt.Printf("metrics on http://%s/metrics, traces on http://%s/debug/traces\n\n", addr, addr)
 
 	// Demo client: replay a concurrent burst of profile samples as live
 	// requests, so the batching window has something to coalesce.
@@ -179,6 +208,10 @@ func main() {
 		st.QueueP50Ns/1e3, st.QueueP99Ns/1e3, st.Shed, 100*st.ShedRate())
 	fmt.Printf("hot-row cache: %.1f%% hit rate (%d hits / %d lookups), %d rows resident, %d KB of MRAM reads avoided\n",
 		100*st.CacheHitRate, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheEntries, st.CacheBytesSaved/1024)
+	if *linger {
+		fmt.Printf("\nlingering — scrape http://%s/metrics, ^C to stop\n", addr)
+		select {}
+	}
 	fmt.Println("done — in a long-running deployment, keep the server alive instead of exiting")
 }
 

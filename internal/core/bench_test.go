@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"updlrm/internal/obs"
 	"updlrm/internal/partition"
 	"updlrm/internal/trace"
 )
@@ -25,6 +26,9 @@ func BenchmarkRunBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// Benchmark with live instrumentation: the bench gate holds
+			// the metrics layer to zero added allocations per batch.
+			InstrumentEngines(obs.NewRegistry(), []*Engine{eng})
 			batch := trace.MakeBatch(tr, 0, 64)
 			b.ReportAllocs()
 			b.ResetTimer()

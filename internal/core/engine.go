@@ -151,6 +151,9 @@ type Engine struct {
 	profile *trace.Trace
 	// sc is the per-engine scratch arena RunBatch recycles.
 	sc scratch
+	// obs is the optional instrument set (see InstrumentEngines); nil
+	// when the engine is uninstrumented.
+	obs *EngineObs
 }
 
 // scratch is the engine's reusable batch arena. Everything here is
@@ -459,6 +462,7 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 	res.CTR = sc.ctr
 	res.Embeddings = &sc.embs
 	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
+	e.obs.observeBatch(res)
 	return res, nil
 }
 

@@ -1,0 +1,106 @@
+// Engine-level observability: per-stage modeled latency and MRAM
+// traffic exported as histogram series. Instruments are resolved once
+// at registration (InstrumentEngines), so the RunBatch/ApplyDeltas hot
+// paths only touch pre-existing atomic histograms — zero added
+// allocations.
+package core
+
+import (
+	"strconv"
+
+	"updlrm/internal/metrics"
+	"updlrm/internal/obs"
+)
+
+// engineStages are the Breakdown stages the engine exports per batch,
+// in pipeline order. Stages a configuration never exercises (e.g.
+// host_cache without a hot cache) render as empty histograms.
+var engineStages = []string{
+	"cpu_to_dpu", "dpu_lookup", "dpu_to_cpu", "host_agg", "host_cache", "mlp",
+}
+
+// stageValues extracts the exported stage terms from a breakdown, in
+// engineStages order.
+func stageValues(bd *metrics.Breakdown) [6]float64 {
+	return [6]float64{
+		bd.CPUToDPUNs, bd.DPULookupNs, bd.DPUToCPUNs,
+		bd.HostAggNs, bd.HostCacheNs, bd.MLPNs,
+	}
+}
+
+// EngineObs holds one engine's pre-resolved instruments. A nil
+// *EngineObs ignores observations, so an uninstrumented engine pays one
+// nil check per batch.
+type EngineObs struct {
+	stages    [6]*obs.Histogram
+	mramRead  *obs.Histogram
+	updateNs  *obs.Histogram
+	mramWrite *obs.Histogram
+}
+
+// InstrumentEngines registers the engine metric families on reg (once —
+// the families are shared, children are per shard) and attaches a
+// per-shard instrument set to each engine, labeled by slice index. A
+// nil registry is a no-op.
+func InstrumentEngines(reg *obs.Registry, engines []*Engine) {
+	if reg == nil {
+		return
+	}
+	// Stage latencies span ~100ns host cache probes to multi-ms batch
+	// kernels; MRAM traffic spans a few KiB to hundreds of MiB.
+	nsBuckets := obs.ExpBuckets(1e2, 4, 12) // 100ns .. ~1.6s
+	byteBuckets := obs.ExpBuckets(1<<10, 4, 10)
+	stageVec := reg.HistogramVec("core_stage_modeled_ns",
+		"Per-batch modeled latency of each engine pipeline stage, by shard.",
+		nsBuckets, "shard", "stage")
+	readVec := reg.HistogramVec("core_mram_read_bytes",
+		"Per-batch modeled MRAM read traffic of the DPU lookup kernels, by shard.",
+		byteBuckets, "shard")
+	updVec := reg.HistogramVec("core_update_modeled_ns",
+		"Per-call modeled cost of the embedding write path (delta push + RMW kernels), by shard.",
+		nsBuckets, "shard")
+	writeVec := reg.HistogramVec("core_mram_written_bytes",
+		"Per-call modeled MRAM write traffic of applied row deltas, by shard.",
+		byteBuckets, "shard")
+	for i, eng := range engines {
+		if eng == nil {
+			continue
+		}
+		label := strconv.Itoa(i)
+		o := &EngineObs{
+			mramRead:  readVec.With(label),
+			updateNs:  updVec.With(label),
+			mramWrite: writeVec.With(label),
+		}
+		for j, st := range engineStages {
+			o.stages[j] = stageVec.With(label, st)
+		}
+		eng.obs = o
+	}
+}
+
+// SetObs attaches an instrument set to the engine (nil detaches). Not
+// safe concurrently with RunBatch; call before serving starts.
+func (e *Engine) SetObs(o *EngineObs) { e.obs = o }
+
+// observeBatch records a completed read batch. Pure atomic updates on
+// pre-resolved histograms: no allocation, no locks.
+func (o *EngineObs) observeBatch(res *Result) {
+	if o == nil {
+		return
+	}
+	vals := stageValues(&res.Breakdown)
+	for i, h := range o.stages {
+		h.Observe(vals[i])
+	}
+	o.mramRead.Observe(float64(res.MRAMBytesRead))
+}
+
+// observeUpdate records a completed ApplyDeltas call.
+func (o *EngineObs) observeUpdate(res *UpdateResult) {
+	if o == nil {
+		return
+	}
+	o.updateNs.Observe(res.Breakdown.UpdateNs)
+	o.mramWrite.Observe(float64(res.MRAMBytesWritten))
+}

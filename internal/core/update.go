@@ -157,5 +157,6 @@ func (e *Engine) ApplyDeltas(table int, rows []int32, deltas []float32) (UpdateR
 		res.MRAMBytesWritten += refreshBytesPerPart[part] * int64(shape.Slices)
 	}
 	res.Breakdown.UpdateNs = push.Ns + hw.KernelLaunchNs + hw.CyclesToNs(maxCycles)
+	e.obs.observeUpdate(&res)
 	return res, nil
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
 	"updlrm/internal/hotcache"
+	"updlrm/internal/obs"
 	"updlrm/internal/partition"
 	"updlrm/internal/serve"
 	"updlrm/internal/synth"
@@ -223,9 +225,14 @@ func UpdateDrift(scale Scale) (*Report, []UpdateDriftRow, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Per-phase accounting comes from the metrics registry: a snapshot
+	// diff across each phase isolates that phase's hits, misses,
+	// invalidations and updated rows without hand-carried counters.
+	reg := obs.NewRegistry()
 	srv, err := serve.New(engines, serve.Config{
 		MaxBatch:    16,
 		BatchWindow: 100 * time.Microsecond,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -258,7 +265,7 @@ func UpdateDrift(scale Scale) (*Report, []UpdateDriftRow, error) {
 			"Update p99 (us)", "Shed rate"},
 	}
 	var rows []UpdateDriftRow
-	var prev serve.Stats
+	prev := reg.Snapshot()
 	for _, phase := range []struct {
 		name    string
 		samples []trace.Sample
@@ -280,15 +287,17 @@ func UpdateDrift(scale Scale) (*Report, []UpdateDriftRow, error) {
 			return nil, nil, fmt.Errorf("experiments: updrift %s: %w", phase.name, err)
 		}
 		st := srv.Stats()
+		snap := reg.Snapshot()
+		d := snap.Sub(prev)
 		row := UpdateDriftRow{
 			Phase:         phase.name,
-			HitRate:       phaseRate(st.CacheHits-prev.CacheHits, st.CacheMisses-prev.CacheMisses),
-			Invalidations: st.CacheInvalidations - prev.CacheInvalidations,
-			UpdatedRows:   st.UpdatedRows - prev.UpdatedRows,
+			HitRate:       phaseRate(int64(sumSamples(d, "hotcache_hits_total{")), int64(sumSamples(d, "hotcache_misses_total{"))),
+			Invalidations: int64(d.Get("serve_update_invalidations_total")),
+			UpdatedRows:   int64(d.Get("serve_update_rows_total")),
 			UpdateP99Ns:   st.UpdateP99Ns,
 			ShedRate:      st.ShedRate(),
 		}
-		prev = st
+		prev = snap
 		rows = append(rows, row)
 		rep.Rows = append(rep.Rows, []string{
 			row.Phase, fmt.Sprintf("%.3f", row.HitRate),
@@ -332,6 +341,19 @@ func phaseRate(hits, misses int64) float64 {
 		return 0
 	}
 	return float64(hits) / float64(hits+misses)
+}
+
+// sumSamples totals every snapshot sample whose key starts with prefix
+// — a labeled counter family (e.g. per-table cache hits) summed across
+// its children.
+func sumSamples(s obs.Snapshot, prefix string) float64 {
+	var total float64
+	for _, k := range s.Keys() {
+		if strings.HasPrefix(k, prefix) {
+			total += s.Get(k)
+		}
+	}
+	return total
 }
 
 // driveClosedRW replays samples like driveClosed while a dedicated

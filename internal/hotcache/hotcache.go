@@ -121,6 +121,9 @@ type Cache struct {
 	seed     uint64
 	dim      int
 	rowBytes int64
+	// tabs holds per-table exported counters (see Instrument); empty
+	// when the cache is uninstrumented.
+	tabs []tableCounters
 }
 
 // New builds a cache for embedding vectors of the given dimension.
@@ -213,12 +216,18 @@ func (c *Cache) Lookup(table int, row int32, dst []float32) bool {
 	if !ok {
 		sh.misses++
 		sh.mu.Unlock()
+		if tc := c.tc(k); tc != nil {
+			tc.misses.Inc()
+		}
 		return false
 	}
 	sh.moveToFront(e)
 	copy(dst[:c.dim], e.vec)
 	sh.hits++
 	sh.mu.Unlock()
+	if tc := c.tc(k); tc != nil {
+		tc.hits.Inc()
+	}
 	return true
 }
 
@@ -251,6 +260,9 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32) uint64
 	if _, bad := sh.neg[k]; bad {
 		// Remembered bad row: skip the duel and the fill entirely.
 		sh.negHits++
+		if tc := c.tc(k); tc != nil {
+			tc.negHits.Inc()
+		}
 		return false
 	}
 	evict := len(sh.entries) >= sh.capacity
@@ -258,11 +270,17 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32) uint64
 		victim := sh.tail
 		if sh.sketch.Estimate(k) <= sh.sketch.Estimate(victim.key) {
 			sh.rejected++
+			if tc := c.tc(k); tc != nil {
+				tc.rejected.Inc()
+			}
 			return false
 		}
 		sh.unlink(victim)
 		delete(sh.entries, victim.key)
 		sh.evicted++
+		if tc := c.tc(victim.key); tc != nil {
+			tc.evicted.Inc()
+		}
 	}
 	e := &entry{key: k, vec: make([]float32, c.dim)}
 	e.version = fill(e.vec)
@@ -271,6 +289,9 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32) uint64
 		// row instead so repeated offers short-circuit until a delta
 		// (Invalidate) gives it a chance to heal.
 		sh.badFills++
+		if tc := c.tc(k); tc != nil {
+			tc.badFills.Inc()
+		}
 		if len(sh.neg) >= sh.negCap {
 			sh.neg = nil // epoch reset keeps the mark set bounded
 		}
@@ -283,6 +304,9 @@ func (c *Cache) offerLocked(sh *shard, k uint64, fill func(dst []float32) uint64
 	sh.entries[k] = e
 	sh.pushFront(e)
 	sh.admitted++
+	if tc := c.tc(k); tc != nil {
+		tc.admitted.Inc()
+	}
 	return true
 }
 
@@ -321,6 +345,9 @@ func (c *Cache) Invalidate(table int, row int32, minVersion uint64) bool {
 	sh.unlink(e)
 	delete(sh.entries, k)
 	sh.invalidations++
+	if tc := c.tc(k); tc != nil {
+		tc.invalidations.Inc()
+	}
 	return true
 }
 
@@ -343,9 +370,15 @@ func (c *Cache) LookupOrOffer(table int, row int32, dst []float32, fill func(dst
 		sh.moveToFront(e)
 		copy(dst[:c.dim], e.vec)
 		sh.hits++
+		if tc := c.tc(k); tc != nil {
+			tc.hits.Inc()
+		}
 		return true, false
 	}
 	sh.misses++
+	if tc := c.tc(k); tc != nil {
+		tc.misses.Inc()
+	}
 	return false, c.offerLocked(sh, k, fill)
 }
 

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// the /metrics endpoint.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler exposing the registry at /metrics and
+// the tracer's buffered records at /debug/traces. Either argument may
+// be nil — the corresponding endpoint then serves empty output. Mount
+// it at the mux root or under a prefix with http.StripPrefix.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracer.WriteJSON(w)
+	})
+	return mux
+}

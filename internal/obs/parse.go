@@ -1,0 +1,316 @@
+package obs
+
+// A minimal Prometheus text-exposition parser/validator. It exists for
+// the consumers inside this repo — the CI smoke checker and the golden
+// scrape tests — not as a general scrape client: it parses the subset
+// the registry renders (HELP/TYPE comments, samples with optional
+// labels) and verifies the structural invariants a real Prometheus
+// server would rely on (histogram bucket cumulativity, a terminal +Inf
+// bucket matching _count, non-negative counters).
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line.
+type ParsedSample struct {
+	// Labels holds the sample's label pairs in source order.
+	Labels [][2]string
+	Value  float64
+}
+
+// Label returns the sample's value for a label name ("" when absent).
+func (s ParsedSample) Label(name string) string {
+	for _, kv := range s.Labels {
+		if kv[0] == name {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name string
+	Type string // counter, gauge, histogram, untyped
+	Help string
+	// Samples maps the rendered metric name (the family name, or
+	// name_bucket/_sum/_count for histograms) to its sample lines.
+	Samples map[string][]ParsedSample
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// format, returning the families keyed by name. It fails on syntax
+// errors and on structural violations: a sample under no TYPE'd family,
+// histogram buckets that are non-cumulative or missing the +Inf bucket,
+// a +Inf bucket disagreeing with _count, or a negative counter.
+func ParseExposition(text string) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	var cur *ParsedFamily
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validName(name, false) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			cur = familyFor(fams, name)
+			cur.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			cur = familyFor(fams, name)
+			if cur.Type != "" && cur.Type != typ {
+				return nil, fmt.Errorf("line %d: metric %q re-typed %s -> %s", lineNo, name, cur.Type, typ)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		name, sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := owningFamily(fams, cur, name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q outside any TYPE'd family", lineNo, name)
+		}
+		if fam.Type == "counter" && sample.Value < 0 {
+			return nil, fmt.Errorf("line %d: counter %q is negative (%g)", lineNo, name, sample.Value)
+		}
+		fam.Samples[name] = append(fam.Samples[name], sample)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func familyFor(fams map[string]*ParsedFamily, name string) *ParsedFamily {
+	f, ok := fams[name]
+	if !ok {
+		f = &ParsedFamily{Name: name, Samples: make(map[string][]ParsedSample)}
+		fams[name] = f
+	}
+	return f
+}
+
+// owningFamily maps a sample's metric name to its family: exact match,
+// or the current family when the name is one of its histogram series.
+func owningFamily(fams map[string]*ParsedFamily, cur *ParsedFamily, name string) *ParsedFamily {
+	if f, ok := fams[name]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	if cur != nil && cur.Type != "" && strings.HasPrefix(name, cur.Name) {
+		return cur
+	}
+	return nil
+}
+
+// parseSample parses `name{l="v",...} value` (labels optional).
+func parseSample(line string) (string, ParsedSample, error) {
+	var s ParsedSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validName(name, false) {
+		return "", s, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return "", s, fmt.Errorf("metric %s: %w", name, err)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// The exposition format allows an optional trailing timestamp.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return "", s, fmt.Errorf("metric %s: bad value %q", name, rest)
+	}
+	s.Value = v
+	return name, s, nil
+}
+
+// parseLabels parses a {a="x",b="y"} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (int, [][2]string, error) {
+	var labels [][2]string
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		name := s[start:i]
+		if !validName(name, true) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q: value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %q: unknown escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, [2]string{name, val.String()})
+	}
+}
+
+// parseValue parses a sample value, accepting +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return inf(1), nil
+	case "-Inf":
+		return inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func inf(sign int) float64 {
+	v, _ := strconv.ParseFloat(fmt.Sprintf("%de9999", sign), 64)
+	return v
+}
+
+// validateHistogram checks every labeled series of a histogram family:
+// buckets sorted by bound and cumulative, a +Inf bucket present and
+// equal to the _count series of the same label set.
+func validateHistogram(fam *ParsedFamily) error {
+	type series struct {
+		bounds []float64
+		counts []float64
+		hasInf bool
+	}
+	byLabels := func(samples []ParsedSample, strip string) map[string][]ParsedSample {
+		out := make(map[string][]ParsedSample)
+		for _, s := range samples {
+			var key []string
+			for _, kv := range s.Labels {
+				if kv[0] == strip {
+					continue
+				}
+				key = append(key, kv[0]+"="+kv[1])
+			}
+			sort.Strings(key)
+			k := strings.Join(key, ",")
+			out[k] = append(out[k], s)
+		}
+		return out
+	}
+	buckets := byLabels(fam.Samples[fam.Name+"_bucket"], "le")
+	counts := byLabels(fam.Samples[fam.Name+"_count"], "")
+	for key, bs := range buckets {
+		ser := series{}
+		for _, b := range bs {
+			le := b.Label("le")
+			if le == "+Inf" {
+				ser.hasInf = true
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s{%s}: bad le %q", fam.Name, key, le)
+			}
+			ser.bounds = append(ser.bounds, bound)
+			ser.counts = append(ser.counts, b.Value)
+		}
+		if !ser.hasInf {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", fam.Name, key)
+		}
+		if !sort.Float64sAreSorted(ser.bounds) {
+			return fmt.Errorf("histogram %s{%s}: bucket bounds out of order", fam.Name, key)
+		}
+		for i := 1; i < len(ser.counts); i++ {
+			if ser.counts[i] < ser.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative (le=%g: %g < %g)",
+					fam.Name, key, ser.bounds[i], ser.counts[i], ser.counts[i-1])
+			}
+		}
+		if cs, ok := counts[key]; ok {
+			if got, want := ser.counts[len(ser.counts)-1], cs[0].Value; got != want {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", fam.Name, key, got, want)
+			}
+		} else {
+			return fmt.Errorf("histogram %s{%s}: missing _count series", fam.Name, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float64 the way Prometheus expects, with +Inf
+// spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case v > 1.797e308:
+		return "+Inf"
+	case v < -1.797e308:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelSet renders {a="x",b="y"} for the given names/values, with an
+// optional extra label appended (the histogram "le"); empty when there
+// are no labels at all.
+func labelSet(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name and
+// children by label values, so successive scrapes of unchanged state
+// are byte-identical. Safe to call concurrently with hot-path writes; a
+// nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.sortedChildren() {
+			switch {
+			case c.fn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name,
+					labelSet(f.labels, c.labelValues, "", ""), formatFloat(c.fn()))
+			case c.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name,
+					labelSet(f.labels, c.labelValues, "", ""), c.counter.Value())
+			case c.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name,
+					labelSet(f.labels, c.labelValues, "", ""), formatFloat(c.gauge.Value()))
+			case c.hist != nil:
+				h := c.hist
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelSet(f.labels, c.labelValues, "le", formatFloat(bound)), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+					labelSet(f.labels, c.labelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name,
+					labelSet(f.labels, c.labelValues, "", ""), formatFloat(h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name,
+					labelSet(f.labels, c.labelValues, "", ""), h.count.Load())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Snapshot is a point-in-time capture of every series in a registry:
+// one entry per rendered sample line, keyed exactly as the exposition
+// format would print it (name{labels}; histograms expand to _bucket,
+// _sum, _count series). Snapshots are plain maps — diff them with Sub
+// to isolate what a phase of an experiment did.
+type Snapshot map[string]float64
+
+// Snapshot captures the current value of every series. Gauge callbacks
+// are invoked; a nil registry returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := make(Snapshot)
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, c := range f.sortedChildren() {
+			base := f.name + labelSet(f.labels, c.labelValues, "", "")
+			switch {
+			case c.fn != nil:
+				snap[base] = c.fn()
+			case c.counter != nil:
+				snap[base] = float64(c.counter.Value())
+			case c.gauge != nil:
+				snap[base] = c.gauge.Value()
+			case c.hist != nil:
+				h := c.hist
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					snap[f.name+"_bucket"+labelSet(f.labels, c.labelValues, "le", formatFloat(bound))] = float64(cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				snap[f.name+"_bucket"+labelSet(f.labels, c.labelValues, "le", "+Inf")] = float64(cum)
+				snap[f.name+"_sum"+base[len(f.name):]] = h.Sum()
+				snap[f.name+"_count"+base[len(f.name):]] = float64(h.count.Load())
+			}
+		}
+	}
+	return snap
+}
+
+// Sub returns s - prev per series: the activity between two snapshots.
+// Series absent from prev count from zero; series absent from s are
+// omitted. Counters and histogram series subtract meaningfully; gauges
+// yield their net change.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v - prev[k]
+	}
+	return out
+}
+
+// Get returns the series value for an exact key ("name" or
+// "name{label=\"v\"}"), 0 when absent.
+func (s Snapshot) Get(key string) float64 { return s[key] }
+
+// Keys returns the snapshot's series keys, sorted.
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

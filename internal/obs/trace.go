@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpans bounds the stage spans one trace record can carry. The
+// serving pipeline emits at most: queue wait, dispatch, the seven
+// Breakdown stages, host MLP, and reply — 16 leaves headroom without
+// pushing TraceRecord past a few cache lines.
+const MaxSpans = 16
+
+// Span is one named stage interval inside a traced request, in
+// nanoseconds. Stages are modeled (engine cost model) or measured
+// (queue wait, wall time) — the Kind field says which.
+type Span struct {
+	Name string  `json:"name"`
+	Ns   float64 `json:"ns"`
+	Kind string  `json:"kind"` // "measured" or "modeled"
+}
+
+// TraceRecord is one sampled request's stage attribution. The spans
+// array is fixed-size so records can live in a preallocated ring and
+// be copied in without heap allocation on the serving path.
+type TraceRecord struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Class     string    `json:"class"`
+	Shard     int       `json:"shard"`
+	BatchSize int       `json:"batch_size"`
+	// QueueNs is the request's own measured queue wait; TotalNs its
+	// queue-entry→reply span (satellite: per-request, not per-batch).
+	QueueNs  float64        `json:"queue_ns"`
+	TotalNs  float64        `json:"total_ns"`
+	NumSpans int            `json:"-"`
+	Spans    [MaxSpans]Span `json:"-"`
+}
+
+// AddSpan appends a stage span, silently dropping past MaxSpans.
+func (t *TraceRecord) AddSpan(name string, ns float64, kind string) {
+	if t == nil || t.NumSpans >= MaxSpans {
+		return
+	}
+	t.Spans[t.NumSpans] = Span{Name: name, Ns: ns, Kind: kind}
+	t.NumSpans++
+}
+
+// MarshalJSON renders only the populated spans.
+func (t TraceRecord) MarshalJSON() ([]byte, error) {
+	type alias TraceRecord // avoid recursion
+	return json.Marshal(struct {
+		alias
+		Spans []Span `json:"spans"`
+	}{alias(t), t.Spans[:t.NumSpans]})
+}
+
+// Tracer records sampled per-request stage-span traces into a fixed
+// ring buffer. Sampling is an atomic counter (1 in SampleEvery requests
+// pass), so the common non-sampled path is one atomic add and a
+// comparison — no locks, no allocation. A nil Tracer never samples.
+type Tracer struct {
+	every uint64
+	seq   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int // ring insert position
+	n    int // populated entries, <= len(ring)
+}
+
+// NewTracer builds a tracer sampling 1 in sampleEvery requests into a
+// ring holding the most recent capacity records. sampleEvery < 1 means
+// sample everything; capacity < 1 defaults to 256.
+func NewTracer(sampleEvery, capacity int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &Tracer{every: uint64(sampleEvery), ring: make([]TraceRecord, capacity)}
+}
+
+// Sample reports whether this request should be traced, and if so
+// returns the sequence number to stamp on its record. Callers that get
+// false must not call Record for the request.
+func (t *Tracer) Sample() (uint64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	seq := t.seq.Add(1)
+	return seq, seq%t.every == 0
+}
+
+// Record copies the record into the ring, overwriting the oldest entry
+// when full. The record is copied by value — callers may reuse rec.
+func (t *Tracer) Record(rec *TraceRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = *rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Records returns the buffered traces, newest first.
+func (t *Tracer) Records() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	for i := 1; i <= t.n; i++ {
+		idx := (t.next - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Len returns how many records are currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// WriteJSON renders the buffered traces (newest first) as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	recs := t.Records()
+	if recs == nil {
+		recs = []TraceRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

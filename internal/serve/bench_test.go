@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"testing"
+
+	"updlrm/internal/obs"
 )
 
 // BenchmarkServeThroughput measures one closed-loop request through the
@@ -23,7 +25,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			srv, err := New(engines, Config{MaxBatch: 8, Pipeline: bench.pipeline})
+			// Benchmark with live instrumentation: the committed bench
+			// gate (BENCH_hotpath.json) holds the registry and sampled
+			// tracer to zero added allocations on the serving path.
+			srv, err := New(engines, Config{
+				MaxBatch: 8, Pipeline: bench.pipeline,
+				Metrics: obs.NewRegistry(),
+				Tracer:  obs.NewTracer(256, 64),
+			})
 			if err != nil {
 				b.Fatal(err)
 			}

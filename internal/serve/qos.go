@@ -433,6 +433,7 @@ func (s *Server) route(mb *microBatch) {
 		mb.predNs = s.router.charge(shard, n)
 		select {
 		case s.shardCh[shard] <- mb:
+			s.obs.recordDispatch(class, shard, n)
 			if h := s.testHookRoute; h != nil {
 				h(class, n, shard)
 			}
@@ -443,6 +444,7 @@ func (s *Server) route(mb *microBatch) {
 	}
 	best := order[0]
 	mb.predNs = s.router.charge(best, n)
+	s.obs.recordDispatch(class, best, n)
 	if h := s.testHookRoute; h != nil {
 		h(class, n, best)
 	}

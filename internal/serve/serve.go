@@ -27,6 +27,7 @@ import (
 	"updlrm/internal/dlrm"
 	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
+	"updlrm/internal/obs"
 	"updlrm/internal/trace"
 )
 
@@ -117,6 +118,20 @@ type Config struct {
 	// letting a heterogeneous deployment pipeline only the replicas
 	// whose configuration benefits.
 	ShardPipeline []bool
+	// Metrics, when set, is the registry the serving stack exports its
+	// metric families to: per-class admission/shed/latency series,
+	// scheduler dispatch decisions, queue depths, router profiles,
+	// update-lane counters, hot-cache per-table counters and engine
+	// stage histograms. The hot path touches only pre-resolved atomic
+	// instruments (zero added allocations); a nil registry leaves the
+	// server uninstrumented. Each Server needs its own registry — the
+	// families are registered at construction and re-registration
+	// panics.
+	Metrics *obs.Registry
+	// Tracer, when set, samples per-request stage-span traces (queue
+	// wait, breakdown stages, reply) into its ring buffer — exposed via
+	// obs.Handler's /debug/traces.
+	Tracer *obs.Tracer
 }
 
 // Defaults for Config zero values.
@@ -182,6 +197,15 @@ type Response struct {
 	// pipelining is disabled. The overlap's throughput gain is reported
 	// by Stats.PipelineSpeedup.
 	PipelinedNs float64
+	// SpanNs is this request's own queue-entry-to-reply span: its
+	// measured QueueNs plus the batch's modeled shard residency (the
+	// overlap-aware PipelinedNs when the shard pipelines, the serial
+	// breakdown total otherwise). Unlike ModeledNs — which every request
+	// of a coalesced micro-batch shares except for queueing — SpanNs
+	// attributes the batch's pipelined residency to each request
+	// individually, so two requests coalesced into one batch report
+	// different spans when they entered the queue at different times.
+	SpanNs float64
 }
 
 // ModeledNs is the request's end-to-end modeled latency: queueing plus
@@ -243,6 +267,10 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	stats *collector
+	// obs holds the pre-resolved instrument set (nil when Config.Metrics
+	// is unset); tracer samples per-request stage traces (nil disables).
+	obs    *serveObs
+	tracer *obs.Tracer
 	// cache is the hot-row cache shared by all replicas (nil when
 	// disabled); kept for stats reporting.
 	cache *hotcache.Cache
@@ -340,12 +368,17 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 		updateCh:     make(chan *updateJob, updateQueueDepth),
 		router:       newRouter(len(engines)),
 		stats:        newCollector(),
+		tracer:       cfg.Tracer,
 		cache:        first.HotCache(),
 	}
 	for c := Class(0); c < NumClasses; c++ {
 		s.class[c] = cfg.classParams(c)
 		s.classCh[c] = make(chan *pending, s.class[c].depth)
 	}
+	// Register the metric families and scrape-time callbacks before any
+	// goroutine starts: registration locks and allocates, the running
+	// hot path must not.
+	s.obs = newServeObs(cfg.Metrics, s)
 	// Seed each shard's cost profile from the engine's static probes —
 	// one single-request batch and one MaxBatch-sized batch, pinning the
 	// affine fixed-plus-marginal cost fit — so the very first batches
@@ -444,9 +477,11 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	select {
 	case s.classCh[req.Class] <- p:
 		s.mu.RUnlock()
+		s.obs.recordAdmit(req.Class)
 	default:
 		s.mu.RUnlock()
 		s.stats.recordShed(req.Class)
+		s.obs.recordShed(req.Class)
 		return Response{}, ErrOverloaded
 	}
 
@@ -486,6 +521,10 @@ func (s *Server) worker(shard int) {
 		DenseDim:     s.denseDim,
 	}
 	var batch trace.Batch
+	// trec is the worker's recycled trace record: sampled requests fill
+	// it and the tracer copies it into its ring, so tracing allocates
+	// nothing on the serving path.
+	var trec obs.TraceRecord
 	for mb := range s.shardCh[shard] {
 		// Update-lane broadcasts apply on the worker goroutine, so a
 		// shard's deltas never race its batches; FIFO channel order
@@ -529,6 +568,7 @@ func (s *Server) worker(shard int) {
 				p.done <- outcome{err: fmt.Errorf("serve: shard %d: %w", shard, err)}
 			}
 			s.stats.recordError(len(pend))
+			s.obs.recordErrors(len(pend))
 			s.router.complete(shard, mb.predNs, metrics.Breakdown{}, 0)
 			putMicroBatch(mb)
 			continue
@@ -557,23 +597,69 @@ func (s *Server) worker(shard int) {
 				pipeLat = serialLat
 			}
 		}
+		// residency is the batch's modeled time on the shard from this
+		// dispatch: overlap-aware when pipelined, the serial breakdown
+		// total otherwise. Each request's SpanNs adds its own measured
+		// queue wait — per-request attribution inside the coalesced
+		// batch, not the batch's shared number.
+		residency := res.Breakdown.TotalNs()
+		if pipelined {
+			residency = pipeLat
+		}
 		for i, p := range pend {
+			queueNs := float64(dispatch.Sub(p.enq).Nanoseconds())
 			resp := Response{
 				CTR:         res.CTR[i],
 				Class:       mb.class,
 				Shard:       shard,
 				BatchSize:   len(pend),
-				QueueNs:     float64(dispatch.Sub(p.enq).Nanoseconds()),
+				QueueNs:     queueNs,
 				Breakdown:   res.Breakdown,
 				PipelinedNs: pipeLat,
+				SpanNs:      queueNs + residency,
 			}
 			p.done <- outcome{resp: resp}
 			s.stats.record(resp)
+			s.obs.recordResponse(&resp)
+			if seq, ok := s.tracer.Sample(); ok {
+				s.traceRequest(&trec, seq, &resp, dispatch)
+			}
 		}
 		s.stats.recordBatch(res.MRAMBytesRead, serialLat, pipeLat)
 		s.router.complete(shard, mb.predNs, res.Breakdown, len(pend))
 		putMicroBatch(mb)
 	}
+}
+
+// traceRequest fills the worker's recycled record with one sampled
+// request's stage spans — measured queue wait, the batch's modeled
+// breakdown stages, and the measured reply fan-out — and hands it to
+// the tracer (which copies it into its ring).
+func (s *Server) traceRequest(rec *obs.TraceRecord, seq uint64, resp *Response, dispatch time.Time) {
+	*rec = obs.TraceRecord{
+		Seq:       seq,
+		Time:      dispatch,
+		Class:     resp.Class.String(),
+		Shard:     resp.Shard,
+		BatchSize: resp.BatchSize,
+		QueueNs:   resp.QueueNs,
+		TotalNs:   resp.SpanNs,
+	}
+	rec.AddSpan("queue_wait", resp.QueueNs, "measured")
+	bd := &resp.Breakdown
+	rec.AddSpan("cpu_to_dpu", bd.CPUToDPUNs, "modeled")
+	rec.AddSpan("dpu_lookup", bd.DPULookupNs, "modeled")
+	rec.AddSpan("dpu_to_cpu", bd.DPUToCPUNs, "modeled")
+	rec.AddSpan("host_agg", bd.HostAggNs, "modeled")
+	if bd.HostCacheNs > 0 {
+		rec.AddSpan("host_cache", bd.HostCacheNs, "modeled")
+	}
+	if bd.UpdateNs > 0 {
+		rec.AddSpan("update", bd.UpdateNs, "modeled")
+	}
+	rec.AddSpan("mlp", bd.MLPNs, "modeled")
+	rec.AddSpan("reply", float64(time.Since(dispatch).Nanoseconds()), "measured")
+	s.tracer.Record(rec)
 }
 
 // Close stops accepting requests, drains the queues (every already

@@ -245,12 +245,19 @@ func (c *collector) recordUpdateShed() {
 	c.mu.Unlock()
 }
 
-// summarize fills mean/percentile fields from an unsorted sample set;
-// it sorts in place.
+// summarize fills mean/percentile fields from an unsorted sample set.
+// It copies before sorting: callers hand it live collector slices whose
+// backing arrays concurrent recorders may still be appending to, and
+// sorting those in place would scramble element order under a
+// concurrent append's reallocation copy. Reading a captured header is
+// safe — the collector only ever appends (writes at index >= the
+// captured len, or into a fresh backing array), never mutates existing
+// elements.
 func summarize(lat []float64) (mean, p50, p95, p99, maxv float64) {
 	if len(lat) == 0 {
 		return 0, 0, 0, 0, 0
 	}
+	lat = append([]float64(nil), lat...)
 	sort.Float64s(lat)
 	var sum float64
 	for _, v := range lat {
@@ -263,13 +270,18 @@ func summarize(lat []float64) (mean, p50, p95, p99, maxv float64) {
 
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()
-	lat := append([]float64(nil), c.latencies...)
-	queues := append([]float64(nil), c.queues...)
+	// Capture slice headers only (O(1) under the lock): the collector is
+	// append-only, so elements below the captured len never change and
+	// summarize copies before it sorts. Stats() under sustained traffic
+	// therefore costs the recorders one short critical section, not a
+	// full O(n) copy.
+	lat := c.latencies
+	queues := c.queues
 	var perClass [NumClasses]classAgg
 	for i := range c.perClass {
 		perClass[i] = classAgg{
-			latencies: append([]float64(nil), c.perClass[i].latencies...),
-			queues:    append([]float64(nil), c.perClass[i].queues...),
+			latencies: c.perClass[i].latencies,
+			queues:    c.perClass[i].queues,
 			shed:      c.perClass[i].shed,
 		}
 	}
@@ -286,7 +298,7 @@ func (c *collector) snapshot() Stats {
 		UpdateInvalidations: c.updInval,
 		UpdateModeledNs:     c.updModeledNs,
 	}
-	updLats := append([]float64(nil), c.updLats...)
+	updLats := c.updLats
 	first, last := c.first, c.last
 	c.mu.Unlock()
 

@@ -108,6 +108,7 @@ func (s *Server) ApplyDeltas(ctx context.Context, deltas []Delta) error {
 	default:
 		s.mu.RUnlock()
 		s.stats.recordUpdateShed()
+		s.obs.recordUpdateShed()
 		return ErrUpdateOverloaded
 	}
 
@@ -166,7 +167,9 @@ func (s *Server) applyUpdate(shard int, job *updateJob) {
 	inv, mod := job.invalidations, job.modeledNs
 	job.mu.Unlock()
 	if last {
-		s.stats.recordUpdate(int64(len(job.deltas)), float64(time.Since(job.enq).Nanoseconds()), mod, inv)
+		wall := float64(time.Since(job.enq).Nanoseconds())
+		s.stats.recordUpdate(int64(len(job.deltas)), wall, mod, inv)
+		s.obs.recordUpdate(int64(len(job.deltas)), inv, wall, mod)
 		close(job.done)
 	}
 }

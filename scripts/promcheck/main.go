@@ -1,0 +1,113 @@
+// Command promcheck scrapes a running updlrm server's /metrics
+// endpoint and verifies the response is valid Prometheus text
+// exposition covering the serving stack's instrument families — the CI
+// smoke test for the observability surface. It retries the first fetch
+// while the server starts up, validates the exposition with the same
+// parser the unit tests use (histogram cumulativity, +Inf buckets,
+// counter non-negativity), and fails if any required family is absent.
+//
+// Usage:
+//
+//	go run ./scripts/promcheck -url http://127.0.0.1:8097/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"updlrm/internal/obs"
+)
+
+// requiredFamilies is the contract the serving stack's /metrics surface
+// must cover: per-class serving traffic, router state, the hot-row
+// cache, the update lane, and the per-stage engine histograms.
+var requiredFamilies = []string{
+	"serve_admitted_total",
+	"serve_requests_total",
+	"serve_shed_total",
+	"serve_request_modeled_ns",
+	"serve_queue_wait_ns",
+	"serve_request_span_ns",
+	"serve_batches_total",
+	"serve_queue_depth",
+	"serve_router_backlog_ns",
+	"serve_router_profile_ns",
+	"hotcache_hits_total",
+	"hotcache_misses_total",
+	"hotcache_entries",
+	"serve_update_queue_depth",
+	"serve_update_rows_total",
+	"serve_update_invalidations_total",
+	"core_stage_modeled_ns",
+	"core_mram_read_bytes",
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8097/metrics", "metrics endpoint to scrape")
+	wait := flag.Duration("wait", 15*time.Second, "retry window for the first successful fetch")
+	flag.Parse()
+
+	body, err := fetch(*url, *wait)
+	if err != nil {
+		fail("fetch %s: %v", *url, err)
+	}
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		fail("invalid exposition: %v", err)
+	}
+	var missing []string
+	for _, name := range requiredFamilies {
+		if _, ok := fams[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fail("exposition parsed but %d required families are missing: %v", len(missing), missing)
+	}
+	samples := 0
+	for _, f := range fams {
+		for _, ss := range f.Samples {
+			samples += len(ss)
+		}
+	}
+	fmt.Printf("promcheck: OK — %d families (%d required present), %d samples, exposition valid\n",
+		len(fams), len(requiredFamilies), samples)
+}
+
+// fetch GETs the URL, retrying connection failures until the deadline —
+// CI starts the server in the background, so the first scrapes race its
+// listener coming up. Non-2xx responses fail immediately.
+func fetch(url string, wait time.Duration) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(url)
+		if err != nil {
+			if time.Now().After(deadline) {
+				return "", err
+			}
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %s: %s", resp.Status, body)
+		}
+		return string(body), nil
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -30,6 +30,8 @@
 package updlrm
 
 import (
+	"net/http"
+
 	"updlrm/internal/baseline"
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
@@ -37,6 +39,7 @@ import (
 	"updlrm/internal/hosthw"
 	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
+	"updlrm/internal/obs"
 	"updlrm/internal/partition"
 	"updlrm/internal/serve"
 	"updlrm/internal/synth"
@@ -179,6 +182,39 @@ const (
 	// ServerConfig.Classes and ServerStats.PerClass).
 	NumRequestClasses = serve.NumClasses
 )
+
+// Observability: a dependency-free metrics registry (Prometheus text
+// exposition) plus a sampled per-request stage tracer. Set a registry
+// and tracer on ServerConfig.Metrics / ServerConfig.Tracer to
+// instrument a server, then expose them over HTTP with MetricsHandler
+// or diff phases programmatically with MetricsRegistry.Snapshot.
+type (
+	// MetricsRegistry collects counters, gauges and histograms and
+	// renders them in Prometheus text exposition format. Each Server
+	// needs its own registry (instrument names are registered once).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time flat view of a registry,
+	// diffable across experiment phases with Sub.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer buffers sampled per-request stage-span traces.
+	Tracer = obs.Tracer
+	// TraceRecord is one sampled request's stage attribution.
+	TraceRecord = obs.TraceRecord
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a tracer sampling 1 in sampleEvery requests into a
+// ring of the most recent capacity records.
+func NewTracer(sampleEvery, capacity int) *Tracer { return obs.NewTracer(sampleEvery, capacity) }
+
+// MetricsHandler exposes a registry at /metrics (Prometheus text
+// format) and a tracer's buffered records at /debug/traces (JSON);
+// either argument may be nil.
+func MetricsHandler(reg *MetricsRegistry, tracer *Tracer) http.Handler {
+	return obs.Handler(reg, tracer)
+}
 
 // ErrServerClosed is returned by Server.Predict after Close.
 var ErrServerClosed = serve.ErrClosed
