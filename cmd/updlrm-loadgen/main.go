@@ -27,9 +27,15 @@
 // isolation and which class admission control shed are visible — plus
 // the all-traffic summary row.
 //
+// -kernel fast runs every shard's host dense compute on the AVX2/FMA
+// kernel tier (runtime CPUID detection with a pure-Go fallback);
+// predictions then differ from the exact tier by float summation order
+// only.
+//
 // Usage:
 //
 //	updlrm-loadgen -preset home -requests 2000 -qps 20000 -shards 4
+//	updlrm-loadgen -mode closed -concurrency 64 -kernel fast
 //	updlrm-loadgen -mode closed -concurrency 64 -methods cacheaware,uniform
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 //	updlrm-loadgen -mode closed -concurrency 64 -pipeline
@@ -89,6 +95,8 @@ func main() {
 			"serving-tier hot-row cache size as %% of total embedding storage (0 disables)")
 		methodsFlag = flag.String("methods", "uniform,nonuniform,cacheaware",
 			"comma-separated partitioning methods to compare")
+		kernelName = flag.String("kernel", "exact",
+			"host GEMM tier (exact|fast): exact is bit-stable, fast runs the AVX2/FMA kernels")
 		writePct = flag.Float64("writepct", 0,
 			"online-update intensity: row deltas per 100 embedding lookups (0 disables the update stream)")
 		drift = flag.Bool("drift", false,
@@ -142,6 +150,10 @@ func main() {
 	}
 
 	methods, err := parseMethods(*methodsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := updlrm.ParseKernel(*kernelName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,6 +225,13 @@ func main() {
 
 	fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n",
 		*mode, *requests, *shards, *maxBatch, *window, *dpus)
+	if kernel != updlrm.KernelExact {
+		impl := "pure Go fallback"
+		if updlrm.FastKernelVectorized() {
+			impl = "AVX2/FMA"
+		}
+		fmt.Printf("kernel tier: %v (%s)\n", kernel, impl)
+	}
 	if cacheBytes > 0 {
 		fmt.Printf("hot-row cache: %.1f%% of %d KB embedding storage = %d KB\n",
 			*cachePct, tableBytes/1024, cacheBytes/1024)
@@ -240,6 +259,7 @@ func main() {
 		ecfg := updlrm.DefaultEngineConfig()
 		ecfg.TotalDPUs = *dpus
 		ecfg.Method = m.method
+		ecfg.Kernel = kernel
 		scfg := updlrm.ServerConfig{
 			Shards:      *shards,
 			MaxBatch:    *maxBatch,

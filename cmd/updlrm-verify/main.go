@@ -5,9 +5,16 @@
 // tolerance. It exits non-zero on any divergence — the CI-style gate for
 // simulator changes.
 //
+// The -kernel flag selects the host GEMM tier the UpDLRM engines run:
+// "exact" (the default) matches the CPU reference bit for bit and
+// passes at -tol 0, while "fast" (AVX2/FMA 8-lane reduction) reorders
+// float32 summation and is verified under the tolerance — it passes at
+// the default -tol 1e-4 on every preset and is expected to FAIL at
+// -tol 0.
+//
 // Usage:
 //
-//	updlrm-verify [-preset=read] [-samples=512] [-item-frac=0.01] [-tolerance=1e-4]
+//	updlrm-verify [-preset=read] [-samples=512] [-item-frac=0.01] [-kernel=exact] [-tol=1e-4]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"updlrm/internal/hosthw"
 	"updlrm/internal/partition"
 	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
 	"updlrm/internal/upmem"
 )
 
@@ -33,17 +41,24 @@ func main() {
 	redFrac := flag.Float64("red-frac", 0.5, "reduction scale")
 	batch := flag.Int("batch", 64, "batch size")
 	dpus := flag.Int("dpus", 256, "DPU count")
-	tolerance := flag.Float64("tolerance", 1e-4, "max CTR divergence")
+	tol := flag.Float64("tol", 1e-4, "max CTR divergence vs the exact CPU reference")
+	flag.Float64Var(tol, "tolerance", 1e-4, "alias for -tol")
+	kernelName := flag.String("kernel", "exact", "host GEMM tier for the UpDLRM engines (exact|fast)")
 	flag.Parse()
 
-	if err := verify(*preset, *samples, *itemFrac, *redFrac, *batch, *dpus, *tolerance); err != nil {
+	kernel, err := tensor.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updlrm-verify: %v\n", err)
+		os.Exit(2)
+	}
+	if err := verify(*preset, *samples, *itemFrac, *redFrac, *batch, *dpus, *tol, kernel); err != nil {
 		fmt.Fprintf(os.Stderr, "updlrm-verify: FAIL: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("updlrm-verify: PASS")
 }
 
-func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus int, tol float64) error {
+func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus int, tol float64, kernel tensor.Kernel) error {
 	start := time.Now()
 	spec, err := synth.Preset(preset)
 	if err != nil {
@@ -60,6 +75,11 @@ func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus i
 	}
 	fmt.Printf("workload: %s — %d samples, %d tables x %d items, avg reduction %.1f\n",
 		spec.Name, samples, tr.NumTables, tr.RowsPerTable[0], tr.AvgReduction())
+	impl := "pure Go"
+	if tensor.FastVectorized() {
+		impl = "AVX2/FMA"
+	}
+	fmt.Printf("kernel tier: %v (%s), tolerance %g\n", kernel, impl, tol)
 
 	cpuM, gpuM, pcieM := hosthw.DefaultCPU(), hosthw.DefaultGPU(), hosthw.DefaultPCIe()
 	cpu, err := baseline.NewCPU(model, cpuM)
@@ -128,6 +148,7 @@ func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus i
 			cfg.BatchSize = batch
 			cfg.Method = method
 			cfg.Engine = engine
+			cfg.Kernel = kernel
 			eng, err := core.New(model, tr, cfg)
 			if err != nil {
 				return fmt.Errorf("UpDLRM(%v,%v): %w", method, engine, err)
@@ -147,6 +168,7 @@ func verify(preset string, samples int, itemFrac, redFrac float64, batch, dpus i
 	cfg := core.DefaultConfig()
 	cfg.TotalDPUs = dpus
 	cfg.BatchSize = batch
+	cfg.Kernel = kernel
 	eng, err := core.New(model, tr, cfg)
 	if err != nil {
 		return err

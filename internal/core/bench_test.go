@@ -1,12 +1,26 @@
 package core
 
 import (
+	"os"
 	"testing"
 
 	"updlrm/internal/obs"
 	"updlrm/internal/partition"
+	"updlrm/internal/tensor"
 	"updlrm/internal/trace"
 )
+
+// benchKernel returns the GEMM tier the bench gate selects via
+// UPDLRM_BENCH_KERNEL (exact when unset): scripts/bench.sh runs the
+// hot-path suite once per tier and keys the committed baseline by it.
+func benchKernel(b *testing.B) tensor.Kernel {
+	b.Helper()
+	k, err := tensor.ParseKernel(os.Getenv("UPDLRM_BENCH_KERNEL"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
 
 // BenchmarkRunBatch measures the engine's end-to-end batch hot path —
 // job building, the three DPU stages, host aggregation, and the dense
@@ -22,7 +36,9 @@ func BenchmarkRunBatch(b *testing.B) {
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			model, tr := smallWorld(b)
-			eng, err := New(model, tr, smallConfig(bench.method))
+			cfg := smallConfig(bench.method)
+			cfg.Kernel = benchKernel(b)
+			eng, err := New(model, tr, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -45,7 +61,9 @@ func BenchmarkRunBatch(b *testing.B) {
 // on a whole trace, covering the CTR-growth path of PipelineResult.
 func BenchmarkRunTracePipelined(b *testing.B) {
 	model, tr := smallWorld(b)
-	eng, err := New(model, tr, smallConfig(partition.MethodUniform))
+	cfg := smallConfig(partition.MethodUniform)
+	cfg.Kernel = benchKernel(b)
+	eng, err := New(model, tr, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -64,6 +64,12 @@ type Config struct {
 	// presets partition differently from read-only ones; zero (the
 	// default) reproduces read-only planning exactly.
 	WriteRatio float64
+	// Kernel selects the host GEMM tier the dense model runs on.
+	// tensor.KernelExact (the zero value) is bit-identical to the
+	// per-sample reference path; tensor.KernelFast runs the AVX2/FMA
+	// 8-lane kernels, identical up to float32 summation order (bound the
+	// CTR divergence with a tolerance, e.g. updlrm-verify -tol).
+	Kernel tensor.Kernel
 	// HotCache is the serving-tier hot-row cache the engine probes
 	// before dispatching lookups to the DPUs. Rows it serves are
 	// aggregated on the host (Breakdown.HostCacheNs) and never enter the
@@ -264,6 +270,9 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	if cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("core: BatchSize = %d", cfg.BatchSize)
 	}
+	if !cfg.Kernel.Valid() {
+		return nil, fmt.Errorf("core: invalid kernel tier %d", cfg.Kernel)
+	}
 	if cfg.Method == partition.MethodCacheAware {
 		if err := cfg.Grace.Validate(); err != nil {
 			return nil, err
@@ -360,9 +369,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 					}
 					for _, r := range rows {
 						table.ReadCols(int(r), col0, nc, tmp)
-						for k := 0; k < nc; k++ {
-							dst[k] += tmp[k]
-						}
+						tensor.Add(tmp, dst)
 					}
 				}
 			}
@@ -386,8 +393,9 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	}
 
 	// Dense-compute worker pool: per-worker GEMM workspaces over the
-	// shared model weights. HostPool.Forward shards the batch's
-	// GEMM row-blocks across them bit-identically to the serial path.
+	// shared model weights, running the configured kernel tier.
+	// HostPool.Forward shards the batch's GEMM row-blocks across them
+	// bit-identically to the serial path on the same tier.
 	workers := cfg.HostWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -395,7 +403,7 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	if workers > maxHostWorkers {
 		workers = maxHostWorkers
 	}
-	e.hostPool = dlrm.NewHostPool(model, workers)
+	e.hostPool = dlrm.NewHostPool(model, workers, cfg.Kernel)
 
 	// Size the per-batch scratch arena once.
 	e.sc.jobs = make([]*upmem.KernelJob, cfg.TotalDPUs)
@@ -532,9 +540,7 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result) error {
 					sc.offerRow = row
 					hit, admitted := cache.LookupOrOffer(t, row, sc.cacheVec, e.offerFills[t])
 					if hit {
-						for k := 0; k < dim; k++ {
-							dst[k] += sc.cacheVec[k]
-						}
+						tensor.Add(sc.cacheVec, dst)
 						waveHits++
 					} else {
 						if admitted {
@@ -636,9 +642,7 @@ func (e *Engine) runWave(b *trace.Batch, lo, hi int, res *Result) error {
 				col0 := sl * shape.Nc
 				for s := lo; s < hi; s++ {
 					dst := sc.embs.At(s, t)[col0 : col0+shape.Nc]
-					for k, v := range r.Partial[s-lo] {
-						dst[k] += v
-					}
+					tensor.Add(r.Partial[s-lo], dst)
 				}
 			}
 		}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"updlrm/internal/partition"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// TestEngineFastKernelCTRTolerance is the end-to-end contract of the
+// fast tier: an engine configured with Kernel: fast serves the same
+// CTRs as the exact-tier engine up to float32 summation reordering —
+// far below any ranking-meaningful scale — on every partitioning
+// method. The bound must hold whether the AVX2/FMA assembly or its
+// pure-Go fallback is active.
+func TestEngineFastKernelCTRTolerance(t *testing.T) {
+	model, tr := smallWorld(t)
+	b := trace.MakeBatch(tr, 0, 32)
+	const tol = 1e-5
+
+	for _, method := range []partition.Method{
+		partition.MethodUniform, partition.MethodNonUniform, partition.MethodCacheAware,
+	} {
+		exactCfg := smallConfig(method)
+		exact, err := New(model, tr, exactCfg)
+		if err != nil {
+			t.Fatalf("%v: New(exact): %v", method, err)
+		}
+		fastCfg := smallConfig(method)
+		fastCfg.Kernel = tensor.KernelFast
+		fast, err := New(model, tr, fastCfg)
+		if err != nil {
+			t.Fatalf("%v: New(fast): %v", method, err)
+		}
+
+		re, err := exact.RunBatch(b)
+		if err != nil {
+			t.Fatalf("%v: exact RunBatch: %v", method, err)
+		}
+		rf, err := fast.RunBatch(b)
+		if err != nil {
+			t.Fatalf("%v: fast RunBatch: %v", method, err)
+		}
+
+		// Embedding gather is tier-independent (the GEMM tier only covers
+		// the dense model), so the gathered vectors must stay bitwise.
+		for s := 0; s < b.Size; s++ {
+			for tb := 0; tb < model.Cfg.NumTables(); tb++ {
+				ev, fv := re.Embeddings.At(s, tb), rf.Embeddings.At(s, tb)
+				for i := range ev {
+					if ev[i] != fv[i] {
+						t.Fatalf("%v: embedding bits changed under fast tier: sample %d table %d dim %d",
+							method, s, tb, i)
+					}
+				}
+			}
+		}
+		if !tensor.AlmostEqual(re.CTR, rf.CTR, tol) {
+			t.Fatalf("%v: fast-tier CTR diverges beyond %v: max diff %v",
+				method, tol, tensor.MaxAbsDiff(re.CTR, rf.CTR))
+		}
+	}
+}
+
+// An out-of-range kernel tier must be rejected at engine construction,
+// not discovered as a panic mid-batch.
+func TestEngineRejectsInvalidKernel(t *testing.T) {
+	model, tr := smallWorld(t)
+	cfg := smallConfig(partition.MethodUniform)
+	cfg.Kernel = tensor.Kernel(7)
+	if _, err := New(model, tr, cfg); err == nil {
+		t.Fatal("New accepted kernel tier 7")
+	}
+}

@@ -277,7 +277,9 @@ func TestWriteRatioChangesPlanning(t *testing.T) {
 
 func BenchmarkApplyDeltas(b *testing.B) {
 	model, tr := smallWorld(b)
-	eng, err := New(model, tr, smallConfig(partition.MethodCacheAware))
+	cfg := smallConfig(partition.MethodCacheAware)
+	cfg.Kernel = benchKernel(b)
+	eng, err := New(model, tr, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dlrm
 
 import (
+	"os"
 	"runtime"
 	"testing"
 
@@ -8,6 +9,18 @@ import (
 	"updlrm/internal/tensor"
 	"updlrm/internal/trace"
 )
+
+// benchKernel returns the GEMM tier the bench gate selects via
+// UPDLRM_BENCH_KERNEL (exact when unset): scripts/bench.sh runs the
+// hot-path suite once per tier and keys the committed baseline by it.
+func benchKernel(b *testing.B) tensor.Kernel {
+	b.Helper()
+	k, err := tensor.ParseKernel(os.Getenv("UPDLRM_BENCH_KERNEL"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
 
 // benchModel builds a default model plus a 64-sample batch and its
 // reference embeddings.
@@ -52,6 +65,10 @@ func BenchmarkForwardBatch(b *testing.B) {
 	embs := EmbedCPU(m, batch)
 	flat := flatten(embs, m.Cfg.NumTables(), m.Cfg.EmbDim)
 	ctr := make([]float32, batch.Size)
+	kernel := benchKernel(b)
+	// The serial/flat entry points run through the model-owned
+	// workspace; tier it like a configured engine would.
+	m.batchWS().Kernel = kernel
 	b.Run("serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -73,7 +90,7 @@ func BenchmarkForwardBatch(b *testing.B) {
 		if workers < 2 {
 			workers = 2
 		}
-		pool := NewHostPool(m, workers)
+		pool := NewHostPool(m, workers, kernel)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

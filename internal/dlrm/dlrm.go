@@ -284,6 +284,16 @@ type BatchWorkspace struct {
 	mw    mlp.Workspace
 	// flat is scratch for flattening pyramid embeddings (ForwardBatch).
 	flat tensor.EmbBuf
+	// vecs is scratch for the interaction stage's row pointers
+	// ([dense, emb_0, ..., emb_{T-1}] per sample).
+	vecs [][]float32
+
+	// Kernel selects the GEMM tier batches through this workspace run
+	// on. The zero value is tensor.KernelExact — bit-identical to the
+	// per-sample reference path; tensor.KernelFast trades bit identity
+	// for the AVX2/FMA kernels. The tier rides the workspace, not the
+	// model, so one shared read-only model can serve both.
+	Kernel tensor.Kernel
 }
 
 // forwardGemm runs the batch-major dense path over samples [lo, hi) of
@@ -310,10 +320,28 @@ func (m *Model) forwardGemm(b *trace.Batch, embs *tensor.EmbBuf, ctr []float32, 
 		copy(ws.x0.Row(r), row)
 	}
 	ws.dense.Reshape(n, d)
+	ws.mw.Kernel = ws.Kernel
 	m.Bottom.ForwardBatch(&ws.x0, &ws.dense, &ws.mw)
 	ws.inter.Reshape(n, m.Cfg.InteractionDim())
+	nv := m.Cfg.NumTables() + 1
+	if cap(ws.vecs) < nv {
+		ws.vecs = make([][]float32, nv)
+	}
+	vecs := ws.vecs[:nv]
 	for r := 0; r < n; r++ {
-		m.interactFlat(ws.dense.Row(r), embs.Sample(lo+r), ws.inter.Row(r))
+		// The interaction stage through the Gram micro-kernels: copy the
+		// dense vector, then every pairwise dot of [dense, embeddings]
+		// as 2x2 register tiles. Exact tier is bit-identical to the old
+		// interactFlat Dot loop (same pair order, same lane reduction).
+		dense := ws.dense.Row(r)
+		dst := ws.inter.Row(r)
+		copy(dst[:d], dense)
+		vecs[0] = dense
+		sample := embs.Sample(lo + r)
+		for t := 1; t < nv; t++ {
+			vecs[t] = sample[(t-1)*d : t*d]
+		}
+		tensor.PairwiseDots(vecs, dst[d:], ws.Kernel)
 	}
 	ws.out.Reshape(n, 1)
 	m.Top.ForwardBatch(&ws.inter, &ws.out, &ws.mw)
@@ -412,15 +440,15 @@ type hostJob struct {
 }
 
 // NewHostPool builds a pool of the given width (minimum 1) around the
-// model. The model's weights must not be mutated while the pool is in
-// use.
-func NewHostPool(m *Model, workers int) *HostPool {
+// model, running the given kernel tier. The model's weights must not
+// be mutated while the pool is in use.
+func NewHostPool(m *Model, workers int, k tensor.Kernel) *HostPool {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &HostPool{model: m, done: make(chan struct{}, workers)}
 	for i := 0; i < workers; i++ {
-		p.ws = append(p.ws, &BatchWorkspace{})
+		p.ws = append(p.ws, &BatchWorkspace{Kernel: k})
 	}
 	for i := 1; i < workers; i++ {
 		ch := make(chan hostJob)

@@ -84,7 +84,7 @@ func TestHostPoolBitIdentical(t *testing.T) {
 	m, b, _, flat := parallelFixture(t, 37)
 	want := perSampleReference(m, b, flat)
 	for _, workers := range []int{1, 2, 3, 8, 64} {
-		pool := NewHostPool(m, workers)
+		pool := NewHostPool(m, workers, tensor.KernelExact)
 		got := make([]float32, b.Size)
 		pool.Forward(b, flat, got)
 		for s := range want {
@@ -104,7 +104,7 @@ func TestHostPoolBitIdentical(t *testing.T) {
 // per-worker workspaces were shaped by the run.
 func TestHostPoolFansOut(t *testing.T) {
 	m, b, _, flat := parallelFixture(t, 64)
-	pool := NewHostPool(m, 4)
+	pool := NewHostPool(m, 4, tensor.KernelExact)
 	ctr := make([]float32, b.Size)
 	pool.Forward(b, flat, ctr)
 	if got := pool.LastWorkers(); got < 2 {
@@ -129,7 +129,7 @@ func TestHostPoolFansOut(t *testing.T) {
 func TestHostPoolSmallBatch(t *testing.T) {
 	m, b, _, flat := parallelFixture(t, 3)
 	want := perSampleReference(m, b, flat)
-	pool := NewHostPool(m, 5)
+	pool := NewHostPool(m, 5, tensor.KernelExact)
 	got := make([]float32, b.Size)
 	pool.Forward(b, flat, got)
 	for s := range want {
@@ -181,13 +181,47 @@ func TestBatchWorkspaceNoStaleBleed(t *testing.T) {
 
 	// Same property through a pool whose workspaces served the big
 	// batch: shrinking the fan-out must not expose stale rows.
-	pool := NewHostPool(m, 4)
+	pool := NewHostPool(m, 4, tensor.KernelExact)
 	pool.Forward(big, bigFlat, ctr)
 	got2 := make([]float32, small.Size)
 	pool.Forward(small, &flat, got2)
 	for s := range want {
 		if want[s] != got2[s] {
 			t.Fatalf("sample %d: recycled-pool CTR %v != fresh %v", s, got2[s], want[s])
+		}
+	}
+}
+
+// TestHostPoolFastTier: the fast kernel tier through the batch path.
+// Rows are independent, so the fast tier must be bit-identical across
+// pool widths too (the split changes nothing per row); against the
+// exact per-sample reference it may only differ by float32 summation
+// reordering, bounded here well below any CTR-meaningful scale.
+func TestHostPoolFastTier(t *testing.T) {
+	m, b, _, flat := parallelFixture(t, 37)
+	want := perSampleReference(m, b, flat)
+
+	serial := make([]float32, b.Size)
+	sp := NewHostPool(m, 1, tensor.KernelFast)
+	sp.Forward(b, flat, serial)
+
+	const tol = 1e-5
+	for s := range want {
+		d := float64(want[s]) - float64(serial[s])
+		if d < -tol || d > tol {
+			t.Fatalf("sample %d: fast CTR %v vs exact %v, divergence beyond %v", s, serial[s], want[s], tol)
+		}
+	}
+
+	for _, workers := range []int{2, 3, 8} {
+		pool := NewHostPool(m, workers, tensor.KernelFast)
+		got := make([]float32, b.Size)
+		pool.Forward(b, flat, got)
+		for s := range serial {
+			if serial[s] != got[s] {
+				t.Fatalf("%d workers: sample %d fast CTR %v != serial fast %v (split changed fast-tier bits)",
+					workers, s, got[s], serial[s])
+			}
 		}
 	}
 }

@@ -41,8 +41,19 @@ type Config struct {
 	CapacityBytes int64
 	// Shards is the number of independently locked cache segments;
 	// zero means DefaultShards. More shards cut lock contention under
-	// concurrent serving at a small capacity-granularity cost.
+	// concurrent serving at a small capacity-granularity cost. Ignored
+	// when Tables partitions the cache instead.
 	Shards int
+	// Tables switches the cache from hashed sharding to per-table
+	// capacity partitioning: table t's rows route to segment t, which
+	// owns a fixed 1/Tables share of the entry budget (and its own
+	// frequency sketch), so one burst-hot table can never evict —
+	// or pollute the admission statistics of — another table's proven
+	// hot set. DLRM tables differ wildly in size and skew, which is
+	// exactly when a shared LRU misbehaves. Every segment holds at
+	// least one row even under tiny budgets. Zero keeps hashed
+	// sharding with a shared budget.
+	Tables int
 	// Seed perturbs the shard and sketch hashes.
 	Seed uint64
 }
@@ -116,9 +127,12 @@ type shard struct {
 // *Cache (nil) is a valid always-miss cache, so callers can thread an
 // optional cache without nil checks.
 type Cache struct {
-	shards   []*shard
-	mask     uint64
-	seed     uint64
+	shards []*shard
+	mask   uint64
+	seed   uint64
+	// tables > 0 means per-table partitioning: shards[t] serves table t
+	// and mask is unused.
+	tables   int
 	dim      int
 	rowBytes int64
 	// tabs holds per-table exported counters (see Instrument); empty
@@ -142,10 +156,33 @@ func New(cfg Config, dim int) (*Cache, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("hotcache: Shards = %d", cfg.Shards)
 	}
+	if cfg.Tables < 0 {
+		return nil, fmt.Errorf("hotcache: Tables = %d", cfg.Tables)
+	}
 	rowBytes := int64(dim) * 4
 	totalEntries := int(cfg.CapacityBytes / (rowBytes + EntryOverheadBytes))
 	if totalEntries < 1 {
 		totalEntries = 1 // a positive budget always buys one row
+	}
+	if cfg.Tables > 0 {
+		// Per-table partitioning: segment t owns table t's fixed share
+		// of the budget (never below one row, so a tiny budget degrades
+		// to one resident row per table rather than disabling tables).
+		per := totalEntries / cfg.Tables
+		if per < 1 {
+			per = 1
+		}
+		c := &Cache{
+			shards:   make([]*shard, cfg.Tables),
+			tables:   cfg.Tables,
+			seed:     cfg.Seed,
+			dim:      dim,
+			rowBytes: rowBytes,
+		}
+		for i := range c.shards {
+			c.shards[i] = newShard(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
+		}
+		return c, nil
 	}
 	nShards := cfg.Shards
 	if nShards == 0 {
@@ -168,18 +205,23 @@ func New(cfg Config, dim int) (*Cache, error) {
 	}
 	per := totalEntries / nShards
 	for i := range c.shards {
-		negCap := per
-		if negCap < 64 {
-			negCap = 64
-		}
-		c.shards[i] = &shard{
-			entries:  make(map[uint64]*entry, per),
-			capacity: per,
-			negCap:   negCap,
-			sketch:   newSketch(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15),
-		}
+		c.shards[i] = newShard(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
 	return c, nil
+}
+
+// newShard builds one cache segment holding up to capacity rows.
+func newShard(capacity int, sketchSeed uint64) *shard {
+	negCap := capacity
+	if negCap < 64 {
+		negCap = 64
+	}
+	return &shard{
+		entries:  make(map[uint64]*entry, capacity),
+		capacity: capacity,
+		negCap:   negCap,
+		sketch:   newSketch(capacity, sketchSeed),
+	}
 }
 
 // Dim returns the vector width the cache was built for (0 for nil).
@@ -195,8 +237,14 @@ func key(table int, row int32) uint64 {
 	return uint64(table)<<32 | uint64(uint32(row))
 }
 
-// shardFor routes a key to its shard.
+// shardFor routes a key to its shard: the key's table segment under
+// per-table partitioning (out-of-range tables wrap, so a misconfigured
+// Tables count degrades to sharing rather than panicking), the mixed
+// hash otherwise.
 func (c *Cache) shardFor(k uint64) *shard {
+	if c.tables > 0 {
+		return c.shards[int(k>>32)%c.tables]
+	}
 	return c.shards[mix64(k^c.seed)&c.mask]
 }
 

@@ -342,3 +342,94 @@ func TestSketchSaturates(t *testing.T) {
 		t.Fatalf("estimate %d, want saturated %d", est, counterMax)
 	}
 }
+
+// TestPerTablePartitionRouting: with Tables set, every row of table t
+// lands in segment t — same-index rows of different tables never
+// collide or share capacity.
+func TestPerTablePartitionRouting(t *testing.T) {
+	const dim = 8
+	c, err := New(Config{CapacityBytes: 1 << 20, Tables: 4, Seed: 7}, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.shards) != 4 {
+		t.Fatalf("got %d segments, want 4", len(c.shards))
+	}
+	buf := make([]float32, dim)
+	for table := 0; table < 4; table++ {
+		if !c.Offer(table, 5, fillConst(table, 5, dim)) {
+			t.Fatalf("table %d row 5 not admitted into empty segment", table)
+		}
+		if len(c.shards[table].entries) != 1 {
+			t.Fatalf("table %d row landed outside its segment", table)
+		}
+	}
+	for table := 0; table < 4; table++ {
+		if !c.Lookup(table, 5, buf) {
+			t.Fatalf("table %d row 5 missing after admission", table)
+		}
+		want := float32(table) * 1e6
+		if buf[0] < want || buf[0] >= want+1e6 {
+			t.Fatalf("table %d served another table's vector (%v)", table, buf[0])
+		}
+	}
+}
+
+// TestPerTablePartitionIsolation: a burst-hot table hammering its
+// segment cannot evict (or out-duel) another table's resident hot row —
+// the capacity-isolation property hashed sharding cannot give.
+func TestPerTablePartitionIsolation(t *testing.T) {
+	const dim = 8
+	rowBytes := int64(dim)*4 + EntryOverheadBytes
+	// Budget for 8 entries across 2 tables: 4 per segment.
+	c, err := New(Config{CapacityBytes: 8 * rowBytes, Tables: 2, Seed: 3}, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, dim)
+	// Table 1's hot row: admitted, then re-touched so its frequency
+	// estimate stays high.
+	if !c.Offer(1, 42, fillConst(1, 42, dim)) {
+		t.Fatal("table 1 hot row not admitted")
+	}
+	for i := 0; i < 32; i++ {
+		if !c.Lookup(1, 42, buf) {
+			t.Fatal("table 1 hot row evaporated while being re-touched")
+		}
+	}
+	// Table 0 floods its own segment far past capacity.
+	for row := int32(0); row < 512; row++ {
+		c.Lookup(0, row, buf)
+		c.Offer(0, row, fillConst(0, row, dim))
+	}
+	if !c.Lookup(1, 42, buf) {
+		t.Fatal("table 0's flood evicted table 1's hot row across the partition")
+	}
+	if got := len(c.shards[0].entries); got > c.shards[0].capacity {
+		t.Fatalf("table 0 segment holds %d entries, capacity %d", got, c.shards[0].capacity)
+	}
+	st := c.Stats()
+	if st.CapacityEntries != 8 {
+		t.Fatalf("CapacityEntries = %d, want 8 (4 per table)", st.CapacityEntries)
+	}
+}
+
+// TestPerTablePartitionTinyBudget: a budget below one row per table
+// still gives every table segment one resident slot.
+func TestPerTablePartitionTinyBudget(t *testing.T) {
+	c, err := New(Config{CapacityBytes: 8, Tables: 3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for table := 0; table < 3; table++ {
+		if cap := c.shards[table].capacity; cap != 1 {
+			t.Fatalf("table %d capacity = %d, want 1", table, cap)
+		}
+		if !c.Offer(table, 1, fillConst(table, 1, 16)) {
+			t.Fatalf("table %d rejected first candidate", table)
+		}
+	}
+	if _, err := New(Config{CapacityBytes: 1 << 20, Tables: -1}, 16); err == nil {
+		t.Fatal("negative Tables accepted")
+	}
+}

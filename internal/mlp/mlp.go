@@ -79,18 +79,20 @@ func (l *Layer) Repack() {
 }
 
 // ForwardBatch computes the layer output for a batch of inputs: x is
-// samples x In, dst samples x Out, dst[i] = act(W*x[i] + b) with
-// arithmetic bit-identical to Forward per row. dst must not alias x;
-// its stale contents (a recycled workspace) are fully overwritten. It
-// only reads the layer (weights, bias, packed panels), so concurrent
-// row-block workers may share one Layer.
-func (l *Layer) ForwardBatch(x, dst *tensor.Matrix) {
+// samples x In, dst samples x Out, dst[i] = act(W*x[i] + b). On
+// tensor.KernelExact the arithmetic is bit-identical to Forward per
+// row; tensor.KernelFast runs the AVX2/FMA 8-lane reduction, identical
+// up to summation reordering. dst must not alias x; its stale contents
+// (a recycled workspace) are fully overwritten. It only reads the
+// layer (weights, bias, packed panels), so concurrent row-block
+// workers may share one Layer — even across different kernel tiers.
+func (l *Layer) ForwardBatch(x, dst *tensor.Matrix, k tensor.Kernel) {
 	if l.packed == nil {
 		// Manually assembled layer: pack on first use (single-goroutine
 		// only — construct via New/Clone or call Repack before sharing).
 		l.Repack()
 	}
-	tensor.Gemm(x, l.packed, dst)
+	tensor.GemmKernel(x, l.packed, dst, k)
 	for i := 0; i < dst.Rows; i++ {
 		row := dst.Row(i)
 		tensor.Add(l.B, row)
@@ -105,10 +107,17 @@ func (l *Layer) ForwardBatch(x, dst *tensor.Matrix) {
 
 // Workspace holds the ping-pong activation matrices of the batch-major
 // forward pass, recycled across calls (and across the MLPs sharing
-// it). The zero value is ready for use. Not safe for concurrent use —
-// one Workspace per worker.
+// it). The zero value is ready for use and runs the exact kernel tier.
+// Not safe for concurrent use — one Workspace per worker.
+//
+// The kernel selector rides here rather than on the MLP so that one
+// shared read-only model can serve both tiers concurrently: each
+// worker's workspace picks its tier.
 type Workspace struct {
 	a, b tensor.Matrix
+	// Kernel selects the GEMM tier batch passes through this workspace
+	// run on (the zero value is tensor.KernelExact).
+	Kernel tensor.Kernel
 }
 
 // next returns the recycled scratch matrix to use after cur, reshaped
@@ -229,7 +238,8 @@ func (m *MLP) Clone() *MLP {
 // samples x OutDim, with hidden activations held in ws's recycled
 // ping-pong matrices — one layer at a time over the whole batch, so
 // each weight panel is streamed once per row-block instead of once per
-// sample. Row for row bit-identical to Forward. It reads the MLP's
+// sample. Row for row bit-identical to Forward on ws's default exact
+// tier; ws.Kernel selects the fast tier instead. It reads the MLP's
 // weights only (never the per-MLP scratch), so concurrent row-block
 // workers may share the model as long as each brings its own ws.
 func (m *MLP) ForwardBatch(x, dst *tensor.Matrix, ws *Workspace) {
@@ -245,7 +255,7 @@ func (m *MLP) ForwardBatch(x, dst *tensor.Matrix, ws *Workspace) {
 		if i != len(m.Layers)-1 {
 			out = ws.next(cur, x.Rows, l.Out())
 		}
-		l.ForwardBatch(cur, out)
+		l.ForwardBatch(cur, out, ws.Kernel)
 		cur = out
 	}
 }

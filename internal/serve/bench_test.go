@@ -2,10 +2,24 @@ package serve
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"updlrm/internal/obs"
+	"updlrm/internal/tensor"
 )
+
+// benchKernel returns the GEMM tier the bench gate selects via
+// UPDLRM_BENCH_KERNEL (exact when unset): scripts/bench.sh runs the
+// hot-path suite once per tier and keys the committed baseline by it.
+func benchKernel(b *testing.B) tensor.Kernel {
+	b.Helper()
+	k, err := tensor.ParseKernel(os.Getenv("UPDLRM_BENCH_KERNEL"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
 
 // BenchmarkServeThroughput measures one closed-loop request through the
 // full serving stack: validation, queueing, micro-batching, a shard
@@ -21,6 +35,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			model, profile, ecfg := testFixture(b)
+			ecfg.Kernel = benchKernel(b)
 			engines, err := NewReplicated(model, profile, ecfg, 2)
 			if err != nil {
 				b.Fatal(err)

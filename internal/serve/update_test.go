@@ -299,6 +299,7 @@ func TestApplyDeltasInvalidatesSharedCache(t *testing.T) {
 
 func BenchmarkServeMixedRW(b *testing.B) {
 	model, profile, ecfg := testFixture(b)
+	ecfg.Kernel = benchKernel(b)
 	engines, err := NewReplicated(model, profile, ecfg, 2)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,21 @@
+//go:build amd64
+
+package tensor
+
+// addQuads runs the 4-aligned prefix of dst[i] += x[i] through the SSE
+// kernel and returns how many elements were consumed. Elementwise adds
+// are order-preserving per element — each dst[i] sees exactly one add
+// in the same position — so vectorizing is bit-invisible and safe for
+// the exact tier's reproducibility contract.
+func addQuads(x, dst []float32) int {
+	q := len(x) >> 2
+	if q > 0 {
+		addQuadsSSE(&x[0], &dst[0], q)
+	}
+	return q * 4
+}
+
+// addQuadsSSE is implemented in add_amd64.s; quads must be > 0.
+//
+//go:noescape
+func addQuadsSSE(x, dst *float32, quads int)

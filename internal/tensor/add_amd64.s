@@ -1,0 +1,41 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func addQuadsSSE(x, dst *float32, quads int)
+//
+// dst[i] += x[i] over 4*quads elements. Two quads per iteration keep
+// both ADDPS ports busy; per-element adds are the same IEEE operation
+// the scalar loop performs, so results are bit-identical.
+TEXT ·addQuadsSSE(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ quads+16(FP), CX
+	MOVQ CX, BX
+	SHRQ $1, CX
+	JZ   tail
+
+pairloop:
+	MOVUPS (SI), X0
+	MOVUPS 16(SI), X1
+	MOVUPS (DI), X2
+	MOVUPS 16(DI), X3
+	ADDPS  X0, X2
+	ADDPS  X1, X3
+	MOVUPS X2, (DI)
+	MOVUPS X3, 16(DI)
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   CX
+	JNZ    pairloop
+
+tail:
+	ANDQ $1, BX
+	JZ   done
+	MOVUPS (SI), X0
+	MOVUPS (DI), X2
+	ADDPS  X0, X2
+	MOVUPS X2, (DI)
+
+done:
+	RET

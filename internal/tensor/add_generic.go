@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// addQuads is a no-op on architectures without an Add kernel; the
+// scalar loop in Add covers the whole slice.
+func addQuads(x, dst []float32) int { return 0 }

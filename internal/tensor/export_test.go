@@ -1,0 +1,25 @@
+package tensor
+
+// Test hooks for the fast-tier dispatch: force the pure-Go oct kernels
+// so the forced-path tests can (a) exercise the fallback on hardware
+// where the assembly is active and (b) compare assembly against
+// generic under an ULP bound.
+
+// ForceFastGeneric swaps the fast tier's dispatch to the pure-Go
+// kernels and returns a restore func. Not safe under parallel tests
+// that run the fast tier.
+func ForceFastGeneric() (restore func()) {
+	was := fastAsmActive
+	fastAsmActive = false
+	return func() { fastAsmActive = was }
+}
+
+// GemmFastForTest exposes the fast GEMM driver directly.
+func GemmFastForTest(a *Matrix, b *PackedB, dst *Matrix) { gemmFast(a, b, dst) }
+
+// FastDotForTest exposes the fast tier's inner product.
+func FastDotForTest(x, y []float32) float32 { return fastDot(x, y) }
+
+// Fma32ForTest exposes the scalar fused multiply-add the generic
+// kernels build on.
+func Fma32ForTest(x, y, z float32) float32 { return fma32(x, y, z) }

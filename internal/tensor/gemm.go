@@ -98,13 +98,16 @@ func (p *PackedB) panelRows(i int) (b0, b1 []float32) {
 // a. Every dst element is overwritten, so dst may hold stale values
 // from a recycled workspace.
 func Gemm(a *Matrix, b *PackedB, dst *Matrix) {
-	if a.Cols != b.k {
-		panic(fmt.Sprintf("tensor: Gemm inner dims %d vs %d", a.Cols, b.k))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.n {
-		panic(fmt.Sprintf("tensor: Gemm dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.n))
-	}
+	checkGemmShapes(a, b, dst)
 	m, n := a.Rows, b.n
+	if n == 1 {
+		// Out=1 layers (the top MLP's final sigmoid layer) are a
+		// column, not a matrix: the 2x2 tile would burn half its lanes
+		// multiplying a duplicated weight row, so they run on the
+		// dedicated Nx1 micro-kernel instead.
+		gemmN1(a, b, dst)
+		return
+	}
 	for i0 := 0; i0 < m; i0 += gemmMC {
 		iEnd := i0 + gemmMC
 		if iEnd > m {
@@ -138,10 +141,54 @@ func Gemm(a *Matrix, b *PackedB, dst *Matrix) {
 	}
 }
 
+// checkGemmShapes panics unless a, b and dst agree on M/K/N.
+func checkGemmShapes(a *Matrix, b *PackedB, dst *Matrix) {
+	if a.Cols != b.k {
+		panic(fmt.Sprintf("tensor: Gemm inner dims %d vs %d", a.Cols, b.k))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.n {
+		panic(fmt.Sprintf("tensor: Gemm dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.n))
+	}
+}
+
 // combineDot folds four lane sums and a scalar tail exactly as Dot
 // does: ((s0+s1)+(s2+s3))+tail.
 func combineDot(l *[4]float32, tail float32) float32 {
 	return ((l[0] + l[1]) + (l[2] + l[3])) + tail
+}
+
+// gemmN1 is the exact tier's Nx1 micro-kernel driver: dst is an M x 1
+// column, every element Dot(a.Row(i), w) for the single weight row w.
+// Rows run four at a time through the 4x1 quad kernel — one weight
+// load feeds four sample rows, where the 2x2 tile would re-multiply a
+// duplicated weight row for half its lanes — and each row's four lanes
+// are exactly Dot's, so results stay bit-identical to MatVec. Leftover
+// rows (at most three) fall back to Dot itself.
+func gemmN1(a *Matrix, b *PackedB, dst *Matrix) {
+	w := b.panels[:b.k:b.k]
+	m := a.Rows
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		var lanes [4][4]float32
+		kk := gemmQuads4x1Lanes(a0, a1, a2, a3, w, &lanes)
+		k := len(a0)
+		var t0, t1, t2, t3 float32
+		for ; kk < k; kk++ {
+			wv := w[kk]
+			t0 += a0[kk] * wv
+			t1 += a1[kk] * wv
+			t2 += a2[kk] * wv
+			t3 += a3[kk] * wv
+		}
+		dst.Data[i] = combineDot(&lanes[0], t0)
+		dst.Data[i+1] = combineDot(&lanes[1], t1)
+		dst.Data[i+2] = combineDot(&lanes[2], t2)
+		dst.Data[i+3] = combineDot(&lanes[3], t3)
+	}
+	for ; i < m; i++ {
+		dst.Data[i] = Dot(a.Row(i), w)
+	}
 }
 
 // gemmTile2x2 computes the 2x2 output tile d{0,1}[j], d{0,1}[j+1] from

@@ -25,3 +25,24 @@ func gemmQuads2x2Lanes(a0, a1, b0, b1 []float32, lanes *[4][4]float32) int {
 //
 //go:noescape
 func gemmQuads2x2SSE(a0, a1, b0, b1 *float32, quads int, lanes *[4][4]float32)
+
+// gemmQuads4x1Lanes computes the 4-aligned prefix of four sample rows'
+// dot products against the single weight row w (lanes[r] = a_r·w, four
+// Dot lanes each) and returns how many k positions were consumed. Same
+// overwrite contract as gemmQuads2x2Lanes: lanes is overwritten when
+// at least one quad is consumed, untouched otherwise. The SSE kernel's
+// vector lanes are the scalar Dot lanes, so results are bit-identical
+// to the generic path.
+func gemmQuads4x1Lanes(a0, a1, a2, a3, w []float32, lanes *[4][4]float32) int {
+	q := len(a0) >> 2
+	if q > 0 {
+		gemmQuads4x1SSE(&a0[0], &a1[0], &a2[0], &a3[0], &w[0], q, lanes)
+	}
+	return q * 4
+}
+
+// gemmQuads4x1SSE is implemented in gemm_amd64.s; same contract as the
+// wrapper above with quads > 0.
+//
+//go:noescape
+func gemmQuads4x1SSE(a0, a1, a2, a3, w *float32, quads int, lanes *[4][4]float32)

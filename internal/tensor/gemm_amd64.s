@@ -49,3 +49,51 @@ loop:
 	MOVUPS X2, 32(DX)
 	MOVUPS X3, 48(DX)
 	RET
+
+// func gemmQuads4x1SSE(a0, a1, a2, a3, w *float32, quads int, lanes *[4][4]float32)
+//
+// The Nx1 micro-kernel quad loop: four sample rows against one weight
+// row, X0..X3 holding each row's 4-lane Dot accumulator. One weight
+// quad load feeds all four rows — the load the 2x2 tile would have
+// wasted on a duplicated weight row when N == 1. Per-lane MULPS/ADDPS
+// keep every row's lanes bit-identical to scalar Dot.
+TEXT ·gemmQuads4x1SSE(SB), NOSPLIT, $0-56
+	MOVQ  a0+0(FP), SI
+	MOVQ  a1+8(FP), DI
+	MOVQ  a2+16(FP), R8
+	MOVQ  a3+24(FP), R9
+	MOVQ  w+32(FP), R10
+	MOVQ  quads+40(FP), CX
+	MOVQ  lanes+48(FP), DX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+n1loop:
+	MOVUPS (R10), X7
+	MOVUPS (SI), X4
+	MULPS  X7, X4
+	ADDPS  X4, X0
+	MOVUPS (DI), X5
+	MULPS  X7, X5
+	ADDPS  X5, X1
+	MOVUPS (R8), X6
+	MULPS  X7, X6
+	ADDPS  X6, X2
+	MOVUPS (R9), X8
+	MULPS  X7, X8
+	ADDPS  X8, X3
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	ADDQ   $16, R8
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	DECQ   CX
+	JNZ    n1loop
+
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	RET

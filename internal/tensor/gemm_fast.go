@@ -1,0 +1,153 @@
+// The fast kernel tier: an 8-lane fused-multiply-add reduction behind
+// the same PackedB/blocking skeleton as the exact Gemm. One YMM
+// register of accumulators per output element — lane l sums the
+// products at k positions congruent to l mod 8, each folded in with a
+// single rounding (FMA), the final partial oct contributing through
+// masked loads (inactive lanes see 0*0, which IEEE-preserves the
+// accumulator) — then a fixed fold: m[i] = l[i]+l[i+4], then
+// (m0+m1)+(m2+m3). Unlike the exact tier there is no scalar tail; the
+// whole reduction is vector-scheduled. The fold runs inside the oct
+// kernels in the same IEEE order on both implementations
+// (VADDPS/VHADDPS in the assembly, scalar adds in the fallback, which
+// zero-pads the partial oct explicitly), so the only asm-vs-generic
+// divergence is the theoretical double-rounding corner of emulating a
+// single-float32 FMA through float64 (math.FMA) — within an ulp,
+// covered by the forced-path tests. Divergence from the exact tier is
+// ordinary summation reordering, bounded by the property tests and
+// absorbed by tolerance-based verification end to end.
+package tensor
+
+import "math"
+
+// fastOcts4x2, fastOcts2x2 and fastOcts4x1 are the fast tier's oct
+// kernels: each reduces its tile's full k range in 8 FMA lanes per
+// output and writes the folded scalars into sums — OVERWRITING sums
+// when k > 0 and leaving it untouched otherwise (callers pass a fresh
+// zeroed array). They are arch-split regular functions branching on
+// fastAsmActive rather than function variables: an indirect call would
+// defeat escape analysis and heap-allocate every tile's accumulator.
+
+// fastAsmActive records whether the AVX2/FMA assembly kernels are in
+// use (see FastVectorized). Set once by the init in
+// gemm_fast_amd64.go; the test hook ForceFastGeneric toggles it to
+// exercise the fallback.
+var fastAsmActive bool
+
+// fma32 is a single-precision fused multiply-add: x*y+z with one
+// rounding. math.FMA on float64 is exact for the product of two
+// float32s (24+24 significand bits fit in float64's 53), so the only
+// deviation from a hardware float32 FMA is the rare double-rounding
+// corner of the final 64-to-32-bit conversion.
+func fma32(x, y, z float32) float32 {
+	return float32(math.FMA(float64(x), float64(y), float64(z)))
+}
+
+// foldOct folds eight lane sums in the order both oct kernel
+// implementations share: m[i] = l[i]+l[i+4] (the YMM high/low
+// halves), then Dot's 4-way fold.
+func foldOct(l *[8]float32) float32 {
+	m0 := l[0] + l[4]
+	m1 := l[1] + l[5]
+	m2 := l[2] + l[6]
+	m3 := l[3] + l[7]
+	return (m0 + m1) + (m2 + m3)
+}
+
+// fastDot is the fast tier's inner product: 8 FMA lanes over the whole
+// length. Used for remainder rows and interaction diagonals where the
+// exact tier would call Dot.
+func fastDot(x, y []float32) float32 {
+	var sums [4]float32
+	fastOcts2x2(x, x, y, y, &sums)
+	return sums[0]
+}
+
+// gemmFast computes dst = a * b^T on the fast tier. The blocking
+// skeleton mirrors Gemm — gemmMC row blocks over the same PackedB
+// panels, a dedicated Nx1 path — but the register tile is 4x2 rather
+// than 2x2: with one FMA per accumulator per oct, a 2x2 tile leaves
+// the loop latency-bound on four dependency chains, while eight
+// independent chains keep both FMA ports fed. Every output's reduction
+// runs the same 8-lane schedule regardless of tile shape. Row
+// remainders (<4) fall to 2x2 and 1-row tiles.
+func gemmFast(a *Matrix, b *PackedB, dst *Matrix) {
+	checkGemmShapes(a, b, dst)
+	m, n := a.Rows, b.n
+	if n == 1 {
+		gemmFastN1(a, b, dst)
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmMC {
+		iEnd := i0 + gemmMC
+		if iEnd > m {
+			iEnd = m
+		}
+		i := i0
+		for ; i+4 <= iEnd; i += 4 {
+			a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			d0, d1, d2, d3 := dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3)
+			for p, j := 0, 0; j < n; p, j = p+1, j+gemmNR {
+				b0, b1 := b.panelRows(p)
+				if j+1 < n {
+					var sums [8]float32
+					fastOcts4x2(a0, a1, a2, a3, b0, b1, &sums)
+					d0[j], d0[j+1] = sums[0], sums[1]
+					d1[j], d1[j+1] = sums[2], sums[3]
+					d2[j], d2[j+1] = sums[4], sums[5]
+					d3[j], d3[j+1] = sums[6], sums[7]
+				} else {
+					var sums [4]float32
+					fastOcts4x1(a0, a1, a2, a3, b0, &sums)
+					d0[j], d1[j], d2[j], d3[j] = sums[0], sums[1], sums[2], sums[3]
+				}
+			}
+		}
+		for ; i+gemmMR <= iEnd; i += gemmMR {
+			a0, a1 := a.Row(i), a.Row(i+1)
+			d0, d1 := dst.Row(i), dst.Row(i+1)
+			for p, j := 0, 0; j < n; p, j = p+1, j+gemmNR {
+				b0, b1 := b.panelRows(p)
+				var sums [4]float32
+				fastOcts2x2(a0, a1, b0, b1, &sums)
+				if j+1 < n {
+					d0[j], d0[j+1] = sums[0], sums[1]
+					d1[j], d1[j+1] = sums[2], sums[3]
+				} else {
+					d0[j], d1[j] = sums[0], sums[2]
+				}
+			}
+		}
+		if i < iEnd {
+			a0 := a.Row(i)
+			d0 := dst.Row(i)
+			for p, j := 0, 0; j < n; p, j = p+1, j+gemmNR {
+				b0, b1 := b.panelRows(p)
+				var sums [4]float32
+				fastOcts2x2(a0, a0, b0, b1, &sums)
+				d0[j] = sums[0]
+				if j+1 < n {
+					d0[j+1] = sums[1]
+				}
+			}
+		}
+	}
+}
+
+// gemmFastN1 is the fast tier's Nx1 driver: four sample rows per oct
+// kernel call against the single weight row, fastDot for the remainder.
+func gemmFastN1(a *Matrix, b *PackedB, dst *Matrix) {
+	w := b.panels[:b.k:b.k]
+	m := a.Rows
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		var sums [4]float32
+		fastOcts4x1(a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3), w, &sums)
+		dst.Data[i] = sums[0]
+		dst.Data[i+1] = sums[1]
+		dst.Data[i+2] = sums[2]
+		dst.Data[i+3] = sums[3]
+	}
+	for ; i < m; i++ {
+		dst.Data[i] = fastDot(a.Row(i), w)
+	}
+}

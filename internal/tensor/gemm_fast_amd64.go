@@ -1,0 +1,102 @@
+//go:build amd64 && !noavx2
+
+package tensor
+
+import "os"
+
+// Runtime feature detection and dispatch for the fast tier's AVX2/FMA
+// assembly. AVX2 is not part of the amd64 baseline the way SSE is, so
+// the kernels only install when CPUID advertises AVX2+FMA and the OS
+// has enabled YMM state. Three kill switches force the pure-Go
+// fallback: the noavx2 build tag (this whole file drops out), the
+// UPDLRM_NOAVX2 environment variable (any non-empty value), and
+// simply running on hardware without the features.
+
+// gemmOcts2x2FMA is implemented in gemm_fast_amd64.s. It overwrites
+// sums with the folded 8-lane accumulators over all n elements (full
+// octs plus a masked partial oct); n must be > 0 and every row must
+// hold at least n values.
+//
+//go:noescape
+func gemmOcts2x2FMA(a0, a1, b0, b1 *float32, n int, sums *[4]float32)
+
+// gemmOcts4x2FMA is implemented in gemm_fast_amd64.s; same contract
+// with four sample rows against two weight rows (sums[2r+c]).
+//
+//go:noescape
+func gemmOcts4x2FMA(a0, a1, a2, a3, b0, b1 *float32, n int, sums *[8]float32)
+
+// gemmOcts4x1FMA is implemented in gemm_fast_amd64.s; same contract
+// with four sample rows against one weight row.
+//
+//go:noescape
+func gemmOcts4x1FMA(a0, a1, a2, a3, w *float32, n int, sums *[4]float32)
+
+// cpuidex and xgetbv0 are implemented in gemm_fast_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// fastOcts2x2 runs the assembly kernel when active, the math.FMA
+// fallback otherwise. Direct calls on both branches keep the caller's
+// accumulator off the heap.
+func fastOcts2x2(a0, a1, b0, b1 []float32, sums *[4]float32) {
+	if !fastAsmActive {
+		fastOcts2x2Generic(a0, a1, b0, b1, sums)
+		return
+	}
+	if n := len(a0); n > 0 {
+		gemmOcts2x2FMA(&a0[0], &a1[0], &b0[0], &b1[0], n, sums)
+	}
+}
+
+// fastOcts4x2 is the 4x2-tile analogue of fastOcts2x2.
+func fastOcts4x2(a0, a1, a2, a3, b0, b1 []float32, sums *[8]float32) {
+	if !fastAsmActive {
+		fastOcts4x2Generic(a0, a1, a2, a3, b0, b1, sums)
+		return
+	}
+	if n := len(a0); n > 0 {
+		gemmOcts4x2FMA(&a0[0], &a1[0], &a2[0], &a3[0], &b0[0], &b1[0], n, sums)
+	}
+}
+
+// fastOcts4x1 is the Nx1 analogue of fastOcts2x2.
+func fastOcts4x1(a0, a1, a2, a3, w []float32, sums *[4]float32) {
+	if !fastAsmActive {
+		fastOcts4x1Generic(a0, a1, a2, a3, w, sums)
+		return
+	}
+	if n := len(a0); n > 0 {
+		gemmOcts4x1FMA(&a0[0], &a1[0], &a2[0], &a3[0], &w[0], n, sums)
+	}
+}
+
+// hasAVX2FMA checks CPUID for AVX2+FMA with OS-enabled YMM state:
+// leaf 1 ECX must show OSXSAVE, AVX and FMA; XGETBV(0) must show
+// XMM+YMM state enabled (XCR0 bits 1 and 2); leaf 7 EBX must show
+// AVX2.
+func hasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 || ecx1&fmaBit == 0 {
+		return false
+	}
+	if xlo, _ := xgetbv0(); xlo&0x6 != 0x6 {
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2Bit != 0
+}
+
+func init() {
+	fastAsmActive = os.Getenv("UPDLRM_NOAVX2") == "" && hasAVX2FMA()
+}

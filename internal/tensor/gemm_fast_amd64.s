@@ -1,0 +1,316 @@
+//go:build amd64 && !noavx2
+
+#include "textflag.h"
+
+// The fast tier's AVX2/FMA oct kernels. Each reduces its tile's whole
+// k range: full octs stream through VFMADD231PS, the final partial oct
+// (k&7 elements) loads through VMASKMOVPS — inactive lanes read zero
+// and execute 0*0+acc, which the pure-Go fallback reproduces by
+// zero-padding. Shared epilogue: each output's YMM accumulator folds
+// in foldOct's exact IEEE order — VEXTRACTF128+VADDPS is
+// m[i] = l[i]+l[i+4], then VHADDPS pairs outputs so one register
+// carries up to four folded sums:
+//   VHADDPS M1, M0, H   -> [m0(0)+m0(1), m0(2)+m0(3), m1(0)+m1(1), m1(2)+m1(3)]
+//   VHADDPS H23, H01, F -> [(m0+m1)+(m2+m3) per output, packed]
+// The adds are the same ones the fallback performs scalar, so neither
+// the fold nor the masked tail introduces asm-vs-generic divergence.
+
+// fastTailMask holds the VMASKMOVPS masks: row r (32 bytes) activates
+// the first r lanes.
+GLOBL fastTailMask<>(SB), RODATA, $256
+DATA fastTailMask<>+0x00(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x08(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x10(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x18(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x20(SB)/8, $0x00000000ffffffff
+DATA fastTailMask<>+0x28(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x30(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x38(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x40(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0x48(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x50(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x58(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x60(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0x68(SB)/8, $0x00000000ffffffff
+DATA fastTailMask<>+0x70(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x78(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x80(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0x88(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0x90(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0x98(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0xa0(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xa8(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xb0(SB)/8, $0x00000000ffffffff
+DATA fastTailMask<>+0xb8(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0xc0(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xc8(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xd0(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xd8(SB)/8, $0x0000000000000000
+DATA fastTailMask<>+0xe0(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xe8(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xf0(SB)/8, $0xffffffffffffffff
+DATA fastTailMask<>+0xf8(SB)/8, $0x00000000ffffffff
+
+// func gemmOcts4x2FMA(a0, a1, a2, a3, b0, b1 *float32, n int, sums *[8]float32)
+//
+// The main 4x2 tile: Y0..Y7 hold the eight outputs' 8-lane FMA
+// accumulators (sums[2r+c] = a_r·b_c). Eight independent dependency
+// chains — one FMA per chain per oct — keep both FMA ports busy where
+// a 2x2 tile would stall on latency; six loads per oct serve eight
+// FLOP-pairs.
+TEXT ·gemmOcts4x2FMA(SB), NOSPLIT, $0-64
+	MOVQ   a0+0(FP), SI
+	MOVQ   a1+8(FP), DI
+	MOVQ   a2+16(FP), R8
+	MOVQ   a3+24(FP), R9
+	MOVQ   b0+32(FP), R10
+	MOVQ   b1+40(FP), R11
+	MOVQ   n+48(FP), CX
+	MOVQ   sums+56(FP), DX
+	MOVQ   CX, BX
+	SHRQ   $3, CX
+	ANDQ   $7, BX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	TESTQ  CX, CX
+	JZ     tail42
+
+loop42:
+	VMOVUPS     (R10), Y8
+	VMOVUPS     (R11), Y9
+	VMOVUPS     (SI), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VMOVUPS     (DI), Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VMOVUPS     (R8), Y12
+	VFMADD231PS Y8, Y12, Y4
+	VFMADD231PS Y9, Y12, Y5
+	VMOVUPS     (R9), Y13
+	VFMADD231PS Y8, Y13, Y6
+	VFMADD231PS Y9, Y13, Y7
+	ADDQ        $32, SI
+	ADDQ        $32, DI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	DECQ        CX
+	JNZ         loop42
+
+tail42:
+	TESTQ       BX, BX
+	JZ          fold42
+	SHLQ        $5, BX
+	LEAQ        fastTailMask<>(SB), R12
+	VMOVUPS     (R12)(BX*1), Y14
+	VMASKMOVPS  (R10), Y14, Y8
+	VMASKMOVPS  (R11), Y14, Y9
+	VMASKMOVPS  (SI), Y14, Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VMASKMOVPS  (DI), Y14, Y11
+	VFMADD231PS Y8, Y11, Y2
+	VFMADD231PS Y9, Y11, Y3
+	VMASKMOVPS  (R8), Y14, Y12
+	VFMADD231PS Y8, Y12, Y4
+	VFMADD231PS Y9, Y12, Y5
+	VMASKMOVPS  (R9), Y14, Y13
+	VFMADD231PS Y8, Y13, Y6
+	VFMADD231PS Y9, Y13, Y7
+
+fold42:
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS       X8, X0, X0
+	VEXTRACTF128 $1, Y1, X9
+	VADDPS       X9, X1, X1
+	VEXTRACTF128 $1, Y2, X10
+	VADDPS       X10, X2, X2
+	VEXTRACTF128 $1, Y3, X11
+	VADDPS       X11, X3, X3
+	VEXTRACTF128 $1, Y4, X12
+	VADDPS       X12, X4, X4
+	VEXTRACTF128 $1, Y5, X13
+	VADDPS       X13, X5, X5
+	VEXTRACTF128 $1, Y6, X14
+	VADDPS       X14, X6, X6
+	VEXTRACTF128 $1, Y7, X15
+	VADDPS       X15, X7, X7
+	VHADDPS      X1, X0, X0
+	VHADDPS      X3, X2, X2
+	VHADDPS      X2, X0, X0
+	VMOVUPS      X0, (DX)
+	VHADDPS      X5, X4, X4
+	VHADDPS      X7, X6, X6
+	VHADDPS      X6, X4, X4
+	VMOVUPS      X4, 16(DX)
+	VZEROUPPER
+	RET
+
+// func gemmOcts2x2FMA(a0, a1, b0, b1 *float32, n int, sums *[4]float32)
+//
+// The 2x2 remainder tile (row remainders of the 4x2 main loop, plus
+// the Gram-matrix and fastDot paths): c00=a0*b0, c01=a0*b1, c10=a1*b0,
+// c11=a1*b1.
+TEXT ·gemmOcts2x2FMA(SB), NOSPLIT, $0-48
+	MOVQ   a0+0(FP), SI
+	MOVQ   a1+8(FP), DI
+	MOVQ   b0+16(FP), R8
+	MOVQ   b1+24(FP), R9
+	MOVQ   n+32(FP), CX
+	MOVQ   sums+40(FP), DX
+	MOVQ   CX, BX
+	SHRQ   $3, CX
+	ANDQ   $7, BX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	TESTQ  CX, CX
+	JZ     tail22
+
+loop22:
+	VMOVUPS     (SI), Y4
+	VMOVUPS     (DI), Y5
+	VMOVUPS     (R8), Y6
+	VMOVUPS     (R9), Y7
+	VFMADD231PS Y6, Y4, Y0
+	VFMADD231PS Y7, Y4, Y1
+	VFMADD231PS Y6, Y5, Y2
+	VFMADD231PS Y7, Y5, Y3
+	ADDQ        $32, SI
+	ADDQ        $32, DI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	DECQ        CX
+	JNZ         loop22
+
+tail22:
+	TESTQ       BX, BX
+	JZ          fold22
+	SHLQ        $5, BX
+	LEAQ        fastTailMask<>(SB), R12
+	VMOVUPS     (R12)(BX*1), Y14
+	VMASKMOVPS  (SI), Y14, Y4
+	VMASKMOVPS  (DI), Y14, Y5
+	VMASKMOVPS  (R8), Y14, Y6
+	VMASKMOVPS  (R9), Y14, Y7
+	VFMADD231PS Y6, Y4, Y0
+	VFMADD231PS Y7, Y4, Y1
+	VFMADD231PS Y6, Y5, Y2
+	VFMADD231PS Y7, Y5, Y3
+
+fold22:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS       X4, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPS       X5, X1, X1
+	VEXTRACTF128 $1, Y2, X6
+	VADDPS       X6, X2, X2
+	VEXTRACTF128 $1, Y3, X7
+	VADDPS       X7, X3, X3
+	VHADDPS      X1, X0, X0
+	VHADDPS      X3, X2, X2
+	VHADDPS      X2, X0, X0
+	VMOVUPS      X0, (DX)
+	VZEROUPPER
+	RET
+
+// func gemmOcts4x1FMA(a0, a1, a2, a3, w *float32, n int, sums *[4]float32)
+//
+// The Nx1 oct loop: one weight oct load feeds four sample rows'
+// accumulators, mirroring the exact tier's gemmQuads4x1SSE at twice
+// the width with fused rounding.
+TEXT ·gemmOcts4x1FMA(SB), NOSPLIT, $0-56
+	MOVQ   a0+0(FP), SI
+	MOVQ   a1+8(FP), DI
+	MOVQ   a2+16(FP), R8
+	MOVQ   a3+24(FP), R9
+	MOVQ   w+32(FP), R10
+	MOVQ   n+40(FP), CX
+	MOVQ   sums+48(FP), DX
+	MOVQ   CX, BX
+	SHRQ   $3, CX
+	ANDQ   $7, BX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	TESTQ  CX, CX
+	JZ     tail41
+
+loop41:
+	VMOVUPS     (R10), Y7
+	VMOVUPS     (SI), Y4
+	VMOVUPS     (DI), Y5
+	VMOVUPS     (R8), Y6
+	VMOVUPS     (R9), Y8
+	VFMADD231PS Y7, Y4, Y0
+	VFMADD231PS Y7, Y5, Y1
+	VFMADD231PS Y7, Y6, Y2
+	VFMADD231PS Y7, Y8, Y3
+	ADDQ        $32, SI
+	ADDQ        $32, DI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	DECQ        CX
+	JNZ         loop41
+
+tail41:
+	TESTQ       BX, BX
+	JZ          fold41
+	SHLQ        $5, BX
+	LEAQ        fastTailMask<>(SB), R12
+	VMOVUPS     (R12)(BX*1), Y14
+	VMASKMOVPS  (R10), Y14, Y7
+	VMASKMOVPS  (SI), Y14, Y4
+	VMASKMOVPS  (DI), Y14, Y5
+	VMASKMOVPS  (R8), Y14, Y6
+	VMASKMOVPS  (R9), Y14, Y8
+	VFMADD231PS Y7, Y4, Y0
+	VFMADD231PS Y7, Y5, Y1
+	VFMADD231PS Y7, Y6, Y2
+	VFMADD231PS Y7, Y8, Y3
+
+fold41:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS       X4, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPS       X5, X1, X1
+	VEXTRACTF128 $1, Y2, X6
+	VADDPS       X6, X2, X2
+	VEXTRACTF128 $1, Y3, X7
+	VADDPS       X7, X3, X3
+	VHADDPS      X1, X0, X0
+	VHADDPS      X3, X2, X2
+	VHADDPS      X2, X0, X0
+	VMOVUPS      X0, (DX)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,142 @@
+package tensor
+
+// Pure-Go fast-tier oct kernels. These are the fallbacks behind the
+// arch dispatch (the noavx2 build tag, the UPDLRM_NOAVX2 override, and
+// non-amd64 hosts all land here), and serve as the reference the
+// forced-path tests compare the assembly against. Lane l accumulates
+// products at k positions congruent to l mod 8, in increasing k order,
+// one fused rounding per product — the same schedule VFMADD231PS
+// executes per YMM lane. The final partial oct is zero-padded so every
+// lane still executes an FMA for it, exactly as the assembly's masked
+// loads make inactive lanes compute 0*0+acc (note the IEEE subtlety
+// that +0 + -0 is +0: "skip the lane" and "add a zero product" are not
+// the same operation, so the fallback must pad, not skip). The fold
+// runs in foldOct's order, the same IEEE adds the assembly performs
+// with VADDPS/VHADDPS.
+
+// padOct copies the tail of src starting at kk into an all-zero oct.
+func padOct(src []float32, kk int) (p [8]float32) {
+	copy(p[:], src[kk:])
+	return p
+}
+
+// fastOcts2x2Generic reduces the 2x2 tile's four dot products over the
+// rows' whole length (sums[0]=a0·b0, [1]=a0·b1, [2]=a1·b0, [3]=a1·b1).
+// OVERWRITES sums when the length is non-zero, untouched otherwise.
+func fastOcts2x2Generic(a0, a1, b0, b1 []float32, sums *[4]float32) {
+	n := len(a0)
+	if n == 0 {
+		return
+	}
+	var acc [4][8]float32
+	kk := 0
+	for ; kk+8 <= n; kk += 8 {
+		av := a0[kk : kk+8 : kk+8]
+		bv := a1[kk : kk+8 : kk+8]
+		p0 := b0[kk : kk+8 : kk+8]
+		p1 := b1[kk : kk+8 : kk+8]
+		for l := 0; l < 8; l++ {
+			acc[0][l] = fma32(av[l], p0[l], acc[0][l])
+			acc[1][l] = fma32(av[l], p1[l], acc[1][l])
+			acc[2][l] = fma32(bv[l], p0[l], acc[2][l])
+			acc[3][l] = fma32(bv[l], p1[l], acc[3][l])
+		}
+	}
+	if kk < n {
+		av := padOct(a0, kk)
+		bv := padOct(a1, kk)
+		p0 := padOct(b0, kk)
+		p1 := padOct(b1, kk)
+		for l := 0; l < 8; l++ {
+			acc[0][l] = fma32(av[l], p0[l], acc[0][l])
+			acc[1][l] = fma32(av[l], p1[l], acc[1][l])
+			acc[2][l] = fma32(bv[l], p0[l], acc[2][l])
+			acc[3][l] = fma32(bv[l], p1[l], acc[3][l])
+		}
+	}
+	for t := range sums {
+		sums[t] = foldOct(&acc[t])
+	}
+}
+
+// fastOcts4x2Generic reduces the 4x2 tile's eight dot products
+// (sums[2r+c] = a_r·b_c). Same overwrite contract as
+// fastOcts2x2Generic.
+func fastOcts4x2Generic(a0, a1, a2, a3, b0, b1 []float32, sums *[8]float32) {
+	n := len(a0)
+	if n == 0 {
+		return
+	}
+	var acc [8][8]float32
+	step := func(r0, r1, r2, r3, p0, p1 *[8]float32) {
+		for l := 0; l < 8; l++ {
+			acc[0][l] = fma32(r0[l], p0[l], acc[0][l])
+			acc[1][l] = fma32(r0[l], p1[l], acc[1][l])
+			acc[2][l] = fma32(r1[l], p0[l], acc[2][l])
+			acc[3][l] = fma32(r1[l], p1[l], acc[3][l])
+			acc[4][l] = fma32(r2[l], p0[l], acc[4][l])
+			acc[5][l] = fma32(r2[l], p1[l], acc[5][l])
+			acc[6][l] = fma32(r3[l], p0[l], acc[6][l])
+			acc[7][l] = fma32(r3[l], p1[l], acc[7][l])
+		}
+	}
+	kk := 0
+	for ; kk+8 <= n; kk += 8 {
+		step((*[8]float32)(a0[kk:kk+8]), (*[8]float32)(a1[kk:kk+8]),
+			(*[8]float32)(a2[kk:kk+8]), (*[8]float32)(a3[kk:kk+8]),
+			(*[8]float32)(b0[kk:kk+8]), (*[8]float32)(b1[kk:kk+8]))
+	}
+	if kk < n {
+		r0 := padOct(a0, kk)
+		r1 := padOct(a1, kk)
+		r2 := padOct(a2, kk)
+		r3 := padOct(a3, kk)
+		p0 := padOct(b0, kk)
+		p1 := padOct(b1, kk)
+		step(&r0, &r1, &r2, &r3, &p0, &p1)
+	}
+	for t := range sums {
+		sums[t] = foldOct(&acc[t])
+	}
+}
+
+// fastOcts4x1Generic reduces four sample rows' dot products against
+// the single weight row w (sums[r] = a_r·w). Same overwrite contract
+// as fastOcts2x2Generic.
+func fastOcts4x1Generic(a0, a1, a2, a3, w []float32, sums *[4]float32) {
+	n := len(a0)
+	if n == 0 {
+		return
+	}
+	var acc [4][8]float32
+	kk := 0
+	for ; kk+8 <= n; kk += 8 {
+		wv := w[kk : kk+8 : kk+8]
+		r0 := a0[kk : kk+8 : kk+8]
+		r1 := a1[kk : kk+8 : kk+8]
+		r2 := a2[kk : kk+8 : kk+8]
+		r3 := a3[kk : kk+8 : kk+8]
+		for l := 0; l < 8; l++ {
+			acc[0][l] = fma32(r0[l], wv[l], acc[0][l])
+			acc[1][l] = fma32(r1[l], wv[l], acc[1][l])
+			acc[2][l] = fma32(r2[l], wv[l], acc[2][l])
+			acc[3][l] = fma32(r3[l], wv[l], acc[3][l])
+		}
+	}
+	if kk < n {
+		wv := padOct(w, kk)
+		r0 := padOct(a0, kk)
+		r1 := padOct(a1, kk)
+		r2 := padOct(a2, kk)
+		r3 := padOct(a3, kk)
+		for l := 0; l < 8; l++ {
+			acc[0][l] = fma32(r0[l], wv[l], acc[0][l])
+			acc[1][l] = fma32(r1[l], wv[l], acc[1][l])
+			acc[2][l] = fma32(r2[l], wv[l], acc[2][l])
+			acc[3][l] = fma32(r3[l], wv[l], acc[3][l])
+		}
+	}
+	for t := range sums {
+		sums[t] = foldOct(&acc[t])
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !amd64 || noavx2
+
+package tensor
+
+// Without the AVX2/FMA assembly (non-amd64, or the noavx2 build tag)
+// the fast tier runs entirely on the pure-Go math.FMA kernels;
+// fastAsmActive stays false.
+
+func fastOcts2x2(a0, a1, b0, b1 []float32, sums *[4]float32) {
+	fastOcts2x2Generic(a0, a1, b0, b1, sums)
+}
+
+func fastOcts4x2(a0, a1, a2, a3, b0, b1 []float32, sums *[8]float32) {
+	fastOcts4x2Generic(a0, a1, a2, a3, b0, b1, sums)
+}
+
+func fastOcts4x1(a0, a1, a2, a3, w []float32, sums *[4]float32) {
+	fastOcts4x1Generic(a0, a1, a2, a3, w, sums)
+}

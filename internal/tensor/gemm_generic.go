@@ -32,3 +32,31 @@ func gemmQuads2x2Lanes(a0, a1, b0, b1 []float32, lanes *[4][4]float32) int {
 	*lanes = acc
 	return k4
 }
+
+// gemmQuads4x1Lanes is the portable Nx1 micro-kernel: four sample
+// rows' 4-aligned dot-product prefixes against the single weight row w
+// (lanes[r] = a_r·w, four Dot lanes each), returning how many k
+// positions were consumed. Lane semantics and the overwrite contract
+// match gemmQuads2x2Lanes — and the amd64 SSE kernel — exactly.
+func gemmQuads4x1Lanes(a0, a1, a2, a3, w []float32, lanes *[4][4]float32) int {
+	k4 := len(a0) &^ 3
+	if k4 == 0 {
+		return 0
+	}
+	var acc [4][4]float32
+	for kk := 0; kk < k4; kk += 4 {
+		wv := w[kk : kk+4 : kk+4]
+		r0 := a0[kk : kk+4 : kk+4]
+		r1 := a1[kk : kk+4 : kk+4]
+		r2 := a2[kk : kk+4 : kk+4]
+		r3 := a3[kk : kk+4 : kk+4]
+		for l := 0; l < 4; l++ {
+			acc[0][l] += r0[l] * wv[l]
+			acc[1][l] += r1[l] * wv[l]
+			acc[2][l] += r2[l] * wv[l]
+			acc[3][l] += r3[l] * wv[l]
+		}
+	}
+	*lanes = acc
+	return k4
+}

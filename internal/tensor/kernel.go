@@ -1,0 +1,82 @@
+package tensor
+
+import "fmt"
+
+// Kernel selects the dense micro-kernel tier the batch-major GEMM path
+// runs on. The tiers trade bit-stability for speed:
+//
+//   - KernelExact (the zero value, and the default everywhere) keeps
+//     every output element bit-identical to tensor.Dot: four scalar
+//     accumulator lanes over the 4-aligned prefix plus a scalar tail,
+//     executed as an SSE micro-kernel on amd64 and pure Go elsewhere.
+//     Results are reproducible across architectures and worker splits.
+//
+//   - KernelFast widens the reduction to eight fused-multiply-add lanes
+//     (one AVX2 YMM register) and therefore changes bits: each
+//     multiply-add rounds once instead of twice, and the lane count is
+//     part of the observable float semantics. On amd64 hosts with
+//     AVX2+FMA (runtime CPUID detection) the quad loop runs as an
+//     AVX2/FMA micro-kernel; everywhere else a pure-Go fallback mimics
+//     the same fused accumulation order via math.FMA, so the fast tier
+//     is deterministic per process and stays within a few ULPs of the
+//     hardware kernel. Divergence from the exact tier is bounded by the
+//     usual summation-reordering error (see the property tests);
+//     end-to-end CTR outputs are compared under a tolerance, never bit
+//     for bit.
+//
+// The selector rides per-workspace state (mlp.Workspace,
+// dlrm.BatchWorkspace), so one shared read-only model can serve both
+// tiers concurrently from different engines.
+type Kernel uint8
+
+const (
+	// KernelExact is the bit-identical tier (the default).
+	KernelExact Kernel = iota
+	// KernelFast is the AVX2/FMA 8-lane tier; changes bits.
+	KernelFast
+)
+
+// String returns the tier's config-file spelling.
+func (k Kernel) String() string {
+	switch k {
+	case KernelExact:
+		return "exact"
+	case KernelFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// ParseKernel maps the config spelling ("exact", "fast") to a tier.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "exact", "":
+		return KernelExact, nil
+	case "fast":
+		return KernelFast, nil
+	default:
+		return KernelExact, fmt.Errorf("tensor: unknown kernel tier %q (want exact or fast)", s)
+	}
+}
+
+// Valid reports whether k names a real tier.
+func (k Kernel) Valid() bool { return k == KernelExact || k == KernelFast }
+
+// FastVectorized reports whether the fast tier is running on the
+// AVX2/FMA assembly kernels (true only on amd64 hosts whose CPUID
+// advertises AVX2+FMA with OS YMM support, without the noavx2 build
+// tag, and without the UPDLRM_NOAVX2 environment override). When
+// false, KernelFast still works through the pure-Go math.FMA fallback.
+func FastVectorized() bool { return fastAsmActive }
+
+// GemmKernel computes dst = a * b^T on the selected tier: the exact
+// tier is Gemm (bit-identical to the per-sample MatVec path), the fast
+// tier the AVX2/FMA 8-lane reduction. Shape contract as Gemm.
+func GemmKernel(a *Matrix, b *PackedB, dst *Matrix, k Kernel) {
+	if k == KernelFast {
+		gemmFast(a, b, dst)
+		return
+	}
+	Gemm(a, b, dst)
+}

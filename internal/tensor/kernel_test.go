@@ -1,0 +1,369 @@
+package tensor
+
+import (
+	"math"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestParseKernel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"exact", KernelExact, true},
+		{"", KernelExact, true},
+		{"fast", KernelFast, true},
+		{"FAST", 0, false},
+		{"avx2", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseKernel(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if KernelExact.String() != "exact" || KernelFast.String() != "fast" {
+		t.Errorf("String: %q %q", KernelExact, KernelFast)
+	}
+	if !KernelExact.Valid() || !KernelFast.Valid() || Kernel(9).Valid() {
+		t.Error("Valid misclassifies a tier")
+	}
+}
+
+// TestGemmKernelExactTier: the exact tier through the selector is the
+// plain Gemm, bit for bit.
+func TestGemmKernelExactTier(t *testing.T) {
+	rng := NewRNG(11)
+	a := NewMatrix(17, 37)
+	bt := NewMatrix(9, 37)
+	fillRand(a, rng)
+	fillRand(bt, rng)
+	p := PackB(bt)
+	want := NewMatrix(17, 9)
+	Gemm(a, p, want)
+	got := NewMatrix(17, 9)
+	GemmKernel(a, p, got, KernelExact)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// dotRef64 is the float64 reference reduction the divergence bounds
+// are measured against, plus the sum of product magnitudes that scales
+// the bound.
+func dotRef64(a, b []float32) (sum, sumAbs float64) {
+	for i := range a {
+		p := float64(a[i]) * float64(b[i])
+		sum += p
+		sumAbs += math.Abs(p)
+	}
+	return sum, sumAbs
+}
+
+// divergenceBound is the summation-reordering error budget for a
+// K-term float32 reduction: a standard (K+8)*eps*Σ|products| envelope
+// with a small absolute floor for all-zero rows.
+func divergenceBound(k int, sumAbs float64) float64 {
+	const eps = 1.0 / (1 << 23)
+	return float64(k+8)*eps*sumAbs + 1e-30
+}
+
+// TestFastGemmDivergenceBounds is the exact-vs-fast property test: over
+// randomized odd shapes with mixed magnitudes, both tiers must stay
+// within the summation-reordering envelope of the float64 reference,
+// and hence within twice that envelope of each other. The fast tier is
+// NOT expected to be bit-identical to exact — this bounds how far it
+// may drift.
+func TestFastGemmDivergenceBounds(t *testing.T) {
+	rng := NewRNG(23)
+	for trial := 0; trial < 120; trial++ {
+		m := int(rng.Uint64()%33) + 1
+		n := int(rng.Uint64()%33) + 1
+		k := int(rng.Uint64() % 140)
+		a := NewMatrix(m, k)
+		bt := NewMatrix(n, k)
+		for i := range a.Data {
+			a.Data[i] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%16))
+		}
+		fillRand(bt, rng)
+		p := PackB(bt)
+		exact := NewMatrix(m, n)
+		fast := NewMatrix(m, n)
+		Fill(fast.Data, 7.25) // poison: the fast driver must overwrite every element
+		GemmKernel(a, p, exact, KernelExact)
+		GemmKernel(a, p, fast, KernelFast)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				ref, sumAbs := dotRef64(a.Row(i), bt.Row(j))
+				bound := divergenceBound(k, sumAbs)
+				if d := math.Abs(float64(exact.At(i, j)) - ref); d > bound {
+					t.Fatalf("trial %d (M=%d N=%d K=%d): exact[%d][%d] off by %g > %g", trial, m, n, k, i, j, d, bound)
+				}
+				if d := math.Abs(float64(fast.At(i, j)) - ref); d > bound {
+					t.Fatalf("trial %d (M=%d N=%d K=%d): fast[%d][%d] off by %g > %g", trial, m, n, k, i, j, d, bound)
+				}
+			}
+		}
+	}
+}
+
+// ulpDiff32 returns the distance in representable float32 steps
+// between a and b (0 for bit-equal values, huge across a sign flip of
+// non-tiny values).
+func ulpDiff32(a, b float32) uint32 {
+	ia, ib := int64(orderedBits(a)), int64(orderedBits(b))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(d)
+}
+
+// orderedBits maps float32 bits to a monotonically ordered integer.
+func orderedBits(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// TestFastAsmVsGenericULP: when the AVX2/FMA assembly is active, the
+// pure-Go math.FMA fallback must agree with it to within a few ULPs —
+// the only divergence channel is the double-rounding corner of
+// emulating a single-precision FMA through float64, plus its
+// propagation through the reduction. The fold order is shared, so
+// random data should agree bit for bit almost always; the bound leaves
+// room for the corner.
+func TestFastAsmVsGenericULP(t *testing.T) {
+	if !FastVectorized() {
+		t.Skip("AVX2/FMA assembly not active on this host")
+	}
+	rng := NewRNG(31)
+	for trial := 0; trial < 80; trial++ {
+		m := int(rng.Uint64()%17) + 1
+		n := int(rng.Uint64()%17) + 1
+		k := int(rng.Uint64() % 100)
+		a := NewMatrix(m, k)
+		bt := NewMatrix(n, k)
+		for i := range a.Data {
+			a.Data[i] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%10))
+		}
+		fillRand(bt, rng)
+		p := PackB(bt)
+		asm := NewMatrix(m, n)
+		GemmFastForTest(a, p, asm)
+		restore := ForceFastGeneric()
+		gen := NewMatrix(m, n)
+		GemmFastForTest(a, p, gen)
+		restore()
+		for i := range asm.Data {
+			if d := ulpDiff32(asm.Data[i], gen.Data[i]); d > 4 {
+				t.Fatalf("trial %d (M=%d N=%d K=%d): element %d asm %v vs generic %v (%d ulp)",
+					trial, m, n, k, i, asm.Data[i], gen.Data[i], d)
+			}
+		}
+	}
+}
+
+// TestFastGenericDeterministic: the forced fallback must be
+// deterministic — same inputs, same bits — since the fast tier's
+// contract is "deterministic per process", not "bit-identical to
+// exact".
+func TestFastGenericDeterministic(t *testing.T) {
+	restore := ForceFastGeneric()
+	defer restore()
+	rng := NewRNG(5)
+	a := NewMatrix(19, 53)
+	bt := NewMatrix(7, 53)
+	fillRand(a, rng)
+	fillRand(bt, rng)
+	p := PackB(bt)
+	d1 := NewMatrix(19, 7)
+	d2 := NewMatrix(19, 7)
+	GemmFastForTest(a, p, d1)
+	GemmFastForTest(a, p, d2)
+	for i := range d1.Data {
+		if d1.Data[i] != d2.Data[i] {
+			t.Fatalf("element %d: %v vs %v across runs", i, d1.Data[i], d2.Data[i])
+		}
+	}
+}
+
+// TestNoAVX2EnvOverride re-executes the test binary with UPDLRM_NOAVX2
+// set and asserts the assembly does not install — the runtime kill
+// switch for the fast tier's vector path.
+func TestNoAVX2EnvOverride(t *testing.T) {
+	if os.Getenv("TENSOR_HELPER_NOAVX2") != "" {
+		// Helper process: assert the override took and the fallback
+		// still computes.
+		if FastVectorized() {
+			os.Exit(3)
+		}
+		rng := NewRNG(1)
+		a := NewMatrix(5, 21)
+		bt := NewMatrix(3, 21)
+		fillRand(a, rng)
+		fillRand(bt, rng)
+		dst := NewMatrix(5, 3)
+		GemmFastForTest(a, PackB(bt), dst)
+		os.Exit(0)
+	}
+	if !FastVectorized() {
+		t.Skip("assembly not active; the override is indistinguishable here")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestNoAVX2EnvOverride")
+	cmd.Env = append(os.Environ(), "TENSOR_HELPER_NOAVX2=1", "UPDLRM_NOAVX2=1")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("helper with UPDLRM_NOAVX2 failed: %v\n%s", err, out)
+	}
+}
+
+// pairwiseRef computes the interaction stage's reference ordering: Dot
+// over all i<j in row-major pair order.
+func pairwiseRef(rows [][]float32) []float32 {
+	n := len(rows)
+	out := make([]float32, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Dot(rows[i], rows[j]))
+		}
+	}
+	return out
+}
+
+// TestPairwiseDotsExactBitIdentical: the Gram micro-kernel on the
+// exact tier must reproduce the Dot loop bit for bit, across even and
+// odd row counts and off-lane dims.
+func TestPairwiseDotsExactBitIdentical(t *testing.T) {
+	rng := NewRNG(17)
+	for _, n := range []int{2, 3, 4, 5, 8, 9, 16, 27} {
+		for _, d := range []int{1, 3, 4, 7, 16, 33, 64} {
+			rows := make([][]float32, n)
+			for i := range rows {
+				rows[i] = make([]float32, d)
+				for k := range rows[i] {
+					rows[i][k] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%12))
+				}
+			}
+			want := pairwiseRef(rows)
+			got := make([]float32, len(want))
+			Fill(got, 7.25)
+			PairwiseDots(rows, got, KernelExact)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d d=%d: pair %d = %v, want %v", n, d, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPairwiseDotsFastBounded: the fast tier's Gram kernel stays
+// within the reordering envelope of the float64 reference.
+func TestPairwiseDotsFastBounded(t *testing.T) {
+	rng := NewRNG(19)
+	for _, n := range []int{2, 3, 7, 12} {
+		d := 37
+		rows := make([][]float32, n)
+		for i := range rows {
+			rows[i] = make([]float32, d)
+			for k := range rows[i] {
+				rows[i][k] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%12))
+			}
+		}
+		got := make([]float32, n*(n-1)/2)
+		PairwiseDots(rows, got, KernelFast)
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ref, sumAbs := dotRef64(rows[i], rows[j])
+				if diff := math.Abs(float64(got[idx]) - ref); diff > divergenceBound(d, sumAbs) {
+					t.Fatalf("n=%d pair (%d,%d): off by %g", n, i, j, diff)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// TestAddBitIdentical: the vectorized Add must match the scalar loop
+// bit for bit at every alignment.
+func TestAddBitIdentical(t *testing.T) {
+	rng := NewRNG(29)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 100} {
+		x := make([]float32, n)
+		base := make([]float32, n)
+		for i := range x {
+			x[i] = 2*rng.Float32() - 1
+			base[i] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%8))
+		}
+		want := make([]float32, n)
+		got := make([]float32, n)
+		copy(want, base)
+		copy(got, base)
+		for i := range want {
+			want[i] += x[i]
+		}
+		Add(x, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: element %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDotKernelTiers: DotKernel dispatches to Dot on exact and the FMA
+// reduction on fast; the fast result stays within the envelope.
+func TestDotKernelTiers(t *testing.T) {
+	rng := NewRNG(37)
+	for _, d := range []int{0, 1, 5, 8, 9, 40, 100} {
+		x := make([]float32, d)
+		y := make([]float32, d)
+		for i := range x {
+			x[i] = (2*rng.Float32() - 1) * float32(int32(1)<<(rng.Uint64()%12))
+			y[i] = 2*rng.Float32() - 1
+		}
+		if got := DotKernel(x, y, KernelExact); got != Dot(x, y) {
+			t.Fatalf("d=%d: exact DotKernel %v != Dot %v", d, got, Dot(x, y))
+		}
+		ref, sumAbs := dotRef64(x, y)
+		if diff := math.Abs(float64(DotKernel(x, y, KernelFast)) - ref); diff > divergenceBound(d, sumAbs) {
+			t.Fatalf("d=%d: fast DotKernel off by %g", d, diff)
+		}
+	}
+}
+
+// BenchmarkGemmTiers compares the two kernel tiers head to head on the
+// evaluation model's widest layer shape.
+func BenchmarkGemmTiers(b *testing.B) {
+	rng := NewRNG(1)
+	const M, N, K = 64, 256, 68
+	a := NewMatrix(M, K)
+	bt := NewMatrix(N, K)
+	fillRand(a, rng)
+	fillRand(bt, rng)
+	dst := NewMatrix(M, N)
+	packed := PackB(bt)
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GemmKernel(a, packed, dst, KernelExact)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GemmKernel(a, packed, dst, KernelFast)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package tensor
+
+// PairwiseDots computes the strict upper triangle of the Gram matrix
+// of rows: out[idx(i,j)] = rows[i]·rows[j] for all i < j, where
+// idx(i,j) = i*(n-1) - i*(i-1)/2 + (j-i-1) — the row-major pair order
+// the DLRM interaction stage emits. len(out) must be n*(n-1)/2 and all
+// rows must share one length.
+//
+// This is the interaction stage's scalar holdout routed through the
+// GEMM micro-kernels: the small n x n Gram matrix runs as 2x2 register
+// tiles (two i rows against two j rows, every loaded vector used
+// twice) instead of n*(n-1)/2 independent Dot calls. On the exact tier
+// each output reduces in exactly Dot's lane order, so results are bit
+// for bit what the Dot loop produced; the fast tier uses the 8-lane
+// FMA reduction.
+func PairwiseDots(rows [][]float32, out []float32, k Kernel) {
+	n := len(rows)
+	if want := n * (n - 1) / 2; len(out) != want {
+		panic("tensor: PairwiseDots out length")
+	}
+	pos := func(i, j int) int { return i*(n-1) - i*(i-1)/2 + (j - i - 1) }
+	// Pair-block over i: rows i0 and i0+1 share every j-tile. The
+	// diagonal pair (i0, i0+1) is a lone dot; j then starts at i0+2 so
+	// every tile is strictly upper-triangular. The final lone i row of
+	// odd n has no j > i left by the time the loop reaches it.
+	for i0 := 0; i0+1 < n; i0 += 2 {
+		r0, r1 := rows[i0], rows[i0+1]
+		out[pos(i0, i0+1)] = DotKernel(r0, r1, k)
+		// Tile outputs for row i land at consecutive out positions:
+		// idx(i, j+1) = idx(i, j) + 1.
+		p0, p1 := pos(i0, i0+2), pos(i0+1, i0+2)
+		j := i0 + 2
+		for ; j+1 < n; j, p0, p1 = j+2, p0+2, p1+2 {
+			pairTile2x2(r0, r1, rows[j], rows[j+1], out, p0, p1, k)
+		}
+		if j < n {
+			c0 := rows[j]
+			out[p0] = DotKernel(r0, c0, k)
+			out[p1] = DotKernel(r1, c0, k)
+		}
+	}
+}
+
+// DotKernel is the tier-selected inner product: Dot on the exact tier,
+// the 8-lane FMA reduction on the fast tier.
+func DotKernel(x, y []float32, k Kernel) float32 {
+	if k == KernelFast {
+		return fastDot(x, y)
+	}
+	return Dot(x, y)
+}
+
+// pairTile2x2 computes the 2x2 Gram tile {r0,r1} x {c0,c1} into
+// out[p0], out[p0+1], out[p1], out[p1+1] on the selected tier.
+func pairTile2x2(r0, r1, c0, c1, out []float32, p0, p1 int, k Kernel) {
+	if k == KernelFast {
+		var sums [4]float32
+		fastOcts2x2(r0, r1, c0, c1, &sums)
+		out[p0] = sums[0]
+		out[p0+1] = sums[1]
+		out[p1] = sums[2]
+		out[p1+1] = sums[3]
+		return
+	}
+	kLen := len(r0)
+	var lanes [4][4]float32
+	kk := gemmQuads2x2Lanes(r0, r1, c0, c1, &lanes)
+	var t00, t01, t10, t11 float32
+	for ; kk < kLen; kk++ {
+		av, bv := r0[kk], r1[kk]
+		q0, q1 := c0[kk], c1[kk]
+		t00 += av * q0
+		t01 += av * q1
+		t10 += bv * q0
+		t11 += bv * q1
+	}
+	out[p0] = combineDot(&lanes[0], t00)
+	out[p0+1] = combineDot(&lanes[1], t01)
+	out[p1] = combineDot(&lanes[2], t10)
+	out[p1+1] = combineDot(&lanes[3], t11)
+}

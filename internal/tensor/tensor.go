@@ -95,12 +95,16 @@ func Axpy(alpha float32, x, dst []float32) {
 	}
 }
 
-// Add computes dst[i] += x[i].
+// Add computes dst[i] += x[i]. The 4-aligned prefix runs through the
+// SSE kernel on amd64; elementwise adds are position-preserving, so
+// the vector path is bit-identical to the scalar loop. This is the
+// aggregation primitive of the serving hot path (hot-cache hit sums,
+// pipeline partial-sum merges, fetcher column sums).
 func Add(x, dst []float32) {
 	if len(x) != len(dst) {
 		panic(fmt.Sprintf("tensor: Add length mismatch %d vs %d", len(x), len(dst)))
 	}
-	for i := range x {
+	for i := addQuads(x, dst); i < len(x); i++ {
 		dst[i] += x[i]
 	}
 }

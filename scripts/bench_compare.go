@@ -7,7 +7,9 @@
 // counts are aggregated by min), or when allocs/op increases at all
 // (allocations are deterministic, so any increase is a real leak into
 // the hot path). A benchmark present in the baseline but missing from
-// the fresh run also fails: the suite rotted.
+// the fresh run also fails: the suite rotted. Baselines are keyed by
+// (pkg, name, kernel tier), so the exact and fast GEMM tiers are each
+// held to their own numbers; pre-tier baselines read as exact.
 //
 // Usage:
 //
@@ -45,8 +47,11 @@ type benchFile struct {
 }
 
 type bench struct {
-	Name     string  `json:"name"`
-	Pkg      string  `json:"pkg"`
+	Name string `json:"name"`
+	Pkg  string `json:"pkg"`
+	// Kernel is the GEMM tier the run used ("exact"/"fast"); records
+	// from baselines predating the tier dimension default to "exact".
+	Kernel   string  `json:"kernel"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	BytesOp  int64   `json:"bytes_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
@@ -75,7 +80,11 @@ func load(path string) (map[string]entry, string, error) {
 	}
 	out := make(map[string]entry)
 	for _, b := range bf.Benchmarks {
-		key := b.Pkg + " " + b.Name
+		kern := b.Kernel
+		if kern == "" {
+			kern = "exact"
+		}
+		key := b.Pkg + " " + b.Name + " [" + kern + "]"
 		e, ok := out[key]
 		if !ok {
 			e = entry{minNs: b.NsPerOp, minBytes: b.BytesOp, maxAllocs: b.AllocsOp}

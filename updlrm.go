@@ -43,9 +43,33 @@ import (
 	"updlrm/internal/partition"
 	"updlrm/internal/serve"
 	"updlrm/internal/synth"
+	"updlrm/internal/tensor"
 	"updlrm/internal/trace"
 	"updlrm/internal/upmem"
 )
+
+// Kernel selects the host dense-compute tier on EngineConfig.Kernel
+// (and per shard via ServerConfig.ShardConfigs).
+type Kernel = tensor.Kernel
+
+// Kernel tiers.
+const (
+	// KernelExact (the default) is bit-identical to the per-sample
+	// reference path and reproducible across architectures.
+	KernelExact = tensor.KernelExact
+	// KernelFast runs the AVX2/FMA 8-lane kernels (pure-Go fused
+	// fallback off amd64): faster, identical up to float32 summation
+	// order — compare CTRs under a tolerance.
+	KernelFast = tensor.KernelFast
+)
+
+// ParseKernel maps the config spelling ("exact" — or empty — and
+// "fast") to a kernel tier.
+func ParseKernel(s string) (Kernel, error) { return tensor.ParseKernel(s) }
+
+// FastKernelVectorized reports whether KernelFast is running on the
+// AVX2/FMA assembly kernels rather than the portable fallback.
+func FastKernelVectorized() bool { return tensor.FastVectorized() }
 
 // Workload generation.
 type (
@@ -148,7 +172,8 @@ type (
 	// HotCacheConfig sizes the serving-tier hot-row embedding cache
 	// (TinyLFU admission over the live stream); set it on ServerConfig.
 	// A zero CapacityBytes disables the cache, leaving serving
-	// bit-identical to a cache-less deployment.
+	// bit-identical to a cache-less deployment. NewServer partitions
+	// the capacity per embedding table by default (see Config.Tables).
 	HotCacheConfig = hotcache.Config
 	// HotCache is a shared hot-row embedding cache instance; build one
 	// with NewHotCache to share across engines outside NewServer.
@@ -366,7 +391,15 @@ func MakeBatches(tr *Trace, batchSize int) []*Batch {
 func NewServer(model *Model, profile *Trace, ecfg EngineConfig, cfg ServerConfig) (*Server, error) {
 	var cache *hotcache.Cache
 	if model != nil && cfg.HotCache.CapacityBytes != 0 {
-		c, err := hotcache.New(cfg.HotCache, model.Cfg.EmbDim)
+		hcfg := cfg.HotCache
+		if hcfg.Tables == 0 {
+			// Serving default: partition the cache capacity per embedding
+			// table (segment t serves table t) so one burst-hot table
+			// cannot evict the others' hot sets. Set Tables explicitly on
+			// the config to override the partition count.
+			hcfg.Tables = model.Cfg.NumTables()
+		}
+		c, err := hotcache.New(hcfg, model.Cfg.EmbDim)
 		if err != nil {
 			return nil, err
 		}
