@@ -19,11 +19,15 @@ import (
 	"updlrm/internal/metrics"
 )
 
+// infHolder wraps the current run's Inferencer so an atomic.Pointer
+// can hold any implementation (sharded server or cluster frontend).
+type infHolder struct{ inf updlrm.Inferencer }
+
 // liveObs is the shared observability state across method runs. A nil
 // *liveObs (observability not requested) no-ops everywhere.
 type liveObs struct {
 	method atomic.Value // string: current method name
-	srv    atomic.Pointer[updlrm.Server]
+	srv    atomic.Pointer[infHolder]
 	reg    atomic.Pointer[updlrm.MetricsRegistry]
 	tracer atomic.Pointer[updlrm.Tracer]
 
@@ -66,8 +70,9 @@ func newLiveObs(metricsAddr string, live bool) (*liveObs, error) {
 	return o, nil
 }
 
-// attach points the surfaces at a method run's server and instruments.
-func (o *liveObs) attach(method string, srv *updlrm.Server,
+// attach points the surfaces at a method run's Inferencer (sharded
+// server or cluster frontend) and instruments.
+func (o *liveObs) attach(method string, inf updlrm.Inferencer,
 	reg *updlrm.MetricsRegistry, tracer *updlrm.Tracer) {
 	if o == nil {
 		return
@@ -75,12 +80,13 @@ func (o *liveObs) attach(method string, srv *updlrm.Server,
 	o.method.Store(method)
 	o.reg.Store(reg)
 	o.tracer.Store(tracer)
-	o.srv.Store(srv)
+	o.srv.Store(&infHolder{inf: inf})
 }
 
-// detach clears the server pointer before it is closed, so the
-// dashboard never calls Stats on a closed server. The registry stays
-// scrapeable (its final counters remain valid) until the next attach.
+// detach clears the Inferencer pointer before it is closed, so the
+// dashboard never calls Stats on a closed deployment. The registry
+// stays scrapeable (its final counters remain valid) until the next
+// attach.
 func (o *liveObs) detach() {
 	if o == nil {
 		return
@@ -116,13 +122,13 @@ func (o *liveObs) renderLoop() {
 // render draws one dashboard frame and returns the registry snapshot
 // for the next frame's interval diff.
 func (o *liveObs) render(prev updlrm.MetricsSnapshot) updlrm.MetricsSnapshot {
-	srv := o.srv.Load()
+	h := o.srv.Load()
 	reg := o.reg.Load()
-	if srv == nil || reg == nil {
+	if h == nil || reg == nil {
 		return prev
 	}
 	method, _ := o.method.Load().(string)
-	st := srv.Stats()
+	st := h.inf.Stats()
 	snap := reg.Snapshot()
 
 	var b bytes.Buffer

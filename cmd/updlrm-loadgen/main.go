@@ -40,7 +40,16 @@
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 //	updlrm-loadgen -mode closed -concurrency 64 -pipeline
 //	updlrm-loadgen -prio 1:0:9 -qps 50000 -queue 256
+//	updlrm-loadgen -cluster 3 -transport tcp -mode closed
 //	updlrm-loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cluster N serves every method run from an N-node table-partitioned
+// cluster behind the same Inferencer facade instead of the sharded
+// single-process server: -transport chan fans out in-process,
+// -transport tcp stands the backends up on loopback sockets and dials
+// through the real wire codec. Cluster runs report a per-node fabric
+// table (RPCs, errors, hedges, failovers, wire bytes) and the modeled
+// interconnect time next to the usual percentiles.
 //
 // -cpuprofile/-memprofile write standard pprof profiles of the run, so
 // hot-spot hunts over the serving stack need no ad-hoc harness.
@@ -61,6 +70,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -103,6 +113,10 @@ func main() {
 			"migrate the hot set halfway through the run: rotate every row index (requests and updates) by half the table")
 		prio = flag.String("prio", "",
 			"QoS traffic mix as crit:normal:batch integer weights (e.g. 1:0:9); empty serves everything as normal class")
+		clusterNodes = flag.Int("cluster", 0,
+			"serve from an N-node table-partitioned cluster instead of the sharded single-process server (0 disables)")
+		transport = flag.String("transport", "chan",
+			"cluster fabric (with -cluster): chan (in-process) or tcp (loopback sockets, real wire codec)")
 		cpuprofile = flag.String("cpuprofile", "",
 			"write a CPU profile of the whole run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "",
@@ -223,8 +237,13 @@ func main() {
 	}
 	cacheBytes := int64(*cachePct / 100 * float64(tableBytes))
 
-	fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n",
-		*mode, *requests, *shards, *maxBatch, *window, *dpus)
+	if *clusterNodes > 0 {
+		fmt.Printf("loadgen: %s mode, %d requests/method, %d-node cluster (%s transport), maxbatch %d, window %v, %d DPUs total\n",
+			*mode, *requests, *clusterNodes, *transport, *maxBatch, *window, *dpus)
+	} else {
+		fmt.Printf("loadgen: %s mode, %d requests/method, %d shards, maxbatch %d, window %v, %d DPUs/shard\n",
+			*mode, *requests, *shards, *maxBatch, *window, *dpus)
+	}
 	if kernel != updlrm.KernelExact {
 		impl := "pure Go fallback"
 		if updlrm.FastKernelVectorized() {
@@ -276,19 +295,19 @@ func main() {
 			scfg.Metrics = reg
 			scfg.Tracer = tracer
 		}
-		srv, err := updlrm.NewServer(model, profile, ecfg, scfg)
+		inf, front, cleanup, err := newInferencer(model, profile, ecfg, scfg, *clusterNodes, *transport, reg)
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
-		lobs.attach(m.name, srv, reg, tracer)
+		lobs.attach(m.name, inf, reg, tracer)
 		start := time.Now()
 		updErr := make(chan error, 1)
-		go func() { updErr <- runUpdates(srv, updates, model.Cfg.EmbDim) }()
+		go func() { updErr <- runUpdates(inf, updates, model.Cfg.EmbDim) }()
 		switch *mode {
 		case "open":
-			err = runOpen(srv, live, classes, *qps)
+			err = runOpen(inf, live, classes, *qps)
 		case "closed":
-			err = runClosed(srv, live, classes, *concurrency)
+			err = runClosed(inf, live, classes, *concurrency)
 		default:
 			log.Fatalf("loadgen: unknown mode %q", *mode)
 		}
@@ -299,9 +318,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("loadgen: %s: %v", m.name, err)
 		}
-		st := srv.Stats()
+		st := inf.Stats()
+		if front != nil {
+			printClusterStats(m.name, front.ClusterStats())
+		}
 		lobs.detach()
-		srv.Close()
+		cleanup()
 		rows = append(rows, []string{
 			m.name, "all",
 			fmt.Sprintf("%d", st.Requests),
@@ -350,6 +372,114 @@ func main() {
 		[]string{"method", "class", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
 			"q.p50", "q.p99", "cache hit", "mram KB", "pipe", "upd/s", "inval"},
 		rows))
+}
+
+// newInferencer builds the deployment the run drives: the sharded
+// single-process server by default, or — with nodes > 0 — a
+// table-partitioned cluster over the chosen fabric. The chan transport
+// fans out over in-process calls; tcp serves every backend on a
+// loopback listener and dials through the real wire codec, so the run
+// exercises framing, connection reuse and the modeled NetworkNs term
+// end to end. The returned cleanup closes the frontend before the
+// backends' listeners. The *ClusterFrontend is non-nil only in cluster
+// mode (for per-node fabric stats).
+func newInferencer(model *updlrm.Model, profile *updlrm.Trace, ecfg updlrm.EngineConfig,
+	scfg updlrm.ServerConfig, nodes int, transport string,
+	reg *updlrm.MetricsRegistry) (updlrm.Inferencer, *updlrm.ClusterFrontend, func(), error) {
+	if nodes <= 0 {
+		srv, err := updlrm.NewServer(model, profile, ecfg, scfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return srv, nil, srv.Close, nil
+	}
+	ccfg := updlrm.ClusterConfig{
+		MaxBatch:    scfg.MaxBatch,
+		BatchWindow: scfg.BatchWindow,
+		QueueDepth:  scfg.QueueDepth,
+		HotCache:    scfg.HotCache,
+		Metrics:     reg,
+	}
+	switch transport {
+	case "chan":
+		ccfg.Nodes = make([]string, nodes)
+		for i := range ccfg.Nodes {
+			ccfg.Nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		front, _, err := updlrm.NewCluster(model, profile, ecfg, ccfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return front, front, front.Close, nil
+	case "tcp":
+		lns := make([]net.Listener, nodes)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			lns[i] = ln
+			ccfg.Nodes = append(ccfg.Nodes, ln.Addr().String())
+		}
+		var servers []*updlrm.ClusterBackendServer
+		fail := func(err error) (updlrm.Inferencer, *updlrm.ClusterFrontend, func(), error) {
+			for _, s := range servers {
+				s.Close()
+			}
+			for _, ln := range lns {
+				ln.Close()
+			}
+			return nil, nil, nil, err
+		}
+		for i, ln := range lns {
+			b, err := updlrm.NewClusterBackend(model, profile, ecfg, ccfg, ccfg.Nodes[i])
+			if err != nil {
+				return fail(err)
+			}
+			servers = append(servers, updlrm.ServeClusterBackend(ln, b))
+		}
+		front, err := updlrm.DialCluster(model, profile, ecfg, ccfg)
+		if err != nil {
+			return fail(err)
+		}
+		cleanup := func() {
+			front.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+		return front, front, cleanup, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("loadgen: unknown -transport %q (want chan or tcp)", transport)
+	}
+}
+
+// printClusterStats reports the fabric view of a cluster run: per-node
+// RPC traffic and the modeled interconnect total.
+func printClusterStats(method string, cs updlrm.ClusterServingStats) {
+	rows := make([][]string, 0, len(cs.Nodes))
+	for _, n := range cs.Nodes {
+		state := "up"
+		if n.Degraded {
+			state = "degraded"
+		}
+		rows = append(rows, []string{
+			n.Node, state,
+			fmt.Sprintf("%d", n.Lookups),
+			fmt.Sprintf("%d", n.Updates),
+			fmt.Sprintf("%d", n.Errors),
+			fmt.Sprintf("%d", n.Hedges),
+			fmt.Sprintf("%d", n.Failovers),
+			fmt.Sprintf("%d", n.BytesSent/1024),
+			fmt.Sprintf("%d", n.BytesRecv/1024),
+		})
+	}
+	fmt.Printf("cluster fabric (%s): %d gather batches, %s modeled network time\n",
+		method, cs.GatherBatches, metrics.FormatNs(cs.NetworkNs))
+	fmt.Print(metrics.Table(
+		[]string{"node", "state", "lookups", "updates", "errors", "hedges", "failovers", "sent KB", "recv KB"},
+		rows))
+	fmt.Println()
 }
 
 // parsePrio parses a "crit:normal:batch" integer-weight mix; an empty
@@ -453,7 +583,7 @@ func invalCell(updates int, inval int64) string {
 // runUpdates streams row deltas through the server's update lane in
 // chunks, concurrently with the request load, retrying on a full update
 // queue. A nil/empty stream returns immediately.
-func runUpdates(srv *updlrm.Server, ups []updlrm.RowUpdate, dim int) error {
+func runUpdates(srv updlrm.Inferencer, ups []updlrm.RowUpdate, dim int) error {
 	if len(ups) == 0 {
 		return nil
 	}
@@ -520,7 +650,7 @@ func parseMethods(s string) ([]namedMethod, error) {
 // sheds at a full queue (ErrServerOverloaded) are dropped, as an open
 // load generator's clients would be — the shed rate column reports
 // them.
-func runOpen(srv *updlrm.Server, samples []updlrm.Sample, classes []updlrm.RequestClass, qps float64) error {
+func runOpen(srv updlrm.Inferencer, samples []updlrm.Sample, classes []updlrm.RequestClass, qps float64) error {
 	if qps <= 0 {
 		return fmt.Errorf("qps must be positive")
 	}
@@ -550,7 +680,7 @@ func runOpen(srv *updlrm.Server, samples []updlrm.Sample, classes []updlrm.Reque
 // runClosed issues requests back-to-back from a fixed worker pool. The
 // first error stops the feed, so a failing shard cannot deadlock the
 // generator against a pool of dead workers.
-func runClosed(srv *updlrm.Server, samples []updlrm.Sample, classes []updlrm.RequestClass, concurrency int) error {
+func runClosed(srv updlrm.Inferencer, samples []updlrm.Sample, classes []updlrm.RequestClass, concurrency int) error {
 	if concurrency <= 0 {
 		return fmt.Errorf("concurrency must be positive")
 	}

@@ -1,0 +1,196 @@
+// Cluster: the table-partitioned multi-node serving fabric end to end.
+// The demo stands up N backend nodes — each owning a consistent-hashed
+// share of the embedding tables behind its own simulated DPU engine —
+// on loopback TCP listeners, dials a cluster frontend through the
+// length-prefixed wire codec, and drives it through the same
+// updlrm.Inferencer facade a single-process server implements. It then:
+//
+//  1. prints the range→node placement the ring derived,
+//  2. serves a burst of predictions and shows the modeled latency
+//     breakdown including the new NetworkNs interconnect term
+//     (wire bytes x link model, charged at the slowest node per batch),
+//  3. applies online embedding-row deltas (fanned to every replica of
+//     each row's range) and shows the prediction move,
+//  4. kills one backend mid-stream and shows health-checking degrade
+//     the node, fail traffic over to its range replicas, and restore it
+//     on rejoin — predictions keep flowing throughout.
+//
+// Run with: go run ./examples/cluster [-nodes 3]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"updlrm"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "backend node count")
+	flag.Parse()
+
+	// The shared deployment inputs: every party (each backend and the
+	// frontend) derives the same placement from the same model, profile
+	// and config — there is no placement negotiation protocol.
+	spec, err := updlrm.Preset("read")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = updlrm.Scaled(spec, 0.005, 0.5)
+	spec.Tables = 4
+	profile, err := spec.Generate(384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := updlrm.NewModel(updlrm.DefaultModelConfig(profile.RowsPerTable))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecfg := updlrm.DefaultEngineConfig()
+	ecfg.TotalDPUs = 64 // divisible by the table count: each table keeps its DPU share
+
+	// Backends first: listen, then serve. The listener addresses become
+	// the node names the hash ring and the frontend's dialer both use.
+	cfg := updlrm.ClusterConfig{Link: updlrm.DefaultLinkModel()}
+	var listeners []net.Listener
+	for i := 0; i < *nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		cfg.Nodes = append(cfg.Nodes, ln.Addr().String())
+	}
+	servers := make(map[string]*updlrm.ClusterBackendServer)
+	for i, ln := range listeners {
+		b, err := updlrm.NewClusterBackend(model, profile, ecfg, cfg, cfg.Nodes[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers[cfg.Nodes[i]] = updlrm.ServeClusterBackend(ln, b)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	front, err := updlrm.DialCluster(model, profile, ecfg, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	// The rest of the demo only needs the Inferencer surface — the same
+	// interface updlrm.NewServer satisfies.
+	var inf updlrm.Inferencer = front
+
+	fmt.Printf("cluster: %d nodes, %d tables, link %.0f us + %.0f Gbit/s\n\n",
+		*nodes, profile.NumTables, cfg.Link.LatencyNs/1000, cfg.Link.GBps*8)
+	fmt.Println("placement (range -> nodes, first listed is the owner):")
+	fmt.Println(front.DescribePlacement())
+
+	// A burst of predictions through the fabric.
+	ctx := context.Background()
+	samples := profile.Samples[:64]
+	var last updlrm.ServeResponse
+	for _, s := range samples {
+		last, err = inf.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	bd := last.Breakdown
+	fmt.Printf("\nserved %d predictions; last: CTR %.4f, modeled %.1f us "+
+		"(network %.1f us, lookup %.1f us, host agg %.1f us, MLP %.1f us)\n",
+		len(samples), last.CTR, bd.TotalNs()/1000,
+		bd.NetworkNs/1000, bd.DPULookupNs/1000, bd.HostAggNs/1000, bd.MLPNs/1000)
+
+	// Online updates: each delta fans out to every replica of the row's
+	// range, so reads stay coherent no matter which replica serves them.
+	probe := updlrm.ServeRequest{Dense: samples[0].Dense, Sparse: samples[0].Sparse}
+	before, err := inf.Predict(ctx, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec := make([]float32, model.Cfg.EmbDim)
+	for i := range vec {
+		vec[i] = 0.2
+	}
+	var deltas []updlrm.Delta
+	for _, row := range samples[0].Sparse[0] {
+		deltas = append(deltas, updlrm.Delta{Table: 0, Row: row, Vec: vec})
+	}
+	if err := inf.ApplyDeltas(ctx, deltas); err != nil {
+		log.Fatal(err)
+	}
+	after, err := inf.Predict(ctx, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d row deltas: probe CTR %.4f -> %.4f\n", len(deltas), before.CTR, after.CTR)
+
+	// Node failure: close one backend's listener and connections. The
+	// frontend's calls to it fail, health-checking marks it degraded,
+	// and its ranges are served by their replicas. Kill the busiest node
+	// — range owners take all healthy-path traffic, so a pure replica
+	// would make for a boring outage.
+	victim := cfg.Nodes[0]
+	var busiest int64 = -1
+	for _, n := range front.ClusterStats().Nodes {
+		if n.Lookups > busiest {
+			busiest, victim = n.Lookups, n.Node
+		}
+	}
+	fmt.Printf("\nkilling node %s mid-stream...\n", victim)
+	servers[victim].Close()
+	for _, s := range samples[:32] {
+		if _, err := inf.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	printFabric(front.ClusterStats())
+
+	// Rejoin: a fresh listener on the same address, a fresh backend,
+	// and a manual SetNodeUp (the background prober would also restore
+	// it on its next successful ping).
+	ln, err := net.Listen("tcp", victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := updlrm.NewClusterBackend(model, profile, ecfg, cfg, victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers[victim] = updlrm.ServeClusterBackend(ln, b)
+	if err := front.SetNodeUp(victim); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range samples[:32] {
+		if _, err := inf.Predict(ctx, updlrm.ServeRequest{Dense: s.Dense, Sparse: s.Sparse}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("node %s rejoined\n", victim)
+	printFabric(front.ClusterStats())
+
+	st := inf.Stats()
+	fmt.Printf("serving: %d requests, p50 %.1f us, p99 %.1f us, %d update rows\n",
+		st.Requests, st.P50Ns/1000, st.P99Ns/1000, st.UpdatedRows)
+}
+
+// printFabric dumps the per-node fabric counters.
+func printFabric(cs updlrm.ClusterServingStats) {
+	fmt.Printf("fabric: %d gather batches, %.1f us modeled network time\n",
+		cs.GatherBatches, cs.NetworkNs/1000)
+	for _, n := range cs.Nodes {
+		state := "up"
+		if n.Degraded {
+			state = "DEGRADED"
+		}
+		fmt.Printf("  %-22s %-8s lookups %-5d updates %-3d errors %-3d failovers %-3d sent %d KB\n",
+			n.Node, state, n.Lookups, n.Updates, n.Errors, n.Failovers, n.BytesSent/1024)
+	}
+}

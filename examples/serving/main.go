@@ -56,9 +56,12 @@ type predictResponse struct {
 	BatchSize        int     `json:"batch_size"`
 }
 
-// httpServer adapts the serving runtime to HTTP.
+// httpServer adapts the serving runtime to HTTP. It holds the
+// deployment behind the updlrm.Inferencer facade, so the same handler
+// would serve a table-partitioned cluster frontend unchanged (see
+// examples/cluster).
 type httpServer struct {
-	srv *updlrm.Server
+	srv updlrm.Inferencer
 }
 
 func (h *httpServer) predict(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,294 @@
+// Wire codec for the TCP transport: little-endian, length-described
+// binary encodings of the four RPC message bodies. Each encoder
+// produces exactly its message's WireBytes() bytes — the logical size
+// both transports charge the link model — so the modeled NetworkNs of
+// a TCP deployment matches what actually crosses the socket (framing
+// header aside).
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"updlrm/internal/metrics"
+)
+
+// breakdownWireBytes is the encoded size of a metrics.Breakdown: its
+// 12 float64 stage fields.
+const breakdownWireBytes = 12 * 8
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendI32s(b []byte, v []int32) []byte {
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	return b
+}
+
+func appendF32s(b []byte, v []float32) []byte {
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+func appendBreakdown(b []byte, bd *metrics.Breakdown) []byte {
+	b = appendF64(b, bd.CPUToDPUNs)
+	b = appendF64(b, bd.DPULookupNs)
+	b = appendF64(b, bd.DPUToCPUNs)
+	b = appendF64(b, bd.HostAggNs)
+	b = appendF64(b, bd.HostCacheNs)
+	b = appendF64(b, bd.EmbedCPUNs)
+	b = appendF64(b, bd.EmbedGPUNs)
+	b = appendF64(b, bd.PCIeNs)
+	b = appendF64(b, bd.MLPNs)
+	b = appendF64(b, bd.OverheadNs)
+	b = appendF64(b, bd.UpdateNs)
+	b = appendF64(b, bd.NetworkNs)
+	return b
+}
+
+// reader is a bounds-checked little-endian cursor; the first failure
+// sticks and every later read returns zero values.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: truncated %s at byte %d of %d", what, r.off, len(r.b))
+	}
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i64(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *reader) f64(what string) float64 {
+	return math.Float64frombits(uint64(r.i64(what)))
+}
+
+// count reads a u32 element count and verifies the remaining bytes can
+// hold it (elemBytes each), so corrupt frames cannot force huge
+// allocations.
+func (r *reader) count(what string, elemBytes int) int {
+	n := int(r.u32(what))
+	if r.err == nil && (n < 0 || n*elemBytes > len(r.b)-r.off) {
+		r.fail(what)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) i32s(n int, what string) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+4*n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return v
+}
+
+func (r *reader) f32s(n int, what string) []float32 {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+4*n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return v
+}
+
+func (r *reader) breakdown(bd *metrics.Breakdown) {
+	bd.CPUToDPUNs = r.f64("breakdown")
+	bd.DPULookupNs = r.f64("breakdown")
+	bd.DPUToCPUNs = r.f64("breakdown")
+	bd.HostAggNs = r.f64("breakdown")
+	bd.HostCacheNs = r.f64("breakdown")
+	bd.EmbedCPUNs = r.f64("breakdown")
+	bd.EmbedGPUNs = r.f64("breakdown")
+	bd.PCIeNs = r.f64("breakdown")
+	bd.MLPNs = r.f64("breakdown")
+	bd.OverheadNs = r.f64("breakdown")
+	bd.UpdateNs = r.f64("breakdown")
+	bd.NetworkNs = r.f64("breakdown")
+}
+
+func (r *reader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %s: %d trailing bytes", what, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func encodeLookupRequest(dst []byte, req *LookupRequest) []byte {
+	dst = appendU32(dst, uint32(req.Samples))
+	dst = appendU32(dst, uint32(len(req.Tables)))
+	for i := range req.Tables {
+		t := &req.Tables[i]
+		dst = appendU32(dst, uint32(t.Table))
+		dst = appendU32(dst, uint32(len(t.Off)))
+		dst = appendU32(dst, uint32(len(t.Idx)))
+		dst = appendI32s(dst, t.Off)
+		dst = appendI32s(dst, t.Idx)
+	}
+	return dst
+}
+
+func decodeLookupRequest(b []byte) (*LookupRequest, error) {
+	r := &reader{b: b}
+	req := &LookupRequest{Samples: int(r.u32("samples"))}
+	n := r.count("table count", 12)
+	req.Tables = make([]LookupTable, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		t := &req.Tables[i]
+		t.Table = int32(r.u32("table id"))
+		offN := r.count("offsets", 4)
+		idxN := r.count("indices", 4)
+		t.Off = r.i32s(offN, "offsets")
+		t.Idx = r.i32s(idxN, "indices")
+	}
+	if err := r.done("lookup request"); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func encodeLookupResponse(dst []byte, resp *LookupResponse) []byte {
+	dst = appendU32(dst, uint32(resp.Samples))
+	dst = appendU32(dst, uint32(resp.Dim))
+	dst = appendU32(dst, uint32(len(resp.Tables)))
+	dst = appendBreakdown(dst, &resp.Breakdown)
+	dst = appendI64(dst, resp.MRAMBytesRead)
+	dst = appendI64(dst, resp.EMTReads)
+	dst = appendI64(dst, resp.CacheHitReads)
+	dst = appendI64(dst, resp.HostCacheHits)
+	dst = appendI64(dst, resp.HostCacheMisses)
+	dst = appendI32s(dst, resp.Tables)
+	dst = appendF32s(dst, resp.Embs)
+	return dst
+}
+
+func decodeLookupResponse(b []byte) (*LookupResponse, error) {
+	r := &reader{b: b}
+	resp := &LookupResponse{
+		Samples: int(r.u32("samples")),
+		Dim:     int(r.u32("dim")),
+	}
+	n := r.count("table count", 4)
+	r.breakdown(&resp.Breakdown)
+	resp.MRAMBytesRead = r.i64("mram bytes")
+	resp.EMTReads = r.i64("emt reads")
+	resp.CacheHitReads = r.i64("cache hit reads")
+	resp.HostCacheHits = r.i64("host cache hits")
+	resp.HostCacheMisses = r.i64("host cache misses")
+	resp.Tables = r.i32s(n, "table ids")
+	embN := n * resp.Samples * resp.Dim
+	if r.err == nil && (embN < 0 || 4*embN > len(r.b)-r.off) {
+		r.fail("embeddings")
+	}
+	resp.Embs = r.f32s(embN, "embeddings")
+	if err := r.done("lookup response"); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func encodeUpdateRequest(dst []byte, req *UpdateRequest) []byte {
+	dst = appendU32(dst, uint32(len(req.Tables)))
+	for i := range req.Tables {
+		t := &req.Tables[i]
+		dst = appendU32(dst, uint32(t.Table))
+		dst = appendU32(dst, uint32(len(t.Rows)))
+		dst = appendU32(dst, uint32(len(t.Deltas)))
+		dst = appendI32s(dst, t.Rows)
+		dst = appendF32s(dst, t.Deltas)
+	}
+	return dst
+}
+
+func decodeUpdateRequest(b []byte) (*UpdateRequest, error) {
+	r := &reader{b: b}
+	n := r.count("table count", 12)
+	req := &UpdateRequest{Tables: make([]UpdateTable, n)}
+	for i := 0; i < n && r.err == nil; i++ {
+		t := &req.Tables[i]
+		t.Table = int32(r.u32("table id"))
+		rowsN := r.count("rows", 4)
+		deltaN := r.count("deltas", 4)
+		t.Rows = r.i32s(rowsN, "rows")
+		t.Deltas = r.f32s(deltaN, "deltas")
+	}
+	if err := r.done("update request"); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func encodeUpdateResponse(dst []byte, resp *UpdateResponse) []byte {
+	dst = appendI64(dst, resp.Rows)
+	dst = appendI64(dst, resp.Invalidations)
+	dst = appendF64(dst, resp.ModeledNs)
+	dst = appendI64(dst, resp.MRAMBytesWritten)
+	return dst
+}
+
+func decodeUpdateResponse(b []byte) (*UpdateResponse, error) {
+	r := &reader{b: b}
+	resp := &UpdateResponse{
+		Rows:          r.i64("rows"),
+		Invalidations: r.i64("invalidations"),
+	}
+	resp.ModeledNs = r.f64("modeled ns")
+	resp.MRAMBytesWritten = r.i64("mram bytes written")
+	if err := r.done("update response"); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

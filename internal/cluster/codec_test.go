@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"updlrm/internal/metrics"
+)
+
+func TestCodecLookupRequestRoundTrip(t *testing.T) {
+	req := &LookupRequest{
+		Samples: 3,
+		Tables: []LookupTable{
+			{Table: 0, Off: []int32{0, 2, 2, 5}, Idx: []int32{7, 9, 1, 2, 3}},
+			{Table: 1, Off: []int32{0, 1, 2, 3}, Idx: []int32{4, 5, 6}},
+		},
+	}
+	buf := encodeLookupRequest(nil, req)
+	if int64(len(buf)) != req.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes says %d", len(buf), req.WireBytes())
+	}
+	got, err := decodeLookupRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestCodecLookupResponseRoundTrip(t *testing.T) {
+	resp := &LookupResponse{
+		Samples: 2,
+		Dim:     3,
+		Tables:  []int32{0, 1},
+		Embs:    []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Breakdown: metrics.Breakdown{
+			CPUToDPUNs: 1, DPULookupNs: 2, DPUToCPUNs: 3, HostAggNs: 4,
+			HostCacheNs: 5, EmbedCPUNs: 6, EmbedGPUNs: 7, PCIeNs: 8,
+			MLPNs: 9, OverheadNs: 10, UpdateNs: 11, NetworkNs: 12,
+		},
+		MRAMBytesRead: 100, EMTReads: 5, CacheHitReads: 2,
+		HostCacheHits: 1, HostCacheMisses: 4,
+	}
+	buf := encodeLookupResponse(nil, resp)
+	if int64(len(buf)) != resp.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes says %d", len(buf), resp.WireBytes())
+	}
+	got, err := decodeLookupResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+func TestCodecUpdateRoundTrip(t *testing.T) {
+	req := &UpdateRequest{Tables: []UpdateTable{
+		{Table: 2, Rows: []int32{1, 5}, Deltas: []float32{0.5, -0.5, 1.5, -1.5}},
+	}}
+	buf := encodeUpdateRequest(nil, req)
+	if int64(len(buf)) != req.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes says %d", len(buf), req.WireBytes())
+	}
+	gotReq, err := decodeUpdateRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request round trip mismatch:\n got %+v\nwant %+v", gotReq, req)
+	}
+
+	resp := &UpdateResponse{Rows: 2, Invalidations: 1, ModeledNs: 3.5, MRAMBytesWritten: 512}
+	rbuf := encodeUpdateResponse(nil, resp)
+	if int64(len(rbuf)) != resp.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes says %d", len(rbuf), resp.WireBytes())
+	}
+	gotResp, err := decodeUpdateResponse(rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response round trip mismatch:\n got %+v\nwant %+v", gotResp, resp)
+	}
+}
+
+func TestCodecRejectsTruncatedAndTrailing(t *testing.T) {
+	req := &LookupRequest{
+		Samples: 1,
+		Tables:  []LookupTable{{Table: 0, Off: []int32{0, 1}, Idx: []int32{3}}},
+	}
+	buf := encodeLookupRequest(nil, req)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := decodeLookupRequest(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(buf))
+		}
+	}
+	if _, err := decodeLookupRequest(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+	// A hostile element count must not allocate or panic. Layout:
+	// [samples][tableCount][table][offN][idxN][off...][idx...], so the
+	// idx count's low byte sits at offset 16.
+	evil := append([]byte(nil), buf...)
+	evil[16] = 0xff
+	if _, err := decodeLookupRequest(evil); err == nil {
+		t.Fatal("oversized element count decoded cleanly")
+	}
+}

@@ -1,0 +1,895 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"updlrm/internal/core"
+	"updlrm/internal/dlrm"
+	"updlrm/internal/hosthw"
+	"updlrm/internal/metrics"
+	"updlrm/internal/serve"
+	"updlrm/internal/tensor"
+	"updlrm/internal/trace"
+)
+
+// Frontend is the cluster's serving face: it implements
+// serve.Inferencer by micro-batching incoming requests, scattering each
+// batch's sparse lookups to the backends owning the touched ranges,
+// gathering their partial embedding reductions over the transport, and
+// running the dense head locally. Failures fail over to replicas
+// (retry-once), slow primaries can be hedged, and every fan-out charges
+// the link model into Breakdown.NetworkNs.
+type Frontend struct {
+	cfg    Config
+	place  *placement
+	tr     Transport
+	health *health
+	obs    *clusterObs
+	nc     []nodeCounters
+	stats  *collector
+
+	numTables    int
+	rowsPerTable []int
+	denseDim     int
+	embDim       int
+	flops        int64
+	host         hosthw.CPUModel
+
+	mu      sync.RWMutex // guards closed + queue sends against Close
+	closed  bool
+	queue   chan *fePending
+	batchCh chan []*fePending
+	// updateSem bounds outstanding ApplyDeltas fan-outs (shed-at-the-door
+	// admission, like the single-node update lane).
+	updateSem chan struct{}
+
+	wg        sync.WaitGroup
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	shutdown  sync.Once
+}
+
+// updateSlots bounds concurrent update fan-outs, mirroring the
+// single-node update lane's queue depth.
+const updateSlots = 64
+
+// fePending is one queued request awaiting its micro-batch.
+type fePending struct {
+	req  serve.Request // private copy
+	ctx  context.Context
+	enq  time.Time
+	done chan feOutcome // buffered 1
+}
+
+type feOutcome struct {
+	resp serve.Response
+	err  error
+}
+
+// gatherWorker is one gather goroutine's private state: a dense-path
+// pool over its own model clone plus recycled batch scratch.
+type gatherWorker struct {
+	id      int
+	pool    *dlrm.HostPool
+	tr      trace.Trace
+	batch   trace.Batch
+	embs    tensor.EmbBuf
+	ctr     []float32
+	written []bool
+}
+
+// nodeCall is one lookup RPC to one node: the request (covering all the
+// node's local tables), the global tables it serves rows for, and the
+// targeted range ids (the unit failover re-routes).
+type nodeCall struct {
+	node   int
+	req    *LookupRequest
+	tables []int
+	ranges []int
+}
+
+// callResult is one successful lookup: which node answered, which
+// global tables its payload contributes to, and the modeled round trip.
+type callResult struct {
+	node   int
+	tables []int
+	resp   *LookupResponse
+	rtNs   float64
+}
+
+// NewFrontend builds the cluster frontend over an existing transport.
+// model, profile, ecfg and cfg must be the same values every backend
+// was built from — placement is computed, not negotiated.
+func NewFrontend(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, cfg Config, tr Transport) (*Frontend, error) {
+	if model == nil || profile == nil {
+		return nil, fmt.Errorf("cluster: nil model or profile")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: nil transport")
+	}
+	norm, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if profile.NumTables != model.Cfg.NumTables() {
+		return nil, fmt.Errorf("cluster: profile tables %d != model %d", profile.NumTables, model.Cfg.NumTables())
+	}
+	place, err := newPlacement(model.Cfg.RowsPerTable, norm)
+	if err != nil {
+		return nil, err
+	}
+	h := newHealth(len(norm.Nodes), norm.FailureThreshold)
+	f := &Frontend{
+		cfg:          norm,
+		place:        place,
+		tr:           tr,
+		health:       h,
+		obs:          newClusterObs(norm.Metrics, norm.Nodes, h),
+		nc:           make([]nodeCounters, len(norm.Nodes)),
+		stats:        &collector{},
+		numTables:    model.Cfg.NumTables(),
+		rowsPerTable: append([]int(nil), model.Cfg.RowsPerTable...),
+		denseDim:     model.Cfg.DenseDim,
+		embDim:       model.Cfg.EmbDim,
+		flops:        model.FLOPsPerSample(),
+		host:         ecfg.Host,
+		queue:        make(chan *fePending, norm.QueueDepth),
+		batchCh:      make(chan []*fePending, norm.GatherWorkers),
+		updateSem:    make(chan struct{}, updateSlots),
+	}
+	// Each gather worker owns a model clone and an even share of the
+	// host cores for the dense head — the same kernel tier the backends'
+	// single-node equivalent would run, so CTRs stay bit-identical.
+	share := runtime.GOMAXPROCS(0) / norm.GatherWorkers
+	if share < 1 {
+		share = 1
+	}
+	f.wg.Add(1)
+	go f.batcher()
+	for i := 0; i < norm.GatherWorkers; i++ {
+		w := &gatherWorker{
+			id:   i,
+			pool: dlrm.NewHostPool(model.Clone(), share, ecfg.Kernel),
+			tr: trace.Trace{
+				NumTables:    f.numTables,
+				RowsPerTable: f.rowsPerTable,
+				DenseDim:     f.denseDim,
+			},
+			written: make([]bool, f.numTables),
+		}
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	if norm.PingInterval > 0 {
+		f.stopProbe = make(chan struct{})
+		f.probeWG.Add(1)
+		go f.prober()
+	}
+	return f, nil
+}
+
+var _ serve.Inferencer = (*Frontend)(nil)
+
+// NumTables returns the number of embedding tables requests must carry.
+func (f *Frontend) NumTables() int { return f.numTables }
+
+// RowsPerTable returns a copy of the served table sizes.
+func (f *Frontend) RowsPerTable() []int { return append([]int(nil), f.rowsPerTable...) }
+
+// DenseDim returns the dense feature width requests must carry.
+func (f *Frontend) DenseDim() int { return f.denseDim }
+
+// EmbDim returns the embedding dimension (the width delta vectors must
+// carry).
+func (f *Frontend) EmbDim() int { return f.embDim }
+
+// DescribePlacement renders the range→node assignment, one line per
+// range.
+func (f *Frontend) DescribePlacement() string { return f.place.describe() }
+
+func (f *Frontend) validate(req serve.Request) error {
+	if req.Class >= serve.NumClasses {
+		return fmt.Errorf("%w: unknown class %d", serve.ErrBadRequest, req.Class)
+	}
+	if len(req.Dense) != f.denseDim {
+		return fmt.Errorf("%w: %d dense features, want %d", serve.ErrBadRequest, len(req.Dense), f.denseDim)
+	}
+	if len(req.Sparse) != f.numTables {
+		return fmt.Errorf("%w: %d sparse sets, want %d", serve.ErrBadRequest, len(req.Sparse), f.numTables)
+	}
+	for t, idx := range req.Sparse {
+		rows := f.rowsPerTable[t]
+		for _, v := range idx {
+			if v < 0 || int(v) >= rows {
+				return fmt.Errorf("%w: table %d index %d out of [0,%d)", serve.ErrBadRequest, t, v, rows)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict serves one request through the fan-out/gather path, blocking
+// until its micro-batch has been gathered (or ctx is done). A full
+// admission queue sheds with the predict-lane overload error, exactly
+// like the single-node server.
+func (f *Frontend) Predict(ctx context.Context, req serve.Request) (serve.Response, error) {
+	if err := f.validate(req); err != nil {
+		return serve.Response{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return serve.Response{}, err
+	}
+	cp := serve.Request{
+		Dense:  append([]float32(nil), req.Dense...),
+		Sparse: make([][]int32, len(req.Sparse)),
+		Class:  req.Class,
+	}
+	for t, idx := range req.Sparse {
+		cp.Sparse[t] = append([]int32(nil), idx...)
+	}
+	p := &fePending{req: cp, ctx: ctx, enq: time.Now(), done: make(chan feOutcome, 1)}
+
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return serve.Response{}, serve.ErrClosed
+	}
+	select {
+	case f.queue <- p:
+		f.mu.RUnlock()
+	default:
+		f.mu.RUnlock()
+		f.stats.recordShed(req.Class)
+		f.obs.recordShed()
+		return serve.Response{}, serve.Overload(serve.LanePredict)
+	}
+
+	select {
+	case out := <-p.done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return serve.Response{}, ctx.Err()
+	}
+}
+
+// batcher coalesces queued requests into micro-batches of up to
+// MaxBatch, waiting BatchWindow for followers (opportunistic when the
+// window is zero), and feeds the gather workers.
+func (f *Frontend) batcher() {
+	defer f.wg.Done()
+	defer close(f.batchCh)
+	for {
+		p, ok := <-f.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*fePending, 0, f.cfg.MaxBatch), p)
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if f.cfg.BatchWindow > 0 {
+			timer = time.NewTimer(f.cfg.BatchWindow)
+			timerC = timer.C
+		}
+	collect:
+		for len(batch) < f.cfg.MaxBatch {
+			if timerC != nil {
+				select {
+				case q, ok := <-f.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, q)
+				case <-timerC:
+					break collect
+				}
+			} else {
+				select {
+				case q, ok := <-f.queue:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, q)
+				default:
+					break collect
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		f.batchCh <- batch
+	}
+}
+
+func (f *Frontend) worker(w *gatherWorker) {
+	defer f.wg.Done()
+	for batch := range f.batchCh {
+		f.serveBatch(w, batch)
+	}
+}
+
+// pickTarget returns the range's routing target: the first healthy host
+// (owner preferred), excluding `exclude` (pass -1 for none). Returns -1
+// when no such host exists.
+func (f *Frontend) pickTarget(rid, exclude int) int {
+	for _, h := range f.place.hosts[rid] {
+		if h != exclude && !f.health.isDown(h) {
+			return h
+		}
+	}
+	return -1
+}
+
+// buildCall assembles the lookup RPC for one node serving the given
+// ranges: all the node's local tables appear (empty CSR where the call
+// routes no rows), and rows are translated to the node's local
+// coordinates.
+func (f *Frontend) buildCall(node int, ranges []int, pend []*fePending, owns func(rid int) bool) nodeCall {
+	nv := f.place.views[node]
+	size := len(pend)
+	req := &LookupRequest{Samples: size, Tables: make([]LookupTable, len(nv.tables))}
+	serves := make(map[int]bool, len(ranges))
+	var tables []int
+	for _, rid := range ranges {
+		gt := f.place.ranges[rid].Table
+		if !serves[gt] {
+			serves[gt] = true
+			tables = append(tables, gt)
+		}
+	}
+	sort.Ints(tables)
+	for lt, gt := range nv.tables {
+		t := &req.Tables[lt]
+		t.Table = int32(lt)
+		t.Off = make([]int32, size+1)
+		if !serves[gt] {
+			continue
+		}
+		for s, p := range pend {
+			for _, row := range p.req.Sparse[gt] {
+				rid, idx := f.place.rangeOf(gt, row)
+				if owns(rid) {
+					t.Idx = append(t.Idx, nv.rangeOff[rid]+(row-f.place.bounds[gt][idx]))
+				}
+			}
+			t.Off[s+1] = int32(len(t.Idx))
+		}
+	}
+	return nodeCall{node: node, req: req, tables: tables, ranges: ranges}
+}
+
+type callOut struct {
+	resp *LookupResponse
+	err  error
+}
+
+type lookupOutcome struct {
+	results []callResult
+	err     error
+}
+
+// callLookup executes one node call with hedging and retry-once
+// failover. depth 0 is the primary attempt; depth 1 calls (failover or
+// hedge legs) neither hedge nor fail over again.
+func (f *Frontend) callLookup(ctx context.Context, c nodeCall, pend []*fePending, depth int) ([]callResult, error) {
+	reqBytes := c.req.WireBytes()
+	prim := make(chan callOut, 1)
+	go func() {
+		cctx, cancel := context.WithTimeout(ctx, f.cfg.CallTimeout)
+		defer cancel()
+		resp, err := f.tr.Lookup(cctx, f.place.nodes[c.node], c.req)
+		prim <- callOut{resp: resp, err: err}
+	}()
+	var timerC <-chan time.Time
+	if depth == 0 && f.cfg.HedgeAfter > 0 {
+		timer := time.NewTimer(f.cfg.HedgeAfter)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	var hedgeC chan lookupOutcome
+	for {
+		select {
+		case out := <-prim:
+			if out.err == nil {
+				f.health.success(c.node)
+				respBytes := out.resp.WireBytes()
+				nc := &f.nc[c.node]
+				nc.lookups.Add(1)
+				nc.bytesSent.Add(reqBytes)
+				nc.bytesRecv.Add(respBytes)
+				f.obs.recordLookup(c.node, reqBytes, respBytes)
+				return []callResult{{
+					node:   c.node,
+					tables: c.tables,
+					resp:   out.resp,
+					rtNs:   f.cfg.Link.RoundTripNs(reqBytes, respBytes),
+				}}, nil
+			}
+			f.nc[c.node].errors.Add(1)
+			f.obs.recordRPCError(c.node)
+			f.health.failure(c.node)
+			if hedgeC != nil {
+				// A hedge is already in flight for these ranges; its
+				// outcome decides the call.
+				ho := <-hedgeC
+				return ho.results, ho.err
+			}
+			if depth > 0 {
+				return nil, fmt.Errorf("cluster: node %s: %w", f.place.nodes[c.node], out.err)
+			}
+			f.nc[c.node].failovers.Add(1)
+			f.obs.recordFailover(c.node)
+			return f.reroute(ctx, c, pend)
+		case <-timerC:
+			timerC = nil
+			f.nc[c.node].hedges.Add(1)
+			f.obs.recordHedge(c.node)
+			hedgeC = make(chan lookupOutcome, 1)
+			go func() {
+				rs, err := f.reroute(ctx, c, pend)
+				hedgeC <- lookupOutcome{results: rs, err: err}
+			}()
+		case ho := <-hedgeC:
+			if ho.err == nil {
+				return ho.results, nil
+			}
+			// Hedge lost; keep waiting for the primary.
+			hedgeC = nil
+		}
+	}
+}
+
+// reroute re-targets a failed (or hedged) call's ranges at their
+// replicas — excluding the original node — and executes the fallback
+// calls at depth 1.
+func (f *Frontend) reroute(ctx context.Context, c nodeCall, pend []*fePending) ([]callResult, error) {
+	perNode := make(map[int][]int)
+	for _, rid := range c.ranges {
+		n := f.pickTarget(rid, c.node)
+		if n < 0 {
+			r := f.place.ranges[rid]
+			return nil, fmt.Errorf("cluster: no live replica for table %d rows [%d,%d) (node %s unavailable)",
+				r.Table, r.Lo, r.Hi, f.place.nodes[c.node])
+		}
+		perNode[n] = append(perNode[n], rid)
+	}
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	var (
+		mu       sync.Mutex
+		results  []callResult
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, n := range nodes {
+		ranges := perNode[n]
+		owned := make(map[int]bool, len(ranges))
+		for _, rid := range ranges {
+			owned[rid] = true
+		}
+		fc := f.buildCall(n, ranges, pend, func(rid int) bool { return owned[rid] })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := f.callLookup(ctx, fc, pend, 1)
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results = append(results, rs...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// serveBatch routes, scatters, gathers and finishes one micro-batch.
+func (f *Frontend) serveBatch(w *gatherWorker, pend []*fePending) {
+	live := pend[:0]
+	for _, p := range pend {
+		if err := p.ctx.Err(); err != nil {
+			p.done <- feOutcome{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	pend = live
+	if len(pend) == 0 {
+		return
+	}
+	size := len(pend)
+	dispatch := time.Now()
+
+	// Route: target node per touched range (owner unless degraded, else
+	// the first healthy replica; a fully degraded range still tries the
+	// owner — success is what restores health).
+	tgt := make(map[int]int)
+	perNode := make(map[int][]int)
+	for _, p := range pend {
+		for gt, rows := range p.req.Sparse {
+			for _, row := range rows {
+				rid, _ := f.place.rangeOf(gt, row)
+				if _, ok := tgt[rid]; ok {
+					continue
+				}
+				n := f.pickTarget(rid, -1)
+				if n < 0 {
+					n = f.place.hosts[rid][0]
+				}
+				tgt[rid] = n
+				perNode[n] = append(perNode[n], rid)
+			}
+		}
+	}
+
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	var results []callResult
+	if len(nodes) > 0 {
+		var (
+			mu       sync.Mutex
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		for _, n := range nodes {
+			c := f.buildCall(n, perNode[n], pend, func(rid int) bool { return tgt[rid] == n })
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rs, err := f.callLookup(context.Background(), c, pend, 0)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results = append(results, rs...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			err := fmt.Errorf("cluster: gather: %w", firstErr)
+			for _, p := range pend {
+				p.done <- feOutcome{err: err}
+			}
+			f.stats.recordError(size)
+			return
+		}
+	}
+
+	// Deterministic assembly: results in (node, first table) order; the
+	// first contributor to a global table copies, later ones (row-range
+	// splits, R > 1 only) accumulate.
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].node != results[j].node {
+			return results[i].node < results[j].node
+		}
+		ti, tj := -1, -1
+		if len(results[i].tables) > 0 {
+			ti = results[i].tables[0]
+		}
+		if len(results[j].tables) > 0 {
+			tj = results[j].tables[0]
+		}
+		return ti < tj
+	})
+
+	w.embs.Reset(size, f.numTables, f.embDim)
+	for i := range w.written {
+		w.written[i] = false
+	}
+	var bd metrics.Breakdown
+	var netNs float64
+	var mram int64
+	var gatherBytes int64
+	for _, r := range results {
+		nv := f.place.views[r.node]
+		for _, gt := range r.tables {
+			lt := nv.tableIdx[gt]
+			for s := 0; s < size; s++ {
+				src := r.resp.Embs[(lt*size+s)*f.embDim : (lt*size+s+1)*f.embDim]
+				dst := w.embs.At(s, gt)
+				if !w.written[gt] {
+					copy(dst, src)
+				} else {
+					tensor.Add(src, dst)
+				}
+			}
+			w.written[gt] = true
+			gatherBytes += int64(size*f.embDim) * 4
+		}
+		maxBreakdown(&bd, &r.resp.Breakdown)
+		if r.rtNs > netNs {
+			netNs = r.rtNs
+		}
+		mram += r.resp.MRAMBytesRead
+	}
+	// The fabric batch's modeled time: the nodes' embedding stages run
+	// in parallel (elementwise max), the slowest round trip is the
+	// network term, assembling the gathered bytes streams through the
+	// host, and the dense head runs here.
+	bd.NetworkNs = netNs
+	bd.HostAggNs += f.host.StreamNs(gatherBytes)
+	bd.MLPNs = f.host.ComputeNs(f.flops * int64(size))
+
+	// Dense head on the gathered embeddings.
+	w.tr.Samples = w.tr.Samples[:0]
+	for _, p := range pend {
+		w.tr.Samples = append(w.tr.Samples, trace.Sample{Dense: p.req.Dense, Sparse: p.req.Sparse})
+	}
+	w.batch.Reset(&w.tr, 0, size)
+	if cap(w.ctr) < size {
+		w.ctr = make([]float32, size)
+	}
+	w.ctr = w.ctr[:size]
+	w.pool.Forward(&w.batch, &w.embs, w.ctr)
+
+	for i, p := range pend {
+		queueNs := float64(dispatch.Sub(p.enq).Nanoseconds())
+		resp := serve.Response{
+			CTR:       w.ctr[i],
+			Class:     p.req.Class,
+			Shard:     w.id,
+			BatchSize: size,
+			QueueNs:   queueNs,
+			Breakdown: bd,
+			SpanNs:    queueNs + bd.TotalNs(),
+		}
+		p.done <- feOutcome{resp: resp}
+		f.stats.record(resp)
+	}
+	f.stats.recordBatch(mram, netNs)
+	f.obs.recordBatch(float64(time.Since(dispatch).Nanoseconds()), netNs)
+}
+
+// maxBreakdown folds src into dst elementwise-max: the backends run
+// their stages in parallel, so the batch is as slow as its slowest
+// node.
+func maxBreakdown(dst, src *metrics.Breakdown) {
+	maxf := func(d *float64, s float64) {
+		if s > *d {
+			*d = s
+		}
+	}
+	maxf(&dst.CPUToDPUNs, src.CPUToDPUNs)
+	maxf(&dst.DPULookupNs, src.DPULookupNs)
+	maxf(&dst.DPUToCPUNs, src.DPUToCPUNs)
+	maxf(&dst.HostAggNs, src.HostAggNs)
+	maxf(&dst.HostCacheNs, src.HostCacheNs)
+	maxf(&dst.EmbedCPUNs, src.EmbedCPUNs)
+	maxf(&dst.EmbedGPUNs, src.EmbedGPUNs)
+	maxf(&dst.PCIeNs, src.PCIeNs)
+	maxf(&dst.OverheadNs, src.OverheadNs)
+	maxf(&dst.UpdateNs, src.UpdateNs)
+}
+
+// ApplyDeltas applies the row deltas to every copy of each touched
+// range — owner and replicas — keeping the replica set coherent, and
+// blocks until all involved nodes have absorbed them. Any node failure
+// fails the call (a partially applied update would leave replicas
+// divergent); admission sheds with the update-lane overload error when
+// too many fan-outs are already in flight.
+func (f *Frontend) ApplyDeltas(ctx context.Context, deltas []serve.Delta) error {
+	if len(deltas) == 0 {
+		return fmt.Errorf("%w: empty update", serve.ErrBadRequest)
+	}
+	for i, d := range deltas {
+		if d.Table < 0 || d.Table >= f.numTables {
+			return fmt.Errorf("%w: delta %d table %d out of [0,%d)", serve.ErrBadRequest, i, d.Table, f.numTables)
+		}
+		if d.Row < 0 || int(d.Row) >= f.rowsPerTable[d.Table] {
+			return fmt.Errorf("%w: delta %d row %d out of [0,%d)", serve.ErrBadRequest, i, d.Row, f.rowsPerTable[d.Table])
+		}
+		if len(d.Vec) != f.embDim {
+			return fmt.Errorf("%w: delta %d vec len %d, want %d", serve.ErrBadRequest, i, len(d.Vec), f.embDim)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	closed := f.closed
+	f.mu.RUnlock()
+	if closed {
+		return serve.ErrClosed
+	}
+	select {
+	case f.updateSem <- struct{}{}:
+		defer func() { <-f.updateSem }()
+	default:
+		return serve.Overload(serve.LaneUpdate)
+	}
+
+	// Group per node, per local table, across ALL hosts of each delta's
+	// range.
+	perNode := make(map[int]map[int]*UpdateTable)
+	for _, d := range deltas {
+		rid, idx := f.place.rangeOf(d.Table, d.Row)
+		for _, h := range f.place.hosts[rid] {
+			nv := f.place.views[h]
+			lt := nv.tableIdx[d.Table]
+			lrow := nv.rangeOff[rid] + (d.Row - f.place.bounds[d.Table][idx])
+			tabs := perNode[h]
+			if tabs == nil {
+				tabs = make(map[int]*UpdateTable)
+				perNode[h] = tabs
+			}
+			ut := tabs[lt]
+			if ut == nil {
+				ut = &UpdateTable{Table: int32(lt)}
+				tabs[lt] = ut
+			}
+			ut.Rows = append(ut.Rows, lrow)
+			ut.Deltas = append(ut.Deltas, d.Vec...)
+		}
+	}
+
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		modeledNs float64
+		wg        sync.WaitGroup
+	)
+	for _, n := range nodes {
+		tabs := perNode[n]
+		lts := make([]int, 0, len(tabs))
+		for lt := range tabs {
+			lts = append(lts, lt)
+		}
+		sort.Ints(lts)
+		req := &UpdateRequest{Tables: make([]UpdateTable, 0, len(lts))}
+		for _, lt := range lts {
+			req.Tables = append(req.Tables, *tabs[lt])
+		}
+		node := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, f.cfg.CallTimeout)
+			defer cancel()
+			reqBytes := req.WireBytes()
+			resp, err := f.tr.Update(cctx, f.place.nodes[node], req)
+			if err != nil {
+				f.nc[node].errors.Add(1)
+				f.obs.recordRPCError(node)
+				f.health.failure(node)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: update node %s: %w", f.place.nodes[node], err)
+				}
+				mu.Unlock()
+				return
+			}
+			f.health.success(node)
+			respBytes := resp.WireBytes()
+			nc := &f.nc[node]
+			nc.updates.Add(1)
+			nc.bytesSent.Add(reqBytes)
+			nc.bytesRecv.Add(respBytes)
+			f.obs.recordUpdate(node, reqBytes, respBytes)
+			mu.Lock()
+			if resp.ModeledNs > modeledNs {
+				modeledNs = resp.ModeledNs // nodes apply in parallel
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	f.stats.recordUpdate(int64(len(deltas)), modeledNs)
+	return nil
+}
+
+// SetNodeDown marks the named node degraded, routing its ranges to
+// replicas — the manual leave.
+func (f *Frontend) SetNodeDown(node string) error { return f.setNode(node, true) }
+
+// SetNodeUp restores the named node — the manual rejoin.
+func (f *Frontend) SetNodeUp(node string) error { return f.setNode(node, false) }
+
+func (f *Frontend) setNode(node string, down bool) error {
+	for i, n := range f.place.nodes {
+		if n == node {
+			f.health.set(i, down)
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown node %q", node)
+}
+
+// prober pings degraded nodes every PingInterval and restores them on
+// success — the automatic rejoin path.
+func (f *Frontend) prober() {
+	defer f.probeWG.Done()
+	t := time.NewTicker(f.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopProbe:
+			return
+		case <-t.C:
+			for n := range f.place.nodes {
+				if !f.health.isDown(n) {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), f.cfg.CallTimeout)
+				err := f.tr.Ping(ctx, f.place.nodes[n])
+				cancel()
+				if err == nil {
+					f.health.success(n)
+				}
+			}
+		}
+	}
+}
+
+// Stats snapshots the frontend's cumulative serving statistics in the
+// serve.Stats shape the Inferencer contract promises.
+func (f *Frontend) Stats() serve.Stats { return f.stats.snapshot() }
+
+// ClusterStats snapshots the fabric-level supplement: per-node RPC
+// traffic, health, and the modeled interconnect total.
+func (f *Frontend) ClusterStats() ClusterStats {
+	cs := ClusterStats{Nodes: make([]NodeStats, len(f.place.nodes))}
+	for i, name := range f.place.nodes {
+		nc := &f.nc[i]
+		cs.Nodes[i] = NodeStats{
+			Node:      name,
+			Lookups:   nc.lookups.Load(),
+			Updates:   nc.updates.Load(),
+			Errors:    nc.errors.Load(),
+			Hedges:    nc.hedges.Load(),
+			Failovers: nc.failovers.Load(),
+			BytesSent: nc.bytesSent.Load(),
+			BytesRecv: nc.bytesRecv.Load(),
+			Degraded:  f.health.isDown(i),
+		}
+	}
+	f.stats.mu.Lock()
+	cs.NetworkNs = f.stats.netNs
+	cs.GatherBatches = f.stats.batches
+	f.stats.mu.Unlock()
+	return cs
+}
+
+// Close stops accepting requests, drains the queue (every already
+// admitted request is still served), waits for the gather workers, and
+// closes the transport. It is idempotent.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	f.shutdown.Do(func() {
+		if f.stopProbe != nil {
+			close(f.stopProbe)
+			f.probeWG.Wait()
+		}
+		f.tr.Close()
+	})
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// health tracks per-node liveness: consecutive transport failures past
+// the configured threshold mark a node degraded, routing its ranges to
+// replicas; any subsequent success (live traffic, a prober ping, or a
+// manual SetNodeUp) restores it. The degraded flags are atomics so the
+// routing hot path reads them lock-free.
+type health struct {
+	threshold int
+	mu        sync.Mutex
+	fails     []int
+	degraded  []atomic.Bool
+}
+
+func newHealth(nodes, threshold int) *health {
+	return &health{
+		threshold: threshold,
+		fails:     make([]int, nodes),
+		degraded:  make([]atomic.Bool, nodes),
+	}
+}
+
+// failure records one failed call; it returns true when this failure
+// tripped the node into the degraded state.
+func (h *health) failure(node int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[node]++
+	if h.fails[node] >= h.threshold && !h.degraded[node].Load() {
+		h.degraded[node].Store(true)
+		return true
+	}
+	return false
+}
+
+// success resets the node's failure streak and restores it.
+func (h *health) success(node int) {
+	h.mu.Lock()
+	h.fails[node] = 0
+	h.degraded[node].Store(false)
+	h.mu.Unlock()
+}
+
+// isDown reports whether the node is currently degraded (lock-free).
+func (h *health) isDown(node int) bool { return h.degraded[node].Load() }
+
+// set forces the node's state: down trips it immediately (the manual
+// leave), up restores it (the manual rejoin).
+func (h *health) set(node int, down bool) {
+	h.mu.Lock()
+	if down {
+		h.fails[node] = h.threshold
+		h.degraded[node].Store(true)
+	} else {
+		h.fails[node] = 0
+		h.degraded[node].Store(false)
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+package cluster
+
+// LinkModel is the modeled inter-node interconnect: a fixed per-message
+// latency plus bytes over a bandwidth — the PIFS-Rec-style fabric term
+// that turns gather/scatter payload sizes into Breakdown.NetworkNs.
+// The model is charged from the logical wire sizes of each RPC (the
+// same bytes the TCP codec frames), so the in-process and TCP
+// transports account identically and a modeled deployment can be sized
+// before a real one exists.
+type LinkModel struct {
+	// LatencyNs is the one-way message latency in nanoseconds (charged
+	// once per transfer direction).
+	LatencyNs float64
+	// GBps is the link bandwidth in bytes per nanosecond (i.e. GB/s).
+	GBps float64
+}
+
+// DefaultLink models a commodity datacenter link: 25 GbE-class
+// bandwidth (~3 GB/s usable) with 20µs one-way latency.
+func DefaultLink() LinkModel {
+	return LinkModel{LatencyNs: 20_000, GBps: 3.0}
+}
+
+// TransferNs returns the modeled time to move bytes one way.
+func (l LinkModel) TransferNs(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	ns := l.LatencyNs
+	if l.GBps > 0 {
+		ns += float64(bytes) / l.GBps
+	}
+	return ns
+}
+
+// RoundTripNs returns the modeled time of one request/response
+// exchange: the scatter payload out plus the gather payload back.
+func (l LinkModel) RoundTripNs(reqBytes, respBytes int64) float64 {
+	return l.TransferNs(reqBytes) + l.TransferNs(respBytes)
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"updlrm/internal/obs"
+)
+
+func TestClusterObsRegisters(t *testing.T) {
+	model, profile, ecfg := testFixture(t)
+	reg := obs.NewRegistry()
+	front, _, err := New(model, profile, ecfg, Config{Nodes: []string{"a", "b"}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+	for _, req := range requestsFrom(profile, 8) {
+		if _, err := front.Predict(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	found := 0
+	for k := range snap {
+		if strings.HasPrefix(k, "cluster_") {
+			found++
+		}
+	}
+	if found == 0 {
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		t.Fatalf("no cluster_ metrics in registry; keys: %v", keys)
+	}
+	if snap.Get(`cluster_rpc_total{node="a",op="lookup"}`) == 0 {
+		t.Fatalf("per-node lookup counter zero; snap: %v", snap)
+	}
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Range is one contiguous row span of one table — the unit of
+// ownership. Each range is consistent-hashed to an owner node and
+// Replication-1 replicas.
+type Range struct {
+	// Table is the global table index.
+	Table int
+	// Lo and Hi bound the global rows [Lo, Hi) the range covers.
+	Lo, Hi int32
+}
+
+// placement is the deterministic range→node map every party derives
+// from the shared Config: the consistent-hash ring's assignment of
+// each (table, row-range) key to an ordered host list (owner first,
+// then replicas in ring order), plus per-node "views" that translate
+// global (table, row) coordinates into each backend's local model.
+type placement struct {
+	nodes []string
+	// numTables and rows describe the global model.
+	numTables int
+	rows      []int
+	// R is ranges per table; ranges[t*R+i] is range i of table t.
+	R      int
+	ranges []Range
+	// bounds[t] has R+1 entries; range i of table t covers rows
+	// [bounds[t][i], bounds[t][i+1]).
+	bounds [][]int32
+	// hosts[rid] lists the node indexes materializing the range: owner
+	// first, then replicas in ring order. len == Replication.
+	hosts [][]int
+	// views[n] is node n's local-coordinate view.
+	views []*nodeView
+}
+
+// nodeView maps the global coordinates of the ranges a node hosts into
+// the node's local model: hosted tables become local tables 0..k-1 (in
+// ascending global order), and each hosted range's rows pack
+// contiguously into its local table (ascending Lo order).
+type nodeView struct {
+	index int
+	name  string
+	// tables lists hosted global table ids, ascending; tableIdx inverts
+	// it (-1 for tables the node does not host).
+	tables   []int
+	tableIdx []int
+	// localRows[lt] is local table lt's row count.
+	localRows []int
+	// rangeOff[rid] is the hosted range's first local row within its
+	// local table, -1 when the node does not host rid.
+	rangeOff []int32
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newPlacement derives the range→node map. cfg must already be
+// normalized (withDefaults).
+func newPlacement(rows []int, cfg Config) (*placement, error) {
+	numTables := len(rows)
+	if numTables == 0 {
+		return nil, fmt.Errorf("cluster: no tables")
+	}
+	R := cfg.RangesPerTable
+	for t, r := range rows {
+		if r < R {
+			return nil, fmt.Errorf("cluster: table %d has %d rows, fewer than %d ranges", t, r, R)
+		}
+	}
+	p := &placement{
+		nodes:     append([]string(nil), cfg.Nodes...),
+		numTables: numTables,
+		rows:      append([]int(nil), rows...),
+		R:         R,
+	}
+
+	// The ring: VirtualNodes points per node, sorted by hash. A range
+	// key walks clockwise to its successor point for the owner, then
+	// keeps walking for replicas on distinct nodes.
+	type vpoint struct {
+		h    uint64
+		node int
+	}
+	ring := make([]vpoint, 0, len(p.nodes)*cfg.VirtualNodes)
+	for n, name := range p.nodes {
+		for v := 0; v < cfg.VirtualNodes; v++ {
+			ring = append(ring, vpoint{h: hash64(fmt.Sprintf("%s#%d", name, v)), node: n})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].h != ring[j].h {
+			return ring[i].h < ring[j].h
+		}
+		return ring[i].node < ring[j].node
+	})
+	hostsFor := func(key uint64) []int {
+		start := sort.Search(len(ring), func(i int) bool { return ring[i].h >= key })
+		hosts := make([]int, 0, cfg.Replication)
+		seen := make(map[int]bool, cfg.Replication)
+		for i := 0; len(hosts) < cfg.Replication && i < len(ring); i++ {
+			vp := ring[(start+i)%len(ring)]
+			if !seen[vp.node] {
+				seen[vp.node] = true
+				hosts = append(hosts, vp.node)
+			}
+		}
+		return hosts
+	}
+
+	p.bounds = make([][]int32, numTables)
+	for t := 0; t < numTables; t++ {
+		b := make([]int32, R+1)
+		for i := 0; i <= R; i++ {
+			b[i] = int32(i * rows[t] / R)
+		}
+		p.bounds[t] = b
+		for i := 0; i < R; i++ {
+			p.ranges = append(p.ranges, Range{Table: t, Lo: b[i], Hi: b[i+1]})
+			p.hosts = append(p.hosts, hostsFor(hash64(fmt.Sprintf("t%d/r%d", t, i))))
+		}
+	}
+
+	// Per-node views: collect hosted ranges, order tables ascending and
+	// each table's ranges by Lo, pack local rows contiguously.
+	p.views = make([]*nodeView, len(p.nodes))
+	for n, name := range p.nodes {
+		nv := &nodeView{
+			index:    n,
+			name:     name,
+			tableIdx: make([]int, numTables),
+			rangeOff: make([]int32, len(p.ranges)),
+		}
+		for t := range nv.tableIdx {
+			nv.tableIdx[t] = -1
+		}
+		for rid := range nv.rangeOff {
+			nv.rangeOff[rid] = -1
+		}
+		for t := 0; t < numTables; t++ {
+			var local int32
+			hostsAny := false
+			for i := 0; i < R; i++ {
+				rid := t*R + i
+				for _, h := range p.hosts[rid] {
+					if h == n {
+						nv.rangeOff[rid] = local
+						local += p.ranges[rid].Hi - p.ranges[rid].Lo
+						hostsAny = true
+						break
+					}
+				}
+			}
+			if hostsAny {
+				nv.tableIdx[t] = len(nv.tables)
+				nv.tables = append(nv.tables, t)
+				nv.localRows = append(nv.localRows, int(local))
+			}
+		}
+		p.views[n] = nv
+	}
+	return p, nil
+}
+
+// rangeOf returns the range id and per-table range index covering
+// (table, row).
+func (p *placement) rangeOf(table int, row int32) (rid, idx int) {
+	b := p.bounds[table]
+	// Ranges are equal splits; direct arithmetic beats binary search and
+	// is exact for the floor-division boundaries used above.
+	idx = int(int64(row) * int64(p.R) / int64(p.rows[table]))
+	// Guard the floor-division estimate against boundary rounding.
+	for idx+1 < p.R && row >= b[idx+1] {
+		idx++
+	}
+	for idx > 0 && row < b[idx] {
+		idx--
+	}
+	return table*p.R + idx, idx
+}
+
+// localRow translates a global (table, row) into node n's local
+// coordinates. The second result is false when n does not host the
+// row's range.
+func (p *placement) localRow(n, table int, row int32) (lt int, lrow int32, ok bool) {
+	rid, idx := p.rangeOf(table, row)
+	nv := p.views[n]
+	off := nv.rangeOff[rid]
+	if off < 0 {
+		return 0, 0, false
+	}
+	return nv.tableIdx[table], off + (row - p.bounds[table][idx]), true
+}
+
+// numRanges returns the total range count (tables × RangesPerTable).
+func (p *placement) numRanges() int { return len(p.ranges) }
+
+// describe renders the assignment as one line per range — owner,
+// replicas and row span — for demos and debugging.
+func (p *placement) describe() string {
+	var sb strings.Builder
+	for rid, r := range p.ranges {
+		names := make([]string, len(p.hosts[rid]))
+		for i, h := range p.hosts[rid] {
+			names[i] = p.nodes[h]
+		}
+		fmt.Fprintf(&sb, "table %d rows [%d,%d) -> %s\n",
+			r.Table, r.Lo, r.Hi, strings.Join(names, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func testPlacementCfg(nodes []string, ranges, repl int) Config {
+	cfg := Config{Nodes: nodes, RangesPerTable: ranges, Replication: repl}
+	norm, err := cfg.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	return norm
+}
+
+func TestPlacementCoverage(t *testing.T) {
+	rows := []int{100, 37, 5000, 64}
+	cfg := testPlacementCfg([]string{"n0", "n1", "n2", "n3", "n4"}, 3, 2)
+	p, err := newPlacement(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.numRanges(); got != len(rows)*3 {
+		t.Fatalf("numRanges = %d, want %d", got, len(rows)*3)
+	}
+	for tab, r := range rows {
+		covered := make([]bool, r)
+		for row := int32(0); int(row) < r; row++ {
+			rid, idx := p.rangeOf(tab, row)
+			rg := p.ranges[rid]
+			if rg.Table != tab || row < rg.Lo || row >= rg.Hi {
+				t.Fatalf("table %d row %d mapped to range %+v (idx %d)", tab, row, rg, idx)
+			}
+			covered[row] = true
+			// Every host must translate the row into valid local coords.
+			for _, h := range p.hosts[rid] {
+				lt, lrow, ok := p.localRow(h, tab, row)
+				if !ok {
+					t.Fatalf("host %d does not own table %d row %d", h, tab, row)
+				}
+				nv := p.views[h]
+				if nv.tables[lt] != tab {
+					t.Fatalf("host %d local table %d is global %d, want %d", h, lt, nv.tables[lt], tab)
+				}
+				if lrow < 0 || int(lrow) >= nv.localRows[lt] {
+					t.Fatalf("host %d local row %d out of [0,%d)", h, lrow, nv.localRows[lt])
+				}
+			}
+			// Non-hosts must report not-ok.
+			hosted := make(map[int]bool)
+			for _, h := range p.hosts[rid] {
+				hosted[h] = true
+			}
+			for n := range p.nodes {
+				if hosted[n] {
+					continue
+				}
+				if _, _, ok := p.localRow(n, tab, row); ok {
+					t.Fatalf("node %d claims table %d row %d it does not host", n, tab, row)
+				}
+			}
+		}
+		for row, c := range covered {
+			if !c {
+				t.Fatalf("table %d row %d uncovered", tab, row)
+			}
+		}
+	}
+}
+
+func TestPlacementReplicasDistinct(t *testing.T) {
+	cfg := testPlacementCfg([]string{"a", "b", "c"}, 2, 3)
+	p, err := newPlacement([]int{50, 50}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rid, hosts := range p.hosts {
+		if len(hosts) != 3 {
+			t.Fatalf("range %d has %d hosts, want 3", rid, len(hosts))
+		}
+		seen := make(map[int]bool)
+		for _, h := range hosts {
+			if seen[h] {
+				t.Fatalf("range %d hosts %v repeat node %d", rid, hosts, h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	rows := []int{128, 999}
+	cfg := testPlacementCfg([]string{"x", "y", "z"}, 4, 2)
+	p1, err := newPlacement(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := newPlacement(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.describe() != p2.describe() {
+		t.Fatalf("placement not deterministic:\n%s\nvs\n%s", p1.describe(), p2.describe())
+	}
+}
+
+func TestPlacementLocalRowsPack(t *testing.T) {
+	cfg := testPlacementCfg([]string{"a", "b"}, 1, 1)
+	rows := []int{10, 20, 30}
+	p, err := newPlacement(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With RangesPerTable 1 and Replication 1 every table lives on
+	// exactly one node, whole.
+	total := 0
+	for _, nv := range p.views {
+		for lt, gt := range nv.tables {
+			if nv.localRows[lt] != rows[gt] {
+				t.Fatalf("node %s table %d local rows %d, want %d", nv.name, gt, nv.localRows[lt], rows[gt])
+			}
+			total += nv.localRows[lt]
+		}
+	}
+	if want := 10 + 20 + 30; total != want {
+		t.Fatalf("hosted rows %d, want %d", total, want)
+	}
+}
+
+func TestPlacementRejectsTinyTables(t *testing.T) {
+	cfg := testPlacementCfg([]string{"a", "b"}, 8, 1)
+	if _, err := newPlacement([]int{4}, cfg); err == nil {
+		t.Fatal("expected error for table smaller than RangesPerTable")
+	}
+}

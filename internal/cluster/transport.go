@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"updlrm/internal/metrics"
+)
+
+// LookupTable is one backend-local table's share of a lookup request:
+// the micro-batch's row ids for that table, CSR-flattened exactly like
+// trace.Batch (sample s's rows are Idx[Off[s]:Off[s+1]]), in the
+// backend's local row coordinates.
+type LookupTable struct {
+	// Table is the backend-local table index.
+	Table int32
+	// Off has Samples+1 entries.
+	Off []int32
+	// Idx holds local row ids.
+	Idx []int32
+}
+
+// LookupRequest carries one micro-batch's sparse lookups for every
+// local table of one backend. Tables the batch does not touch still
+// appear (with empty CSR) so the backend can build a full-shape batch.
+type LookupRequest struct {
+	// Samples is the micro-batch size.
+	Samples int
+	// Tables has one entry per backend-local table, ascending.
+	Tables []LookupTable
+}
+
+// LookupResponse carries the backend's partial embedding reductions:
+// for each local table, each sample's reduced (dim-wide) vector over
+// the rows the request sent — table-major, then sample-major
+// (Embs[(lt*Samples+s)*dim : ...+dim]).
+type LookupResponse struct {
+	// Samples echoes the request's micro-batch size.
+	Samples int
+	// Dim is the embedding dimension.
+	Dim int
+	// Tables echoes the local table ids, in Embs order.
+	Tables []int32
+	// Embs is the flat len(Tables) x Samples x Dim payload.
+	Embs []float32
+	// Breakdown is the backend engine's modeled time for this share of
+	// the batch (the three DPU stages, host aggregation, host cache).
+	Breakdown metrics.Breakdown
+	// MRAMBytesRead, EMTReads, CacheHitReads, HostCacheHits and
+	// HostCacheMisses mirror the engine Result counters.
+	MRAMBytesRead   int64
+	EMTReads        int64
+	CacheHitReads   int64
+	HostCacheHits   int64
+	HostCacheMisses int64
+}
+
+// UpdateTable is one backend-local table's share of an update: row ids
+// (local coordinates) and their concatenated dim-wide delta vectors.
+type UpdateTable struct {
+	Table  int32
+	Rows   []int32
+	Deltas []float32
+}
+
+// UpdateRequest carries the row deltas destined for one backend. Every
+// copy of a range receives the update (owner and replicas), keeping
+// replicas coherent.
+type UpdateRequest struct {
+	Tables []UpdateTable
+}
+
+// UpdateResponse reports the applied update.
+type UpdateResponse struct {
+	Rows             int64
+	Invalidations    int64
+	ModeledNs        float64
+	MRAMBytesWritten int64
+}
+
+// Transport moves cluster RPCs to a named backend node. Implementations
+// must be safe for concurrent use; each call is synchronous and must
+// respect ctx cancellation. The frontend owns retry, hedging and
+// health accounting — a transport just delivers or fails.
+type Transport interface {
+	Lookup(ctx context.Context, node string, req *LookupRequest) (*LookupResponse, error)
+	Update(ctx context.Context, node string, req *UpdateRequest) (*UpdateResponse, error)
+	Ping(ctx context.Context, node string) error
+	Close() error
+}
+
+// wire sizes: the logical payload bytes of each message, identical to
+// what the TCP codec frames, so both transports charge the link model
+// the same NetworkNs.
+
+// WireBytes returns the request's logical wire size.
+func (r *LookupRequest) WireBytes() int64 {
+	n := int64(8) // samples + table count
+	for i := range r.Tables {
+		n += 12 + 4*int64(len(r.Tables[i].Off)) + 4*int64(len(r.Tables[i].Idx))
+	}
+	return n
+}
+
+// WireBytes returns the response's logical wire size.
+func (r *LookupResponse) WireBytes() int64 {
+	n := int64(12 + breakdownWireBytes + 5*8) // header + breakdown + counters
+	n += 4 * int64(len(r.Tables))
+	n += 4 * int64(len(r.Embs))
+	return n
+}
+
+// WireBytes returns the update request's logical wire size.
+func (r *UpdateRequest) WireBytes() int64 {
+	n := int64(4)
+	for i := range r.Tables {
+		n += 12 + 4*int64(len(r.Tables[i].Rows)) + 4*int64(len(r.Tables[i].Deltas))
+	}
+	return n
+}
+
+// WireBytes returns the update response's logical wire size.
+func (r *UpdateResponse) WireBytes() int64 { return 32 }
+
+// LocalTransport is the in-process transport: calls go straight to
+// registered *Backend values on the caller's goroutine, with zero real
+// latency — the fabric cost stays purely modeled (NetworkNs), which is
+// what the bit-identity and planning tests want. Register/Deregister
+// let tests simulate a node crashing and rejoining.
+type LocalTransport struct {
+	mu       sync.RWMutex
+	backends map[string]*Backend
+	closed   bool
+}
+
+// NewLocalTransport wires an in-process transport to the given
+// backends.
+func NewLocalTransport(backends ...*Backend) *LocalTransport {
+	t := &LocalTransport{backends: make(map[string]*Backend, len(backends))}
+	for _, b := range backends {
+		t.backends[b.Node()] = b
+	}
+	return t
+}
+
+// Register adds (or restores) a backend.
+func (t *LocalTransport) Register(b *Backend) {
+	t.mu.Lock()
+	t.backends[b.Node()] = b
+	t.mu.Unlock()
+}
+
+// Deregister removes a backend; subsequent calls to it fail — the
+// in-process stand-in for a node crash.
+func (t *LocalTransport) Deregister(node string) {
+	t.mu.Lock()
+	delete(t.backends, node)
+	t.mu.Unlock()
+}
+
+func (t *LocalTransport) get(node string) (*Backend, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, fmt.Errorf("cluster: transport closed")
+	}
+	b := t.backends[node]
+	if b == nil {
+		return nil, fmt.Errorf("cluster: node %s unreachable", node)
+	}
+	return b, nil
+}
+
+// Lookup serves the RPC by direct call.
+func (t *LocalTransport) Lookup(ctx context.Context, node string, req *LookupRequest) (*LookupResponse, error) {
+	b, err := t.get(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Lookup(req)
+}
+
+// Update serves the RPC by direct call.
+func (t *LocalTransport) Update(ctx context.Context, node string, req *UpdateRequest) (*UpdateResponse, error) {
+	b, err := t.get(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Update(req)
+}
+
+// Ping reports whether the node is registered.
+func (t *LocalTransport) Ping(ctx context.Context, node string) error {
+	_, err := t.get(node)
+	return err
+}
+
+// Close shuts the transport down.
+func (t *LocalTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.backends = map[string]*Backend{}
+	t.mu.Unlock()
+	return nil
+}

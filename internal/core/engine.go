@@ -70,6 +70,20 @@ type Config struct {
 	// 8-lane kernels, identical up to float32 summation order (bound the
 	// CTR divergence with a tolerance, e.g. updlrm-verify -tol).
 	Kernel tensor.Kernel
+	// PlanTables, when positive, overrides the table count the shape
+	// optimizer's workload estimate sees. A cluster backend serving a
+	// slice of a larger deployment pins this to the global table count so
+	// its per-table partition plans come out identical to a single-node
+	// engine over the full model (the plans' other inputs — rows, dim,
+	// DPUs per table, per-table frequencies and grace lists — are already
+	// slice-invariant). Zero derives the count from the model as before.
+	PlanTables int
+	// PlanAvgReduction, when positive, overrides the profile-derived
+	// average reduction (pooling factor) the workload estimate uses —
+	// the cluster analogue of PlanTables: a backend's sliced profile
+	// yields the slice's average, not the deployment's. Zero derives it
+	// from the profile as before.
+	PlanAvgReduction float64
 	// HotCache is the serving-tier hot-row cache the engine probes
 	// before dispatching lookups to the DPUs. Rows it serves are
 	// aggregated on the host (Breakdown.HostCacheNs) and never enter the
@@ -300,11 +314,18 @@ func New(model *dlrm.Model, profile *trace.Trace, cfg Config) (*Engine, error) {
 	}
 
 	avgRed := profile.AvgReduction()
+	if cfg.PlanAvgReduction > 0 {
+		avgRed = cfg.PlanAvgReduction
+	}
 	if avgRed < 1 {
 		avgRed = 1
 	}
 	e.avgRed = avgRed
-	w := partition.Workload{BatchSize: cfg.BatchSize, AvgReduction: avgRed, Tables: numTables,
+	planTables := numTables
+	if cfg.PlanTables > 0 {
+		planTables = cfg.PlanTables
+	}
+	w := partition.Workload{BatchSize: cfg.BatchSize, AvgReduction: avgRed, Tables: planTables,
 		WriteRatio: cfg.WriteRatio}
 
 	for t := 0; t < numTables; t++ {
@@ -439,6 +460,47 @@ func (e *Engine) maxKernelSamples() int {
 // and Embeddings alias the engine's recycled scratch arena (see
 // Result); the steady-state hot path allocates nothing per sample.
 func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
+	res, err := e.runEmbStages(b)
+	if err != nil {
+		return nil, err
+	}
+	sc := &e.sc
+	if cap(sc.ctr) < b.Size {
+		sc.ctr = make([]float32, b.Size)
+	}
+	sc.ctr = sc.ctr[:b.Size]
+
+	// Dense model on the host CPU: the batch-major GEMM path, sharded
+	// across the worker pool's row-blocks (bit-identical to the serial
+	// per-sample path; samples are independent rows).
+	e.hostPool.Forward(b, &sc.embs, sc.ctr)
+	res.CTR = sc.ctr
+	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
+	e.obs.observeBatch(res)
+	return res, nil
+}
+
+// RunEmbeddings runs only the embedding pipeline — the three DPU stages
+// plus host aggregation — and skips the dense model entirely. The
+// batch's Dense features may be nil: they are never read. This is the
+// cluster-backend entry point: a node that owns a slice of the tables
+// computes its partial reductions here and ships them to the frontend,
+// which runs the dense path where the gather lands. The returned
+// Result's CTR is nil and its Embeddings alias the scratch arena
+// exactly as RunBatch's do.
+func (e *Engine) RunEmbeddings(b *trace.Batch) (*Result, error) {
+	res, err := e.runEmbStages(b)
+	if err != nil {
+		return nil, err
+	}
+	e.obs.observeBatch(res)
+	return res, nil
+}
+
+// runEmbStages validates the batch and runs the wave loop (stages 1-3 +
+// host aggregation) into the recycled scratch arena, leaving the dense
+// path to the caller.
+func (e *Engine) runEmbStages(b *trace.Batch) (*Result, error) {
 	if b == nil || b.Size == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -447,10 +509,6 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 	}
 	sc := &e.sc
 	sc.embs.Reset(b.Size, len(e.plans), e.model.Cfg.EmbDim)
-	if cap(sc.ctr) < b.Size {
-		sc.ctr = make([]float32, b.Size)
-	}
-	sc.ctr = sc.ctr[:b.Size]
 	res := &Result{}
 	wave := e.maxKernelSamples()
 	for lo := 0; lo < b.Size; lo += wave {
@@ -462,15 +520,7 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 			return nil, err
 		}
 	}
-
-	// Dense model on the host CPU: the batch-major GEMM path, sharded
-	// across the worker pool's row-blocks (bit-identical to the serial
-	// per-sample path; samples are independent rows).
-	e.hostPool.Forward(b, &sc.embs, sc.ctr)
-	res.CTR = sc.ctr
 	res.Embeddings = &sc.embs
-	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
-	e.obs.observeBatch(res)
 	return res, nil
 }
 

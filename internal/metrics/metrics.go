@@ -39,6 +39,13 @@ type Breakdown struct {
 	// Zero on a pure read workload, so read-only breakdowns are
 	// unchanged by the write path's existence.
 	UpdateNs float64
+	// NetworkNs is the inter-node fabric time when embedding tables are
+	// partitioned across cluster nodes: scattering sparse lookups to the
+	// owning backends and gathering their partial reductions, modeled
+	// PIFS-Rec-style as bytes over a link (latency + bytes/bandwidth).
+	// Zero on single-node deployments, so existing breakdowns are
+	// unchanged by the fabric's existence.
+	NetworkNs float64
 }
 
 // EmbedNs returns the embedding-layer portion — the quantity Figures 9
@@ -50,7 +57,8 @@ func (b Breakdown) EmbedNs() float64 {
 
 // TotalNs returns end-to-end inference time.
 func (b Breakdown) TotalNs() float64 {
-	return b.EmbedNs() + b.PCIeNs + b.MLPNs + b.OverheadNs + b.UpdateNs
+	return b.EmbedNs() + b.PCIeNs + b.MLPNs + b.OverheadNs + b.UpdateNs +
+		b.NetworkNs
 }
 
 // Add accumulates another breakdown into b.
@@ -66,6 +74,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.MLPNs += o.MLPNs
 	b.OverheadNs += o.OverheadNs
 	b.UpdateNs += o.UpdateNs
+	b.NetworkNs += o.NetworkNs
 }
 
 // Scale multiplies every component by f (e.g. to average over batches).
@@ -81,6 +90,7 @@ func (b *Breakdown) Scale(f float64) {
 	b.MLPNs *= f
 	b.OverheadNs *= f
 	b.UpdateNs *= f
+	b.NetworkNs *= f
 }
 
 // StageRatios returns the Figure 10 ratios: the share of CPU→DPU, DPU

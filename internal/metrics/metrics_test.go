@@ -43,6 +43,25 @@ func TestAddAndScale(t *testing.T) {
 	}
 }
 
+func TestNetworkNs(t *testing.T) {
+	b := sampleBreakdown()
+	b.NetworkNs = 40
+	if got := b.EmbedNs(); got != 1075 {
+		t.Fatalf("NetworkNs must not count toward EmbedNs: got %v", got)
+	}
+	if got := b.TotalNs(); got != 1400 {
+		t.Fatalf("TotalNs = %v, want 1400", got)
+	}
+	b.Add(Breakdown{NetworkNs: 10})
+	if b.NetworkNs != 50 {
+		t.Fatalf("Add NetworkNs = %v, want 50", b.NetworkNs)
+	}
+	b.Scale(2)
+	if b.NetworkNs != 100 {
+		t.Fatalf("Scale NetworkNs = %v, want 100", b.NetworkNs)
+	}
+}
+
 func TestStageRatios(t *testing.T) {
 	b := sampleBreakdown()
 	c, l, d := b.StageRatios()

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOverloadErrorIs(t *testing.T) {
+	p := Overload(LanePredict)
+	if !errors.Is(p, ErrOverloaded) {
+		t.Fatalf("predict-lane overload must satisfy errors.Is(ErrOverloaded)")
+	}
+	if errors.Is(p, ErrUpdateOverloaded) {
+		t.Fatalf("predict-lane overload must not match the update sentinel")
+	}
+	u := Overload(LaneUpdate)
+	if !errors.Is(u, ErrUpdateOverloaded) {
+		t.Fatalf("update-lane overload must satisfy errors.Is(ErrUpdateOverloaded)")
+	}
+	if errors.Is(u, ErrOverloaded) {
+		t.Fatalf("update-lane overload must not match the predict sentinel")
+	}
+	var oe *OverloadError
+	if !errors.As(p, &oe) || oe.Lane != LanePredict {
+		t.Fatalf("errors.As must surface the lane, got %+v", oe)
+	}
+	if p.Error() != ErrOverloaded.Error() || u.Error() != ErrUpdateOverloaded.Error() {
+		t.Fatalf("typed errors must keep the sentinel messages: %q / %q", p, u)
+	}
+}
+
+func TestLaneString(t *testing.T) {
+	if LanePredict.String() != "predict" || LaneUpdate.String() != "update" {
+		t.Fatalf("lane names changed: %s %s", LanePredict, LaneUpdate)
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -284,10 +283,13 @@ type Server struct {
 	testHookRoute func(class Class, size int, shard int)
 }
 
-// NewReplicated builds n independent engine replicas from per-shard
-// model clones (identical weights, private scratch), all partitioned
-// from the same profile trace — so every replica produces bitwise-equal
-// CTRs and plans.
+// NewReplicated builds n independent engine replicas from one shared
+// config.
+//
+// Deprecated: use NewShards with the config repeated n times — the
+// homogeneous deployment is just the degenerate heterogeneous one. This
+// wrapper remains for source compatibility and will not grow new
+// behavior.
 func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n int) ([]*core.Engine, error) {
 	if n <= 0 {
 		n = DefaultShards
@@ -296,46 +298,17 @@ func NewReplicated(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, n 
 	for i := range cfgs {
 		cfgs[i] = ecfg.Clone()
 	}
-	return NewHeteroReplicated(model, profile, cfgs)
+	return NewShards(model, profile, cfgs)
 }
 
-// NewHeteroReplicated builds one engine replica per config — the
-// heterogeneous counterpart of NewReplicated: each shard may run a
-// different partition method, tile shape, quantization or worker-pool
-// width over clones of the same model, all partitioned from the same
-// profile trace. The scheduler's router then steers each micro-batch to
-// whichever replica is cheapest for it. A request's result is bitwise
-// identical to a homogeneous server of its serving shard's
-// configuration (and routing never perturbs arithmetic at all when the
-// configs differ only in non-arithmetic settings such as HostWorkers or
-// pipelining).
+// NewHeteroReplicated builds one engine replica per config.
+//
+// Deprecated: renamed to NewShards, which is the single constructor
+// both homogeneous and heterogeneous deployments go through. This
+// wrapper remains for source compatibility and will not grow new
+// behavior.
 func NewHeteroReplicated(model *dlrm.Model, profile *trace.Trace, cfgs []core.Config) ([]*core.Engine, error) {
-	if model == nil {
-		return nil, fmt.Errorf("serve: nil model")
-	}
-	if len(cfgs) == 0 {
-		return nil, fmt.Errorf("serve: no shard configs")
-	}
-	// Shards execute concurrently: divide the host cores among their
-	// dense-compute pools instead of letting every replica size itself
-	// to the whole machine (n engines x GOMAXPROCS clones would
-	// oversubscribe memory and scheduler alike).
-	share := runtime.GOMAXPROCS(0) / len(cfgs)
-	if share < 1 {
-		share = 1
-	}
-	engines := make([]*core.Engine, len(cfgs))
-	for i, ecfg := range cfgs {
-		if ecfg.HostWorkers <= 0 {
-			ecfg.HostWorkers = share
-		}
-		eng, err := core.New(model.Clone(), profile, ecfg)
-		if err != nil {
-			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
-		}
-		engines[i] = eng
-	}
-	return engines, nil
+	return NewShards(model, profile, cfgs)
 }
 
 // New starts a server over the given engine replicas. All replicas must
@@ -482,7 +455,7 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 		s.mu.RUnlock()
 		s.stats.recordShed(req.Class)
 		s.obs.recordShed(req.Class)
-		return Response{}, ErrOverloaded
+		return Response{}, Overload(LanePredict)
 	}
 
 	select {

@@ -109,7 +109,7 @@ func (s *Server) ApplyDeltas(ctx context.Context, deltas []Delta) error {
 		s.mu.RUnlock()
 		s.stats.recordUpdateShed()
 		s.obs.recordUpdateShed()
-		return ErrUpdateOverloaded
+		return Overload(LaneUpdate)
 	}
 
 	select {

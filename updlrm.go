@@ -30,9 +30,11 @@
 package updlrm
 
 import (
+	"net"
 	"net/http"
 
 	"updlrm/internal/baseline"
+	"updlrm/internal/cluster"
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
 	"updlrm/internal/grace"
@@ -241,6 +243,108 @@ func MetricsHandler(reg *MetricsRegistry, tracer *Tracer) http.Handler {
 	return obs.Handler(reg, tracer)
 }
 
+// Inferencer is the serving contract every deployment shape satisfies:
+// the single-process *Server (NewServer) and the table-partitioned
+// cluster frontend (NewCluster / DialCluster). Drivers — load
+// generators, HTTP transports, examples — should accept an Inferencer
+// so the same code exercises both.
+//
+// Error taxonomy, common to all implementations:
+//
+//   - ErrBadServeRequest wraps request-shape validation failures —
+//     caller bugs, never retryable.
+//   - An *OverloadError (errors.Is(err, ErrServerOverloaded) for the
+//     predict lane, errors.Is(err, ErrUpdateOverloaded) for the update
+//     lane) means admission control shed the call at the door —
+//     retryable after backoff, counted as shed traffic, not failure.
+//   - ErrServerClosed means the deployment was shut down.
+//   - Context errors pass through unwrapped when the caller's ctx ends
+//     first.
+type Inferencer = serve.Inferencer
+
+// OverloadError is the typed overload signal both admission lanes shed
+// with; its Lane field reports which lane (PredictLane or UpdateLane)
+// rejected the call. It satisfies errors.Is against the historical
+// ErrServerOverloaded / ErrUpdateOverloaded sentinels.
+type OverloadError = serve.OverloadError
+
+// OverloadLane identifies which admission lane an OverloadError was
+// shed from.
+type OverloadLane = serve.Lane
+
+// Overload lanes.
+const (
+	// PredictLane is the read path's per-class request queue.
+	PredictLane = serve.LanePredict
+	// UpdateLane is the embedding-update lane's queue.
+	UpdateLane = serve.LaneUpdate
+)
+
+// Cluster serving: the table-partitioned multi-node fabric. Backend
+// nodes each own a consistent-hashed set of (table, row-range) keys and
+// run an engine over only their slices; the frontend fans each
+// micro-batch's lookups out to the owning nodes, gathers the partial
+// reductions over the transport, and runs the dense head locally. The
+// interconnect is charged into Breakdown.NetworkNs (bytes over
+// ClusterConfig.Link).
+type (
+	// ClusterConfig shapes a cluster deployment; the same value must be
+	// given to the frontend and every backend (placement is computed,
+	// not negotiated).
+	ClusterConfig = cluster.Config
+	// ClusterFrontend is the cluster's serving face — an Inferencer.
+	ClusterFrontend = cluster.Frontend
+	// ClusterBackend is one node's engine over its table slices.
+	ClusterBackend = cluster.Backend
+	// ClusterBackendServer serves one backend's RPCs over TCP.
+	ClusterBackendServer = cluster.BackendServer
+	// ClusterTransport moves cluster RPCs to named backend nodes.
+	ClusterTransport = cluster.Transport
+	// ClusterNodeStats is one backend's cumulative fabric traffic.
+	ClusterNodeStats = cluster.NodeStats
+	// ClusterServingStats supplements ServerStats with per-node RPC
+	// traffic and the modeled interconnect total.
+	ClusterServingStats = cluster.ClusterStats
+	// LinkModel prices the inter-node fabric (per-message latency plus
+	// bytes over bandwidth) for Breakdown.NetworkNs.
+	LinkModel = cluster.LinkModel
+)
+
+// DefaultLinkModel returns the default interconnect model (25 GbE-class
+// latency and bandwidth).
+func DefaultLinkModel() LinkModel { return cluster.DefaultLink() }
+
+// NewCluster builds a complete in-process cluster — one backend per
+// configured node behind a zero-real-latency in-process transport, and
+// a frontend over it. With table-aligned ownership
+// (ClusterConfig.RangesPerTable == 1, the default) and no hot cache,
+// predictions are bit-identical to a single-node NewServer over the
+// same model. Close the frontend when done.
+func NewCluster(model *Model, profile *Trace, ecfg EngineConfig, cfg ClusterConfig) (*ClusterFrontend, []*ClusterBackend, error) {
+	return cluster.New(model, profile, ecfg, cfg)
+}
+
+// NewClusterBackend builds one named node's backend for a TCP
+// deployment; serve it with ServeClusterBackend. All parties must pass
+// the same model, profile, engine config and cluster config.
+func NewClusterBackend(model *Model, profile *Trace, ecfg EngineConfig, cfg ClusterConfig, node string) (*ClusterBackend, error) {
+	return cluster.NewBackend(model, profile, ecfg, cfg, node)
+}
+
+// ServeClusterBackend serves a backend's RPCs on the listener (the
+// listener's address is the node name frontends dial).
+func ServeClusterBackend(ln net.Listener, b *ClusterBackend) *ClusterBackendServer {
+	return cluster.ServeBackend(ln, b)
+}
+
+// DialCluster builds a cluster frontend over the length-prefixed TCP
+// transport, dialing the configured node names as host:port addresses —
+// the real-deployment counterpart of NewCluster. Close the frontend
+// when done (it closes the transport).
+func DialCluster(model *Model, profile *Trace, ecfg EngineConfig, cfg ClusterConfig) (*ClusterFrontend, error) {
+	return cluster.NewFrontend(model, profile, ecfg, cfg, cluster.NewTCPTransport(cfg.CallTimeout))
+}
+
 // ErrServerClosed is returned by Server.Predict after Close.
 var ErrServerClosed = serve.ErrClosed
 
@@ -389,39 +493,37 @@ func MakeBatches(tr *Trace, batchSize int) []*Batch {
 // Stats reports hit rate and bytes saved. Close the server when done
 // to stop its background goroutines.
 func NewServer(model *Model, profile *Trace, ecfg EngineConfig, cfg ServerConfig) (*Server, error) {
+	// Serving default: the shared hot cache partitions its capacity per
+	// embedding table (segment t serves table t) so one burst-hot table
+	// cannot evict the others' hot sets; serve.NewHotCacheFor is the
+	// same sizing policy cluster backends apply to their table slices.
 	var cache *hotcache.Cache
-	if model != nil && cfg.HotCache.CapacityBytes != 0 {
-		hcfg := cfg.HotCache
-		if hcfg.Tables == 0 {
-			// Serving default: partition the cache capacity per embedding
-			// table (segment t serves table t) so one burst-hot table
-			// cannot evict the others' hot sets. Set Tables explicitly on
-			// the config to override the partition count.
-			hcfg.Tables = model.Cfg.NumTables()
-		}
-		c, err := hotcache.New(hcfg, model.Cfg.EmbDim)
+	if model != nil {
+		c, err := serve.NewHotCacheFor(cfg.HotCache, model.Cfg.NumTables(), model.Cfg.EmbDim)
 		if err != nil {
 			return nil, err
 		}
 		cache = c
 	}
-	var engines []*Engine
-	var err error
-	if len(cfg.ShardConfigs) > 0 {
-		shardCfgs := make([]EngineConfig, len(cfg.ShardConfigs))
-		for i, sc := range cfg.ShardConfigs {
-			shardCfgs[i] = sc.Clone()
-			if cache != nil {
-				shardCfgs[i].HotCache = cache
-			}
+	shardCfgs := cfg.ShardConfigs
+	if len(shardCfgs) == 0 {
+		n := cfg.Shards
+		if n <= 0 {
+			n = serve.DefaultShards
 		}
-		engines, err = serve.NewHeteroReplicated(model, profile, shardCfgs)
-	} else {
-		if cache != nil {
-			ecfg.HotCache = cache
+		shardCfgs = make([]EngineConfig, n)
+		for i := range shardCfgs {
+			shardCfgs[i] = ecfg
 		}
-		engines, err = serve.NewReplicated(model, profile, ecfg, cfg.Shards)
 	}
+	cfgs := make([]EngineConfig, len(shardCfgs))
+	for i, sc := range shardCfgs {
+		cfgs[i] = sc.Clone()
+		if cache != nil {
+			cfgs[i].HotCache = cache
+		}
+	}
+	engines, err := serve.NewShards(model, profile, cfgs)
 	if err != nil {
 		return nil, err
 	}
