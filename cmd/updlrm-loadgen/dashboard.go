@@ -166,6 +166,14 @@ func (o *liveObs) render(prev updlrm.MetricsSnapshot) updlrm.MetricsSnapshot {
 	}
 	fmt.Fprintf(&b, "\ncache: %.1f%% hit rate (%d hits / %d misses), %d rows resident\n",
 		hitPct, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	if st.GovernorBudgetBytes > 0 {
+		fmt.Fprintf(&b, "governor: %s band (peak %s), pressure %.2f (%d/%d KB), %d transitions, %d cache resizes, %.0f pressure / %.0f slo sheds\n",
+			st.GovernorBand, st.GovernorPeakBand, st.GovernorPressure,
+			st.GovernorTrackedBytes/1024, st.GovernorBudgetBytes/1024,
+			st.GovernorTransitions, st.CacheResizes,
+			sumByPrefix(snap, "governor_shed_total{"),
+			sumByPrefix(snap, "serve_slo_shed_total{"))
+	}
 	fmt.Fprintf(&b, "router backlog: %s across shards\n",
 		metrics.FormatNs(sumByPrefix(snap, "serve_router_backlog_ns{")))
 	fmt.Fprintf(&b, "updates: %.0f applied (%.0f rows), %.0f invalidations, %.0f shed\n",

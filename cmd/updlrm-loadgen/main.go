@@ -27,6 +27,18 @@
 // isolation and which class admission control shed are visible — plus
 // the all-traffic summary row.
 //
+// -membudget deploys the pressure governor over the run: a byte budget
+// covering the hot cache, engine arenas and queued requests. At the
+// high watermark the governor shrinks the cache and caps arena growth;
+// at the critical watermark it sheds Batch- then Normal-class admission
+// (never Critical), recovering in reverse order as pressure falls. The
+// table grows a pressure column (peak band and final tracked/budget
+// ratio; per-class rows break sheds down as pressure/slo counts).
+// -slo sets the Critical class's latency target, turning on SLO-driven
+// admission: the scheduler publishes per-class predicted waits, sheds
+// lower classes early when Critical is predicted to miss, and orders
+// each micro-batch window earliest-deadline-first.
+//
 // -kernel fast runs every shard's host dense compute on the AVX2/FMA
 // kernel tier (runtime CPUID detection with a pure-Go fallback);
 // predictions then differ from the exact tier by float summation order
@@ -40,6 +52,7 @@
 //	updlrm-loadgen -preset read -cachepct 5 -methods cacheaware
 //	updlrm-loadgen -mode closed -concurrency 64 -pipeline
 //	updlrm-loadgen -prio 1:0:9 -qps 50000 -queue 256
+//	updlrm-loadgen -prio 1:1:8 -membudget 4194304 -slo 2ms
 //	updlrm-loadgen -cluster 3 -transport tcp -mode closed
 //	updlrm-loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -113,6 +126,10 @@ func main() {
 			"migrate the hot set halfway through the run: rotate every row index (requests and updates) by half the table")
 		prio = flag.String("prio", "",
 			"QoS traffic mix as crit:normal:batch integer weights (e.g. 1:0:9); empty serves everything as normal class")
+		membudget = flag.Int64("membudget", 0,
+			"pressure-governor memory budget in bytes over hot cache + arenas + queued requests (0 = ungoverned)")
+		sloTarget = flag.Duration("slo", 0,
+			"Critical-class latency SLO enabling predicted-wait admission and EDF batching (0 = depth-only admission)")
 		clusterNodes = flag.Int("cluster", 0,
 			"serve from an N-node table-partitioned cluster instead of the sharded single-process server (0 disables)")
 		transport = flag.String("transport", "chan",
@@ -262,6 +279,14 @@ func main() {
 		fmt.Printf("update stream: %d row deltas (%.1f per 100 lookups), drift %v\n",
 			len(updates), *writePct, *drift)
 	}
+	if *membudget > 0 {
+		fmt.Printf("pressure governor: %d KB budget (cache shrink at high, class shedding at critical)\n",
+			*membudget/1024)
+	}
+	if *sloTarget > 0 {
+		fmt.Printf("SLO admission: critical target %v (predicted-wait shedding of lower classes, EDF batching)\n",
+			*sloTarget)
+	}
 	fmt.Println()
 
 	// Observability surfaces, shared across method runs: each run gets
@@ -286,6 +311,10 @@ func main() {
 			QueueDepth:  *queueDepth,
 			Pipeline:    *pipeline,
 			HotCache:    updlrm.HotCacheConfig{CapacityBytes: cacheBytes},
+			Governor:    updlrm.GovernorConfig{BudgetBytes: *membudget},
+		}
+		if *sloTarget > 0 {
+			scfg.Classes[updlrm.CriticalClass].SLOTargetNs = int64(*sloTarget)
 		}
 		var reg *updlrm.MetricsRegistry
 		var tracer *updlrm.Tracer
@@ -340,6 +369,7 @@ func main() {
 			pipeCell(st.PipelineSpeedup),
 			updCell(st.UpdatedRows, wall),
 			invalCell(len(updates), st.CacheInvalidations),
+			govCell(st),
 		})
 		// With a QoS mix, one row per class with traffic: the per-class
 		// latency isolation and which class the admission control shed.
@@ -364,13 +394,14 @@ func main() {
 				metrics.FormatNs(cs.QueueP50Ns),
 				metrics.FormatNs(cs.QueueP99Ns),
 				"-", "-", "-", "-", "-",
+				shedCauseCell(cs),
 			})
 		}
 	}
 
 	fmt.Print(metrics.Table(
 		[]string{"method", "class", "requests", "shed", "rps", "avg batch", "p50", "p95", "p99",
-			"q.p50", "q.p99", "cache hit", "mram KB", "pipe", "upd/s", "inval"},
+			"q.p50", "q.p99", "cache hit", "mram KB", "pipe", "upd/s", "inval", "pressure"},
 		rows))
 }
 
@@ -398,6 +429,7 @@ func newInferencer(model *updlrm.Model, profile *updlrm.Trace, ecfg updlrm.Engin
 		BatchWindow: scfg.BatchWindow,
 		QueueDepth:  scfg.QueueDepth,
 		HotCache:    scfg.HotCache,
+		Governor:    scfg.Governor,
 		Metrics:     reg,
 	}
 	switch transport {
@@ -463,6 +495,10 @@ func printClusterStats(method string, cs updlrm.ClusterServingStats) {
 		if n.Degraded {
 			state = "degraded"
 		}
+		gov := "-"
+		if n.GovernorBand != "" {
+			gov = fmt.Sprintf("%s %.2f", n.GovernorBand, n.Pressure)
+		}
 		rows = append(rows, []string{
 			n.Node, state,
 			fmt.Sprintf("%d", n.Lookups),
@@ -472,12 +508,13 @@ func printClusterStats(method string, cs updlrm.ClusterServingStats) {
 			fmt.Sprintf("%d", n.Failovers),
 			fmt.Sprintf("%d", n.BytesSent/1024),
 			fmt.Sprintf("%d", n.BytesRecv/1024),
+			gov,
 		})
 	}
 	fmt.Printf("cluster fabric (%s): %d gather batches, %s modeled network time\n",
 		method, cs.GatherBatches, metrics.FormatNs(cs.NetworkNs))
 	fmt.Print(metrics.Table(
-		[]string{"node", "state", "lookups", "updates", "errors", "hedges", "failovers", "sent KB", "recv KB"},
+		[]string{"node", "state", "lookups", "updates", "errors", "hedges", "failovers", "sent KB", "recv KB", "governor"},
 		rows))
 	fmt.Println()
 }
@@ -568,6 +605,28 @@ func updCell(rows int64, wall time.Duration) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f", float64(rows)/wall.Seconds())
+}
+
+// govCell formats the pressure column for the all-traffic row: the
+// governor's peak band over the run and its final tracked/budget ratio
+// ("-" when the run was ungoverned; cluster frontends report per-node
+// governor state in the fabric table instead).
+func govCell(st updlrm.ServerStats) string {
+	if st.GovernorBudgetBytes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s %.2f", st.GovernorPeakBand, st.GovernorPressure)
+}
+
+// shedCauseCell breaks a class row's sheds down by cause as
+// "pressure/slo" counts ("-" when neither the governor ladder nor SLO
+// admission refused anything from the class; full-queue sheds are the
+// remainder of the shed column).
+func shedCauseCell(cs updlrm.ClassStats) string {
+	if cs.ShedPressure+cs.ShedSLO == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", cs.ShedPressure, cs.ShedSLO)
 }
 
 // invalCell formats the invalidation column: hot-cache entries evicted

@@ -7,6 +7,8 @@ import (
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
 	"updlrm/internal/emt"
+	"updlrm/internal/governor"
+	"updlrm/internal/hotcache"
 	"updlrm/internal/serve"
 	"updlrm/internal/trace"
 )
@@ -28,6 +30,15 @@ type Backend struct {
 	// scratch batch rebuilt per Lookup under mu (allocation-free steady
 	// state: the CSR slices alias the request's).
 	batch trace.Batch
+
+	// gov, when the cluster config sets a memory budget, watches this
+	// node's cache occupancy and arena footprint and degrades resources
+	// locally: shrink the cache at High, freeze arena growth at
+	// Critical. Backends never shed admission — that is the class-aware
+	// frontend/serve tier's job.
+	gov          *governor.Governor
+	cache        *hotcache.Cache
+	origCacheCap int64
 }
 
 // sliceTable is an emt.Table view over non-contiguous row spans of a
@@ -159,7 +170,71 @@ func NewBackend(model *dlrm.Model, profile *trace.Trace, ecfg core.Config, cfg C
 		return nil, fmt.Errorf("cluster: engine: %w", err)
 	}
 	b.eng = eng
+	b.cache = cache
+	if norm.Governor.BudgetBytes > 0 {
+		if err := b.initGovernor(norm.Governor); err != nil {
+			return nil, err
+		}
+		b.gov.Start()
+	}
 	return b, nil
+}
+
+// initGovernor wires the node-local degradation ladder: shrink the hot
+// cache at the High watermark, freeze arena growth at Critical, release
+// both in reverse as pressure recedes.
+func (b *Backend) initGovernor(cfg governor.Config) error {
+	gov, err := governor.New(cfg)
+	if err != nil {
+		return err
+	}
+	b.gov = gov
+	b.origCacheCap = b.cache.CapacityBytes()
+	gov.Track("hotcache", b.cache.SizeBytes)
+	gov.Track("arena", b.eng.ArenaBytes)
+	highFrac := cfg.HighFrac
+	if highFrac <= 0 {
+		highFrac = governor.DefaultHighFrac
+	}
+	criticalFrac := cfg.CriticalFrac
+	if criticalFrac <= 0 {
+		criticalFrac = governor.DefaultCriticalFrac
+	}
+	gov.AddStep("shrink-cache", highFrac, func(pressure float64) {
+		if b.cache == nil {
+			return
+		}
+		over := int64((pressure - highFrac) * float64(gov.BudgetBytes()))
+		target := b.cache.CapacityBytes() - over
+		if floor := b.origCacheCap / 8; target < floor {
+			target = floor
+		}
+		if target < b.cache.CapacityBytes() {
+			b.cache.Resize(target)
+		}
+	}, func() {
+		if b.cache != nil {
+			b.cache.Resize(b.origCacheCap)
+		}
+	})
+	gov.AddStep("cap-arena", criticalFrac, func(float64) {
+		limit := b.eng.ArenaBytes()
+		if limit < 1 {
+			limit = 1
+		}
+		b.eng.SetArenaCap(limit)
+	}, func() {
+		b.eng.SetArenaCap(0)
+	})
+	return nil
+}
+
+// Close stops the backend's governor (if any). Idempotent; the engine
+// itself holds no background resources.
+func (b *Backend) Close() {
+	if b.gov != nil {
+		b.gov.Close()
+	}
 }
 
 // tableView returns the emt view of the node's hosted slice of global
@@ -262,6 +337,12 @@ func (b *Backend) Lookup(req *LookupRequest) (*LookupResponse, error) {
 	resp.CacheHitReads = res.CacheHitReads
 	resp.HostCacheHits = res.HostCacheHits
 	resp.HostCacheMisses = res.HostCacheMisses
+	if b.gov != nil {
+		resp.GovernorBand = uint32(b.gov.Band()) + 1
+		if budget := b.gov.BudgetBytes(); budget > 0 {
+			resp.Pressure = float64(b.gov.TrackedBytes()) / float64(budget)
+		}
+	}
 	return resp, nil
 }
 

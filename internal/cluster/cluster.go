@@ -31,6 +31,7 @@ import (
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/governor"
 	"updlrm/internal/hotcache"
 	"updlrm/internal/obs"
 	"updlrm/internal/serve"
@@ -93,6 +94,15 @@ type Config struct {
 	// in-memory cache). Zero CapacityBytes disables it, keeping the
 	// deployment bit-identical to a cache-less single-node server.
 	HotCache hotcache.Config
+	// Governor, when BudgetBytes is positive, runs a per-backend
+	// pressure governor over each node's tracked memory (hot-cache
+	// occupancy + engine arena footprint): at the High watermark the
+	// backend shrinks its cache toward the budget, at Critical it also
+	// freezes arena growth. Backends never shed admission — class-aware
+	// shedding is the frontend/serve tier's job — they only degrade
+	// resources, and they report their band and pressure on every
+	// lookup response so ClusterStats can surface fleet-wide pressure.
+	Governor governor.Config
 	// Metrics, when set, receives the cluster instrument families:
 	// per-node RPC and error counters, hedge/failover counters,
 	// gather-latency histograms, modeled network time and degraded

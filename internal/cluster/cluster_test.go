@@ -11,6 +11,8 @@ import (
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/governor"
+	"updlrm/internal/hotcache"
 	"updlrm/internal/serve"
 	"updlrm/internal/synth"
 	"updlrm/internal/trace"
@@ -530,5 +532,102 @@ func TestClusterValidation(t *testing.T) {
 	}
 	if err := front.ApplyDeltas(ctx, []serve.Delta{{Table: 0, Row: 0, Vec: make([]float32, model.Cfg.EmbDim)}}); !errors.Is(err, serve.ErrClosed) {
 		t.Fatalf("update after close: %v", err)
+	}
+}
+
+// TestClusterBackendGovernor drives one backend's pressure governor
+// through its bands deterministically and checks the node-local ladder
+// (cache shrink at High, arena freeze at Critical, full release) plus
+// the band/pressure propagation through lookup responses into
+// ClusterStats.
+func TestClusterBackendGovernor(t *testing.T) {
+	model, profile, ecfg := testFixture(t)
+	cfg := Config{
+		Nodes:    []string{"node-a", "node-b"},
+		HotCache: hotcache.Config{CapacityBytes: 1 << 20},
+		Governor: governor.Config{BudgetBytes: 1 << 40, Interval: time.Hour},
+	}
+	front, backends, err := New(model, profile, ecfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+	for _, b := range backends {
+		t.Cleanup(b.Close)
+		if b.gov == nil {
+			t.Fatalf("backend %s has no governor", b.Node())
+		}
+	}
+
+	ctx := context.Background()
+	serveSome := func() {
+		t.Helper()
+		for _, req := range requestsFrom(profile, 32) {
+			if _, err := front.Predict(ctx, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serveSome()
+
+	cs := front.ClusterStats()
+	for _, n := range cs.Nodes {
+		if n.GovernorBand != "normal" {
+			t.Fatalf("node %s band %q at huge budget, want normal", n.Node, n.GovernorBand)
+		}
+	}
+
+	// Push node-a to High: cache shrinks, arenas untouched.
+	b := backends[0]
+	origCap := b.cache.CapacityBytes()
+	tracked := b.cache.SizeBytes() + b.eng.ArenaBytes()
+	if tracked <= 0 {
+		t.Fatal("no tracked bytes on backend after traffic")
+	}
+	b.gov.SetBudget(int64(float64(tracked) / 0.80))
+	if snap := b.gov.Observe(); snap.Band != governor.BandHigh {
+		t.Fatalf("band = %v, want high", snap.Band)
+	}
+	if got := b.cache.CapacityBytes(); got >= origCap {
+		t.Fatalf("backend cache capacity %d not shrunk from %d at High", got, origCap)
+	}
+	if b.eng.ArenaCap() != 0 {
+		t.Fatal("arena capped at High; should only freeze at Critical")
+	}
+
+	// Critical: arena growth freezes too.
+	tracked = b.cache.SizeBytes() + b.eng.ArenaBytes()
+	b.gov.SetBudget(int64(float64(tracked) / 0.95))
+	if snap := b.gov.Observe(); snap.Band != governor.BandCritical {
+		t.Fatalf("band = %v, want critical", snap.Band)
+	}
+	if b.eng.ArenaCap() == 0 {
+		t.Fatal("arena growth not frozen at Critical")
+	}
+
+	// The next lookups carry the elevated band to the frontend.
+	serveSome()
+	cs = front.ClusterStats()
+	if got := cs.Nodes[0].GovernorBand; got != "critical" {
+		t.Fatalf("node-a band %q after Critical, want critical", got)
+	}
+	if cs.Nodes[0].Pressure <= 0 {
+		t.Fatalf("node-a pressure %v, want > 0", cs.Nodes[0].Pressure)
+	}
+
+	// Recovery: both steps release, capacity restored.
+	b.gov.SetBudget(1 << 40)
+	if snap := b.gov.Observe(); snap.Band != governor.BandNormal {
+		t.Fatalf("band after recovery = %v, want normal", snap.Band)
+	}
+	if got := b.cache.CapacityBytes(); got != origCap {
+		t.Fatalf("backend cache capacity %d after recovery, want %d", got, origCap)
+	}
+	if b.eng.ArenaCap() != 0 {
+		t.Fatal("arena cap not lifted after recovery")
+	}
+	serveSome()
+	if got := front.ClusterStats().Nodes[0].GovernorBand; got != "normal" {
+		t.Fatalf("node-a band %q after recovery, want normal", got)
 	}
 }

@@ -210,6 +210,8 @@ func encodeLookupResponse(dst []byte, resp *LookupResponse) []byte {
 	dst = appendI64(dst, resp.CacheHitReads)
 	dst = appendI64(dst, resp.HostCacheHits)
 	dst = appendI64(dst, resp.HostCacheMisses)
+	dst = appendU32(dst, resp.GovernorBand)
+	dst = appendF64(dst, resp.Pressure)
 	dst = appendI32s(dst, resp.Tables)
 	dst = appendF32s(dst, resp.Embs)
 	return dst
@@ -228,6 +230,8 @@ func decodeLookupResponse(b []byte) (*LookupResponse, error) {
 	resp.CacheHitReads = r.i64("cache hit reads")
 	resp.HostCacheHits = r.i64("host cache hits")
 	resp.HostCacheMisses = r.i64("host cache misses")
+	resp.GovernorBand = r.u32("governor band")
+	resp.Pressure = r.f64("pressure")
 	resp.Tables = r.i32s(n, "table ids")
 	embN := n * resp.Samples * resp.Dim
 	if r.err == nil && (embN < 0 || 4*embN > len(r.b)-r.off) {

@@ -41,6 +41,7 @@ func TestCodecLookupResponseRoundTrip(t *testing.T) {
 		},
 		MRAMBytesRead: 100, EMTReads: 5, CacheHitReads: 2,
 		HostCacheHits: 1, HostCacheMisses: 4,
+		GovernorBand: 2, Pressure: 0.81,
 	}
 	buf := encodeLookupResponse(nil, resp)
 	if int64(len(buf)) != resp.WireBytes() {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/governor"
 	"updlrm/internal/hosthw"
 	"updlrm/internal/metrics"
 	"updlrm/internal/serve"
@@ -402,6 +404,10 @@ func (f *Frontend) callLookup(ctx context.Context, c nodeCall, pend []*fePending
 				nc.lookups.Add(1)
 				nc.bytesSent.Add(reqBytes)
 				nc.bytesRecv.Add(respBytes)
+				if out.resp.GovernorBand != 0 {
+					nc.govBand.Store(out.resp.GovernorBand)
+					nc.govPressure.Store(math.Float64bits(out.resp.Pressure))
+				}
 				f.obs.recordLookup(c.node, reqBytes, respBytes)
 				return []callResult{{
 					node:   c.node,
@@ -865,6 +871,10 @@ func (f *Frontend) ClusterStats() ClusterStats {
 			BytesSent: nc.bytesSent.Load(),
 			BytesRecv: nc.bytesRecv.Load(),
 			Degraded:  f.health.isDown(i),
+		}
+		if band := nc.govBand.Load(); band != 0 {
+			cs.Nodes[i].GovernorBand = governor.Band(band - 1).String()
+			cs.Nodes[i].Pressure = math.Float64frombits(nc.govPressure.Load())
 		}
 	}
 	f.stats.mu.Lock()

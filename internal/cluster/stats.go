@@ -31,6 +31,12 @@ type NodeStats struct {
 	// Degraded reports whether health-checking currently routes around
 	// the node.
 	Degraded bool
+	// GovernorBand is the node's pressure-governor band as of its last
+	// successful lookup ("normal" / "high" / "critical"; empty when the
+	// node runs ungoverned or has not answered a lookup yet), and
+	// Pressure its tracked/budget ratio at that time.
+	GovernorBand string
+	Pressure     float64
 }
 
 // ClusterStats is the fabric-level supplement to serve.Stats: per-node
@@ -50,6 +56,11 @@ type nodeCounters struct {
 	lookups, updates, errors atomic.Int64
 	hedges, failovers        atomic.Int64
 	bytesSent, bytesRecv     atomic.Int64
+	// govBand holds the wire encoding (governor.Band + 1, 0 = unknown
+	// or ungoverned) of the node's last reported band; govPressure its
+	// pressure as float64 bits.
+	govBand     atomic.Uint32
+	govPressure atomic.Uint64
 }
 
 // collector accumulates the frontend's serving statistics into a

@@ -54,6 +54,12 @@ type LookupResponse struct {
 	CacheHitReads   int64
 	HostCacheHits   int64
 	HostCacheMisses int64
+	// GovernorBand reports the backend's pressure-governor band at
+	// serving time, encoded as governor.Band + 1 so 0 means the backend
+	// runs ungoverned. Pressure is its tracked/budget ratio (0 when
+	// ungoverned).
+	GovernorBand uint32
+	Pressure     float64
 }
 
 // UpdateTable is one backend-local table's share of an update: row ids
@@ -105,7 +111,7 @@ func (r *LookupRequest) WireBytes() int64 {
 
 // WireBytes returns the response's logical wire size.
 func (r *LookupResponse) WireBytes() int64 {
-	n := int64(12 + breakdownWireBytes + 5*8) // header + breakdown + counters
+	n := int64(12 + breakdownWireBytes + 5*8 + 12) // header + breakdown + counters + governor state
 	n += 4 * int64(len(r.Tables))
 	n += 4 * int64(len(r.Embs))
 	return n

@@ -202,3 +202,92 @@ func TestArenaReuseWithHotCache(t *testing.T) {
 		t.Fatal("cache never hit; the split path went unexercised")
 	}
 }
+
+// TestArenaCapTrimsFootprint checks the governor's engine lever: after
+// a big batch grows the arena, setting a cap below the footprint makes
+// the next batch release and re-grow to its own (smaller) size — while
+// the big batch's Result, which aliases the released buffers, stays
+// intact. Uncapping stops the trimming.
+func TestArenaCapTrimsFootprint(t *testing.T) {
+	model, tr := smallWorld(t)
+	eng, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.ArenaBytes() != 0 {
+		t.Fatalf("fresh engine ArenaBytes = %d, want 0 before any batch", eng.ArenaBytes())
+	}
+	big := trace.MakeBatch(tr, 0, 96)
+	small := trace.MakeBatch(tr, 0, 4)
+
+	bigRes, err := eng.RunBatch(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigCTR := append([]float32(nil), bigRes.CTR...)
+	grown := eng.ArenaBytes()
+	if grown <= 0 {
+		t.Fatalf("ArenaBytes = %d after a batch", grown)
+	}
+
+	// Without a cap, a small batch keeps the high-water mark.
+	if _, err := eng.RunBatch(small); err != nil {
+		t.Fatal(err)
+	}
+	if kept := eng.ArenaBytes(); kept < grown {
+		t.Fatalf("uncapped arena shrank: %d -> %d", grown, kept)
+	}
+
+	// Re-grow, cap below the footprint, and run the small batch: the
+	// trim must release the big buffers and land well under the old mark.
+	if _, err := eng.RunBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetArenaCap(grown / 2)
+	if got := eng.ArenaCap(); got != grown/2 {
+		t.Fatalf("ArenaCap = %d want %d", got, grown/2)
+	}
+	smallRes, err := eng.RunBatch(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := eng.ArenaBytes()
+	if trimmed >= grown {
+		t.Fatalf("capped arena did not trim: %d (was %d)", trimmed, grown)
+	}
+	if len(smallRes.CTR) != small.Size {
+		t.Fatalf("post-trim batch returned %d CTRs", len(smallRes.CTR))
+	}
+	// The big Result captured before the cap still holds its values —
+	// trimming dropped the arena's references, not the caller's.
+	for s := range bigCTR {
+		if bigRes.CTR[s] != bigCTR[s] {
+			t.Fatalf("held Result mutated by trim at CTR[%d]", s)
+		}
+	}
+	// Trimmed engines still compute correctly.
+	fresh, err := New(model, tr, smallConfig(partition.MethodUniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RunBatch(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want.CTR {
+		if want.CTR[s] != smallRes.CTR[s] {
+			t.Fatalf("post-trim CTR[%d] %v != fresh %v", s, smallRes.CTR[s], want.CTR[s])
+		}
+	}
+	// SetArenaCap(0) (and negatives) uncap.
+	eng.SetArenaCap(-1)
+	if eng.ArenaCap() != 0 {
+		t.Fatalf("ArenaCap after SetArenaCap(-1) = %d", eng.ArenaCap())
+	}
+	if _, err := eng.RunBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	if eng.ArenaBytes() <= trimmed {
+		t.Fatal("uncapped arena failed to grow back")
+	}
+}

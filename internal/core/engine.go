@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"updlrm/internal/dlrm"
 	"updlrm/internal/emt"
@@ -171,6 +172,13 @@ type Engine struct {
 	profile *trace.Trace
 	// sc is the per-engine scratch arena RunBatch recycles.
 	sc scratch
+	// arenaBytes is the scratch arena's recycled footprint as of the
+	// last completed batch; arenaCap, when positive, bounds it — the
+	// memory governor's lever on engine growth. Both are atomics so the
+	// governor can read/set them from its own goroutine while the
+	// engine's worker runs batches.
+	arenaBytes atomic.Int64
+	arenaCap   atomic.Int64
 	// obs is the optional instrument set (see InstrumentEngines); nil
 	// when the engine is uninstrumented.
 	obs *EngineObs
@@ -477,7 +485,67 @@ func (e *Engine) RunBatch(b *trace.Batch) (*Result, error) {
 	res.CTR = sc.ctr
 	res.Breakdown.MLPNs = e.cfg.Host.ComputeNs(e.model.FLOPsPerSample() * int64(b.Size))
 	e.obs.observeBatch(res)
+	e.arenaBytes.Store(e.arenaFootprint())
 	return res, nil
+}
+
+// ArenaBytes returns the scratch arena's recycled footprint as of the
+// last completed batch: the flat embedding buffer, CTR output, per-DPU
+// kernel job storage, step accumulators and the cold-row scratch. This
+// is what a memory governor tracks per engine. (The HostPool's
+// per-worker GEMM workspaces are sized by model shape, not batch
+// history, and are not counted.)
+func (e *Engine) ArenaBytes() int64 { return e.arenaBytes.Load() }
+
+// SetArenaCap bounds the recycled arena footprint: after a batch whose
+// footprint exceeds the cap, the next batch releases the recycled
+// buffers and reallocates at its own (current) size instead of keeping
+// the high-water mark forever. Zero removes the cap. A capped engine
+// under oversized batches trades steady-state zero-allocation for a
+// bounded footprint — graceful degradation, not a hard limit on a
+// single batch's working set.
+func (e *Engine) SetArenaCap(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	e.arenaCap.Store(bytes)
+}
+
+// ArenaCap returns the current cap (0 = uncapped).
+func (e *Engine) ArenaCap() int64 { return e.arenaCap.Load() }
+
+// arenaFootprint sums the recycled scratch capacities. Called on the
+// engine's worker goroutine at batch end; a few dozen cap() reads, no
+// allocation.
+func (e *Engine) arenaFootprint() int64 {
+	sc := &e.sc
+	n := sc.embs.CapBytes()
+	n += int64(cap(sc.ctr)) * 4
+	n += int64(cap(sc.coldScratch)) * 4
+	n += int64(cap(sc.cacheVec)) * 4
+	n += int64(cap(sc.pushSizes))*8 + int64(cap(sc.pullSizes))*8
+	n += int64(cap(sc.jobs)) * 8
+	for i := range sc.jobStore {
+		n += sc.jobStore[i].FootprintBytes()
+	}
+	n += sc.step.FootprintBytes()
+	return n
+}
+
+// trimArena releases the batch-shaped recycled buffers. Runs at the
+// start of a batch (never the end), so the previous batch's Result —
+// which aliases the old backing arrays — stays valid through the
+// documented "until the next RunBatch" window while the arena's own
+// references drop.
+func (e *Engine) trimArena() {
+	sc := &e.sc
+	sc.embs.Release()
+	sc.ctr = nil
+	sc.coldScratch = nil
+	for i := range sc.jobStore {
+		sc.jobStore[i].ReleaseStorage()
+	}
+	sc.step.ReleaseStorage()
 }
 
 // RunEmbeddings runs only the embedding pipeline — the three DPU stages
@@ -494,6 +562,7 @@ func (e *Engine) RunEmbeddings(b *trace.Batch) (*Result, error) {
 		return nil, err
 	}
 	e.obs.observeBatch(res)
+	e.arenaBytes.Store(e.arenaFootprint())
 	return res, nil
 }
 
@@ -506,6 +575,12 @@ func (e *Engine) runEmbStages(b *trace.Batch) (*Result, error) {
 	}
 	if len(b.Idx) != len(e.plans) {
 		return nil, fmt.Errorf("core: batch has %d tables, engine %d", len(b.Idx), len(e.plans))
+	}
+	// Arena cap: release the previous high-water-mark buffers before
+	// this batch shapes them, so the footprint re-grows to what this
+	// batch actually needs. One atomic load when uncapped.
+	if capBytes := e.arenaCap.Load(); capBytes > 0 && e.arenaBytes.Load() > capBytes {
+		e.trimArena()
 	}
 	sc := &e.sc
 	sc.embs.Reset(b.Size, len(e.plans), e.model.Cfg.EmbDim)

@@ -62,11 +62,15 @@ func InstrumentEngines(reg *obs.Registry, engines []*Engine) {
 	writeVec := reg.HistogramVec("core_mram_written_bytes",
 		"Per-call modeled MRAM write traffic of applied row deltas, by shard.",
 		byteBuckets, "shard")
+	arenaVec := reg.GaugeVec("core_arena_bytes",
+		"Recycled scratch-arena footprint of each engine as of its last batch, by shard.",
+		"shard")
 	for i, eng := range engines {
 		if eng == nil {
 			continue
 		}
 		label := strconv.Itoa(i)
+		arenaVec.WithFunc(func() float64 { return float64(eng.ArenaBytes()) }, label)
 		o := &EngineObs{
 			mramRead:  readVec.With(label),
 			updateNs:  updVec.With(label),

@@ -21,6 +21,7 @@ package hotcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EntryOverheadBytes approximates the bookkeeping cost per resident
@@ -135,9 +136,38 @@ type Cache struct {
 	tables   int
 	dim      int
 	rowBytes int64
+	// capBytes is the current byte budget (Resize replaces it);
+	// resizes counts Resize calls that changed it. adminMu serializes
+	// Resize and Rebalance against each other — per-shard locks still
+	// order them against the serving path.
+	capBytes atomic.Int64
+	resizes  atomic.Int64
+	adminMu  sync.Mutex
 	// tabs holds per-table exported counters (see Instrument); empty
 	// when the cache is uninstrumented.
 	tabs []tableCounters
+}
+
+// entriesFor is the single sizing rule shared by New, Resize and
+// Rebalance: how many resident rows a byte budget buys at a given
+// per-row payload, charging EntryOverheadBytes of bookkeeping per row
+// and never going below one row for a positive budget.
+func entriesFor(capacityBytes, rowBytes int64) int {
+	totalEntries := int(capacityBytes / (rowBytes + EntryOverheadBytes))
+	if totalEntries < 1 {
+		totalEntries = 1 // a positive budget always buys one row
+	}
+	return totalEntries
+}
+
+// perSegment splits a total entry budget evenly across n segments,
+// flooring at one row per segment.
+func perSegment(totalEntries, n int) int {
+	per := totalEntries / n
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // New builds a cache for embedding vectors of the given dimension.
@@ -160,18 +190,12 @@ func New(cfg Config, dim int) (*Cache, error) {
 		return nil, fmt.Errorf("hotcache: Tables = %d", cfg.Tables)
 	}
 	rowBytes := int64(dim) * 4
-	totalEntries := int(cfg.CapacityBytes / (rowBytes + EntryOverheadBytes))
-	if totalEntries < 1 {
-		totalEntries = 1 // a positive budget always buys one row
-	}
+	totalEntries := entriesFor(cfg.CapacityBytes, rowBytes)
 	if cfg.Tables > 0 {
 		// Per-table partitioning: segment t owns table t's fixed share
 		// of the budget (never below one row, so a tiny budget degrades
 		// to one resident row per table rather than disabling tables).
-		per := totalEntries / cfg.Tables
-		if per < 1 {
-			per = 1
-		}
+		per := perSegment(totalEntries, cfg.Tables)
 		c := &Cache{
 			shards:   make([]*shard, cfg.Tables),
 			tables:   cfg.Tables,
@@ -179,6 +203,7 @@ func New(cfg Config, dim int) (*Cache, error) {
 			dim:      dim,
 			rowBytes: rowBytes,
 		}
+		c.capBytes.Store(cfg.CapacityBytes)
 		for i := range c.shards {
 			c.shards[i] = newShard(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
 		}
@@ -203,11 +228,198 @@ func New(cfg Config, dim int) (*Cache, error) {
 		dim:      dim,
 		rowBytes: rowBytes,
 	}
+	c.capBytes.Store(cfg.CapacityBytes)
 	per := totalEntries / nShards
 	for i := range c.shards {
 		c.shards[i] = newShard(per, cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
 	return c, nil
+}
+
+// Resize replaces the cache's byte budget in place, using the same
+// sizing rule as New (entriesFor), so the two can never drift. A
+// shrink evicts each segment's LRU tail down to its new capacity —
+// version coherence is untouched, since eviction only removes entries
+// and the update path's Invalidate-by-version still governs what a
+// later re-fill may serve. A grow simply raises the caps and lets
+// admission refill. The segment count is fixed at construction, so
+// shrinking below one row per segment floors there (mirroring New's
+// per-segment floor). Non-positive budgets are rejected — a live cache
+// cannot be resized away — with the same error shape as New. Safe for
+// concurrent use with the serving path; returns the evicted entry
+// count. A nil cache rejects every resize.
+func (c *Cache) Resize(capacityBytes int64) (evicted int, err error) {
+	if c == nil || capacityBytes <= 0 {
+		return 0, fmt.Errorf("hotcache: CapacityBytes = %d", capacityBytes)
+	}
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
+	if capacityBytes == c.capBytes.Load() {
+		return 0, nil
+	}
+	totalEntries := entriesFor(capacityBytes, c.rowBytes)
+	per := perSegment(totalEntries, len(c.shards))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		evicted += sh.setCapacityLocked(per, c)
+		sh.mu.Unlock()
+	}
+	c.capBytes.Store(capacityBytes)
+	c.resizes.Add(1)
+	return evicted, nil
+}
+
+// Rebalance redistributes the cache's entry budget across its
+// per-table segments proportionally to the given non-negative weights
+// (observed per-table hit counts, typically), flooring at one row per
+// table so no table is ever fully unplugged. The total budget
+// (CapacityBytes) is unchanged — this only moves capacity between
+// tables. Only valid for per-table partitioned caches; a nil cache or
+// a hash-sharded cache ignores the call. Returns evicted entries.
+func (c *Cache) Rebalance(weights []float64) (evicted int, err error) {
+	if c == nil || c.tables == 0 {
+		return 0, nil
+	}
+	if len(weights) != c.tables {
+		return 0, fmt.Errorf("hotcache: Rebalance weights = %d, tables = %d", len(weights), c.tables)
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return 0, fmt.Errorf("hotcache: Rebalance weight = %g", w)
+		}
+		total += w
+	}
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
+	totalEntries := entriesFor(c.capBytes.Load(), c.rowBytes)
+	caps := make([]int, c.tables)
+	if total == 0 {
+		// No signal: fall back to the even split New uses.
+		per := perSegment(totalEntries, c.tables)
+		for i := range caps {
+			caps[i] = per
+		}
+	} else {
+		assigned := 0
+		for i, w := range weights {
+			caps[i] = int(float64(totalEntries) * w / total)
+			if caps[i] < 1 {
+				caps[i] = 1
+			}
+			assigned += caps[i]
+		}
+		// Largest-weight table absorbs rounding drift (may be negative
+		// when the min-1 floors over-assigned; it still floors at 1).
+		max := 0
+		for i := 1; i < len(weights); i++ {
+			if weights[i] > weights[max] {
+				max = i
+			}
+		}
+		if caps[max]+totalEntries-assigned >= 1 {
+			caps[max] += totalEntries - assigned
+		}
+	}
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		evicted += sh.setCapacityLocked(caps[i], c)
+		sh.mu.Unlock()
+	}
+	return evicted, nil
+}
+
+// setCapacityLocked points one segment at a new entry capacity,
+// evicting down the LRU tail on a shrink and resizing the negative-
+// mark budget to match. Caller holds sh.mu; returns evictions.
+func (sh *shard) setCapacityLocked(capacity int, c *Cache) (evicted int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	for len(sh.entries) > capacity {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.evicted++
+		evicted++
+		if tc := c.tc(victim.key); tc != nil {
+			tc.evicted.Inc()
+		}
+	}
+	sh.capacity = capacity
+	negCap := capacity
+	if negCap < 64 {
+		negCap = 64
+	}
+	sh.negCap = negCap
+	if len(sh.neg) > sh.negCap {
+		sh.neg = nil // epoch reset, as the admission path does
+	}
+	return evicted
+}
+
+// CapacityBytes returns the current byte budget (0 for nil).
+func (c *Cache) CapacityBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.capBytes.Load()
+}
+
+// Resizes returns how many Resize calls changed the budget (0 for
+// nil) — the governor's cache-shrink activity counter.
+func (c *Cache) Resizes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.resizes.Load()
+}
+
+// SizeBytes returns the resident occupancy charged against the budget:
+// rows held times (payload + EntryOverheadBytes). This is what a
+// memory governor tracks — it grows as admission fills the cache and
+// falls when Resize evicts. Safe on a nil cache (0).
+func (c *Cache) SizeBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var entries int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return entries * (c.rowBytes + EntryOverheadBytes)
+}
+
+// PerTable returns per-segment stats — one Stats per table — for
+// per-table partitioned caches, and nil otherwise (including nil
+// caches). The per-table hit counters are the observed hit curve the
+// adaptive budget rebalancer weighs.
+func (c *Cache) PerTable() []Stats {
+	if c == nil || c.tables == 0 {
+		return nil
+	}
+	out := make([]Stats, c.tables)
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		out[i] = Stats{
+			Hits:            sh.hits,
+			Misses:          sh.misses,
+			Admitted:        sh.admitted,
+			Rejected:        sh.rejected,
+			Evicted:         sh.evicted,
+			Entries:         len(sh.entries),
+			CapacityEntries: sh.capacity,
+			Invalidations:   sh.invalidations,
+			BadFills:        sh.badFills,
+			NegativeHits:    sh.negHits,
+			NegativeEntries: len(sh.neg),
+		}
+		sh.mu.Unlock()
+		out[i].BytesSaved = out[i].Hits * c.rowBytes
+	}
+	return out
 }
 
 // newShard builds one cache segment holding up to capacity rows.

@@ -63,6 +63,17 @@ type serveObs struct {
 	updInval   *obs.Counter
 	updWallNs  *obs.Histogram
 	updModelNs *obs.Histogram
+
+	// Governor / SLO families. Registered unconditionally (a deployment
+	// without a governor scrapes them at zero) so the exported surface —
+	// and CI's promcheck required list — is stable across
+	// configurations.
+	govShed        [NumClasses]*obs.Counter
+	sloShed        [NumClasses]*obs.Counter
+	govTransitions *obs.Counter
+	cacheResizes   *obs.Counter
+	predWait       [NumClasses]*obs.Histogram
+	reprobes       *obs.Counter
 }
 
 // latencyBuckets covers queueing and modeled service latencies: 1µs to
@@ -140,6 +151,64 @@ func newServeObs(reg *obs.Registry, s *Server) *serveObs {
 		"Per-update modeled DPU-side cost (slowest replica's delta push + RMW kernel).",
 		latencyBuckets())
 
+	// Pressure governor and SLO admission. The gauges read the governor
+	// (nil-safe: zero without one) at scrape time; the monotonic
+	// counters are fed their diffs by the governor's observation tick.
+	reg.GaugeFunc("governor_band",
+		"Pressure governor band: 0 normal, 1 high, 2 critical. Zero when no governor is deployed.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			return float64(s.gov.Band())
+		})
+	reg.GaugeFunc("governor_pressure",
+		"Tracked bytes over the governor's budget (TrackedBytes/BudgetBytes). Zero when no governor is deployed.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			if b := s.gov.BudgetBytes(); b > 0 {
+				return float64(s.gov.TrackedBytes()) / float64(b)
+			}
+			return 0
+		})
+	reg.GaugeFunc("governor_budget_bytes",
+		"The governor's byte budget. Zero when no governor is deployed.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			return float64(s.gov.BudgetBytes())
+		})
+	reg.GaugeFunc("governor_tracked_bytes",
+		"Bytes the governor's tracked consumers reported at the last observation.",
+		func() float64 {
+			if s.gov == nil {
+				return 0
+			}
+			return float64(s.gov.TrackedBytes())
+		})
+	o.govTransitions = reg.Counter("governor_band_transitions_total",
+		"Upward pressure-band transitions (the monotonic signal that pressure occurred, even if the band has since recovered).")
+	o.cacheResizes = reg.Counter("governor_cache_resizes_total",
+		"Hot-cache capacity changes driven by the governor's shrink step (and its release).")
+	govShed := reg.CounterVec("governor_shed_total",
+		"Requests shed at the door by the governor's pressure ladder, by QoS class.", "class")
+	sloShed := reg.CounterVec("serve_slo_shed_total",
+		"Requests shed at the door by SLO admission (a higher-priority class was predicted to miss its target), by QoS class.", "class")
+	predWaitH := reg.HistogramVec("serve_predicted_wait_ns",
+		"Scheduler-published predicted admission wait per class — the estimate SLO admission compares against each class's target.",
+		latencyBuckets(), "class")
+	for c := Class(0); c < NumClasses; c++ {
+		l := c.String()
+		o.govShed[c] = govShed.With(l)
+		o.sloShed[c] = sloShed.With(l)
+		o.predWait[c] = predWaitH.With(l)
+	}
+	o.reprobes = reg.Counter("serve_reprobe_total",
+		"Completed background cost re-probes (every shard folded fresh static probe points into the router).")
+
 	// Router state: per-shard backlog, cost predictions and the
 	// per-request EWMA profile stage terms, all read at scrape time
 	// under each profile's own mutex.
@@ -193,12 +262,50 @@ func (o *serveObs) recordAdmit(c Class) {
 	o.admitted[c].Inc()
 }
 
-// recordShed counts one admission-control rejection.
-func (o *serveObs) recordShed(c Class) {
+// recordShed counts one admission-control rejection, by cause.
+func (o *serveObs) recordShed(c Class, reason shedReason) {
 	if o == nil {
 		return
 	}
 	o.shed[c].Inc()
+	switch reason {
+	case shedPressure:
+		o.govShed[c].Inc()
+	case shedSLO:
+		o.sloShed[c].Inc()
+	}
+}
+
+// observePredWait records one scheduler-published predicted wait.
+func (o *serveObs) observePredWait(c Class, ns float64) {
+	if o == nil {
+		return
+	}
+	o.predWait[c].Observe(ns)
+}
+
+// recordGovTransitions feeds the band-transition counter its diff.
+func (o *serveObs) recordGovTransitions(d int64) {
+	if o == nil {
+		return
+	}
+	o.govTransitions.Add(d)
+}
+
+// recordCacheResizes feeds the cache-resize counter its diff.
+func (o *serveObs) recordCacheResizes(d int64) {
+	if o == nil {
+		return
+	}
+	o.cacheResizes.Add(d)
+}
+
+// recordReprobe counts one completed background re-probe.
+func (o *serveObs) recordReprobe() {
+	if o == nil {
+		return
+	}
+	o.reprobes.Inc()
 }
 
 // recordDispatch counts one routed micro-batch.

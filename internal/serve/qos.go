@@ -75,6 +75,11 @@ type classParams struct {
 	window time.Duration
 	// depth is the class's admission queue capacity.
 	depth int
+	// sloNs is the class's latency target (0 = none): requests carry a
+	// deadline of enqueue + sloNs, micro-batches order EDF within the
+	// class, and admission sheds lower classes early when this class's
+	// predicted wait exceeds the target.
+	sloNs int64
 }
 
 // classParams normalizes the per-class knobs against the server-wide
@@ -94,6 +99,9 @@ func (c Config) classParams(cl Class) classParams {
 	}
 	if o.QueueDepth > 0 {
 		p.depth = o.QueueDepth
+	}
+	if o.SLOTargetNs > 0 {
+		p.sloNs = o.SLOTargetNs
 	}
 	// Window default: Critical closes opportunistically (latency first),
 	// the other classes inherit the server-wide window (coalescing
@@ -139,6 +147,32 @@ func putMicroBatch(mb *microBatch) {
 	mb.pend = mb.pend[:0]
 	mb.update = nil
 	mbPool.Put(mb)
+}
+
+// earlierDeadline orders two pending requests earliest-deadline-first;
+// requests without a deadline (zero) sort after every deadlined one and
+// keep FIFO order among themselves.
+func earlierDeadline(a, b *pending) bool {
+	if a.deadline.IsZero() {
+		return false
+	}
+	if b.deadline.IsZero() {
+		return true
+	}
+	return a.deadline.Before(b.deadline)
+}
+
+// edfOrder sorts a class's staging slice earliest-deadline-first (in
+// place, stable — equal deadlines keep arrival order). Insertion sort:
+// staging is bounded by the class's maxBatch and the slice is already
+// mostly ordered round to round, so this is cheaper than the stdlib
+// sort's interface boxing on the dispatch hot path.
+func edfOrder(ps []*pending) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && earlierDeadline(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
 }
 
 // scheduler replaces the FIFO batcher: it drains the three class queues
@@ -201,12 +235,24 @@ func (s *Server) scheduler() {
 		updates = updates[:0]
 	}
 
+	// stageCap bounds class c's staging area. Depth-only servers stage
+	// exactly one micro-batch (bounding staged work keeps admission
+	// control honest: requests only leave the bounded queue when the
+	// scheduler can actually dispatch them). With SLO targets the
+	// staging doubles: the earliest-deadline-first cut needs a window
+	// wider than one batch to have anything to select from — a bounded
+	// loosening of the admission accounting, one extra batch per class.
+	stageCap := func(c Class) int {
+		n := s.class[c].maxBatch
+		if s.hasSLO {
+			n *= 2
+		}
+		return n
+	}
 	// chFor returns class c's queue for receiving, or nil when the class
-	// is closed or its staging area is full (bounding staged work keeps
-	// admission control honest: requests only leave the bounded queue
-	// when the scheduler can actually dispatch them).
+	// is closed or its staging area is full.
 	chFor := func(c Class) chan *pending {
-		if !open[c] || len(staged[c]) >= s.class[c].maxBatch {
+		if !open[c] || len(staged[c]) >= stageCap(c) {
 			return nil
 		}
 		return s.classCh[c]
@@ -256,7 +302,7 @@ func (s *Server) scheduler() {
 	// drainClass tops up class c's staging from its own queue without
 	// blocking.
 	drainClass := func(c Class) {
-		for len(staged[c]) < s.class[c].maxBatch && open[c] {
+		for len(staged[c]) < stageCap(c) && open[c] {
 			select {
 			case p, ok := <-s.classCh[c]:
 				handle(c, p, ok)
@@ -374,6 +420,14 @@ func (s *Server) scheduler() {
 			}
 		}
 
+		// Publish the round's predicted per-class admission waits so
+		// Predict's SLO check reads a fresh estimate (skipped entirely on
+		// an un-instrumented depth-only server — the pre-SLO hot path is
+		// unchanged).
+		if s.hasSLO || s.obs != nil {
+			s.publishWait(&staged)
+		}
+
 		// One DRR round: visit every class in priority order, credit its
 		// quantum, and dispatch micro-batches while credit (or carried
 		// debt headroom) allows.
@@ -395,6 +449,14 @@ func (s *Server) scheduler() {
 				if len(staged[c]) < s.class[c].maxBatch {
 					waitFollowers(c)
 				}
+				// With SLO targets configured, order the class's window
+				// earliest-deadline-first before cutting the micro-batch:
+				// the requests closest to missing their target ride the
+				// next dispatch. Without targets the staging stays FIFO
+				// and dispatch is byte-identical to the depth-only server.
+				if s.hasSLO && len(staged[c]) > 1 {
+					edfOrder(staged[c])
+				}
 				n := len(staged[c])
 				if n == 0 {
 					break
@@ -412,6 +474,30 @@ func (s *Server) scheduler() {
 			}
 		}
 	}
+}
+
+// predWaitFreshnessNs bounds how old a published predicted-wait
+// estimate may be before Predict's SLO check ignores it: an idle
+// scheduler publishes nothing, and admission must never shed on a
+// forecast from a load pattern that has since drained.
+const predWaitFreshnessNs = int64(250 * time.Millisecond)
+
+// publishWait recomputes each class's predicted admission wait — the
+// cheapest shard's outstanding backlog plus the queued-ahead work of
+// every class at or above it, spread across the shard fleet — and
+// publishes it for Predict's SLO check (one atomic load per admission).
+// Called only from the scheduler goroutine, once per DRR round.
+func (s *Server) publishWait(staged *[NumClasses][]*pending) {
+	backlogNs, perReqNs := s.router.waitBasis()
+	shards := float64(len(s.engines))
+	ahead := 0.0
+	for _, c := range classOrder {
+		ahead += float64(len(staged[c]) + len(s.classCh[c]))
+		w := backlogNs + ahead*perReqNs/shards
+		s.predWait[c].Store(int64(w))
+		s.obs.observePredWait(c, w)
+	}
+	s.predWaitStamp.Store(time.Now().UnixNano())
 }
 
 // route scores the micro-batch against every shard's cost profile

@@ -145,6 +145,49 @@ func (r *router) seed(shard int, points []profilePoint) {
 	}
 }
 
+// reseed folds fresh static-probe points into a live profile at the
+// observation weight — unlike seed it does not reset the fit, so a
+// periodic re-probe re-anchors a drifted or stale profile toward the
+// engine's current static costs without discarding what live traffic
+// taught the EWMA. Safe concurrently with serving.
+func (r *router) reseed(shard int, points []profilePoint) {
+	p := &r.shards[shard]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pt := range points {
+		if pt.n <= 0 {
+			continue
+		}
+		p.observe(profileAlpha, pt.n, pt.cost)
+		bd := pt.bd
+		bd.Scale(profileAlpha / float64(pt.n))
+		p.perReq.Scale(1 - profileAlpha)
+		p.perReq.Add(bd)
+	}
+}
+
+// waitBasis returns the cheapest shard's outstanding backlog and that
+// shard's per-request cost estimate — the inputs of the SLO admission
+// estimator's predicted-wait model. The estimator assumes queued work
+// drains across the whole fleet, so the caller divides the per-request
+// term by the shard count.
+func (r *router) waitBasis() (backlogNs, perReqNs float64) {
+	for i := range r.shards {
+		p := &r.shards[i]
+		p.mu.Lock()
+		b := p.backlogNs
+		pr := p.perReq.TotalNs()
+		if pr <= 0 {
+			pr = p.predict(1)
+		}
+		p.mu.Unlock()
+		if i == 0 || b < backlogNs {
+			backlogNs, perReqNs = b, pr
+		}
+	}
+	return backlogNs, perReqNs
+}
+
 // rank returns the shard indices ordered by predicted completion cost
 // for a batch of n requests, cheapest first; ties break toward the
 // lowest index, keeping routing deterministic. The returned slice is

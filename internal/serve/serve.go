@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/governor"
 	"updlrm/internal/hotcache"
 	"updlrm/internal/metrics"
 	"updlrm/internal/obs"
@@ -65,6 +67,16 @@ type ClassConfig struct {
 	// QueueDepth is the class's admission queue capacity. Zero means
 	// Config.QueueDepth.
 	QueueDepth int
+	// SLOTargetNs is the class's latency objective in nanoseconds (zero
+	// = none). Setting a target on any class switches admission from
+	// depth-only to SLO-driven: requests of the class carry a deadline
+	// of enqueue + target (a caller context deadline takes precedence),
+	// the scheduler orders each class's micro-batch window
+	// earliest-deadline-first, and Predict sheds strictly lower-priority
+	// classes early whenever this class's predicted admission wait
+	// exceeds the target — so a Batch flood is refused at the door
+	// before it can push Critical past its objective.
+	SLOTargetNs int64
 }
 
 // Config tunes the serving runtime.
@@ -131,6 +143,23 @@ type Config struct {
 	// wait, breakdown stages, reply) into its ring buffer — exposed via
 	// obs.Handler's /debug/traces.
 	Tracer *obs.Tracer
+	// Governor, when BudgetBytes is positive, deploys a pressure
+	// governor over the server's tracked memory consumers (hot-cache
+	// occupancy, per-shard scratch arenas, queued requests) with a
+	// degradation ladder: at the High watermark the hot cache shrinks
+	// and arena growth is capped; at the Critical watermark Batch-class
+	// admission sheds; only past the full budget does Normal shed.
+	// Critical is never governor-shed. A zero BudgetBytes deploys no
+	// governor and serving is unchanged.
+	Governor governor.Config
+	// ReprobeInterval, when positive, re-runs each shard's static cost
+	// probes (EstimateBreakdown at batch sizes 1 and MaxBatch) on that
+	// cadence and folds the results into the router's live profile, so
+	// a profile gone stale during a traffic lull — or drifted after
+	// online updates reshaped the tables — re-anchors to current costs.
+	// Probes broadcast through the update lane and run on each shard's
+	// own worker, never concurrently with its batches.
+	ReprobeInterval time.Duration
 }
 
 // Defaults for Config zero values.
@@ -220,6 +249,11 @@ type pending struct {
 	ctx  context.Context
 	enq  time.Time
 	done chan outcome // buffered 1; never blocks the worker
+	// deadline orders the request within its class's micro-batch window
+	// (EDF) when SLO admission is on: the caller's context deadline when
+	// set, else enqueue + the class's SLO target. Zero means no deadline
+	// — the request sorts FIFO after every deadlined one.
+	deadline time.Time
 }
 
 type outcome struct {
@@ -273,6 +307,38 @@ type Server struct {
 	// cache is the hot-row cache shared by all replicas (nil when
 	// disabled); kept for stats reporting.
 	cache *hotcache.Cache
+
+	// gov is the pressure governor (nil when Config.Governor.BudgetBytes
+	// is zero); govHighFrac and origCacheCap are the shrink step's
+	// anchors (the watermark overage is shed from the cache, and release
+	// restores the configured capacity).
+	gov          *governor.Governor
+	govHighFrac  float64
+	origCacheCap int64
+	// shedMask is the governor's admission gate: bit (1 << Class) set
+	// means Predict sheds that class at the door. Critical's bit is
+	// never set by the ladder.
+	shedMask atomic.Uint32
+	// hasSLO is set when any class configures SLOTargetNs: it gates the
+	// deadline stamping, EDF ordering and SLO admission checks so a
+	// depth-only server runs the exact pre-SLO path.
+	hasSLO bool
+	// predWait and predWaitStamp are the scheduler-published per-class
+	// predicted admission waits (ns) and their freshness stamp (unix
+	// ns); Predict's SLO check is one atomic load against them.
+	predWait      [NumClasses]atomic.Int64
+	predWaitStamp atomic.Int64
+	// reprobeStop ends the background re-probe loop (nil when
+	// ReprobeInterval is zero).
+	reprobeStop chan struct{}
+	// Governor-tick bookkeeping (touched only from the governor's
+	// serialized observation callback): counter baselines for the
+	// metrics diff and the per-table hit baseline of the adaptive
+	// cache-budget rebalance.
+	lastTransitions int64
+	lastResizes     int64
+	tickCount       int64
+	lastTableHits   []int64
 
 	// testHookBatch, when set, runs in each worker just before a
 	// micro-batch executes — tests use it to hold workers and fill the
@@ -347,6 +413,17 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 	for c := Class(0); c < NumClasses; c++ {
 		s.class[c] = cfg.classParams(c)
 		s.classCh[c] = make(chan *pending, s.class[c].depth)
+		if s.class[c].sloNs > 0 {
+			s.hasSLO = true
+		}
+	}
+	// Build the pressure governor (if budgeted) before the instrument
+	// set, so the governor gauges' scrape callbacks read a live
+	// governor; it is not started until the end of construction.
+	if cfg.Governor.BudgetBytes > 0 {
+		if err := s.initGovernor(cfg.Governor); err != nil {
+			return nil, err
+		}
 	}
 	// Register the metric families and scrape-time callbacks before any
 	// goroutine starts: registration locks and allocates, the running
@@ -379,6 +456,14 @@ func New(engines []*core.Engine, cfg Config) (*Server, error) {
 	for i := range engines {
 		s.wg.Add(1)
 		go s.worker(i)
+	}
+	if cfg.ReprobeInterval > 0 {
+		s.reprobeStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.prober()
+	}
+	if s.gov != nil {
+		s.gov.Start()
 	}
 	return s, nil
 }
@@ -437,7 +522,43 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	// Governor pressure shed: the degradation ladder gates whole classes
+	// at the door (Batch at the Critical watermark, Normal past the full
+	// budget, Critical never) so pressure is relieved before it reaches
+	// the classes that must keep serving. One atomic load when no
+	// governor runs.
+	if mask := s.shedMask.Load(); mask&(1<<req.Class) != 0 {
+		s.stats.recordShed(req.Class, shedPressure)
+		s.obs.recordShed(req.Class, shedPressure)
+		return Response{}, Overload(LanePredict)
+	}
 	p := &pending{req: copyRequest(req), ctx: ctx, enq: time.Now(), done: make(chan outcome, 1)}
+	if s.hasSLO {
+		if d, ok := ctx.Deadline(); ok {
+			p.deadline = d
+		} else if slo := s.class[req.Class].sloNs; slo > 0 {
+			p.deadline = p.enq.Add(time.Duration(slo))
+		}
+		// SLO admission: when a strictly higher-priority class with a
+		// target is predicted to miss it, shed this lower class early —
+		// refusing deferrable work at the door instead of letting it
+		// queue ahead of the latency objective. Estimates older than the
+		// freshness window (an idle or draining scheduler) never shed.
+		for _, h := range classOrder {
+			if h.rank() >= req.Class.rank() {
+				break
+			}
+			slo := s.class[h].sloNs
+			if slo <= 0 || s.predWait[h].Load() <= slo {
+				continue
+			}
+			if p.enq.UnixNano()-s.predWaitStamp.Load() < predWaitFreshnessNs {
+				s.stats.recordShed(req.Class, shedSLO)
+				s.obs.recordShed(req.Class, shedSLO)
+				return Response{}, Overload(LanePredict)
+			}
+		}
+	}
 
 	// Hold the read lock across the send so Close cannot close the
 	// class queue under a sender; the send itself never blocks (a full
@@ -453,8 +574,8 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 		s.obs.recordAdmit(req.Class)
 	default:
 		s.mu.RUnlock()
-		s.stats.recordShed(req.Class)
-		s.obs.recordShed(req.Class)
+		s.stats.recordShed(req.Class, shedQueueFull)
+		s.obs.recordShed(req.Class, shedQueueFull)
 		return Response{}, Overload(LanePredict)
 	}
 
@@ -505,7 +626,11 @@ func (s *Server) worker(shard int) {
 		if mb.update != nil {
 			job := mb.update
 			putMicroBatch(mb)
-			s.applyUpdate(shard, job)
+			if job.probe {
+				s.applyProbe(shard, job)
+			} else {
+				s.applyUpdate(shard, job)
+			}
 			continue
 		}
 		// Drop requests whose caller already gave up: their Predict has
@@ -646,8 +771,17 @@ func (s *Server) Close() {
 			close(s.classCh[c])
 		}
 		close(s.updateCh)
+		if s.reprobeStop != nil {
+			close(s.reprobeStop)
+		}
 	}
 	s.mu.Unlock()
+	// Stopping the governor releases any still-engaged ladder steps
+	// (restoring cache capacity and arena caps); idempotent, like the
+	// rest of Close.
+	if s.gov != nil {
+		s.gov.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -657,7 +791,21 @@ func (s *Server) Close() {
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	st.Shards = s.router.snapshot()
+	for c := Class(0); c < NumClasses; c++ {
+		st.PredictedWaitNs[c] = float64(s.predWait[c].Load())
+	}
+	if s.gov != nil {
+		snap := s.gov.Snapshot()
+		st.GovernorBand = snap.Band.String()
+		st.GovernorPeakBand = snap.PeakBand.String()
+		st.GovernorPressure = snap.Pressure
+		st.GovernorBudgetBytes = snap.BudgetBytes
+		st.GovernorTrackedBytes = snap.TrackedBytes
+		st.GovernorTransitions = snap.Transitions
+	}
 	if s.cache != nil {
+		st.CacheCapacityBytes = s.cache.CapacityBytes()
+		st.CacheResizes = s.cache.Resizes()
 		cs := s.cache.Stats()
 		st.CacheHits = cs.Hits
 		st.CacheMisses = cs.Misses

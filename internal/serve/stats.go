@@ -7,14 +7,32 @@ import (
 	"time"
 )
 
+// shedReason is why admission refused a request: a full class queue
+// (the depth-only backstop), the governor's pressure ladder, or the SLO
+// admission estimator.
+type shedReason uint8
+
+const (
+	shedQueueFull shedReason = iota
+	shedPressure
+	shedSLO
+)
+
 // ClassStats summarizes one QoS class's served traffic.
 type ClassStats struct {
 	// Requests is the number of requests of this class served
 	// successfully.
 	Requests int64
 	// Shed is the number of requests of this class rejected with
-	// ErrOverloaded at a full class queue.
+	// ErrOverloaded — the sum over every shed cause.
 	Shed int64
+	// ShedPressure and ShedSLO break Shed down by cause: requests the
+	// governor's degradation ladder gated at the door, and requests the
+	// SLO admission estimator refused because a higher-priority class
+	// was predicted to miss its target. The remainder of Shed is the
+	// depth-only full-queue backstop.
+	ShedPressure int64
+	ShedSLO      int64
 	// MeanNs, P50Ns, P95Ns, P99Ns and MaxNs summarize the class's
 	// per-request modeled latency (queueing + batch breakdown).
 	MeanNs float64
@@ -147,6 +165,30 @@ type Stats struct {
 	UpdateModeledNs float64
 	UpdateP50Ns     float64
 	UpdateP99Ns     float64
+	// GovernorBand through GovernorTransitions mirror the pressure
+	// governor's state when one is deployed (Config.Governor): the
+	// current and peak pressure bands ("normal"/"high"/"critical"),
+	// tracked bytes against the budget, and the monotonic count of
+	// upward band transitions. All zero ("" bands) without a governor.
+	GovernorBand         string
+	GovernorPeakBand     string
+	GovernorPressure     float64
+	GovernorBudgetBytes  int64
+	GovernorTrackedBytes int64
+	GovernorTransitions  int64
+	// CacheCapacityBytes is the hot cache's current byte capacity — it
+	// drops below the configured capacity while the governor's shrink
+	// step is engaged — and CacheResizes counts capacity changes.
+	CacheCapacityBytes int64
+	CacheResizes       int64
+	// PredictedWaitNs is the admission estimator's latest published
+	// per-class predicted wait (the quantity SLO admission compares
+	// against each class's target), indexed by Class. Zero until the
+	// scheduler has published (SLO or metrics enabled).
+	PredictedWaitNs [NumClasses]float64
+	// Reprobes counts completed background cost re-probes (all shards
+	// folded fresh static probe points into the router).
+	Reprobes int64
 }
 
 // ShedRate returns Shed/(Shed+Requests+Errors) — the fraction of
@@ -161,9 +203,11 @@ func (s Stats) ShedRate() float64 {
 
 // classAgg accumulates one class's per-request samples.
 type classAgg struct {
-	latencies []float64
-	queues    []float64
-	shed      int64
+	latencies    []float64
+	queues       []float64
+	shed         int64
+	shedPressure int64
+	shedSLO      int64
 }
 
 // collector accumulates per-request latencies; Server owns one.
@@ -187,6 +231,7 @@ type collector struct {
 	updInval     int64
 	updModeledNs float64
 	updLats      []float64 // measured wall ns per update job
+	reprobes     int64     // completed background cost re-probes
 	first        time.Time // first recorded completion window start
 	last         time.Time // last recorded completion
 }
@@ -217,9 +262,22 @@ func (c *collector) recordBatch(mramBytes int64, pipeSerialNs, pipePipelinedNs f
 	c.mu.Unlock()
 }
 
-func (c *collector) recordShed(cl Class) {
+func (c *collector) recordShed(cl Class, reason shedReason) {
 	c.mu.Lock()
-	c.perClass[cl].shed++
+	agg := &c.perClass[cl]
+	agg.shed++
+	switch reason {
+	case shedPressure:
+		agg.shedPressure++
+	case shedSLO:
+		agg.shedSLO++
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) recordReprobe() {
+	c.mu.Lock()
+	c.reprobes++
 	c.mu.Unlock()
 }
 
@@ -280,9 +338,11 @@ func (c *collector) snapshot() Stats {
 	var perClass [NumClasses]classAgg
 	for i := range c.perClass {
 		perClass[i] = classAgg{
-			latencies: c.perClass[i].latencies,
-			queues:    c.perClass[i].queues,
-			shed:      c.perClass[i].shed,
+			latencies:    c.perClass[i].latencies,
+			queues:       c.perClass[i].queues,
+			shed:         c.perClass[i].shed,
+			shedPressure: c.perClass[i].shedPressure,
+			shedSLO:      c.perClass[i].shedSLO,
 		}
 	}
 	st := Stats{
@@ -297,6 +357,7 @@ func (c *collector) snapshot() Stats {
 		UpdateShed:          c.updShed,
 		UpdateInvalidations: c.updInval,
 		UpdateModeledNs:     c.updModeledNs,
+		Reprobes:            c.reprobes,
 	}
 	updLats := c.updLats
 	first, last := c.first, c.last
@@ -306,6 +367,8 @@ func (c *collector) snapshot() Stats {
 		cs := &st.PerClass[i]
 		cs.Requests = int64(len(perClass[i].latencies))
 		cs.Shed = perClass[i].shed
+		cs.ShedPressure = perClass[i].shedPressure
+		cs.ShedSLO = perClass[i].shedSLO
 		st.Shed += perClass[i].shed
 		cs.MeanNs, cs.P50Ns, cs.P95Ns, cs.P99Ns, cs.MaxNs = summarize(perClass[i].latencies)
 		_, cs.QueueP50Ns, cs.QueueP95Ns, cs.QueueP99Ns, _ = summarize(perClass[i].queues)

@@ -37,9 +37,14 @@ type Delta struct {
 }
 
 // updateJob is one ApplyDeltas call in flight: the scheduler broadcasts
-// it to every shard, the last worker to finish closes done.
+// it to every shard, the last worker to finish closes done. A probe job
+// (probe set, deltas empty) rides the same broadcast lane but re-runs
+// the shard's static cost probes instead of applying deltas — reusing
+// the lane guarantees a probe runs on each shard's own worker, never
+// concurrently with its batches.
 type updateJob struct {
 	deltas []Delta
+	probe  bool
 	enq    time.Time
 
 	mu            sync.Mutex
@@ -120,6 +125,36 @@ func (s *Server) ApplyDeltas(ctx context.Context, deltas []Delta) error {
 		return err
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// applyProbe re-runs this shard's static cost probes (the same batch
+// sizes New seeded the router with) and folds the fresh points into the
+// shard's live profile — the periodic re-anchor that keeps a stale or
+// drifted profile honest. The last shard to finish counts the re-probe
+// and releases the prober.
+func (s *Server) applyProbe(shard int, job *updateJob) {
+	eng := s.engines[shard]
+	var points []profilePoint
+	if bd, n, err := eng.EstimateBreakdown(1); err == nil {
+		points = append(points, profilePoint{n: n, cost: bd.TotalNs(), bd: bd})
+	}
+	if s.cfg.MaxBatch > 1 {
+		if bd, n, err := eng.EstimateBreakdown(s.cfg.MaxBatch); err == nil &&
+			(len(points) == 0 || n != points[0].n) {
+			points = append(points, profilePoint{n: n, cost: bd.TotalNs(), bd: bd})
+		}
+	}
+	s.router.reseed(shard, points)
+
+	job.mu.Lock()
+	job.remaining--
+	last := job.remaining == 0
+	job.mu.Unlock()
+	if last {
+		s.stats.recordReprobe()
+		s.obs.recordReprobe()
+		close(job.done)
 	}
 }
 

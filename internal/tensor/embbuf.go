@@ -67,3 +67,16 @@ func (e *EmbBuf) Clone() *EmbBuf {
 	c.data = append([]float32(nil), e.data...)
 	return c
 }
+
+// CapBytes returns the backing array's capacity in bytes — the
+// buffer's contribution to its owner's arena footprint, whatever shape
+// it is currently Reset to.
+func (e *EmbBuf) CapBytes() int64 { return int64(cap(e.data)) * 4 }
+
+// Release drops the backing array so the next Reset reallocates at the
+// then-current shape. Views previously returned by At/Sample/Data keep
+// aliasing the old array (which stays alive through them) — Release
+// only severs this buffer's reference, which is what an arena trim
+// wants: the in-flight consumer of the last batch stays valid while
+// the recycled footprint drops.
+func (e *EmbBuf) Release() { *e = EmbBuf{} }

@@ -284,3 +284,17 @@ func closedFormTiming(cfg HWConfig, job *KernelJob) KernelTiming {
 		BytesRead:      bytes,
 	}
 }
+
+// FootprintBytes returns the job's recycled buffer capacity in bytes
+// (the Reads access list at 16 bytes per entry plus the shared row
+// pool) — its contribution to an engine's arena footprint.
+func (j *KernelJob) FootprintBytes() int64 {
+	return int64(cap(j.Reads))*16 + int64(cap(j.Rows))*4
+}
+
+// ReleaseStorage drops the recycled Reads/Rows capacity so the next
+// batch reallocates at its then-current size — the arena-trim hook.
+func (j *KernelJob) ReleaseStorage() {
+	j.Reads = nil
+	j.Rows = nil
+}

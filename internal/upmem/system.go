@@ -167,3 +167,20 @@ func (s *System) RunStepInto(jobs []*KernelJob, res *StepResult) error {
 	res.StageNs = s.cfg.KernelLaunchNs + s.cfg.CyclesToNs(res.MaxCycles)
 	return nil
 }
+
+// FootprintBytes returns the recycled per-DPU accumulator and fetch
+// scratch capacity in bytes — the StepResult's contribution to an
+// engine's arena footprint.
+func (s *StepResult) FootprintBytes() int64 {
+	var n int64
+	for i := range s.pool {
+		n += int64(cap(s.pool[i].backing))*4 + int64(cap(s.pool[i].buf))*4
+	}
+	return n
+}
+
+// ReleaseStorage drops every recycled buffer so the next RunStepInto
+// reshapes from scratch at the then-current batch size — the
+// arena-trim hook. Results handed out from previous steps keep
+// aliasing the old storage.
+func (s *StepResult) ReleaseStorage() { *s = StepResult{} }

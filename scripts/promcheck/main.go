@@ -6,9 +6,15 @@
 // parser the unit tests use (histogram cumulativity, +Inf buckets,
 // counter non-negativity), and fails if any required family is absent.
 //
+// With -nonzero, it additionally rescrapes until every listed family
+// shows a positive sample — the pressure-smoke assertion that a
+// governed overload run actually left the normal band and shed load,
+// not merely that the instruments exist.
+//
 // Usage:
 //
 //	go run ./scripts/promcheck -url http://127.0.0.1:8097/metrics
+//	go run ./scripts/promcheck -url ... -nonzero governor_band_transitions_total,governor_shed_total
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"updlrm/internal/obs"
@@ -43,6 +50,16 @@ var requiredFamilies = []string{
 	"serve_update_queue_depth",
 	"serve_update_rows_total",
 	"serve_update_invalidations_total",
+	"governor_band",
+	"governor_pressure",
+	"governor_budget_bytes",
+	"governor_tracked_bytes",
+	"governor_band_transitions_total",
+	"governor_cache_resizes_total",
+	"governor_shed_total",
+	"serve_slo_shed_total",
+	"serve_predicted_wait_ns",
+	"serve_reprobe_total",
 	"core_stage_modeled_ns",
 	"core_mram_read_bytes",
 }
@@ -50,6 +67,8 @@ var requiredFamilies = []string{
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8097/metrics", "metrics endpoint to scrape")
 	wait := flag.Duration("wait", 15*time.Second, "retry window for the first successful fetch")
+	nonzero := flag.String("nonzero", "",
+		"comma-separated families that must show a positive sample; rescraped until satisfied or -wait expires (the pressure-smoke assertion)")
 	flag.Parse()
 
 	body, err := fetch(*url, *wait)
@@ -70,6 +89,11 @@ func main() {
 		sort.Strings(missing)
 		fail("exposition parsed but %d required families are missing: %v", len(missing), missing)
 	}
+	if *nonzero != "" {
+		if err := awaitNonzero(*url, *wait, strings.Split(*nonzero, ",")); err != nil {
+			fail("%v", err)
+		}
+	}
 	samples := 0
 	for _, f := range fams {
 		for _, ss := range f.Samples {
@@ -78,6 +102,55 @@ func main() {
 	}
 	fmt.Printf("promcheck: OK — %d families (%d required present), %d samples, exposition valid\n",
 		len(fams), len(requiredFamilies), samples)
+}
+
+// awaitNonzero rescrapes until every listed family has at least one
+// sample with a positive value — the assertion a pressure smoke run
+// makes about the governor actually engaging (band transitions and
+// sheds are monotonic counters, so once seen they stay satisfied). The
+// load producing the pressure ramps up concurrently, hence the retry.
+func awaitNonzero(url string, wait time.Duration, names []string) error {
+	deadline := time.Now().Add(wait)
+	var unsatisfied []string
+	for {
+		body, err := fetch(url, time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("nonzero check: fetch: %v (still zero: %v)", err, unsatisfied)
+		}
+		fams, err := obs.ParseExposition(body)
+		if err != nil {
+			return fmt.Errorf("nonzero check: invalid exposition: %v", err)
+		}
+		unsatisfied = unsatisfied[:0]
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			fam, ok := fams[name]
+			positive := false
+			if ok {
+				for _, ss := range fam.Samples {
+					for _, s := range ss {
+						if s.Value > 0 {
+							positive = true
+						}
+					}
+				}
+			}
+			if !positive {
+				unsatisfied = append(unsatisfied, name)
+			}
+		}
+		if len(unsatisfied) == 0 {
+			fmt.Printf("promcheck: nonzero OK — %v all positive\n", names)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("nonzero check: %v never went positive within %v", unsatisfied, wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 // fetch GETs the URL, retrying connection failures until the deadline —

@@ -37,6 +37,7 @@ import (
 	"updlrm/internal/cluster"
 	"updlrm/internal/core"
 	"updlrm/internal/dlrm"
+	"updlrm/internal/governor"
 	"updlrm/internal/grace"
 	"updlrm/internal/hosthw"
 	"updlrm/internal/hotcache"
@@ -182,6 +183,17 @@ type (
 	HotCache = hotcache.Cache
 	// HotCacheStats snapshots a cache's effectiveness counters.
 	HotCacheStats = hotcache.Stats
+	// GovernorConfig shapes the pressure governor (ServerConfig.Governor
+	// / ClusterConfig.Governor): a memory budget with High/Critical
+	// watermarks. Under pressure the server degrades gracefully —
+	// shrink the hot cache and cap arena growth at High, shed Batch-
+	// then Normal-class admission approaching and past the budget —
+	// and recovers in reverse order as pressure recedes. A zero
+	// BudgetBytes disables governing.
+	GovernorConfig = governor.Config
+	// GovernorBand is the governor's pressure band: GovernorNormal,
+	// GovernorHigh or GovernorCritical.
+	GovernorBand = governor.Band
 	// Delta is one additive embedding-row update for Server.ApplyDeltas:
 	// Vec (len EmbDim) is added into (Table, Row) on every shard
 	// replica, coherently with in-flight batches.
@@ -208,6 +220,20 @@ const (
 	// NumRequestClasses is the number of QoS classes (indexes
 	// ServerConfig.Classes and ServerStats.PerClass).
 	NumRequestClasses = serve.NumClasses
+)
+
+// Pressure-governor bands for GovernorBand (ServerStats.GovernorBand
+// reports the band as a string).
+const (
+	// GovernorNormal: tracked bytes below the High watermark; no
+	// remediation engaged.
+	GovernorNormal = governor.BandNormal
+	// GovernorHigh: resource remediation (cache shrink, arena caps) is
+	// active; no admission shedding.
+	GovernorHigh = governor.BandHigh
+	// GovernorCritical: lower-class admission shedding is active;
+	// Critical-class traffic is the last to feel pressure.
+	GovernorCritical = governor.BandCritical
 )
 
 // Observability: a dependency-free metrics registry (Prometheus text
